@@ -1,0 +1,241 @@
+// Benchmarks regenerating every figure and table of the paper's
+// evaluation at Fast scale. Each figure bench runs the corresponding
+// experiment end to end and reports the headline quantity the paper's
+// plot shows as a custom metric (final accuracy, speedup, bound value),
+// so `go test -bench=. -benchmem` doubles as the reproduction harness.
+// Paper-scale runs use cmd/middlesim -scale paper.
+package middle_test
+
+import (
+	"testing"
+
+	"middle"
+	"middle/internal/data"
+	"middle/internal/eval"
+	"middle/internal/nn"
+	"middle/internal/tensor"
+)
+
+// benchSteps keeps figure benchmarks affordable; the curves' shape
+// (MIDDLE vs baselines ordering) is already visible at this horizon.
+const benchSteps = 30
+
+// BenchmarkFig1Motivation regenerates Figure 1: classical HFL with
+// opposite 70/30 skews across two edges. Reported metrics: the final
+// accuracy of edge 1 on its major and minor classes — the paper's point
+// is the widening gap between them.
+func BenchmarkFig1Motivation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := middle.RunFig1(middle.Fig1Config{Scale: middle.Fast, Seed: 1, Steps: benchSteps})
+		last := len(r.Steps) - 1
+		b.ReportMetric(r.MajorAcc[last], "major-acc")
+		b.ReportMetric(r.MinorAcc[last], "minor-acc")
+		b.ReportMetric(r.GlobalAcc[last], "global-acc")
+	}
+}
+
+// BenchmarkFig2OnDeviceAggregation regenerates Figure 2: the scripted
+// device swap comparing General vs 50/50 on-device aggregation.
+// Reported metrics: overall cloud accuracy for both methods.
+func BenchmarkFig2OnDeviceAggregation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := middle.RunFig2(middle.Fig2Config{Scale: middle.Fast, Seed: 1, Warmup: 25, After: 15})
+		b.ReportMetric(r.CloudOverall[0], "cloud-acc-general")
+		b.ReportMetric(r.CloudOverall[1], "cloud-acc-ondevice")
+		b.ReportMetric(r.EdgeOverall[1]-r.EdgeOverall[0], "edge1-acc-gain")
+	}
+}
+
+// BenchmarkFig6TimeToAccuracy regenerates Figure 6 per task: all five
+// strategies on the shared topology. Reported metrics: MIDDLE's final
+// accuracy and its average speedup over the baselines that reached the
+// target.
+func BenchmarkFig6TimeToAccuracy(b *testing.B) {
+	for _, task := range data.AllTasks() {
+		b.Run(string(task), func(b *testing.B) {
+			setup := middle.NewTaskSetup(task, middle.Fast, 1)
+			for i := 0; i < b.N; i++ {
+				r := middle.RunFig6(setup, middle.EvaluationSet(), 0.5, 1, benchSteps)
+				var ref eval.TTAResult
+				for _, t := range r.Results {
+					if t.Strategy == "MIDDLE" {
+						ref = t
+					}
+				}
+				b.ReportMetric(ref.FinalAcc, "middle-final-acc")
+				count, sum := 0, 0.0
+				for _, t := range r.Results {
+					if t.Strategy == "MIDDLE" {
+						continue
+					}
+					if s := eval.Speedup(ref, t); s > 0 {
+						sum += s
+						count++
+					}
+				}
+				if count > 0 {
+					b.ReportMetric(sum/float64(count), "avg-speedup")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig7MobilitySweep regenerates Figure 7 per task: final
+// accuracy at P ∈ {0.1, 0.3, 0.5}. Reported metric: MIDDLE's accuracy
+// spread across the sweep (robustness) and its best accuracy.
+func BenchmarkFig7MobilitySweep(b *testing.B) {
+	for _, task := range data.AllTasks() {
+		b.Run(string(task), func(b *testing.B) {
+			setup := middle.NewTaskSetup(task, middle.Fast, 1)
+			for i := 0; i < b.N; i++ {
+				r := middle.RunFig7(setup, []middle.Strategy{middle.MIDDLE(), middle.OORT()}, []float64{0.1, 0.3, 0.5}, 1, benchSteps)
+				best, worst := 0.0, 1.0
+				for _, v := range r.FinalAcc[0] {
+					if v > best {
+						best = v
+					}
+					if v < worst {
+						worst = v
+					}
+				}
+				b.ReportMetric(best, "middle-best-acc")
+				b.ReportMetric(best-worst, "middle-acc-spread")
+			}
+		})
+	}
+}
+
+// BenchmarkFig8CloudInterval regenerates Figure 8 per task: MIDDLE vs
+// OORT at T_c ∈ {5, 10, 20}. Reported metric: how much OORT's final
+// accuracy degrades from T_c=5 to T_c=20 versus MIDDLE's degradation —
+// the paper's claim is that OORT suffers more from rare cloud syncs.
+func BenchmarkFig8CloudInterval(b *testing.B) {
+	for _, task := range data.AllTasks() {
+		b.Run(string(task), func(b *testing.B) {
+			setup := middle.NewTaskSetup(task, middle.Fast, 1)
+			for i := 0; i < b.N; i++ {
+				r := middle.RunFig8(setup, []middle.Strategy{middle.MIDDLE(), middle.OORT()}, []int{5, 10, 20}, 0.5, 1, benchSteps)
+				fa := r.FinalAccuracies()
+				b.ReportMetric(fa["MIDDLE Tc=5"]-fa["MIDDLE Tc=20"], "middle-tc-drop")
+				b.ReportMetric(fa["OORT Tc=5"]-fa["OORT Tc=20"], "oort-tc-drop")
+			}
+		})
+	}
+}
+
+// BenchmarkTheoremBound regenerates the §5 validation: the Remark 1
+// sweep on the convex quadratic. Reported metrics: the measured
+// divergence reduction from aggregation and the bound ratio across the
+// P grid (must exceed 1: the bound shrinks as P grows).
+func BenchmarkTheoremBound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := middle.RunTheory(middle.TheoryConfig{Scale: middle.Fast, Seed: 1,
+			Ps: []float64{0.1, 0.5}, Alphas: []float64{0.0001, 0.5}})
+		b.ReportMetric(r.Bound[0]/r.Bound[1], "bound-ratio-P.1-vs-.5")
+		// α≈0 column approximates no aggregation; α=0.5 is full blending.
+		b.ReportMetric(r.Divergence[1][0]-r.Divergence[1][1], "divergence-reduction")
+	}
+}
+
+// --- kernel microbenchmarks -------------------------------------------------
+
+func BenchmarkMatMul128(b *testing.B) {
+	rng := tensor.NewRNG(1)
+	x := tensor.New(128, 128)
+	y := tensor.New(128, 128)
+	rng.FillNormal(x, 0, 1)
+	rng.FillNormal(y, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(x, y)
+	}
+}
+
+func BenchmarkConv2DForward(b *testing.B) {
+	rng := tensor.NewRNG(1)
+	net := nn.NewCNN2(nn.CNN2Config{InC: 1, H: 28, W: 28, Classes: 10, C1: 8, C2: 16, Hidden: 64}, rng)
+	x := tensor.New(16, 1, 28, 28)
+	rng.FillNormal(x, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(x, false)
+	}
+}
+
+func BenchmarkLocalTrainingRound(b *testing.B) {
+	// One device's round: I=10 local steps of batch 16 on the paper's
+	// MNIST CNN — the unit of work Algorithm 1 parallelises.
+	rng := tensor.NewRNG(1)
+	net := nn.NewCNN2(nn.CNN2Config{InC: 1, H: 28, W: 28, Classes: 10, C1: 8, C2: 16, Hidden: 64}, rng)
+	x := tensor.New(16, 1, 28, 28)
+	rng.FillNormal(x, 0, 1)
+	labels := make([]int, 16)
+	for i := range labels {
+		labels[i] = i % 10
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < 10; s++ {
+			net.ZeroGrad()
+			logits := net.Forward(x, true)
+			_, g := nn.SoftmaxCrossEntropy(logits, labels)
+			net.Backward(g)
+			for _, p := range net.Params() {
+				p.Value.AddScaledInPlace(-0.01, p.Grad)
+			}
+		}
+	}
+}
+
+func BenchmarkOnDeviceAggregation(b *testing.B) {
+	rng := tensor.NewRNG(1)
+	n := 60000 // ≈ the paper MNIST CNN parameter count
+	wEdge := make([]float64, n)
+	wLocal := make([]float64, n)
+	for i := range wEdge {
+		wEdge[i] = rng.NormFloat64()
+		wLocal[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		middle.OnDeviceAggregate(wEdge, wLocal)
+	}
+}
+
+func BenchmarkSelectionScoring(b *testing.B) {
+	rng := tensor.NewRNG(1)
+	n := 60000
+	cloud := make([]float64, n)
+	locals := make([][]float64, 10)
+	for i := range cloud {
+		cloud[i] = rng.NormFloat64()
+	}
+	for m := range locals {
+		locals[m] = make([]float64, n)
+		for i := range locals[m] {
+			locals[m][i] = rng.NormFloat64()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for m := range locals {
+			middle.SelectionScore(cloud, locals[m])
+		}
+	}
+}
+
+func BenchmarkSimulationStep(b *testing.B) {
+	// One full Algorithm 1 time step at Fast scale (4 edges × K=3
+	// devices training in parallel).
+	setup := middle.NewTaskSetup(data.TaskMNIST, middle.Fast, 1)
+	part := setup.Partition(1)
+	mob := middle.NewMarkovMobility(setup.Edges, setup.Devices, 0.5, 11)
+	cfg := setup.Config(1, 1<<30)
+	cfg.EvalEvery = 0
+	sim := middle.NewSimulation(cfg, setup.Factory, part, setup.Test, mob, middle.MIDDLE())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.StepOnce()
+	}
+}

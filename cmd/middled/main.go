@@ -1,0 +1,159 @@
+// Command middled runs one component of a networked MIDDLE deployment —
+// cloud coordinator, edge server, or a fleet of device clients — so the
+// full device-edge-cloud system can be spread over real machines. All
+// components must agree on -task and -seed so device shards and model
+// architectures line up.
+//
+//	middled -role cloud -addr :7000 -edges 2 -rounds 50 -tc 10
+//	middled -role edge  -id 0 -cloud host:7000 -addr :7100 -strategy MIDDLE
+//	middled -role edge  -id 1 -cloud host:7000 -addr :7101 -strategy MIDDLE
+//	middled -role devices -edges host:7100,host:7101 -from 0 -to 9 -p 0.5
+//
+// The -role devices process hosts a contiguous range of device ids and
+// migrates them between the listed edges with a ring-Markov mobility of
+// probability -p at a fixed cadence.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"middle"
+	"middle/internal/data"
+	"middle/internal/experiments"
+	"middle/internal/fednet"
+	"middle/internal/mobility"
+	"middle/internal/tensor"
+)
+
+func main() {
+	var (
+		role     = flag.String("role", "", "cloud|edge|devices")
+		task     = flag.String("task", "mnist", "task: mnist|emnist|cifar10|speech")
+		scale    = flag.String("scale", "fast", "fast|paper")
+		seed     = flag.Int64("seed", 1, "shared root seed")
+		addr     = flag.String("addr", "127.0.0.1:0", "listen address (cloud, edge)")
+		edgesN   = flag.Int("edges", 2, "edge count (cloud role)")
+		rounds   = flag.Int("rounds", 50, "rounds to coordinate (cloud role)")
+		tc       = flag.Int("tc", 10, "cloud interval T_c (cloud role)")
+		id       = flag.Int("id", 0, "edge id (edge role)")
+		cloud    = flag.String("cloud", "", "cloud address (edge role)")
+		strategy = flag.String("strategy", "MIDDLE", "strategy (edge role)")
+		k        = flag.Int("k", 5, "devices selected per round (edge role)")
+		edgeList = flag.String("edgeaddrs", "", "comma-separated edge addresses (devices role)")
+		from     = flag.Int("from", 0, "first device id (devices role)")
+		to       = flag.Int("to", 9, "last device id inclusive (devices role)")
+		p        = flag.Float64("p", 0.5, "device mobility probability (devices role)")
+		moveMs   = flag.Int("movems", 2000, "milliseconds between mobility steps (devices role)")
+	)
+	flag.Parse()
+
+	setup := experiments.NewTaskSetup(data.TaskName(*task), experiments.Scale(*scale), *seed)
+	switch *role {
+	case "cloud":
+		runCloud(setup, *addr, *edgesN, *rounds, *tc, *seed)
+	case "edge":
+		runEdge(setup, *id, *cloud, *addr, *strategy, *k, *seed)
+	case "devices":
+		runDevices(setup, *edgeList, *from, *to, *p, *moveMs, *seed)
+	default:
+		fmt.Fprintln(os.Stderr, "middled: -role must be cloud, edge or devices")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runCloud(setup *experiments.TaskSetup, addr string, edges, rounds, tc int, seed int64) {
+	init := setup.Factory(tensor.Split(seed, 0)).ParamVector()
+	c, err := fednet.NewCloud(fednet.CloudConfig{
+		Addr: addr, Edges: edges, Rounds: rounds, CloudInterval: tc,
+		InitModel: init, Logf: log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("middled: cloud listening on %s (%d edges, %d rounds, Tc=%d)", c.Addr(), edges, rounds, tc)
+	if err := c.Run(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("middled: training complete")
+}
+
+func runEdge(setup *experiments.TaskSetup, id int, cloudAddr, addr, strategy string, k int, seed int64) {
+	if cloudAddr == "" {
+		log.Fatal("middled: edge role requires -cloud")
+	}
+	strat, err := middle.StrategyByName(strategy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	e, err := fednet.NewEdge(fednet.EdgeConfig{
+		EdgeID: id, CloudAddr: cloudAddr, Addr: addr,
+		K: k, Strategy: strat, Seed: seed, Logf: log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("middled: edge %d serving devices on %s (strategy %s)", id, e.Addr(), strategy)
+	if err := e.Run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runDevices(setup *experiments.TaskSetup, edgeList string, from, to int, p float64, moveMs int, seed int64) {
+	addrs := strings.Split(edgeList, ",")
+	if len(addrs) == 0 || addrs[0] == "" {
+		log.Fatal("middled: devices role requires -edgeaddrs")
+	}
+	part := setup.Partition(seed)
+	if to >= part.NumDevices() || from < 0 || from > to {
+		log.Fatalf("middled: device range %d..%d outside partition of %d", from, to, part.NumDevices())
+	}
+	mode := fednet.AggModeForStrategy("MIDDLE")
+	n := to - from + 1
+	devices := make([]*fednet.Device, n)
+	for i := 0; i < n; i++ {
+		id := from + i
+		dev, err := fednet.NewDevice(fednet.DeviceConfig{
+			DeviceID:   id,
+			Dataset:    part.Dataset,
+			Indices:    part.Indices[id],
+			Factory:    setup.Factory,
+			Optimizer:  setup.Optimizer.New(),
+			LocalSteps: setup.I, BatchSize: setup.BatchSize,
+			Mode: mode, Seed: seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		devices[i] = dev
+	}
+	mob := mobility.NewMarkovRing(len(addrs), n, p, seed+int64(from))
+	membership := mob.Step()
+	for i, dev := range devices {
+		if err := dev.Connect(membership[i], addrs[membership[i]]); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("middled: device %d attached to edge %d", from+i, membership[i])
+	}
+	ticker := time.NewTicker(time.Duration(moveMs) * time.Millisecond)
+	defer ticker.Stop()
+	for range ticker.C {
+		next := mob.Step()
+		for i, dev := range devices {
+			if next[i] == membership[i] {
+				continue
+			}
+			if err := dev.Connect(next[i], addrs[next[i]]); err != nil {
+				log.Printf("middled: device %d failed to move: %v", from+i, err)
+				continue
+			}
+			log.Printf("middled: device %d moved to edge %d", from+i, next[i])
+		}
+		membership = next
+	}
+}

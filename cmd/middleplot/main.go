@@ -1,0 +1,50 @@
+// Command middleplot renders experiment CSV files (as written by
+// middlesim -csv) as ASCII line charts in the terminal.
+//
+//	middleplot -in results/fig6_mnist.csv -smooth 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"middle"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "", "series CSV file (required)")
+		width  = flag.Int("width", 78, "chart width")
+		height = flag.Int("height", 18, "chart height")
+		smooth = flag.Int("smooth", 1, "smoothing window")
+		title  = flag.String("title", "", "chart title (default: file name)")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "middleplot: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "middleplot: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	series, err := middle.ReadSeriesCSV(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "middleplot: parsing %s: %v\n", *in, err)
+		os.Exit(1)
+	}
+	if *smooth > 1 {
+		for i := range series {
+			series[i].Y = middle.Smooth(series[i].Y, *smooth)
+		}
+	}
+	t := *title
+	if t == "" {
+		t = *in
+	}
+	fmt.Print(middle.LineChart(t, series, *width, *height))
+}

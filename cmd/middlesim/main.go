@@ -1,0 +1,335 @@
+// Command middlesim reproduces the MIDDLE paper's experiments from the
+// command line. Every figure of the evaluation has a runner:
+//
+//	middlesim -exp fig1                 # §2 motivation: Non-IID across edges
+//	middlesim -exp fig2                 # §2 motivation: on-device aggregation
+//	middlesim -exp fig6 -task mnist     # §6.2.1 time-to-accuracy + speedups
+//	middlesim -exp fig7 -task mnist     # §6.2.2 global-mobility sweep
+//	middlesim -exp fig8 -task mnist     # §6.2.3 edge-cloud interval sweep
+//	middlesim -exp theory               # §5 Theorem 1 / Remark 1 validation
+//	middlesim -exp run -task mnist -strategy MIDDLE   # one ad-hoc run
+//
+// -scale fast (default) finishes in seconds to minutes; -scale paper uses
+// the paper's §6.1.2 topology and horizons. -csv DIR additionally writes
+// the series data for external plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"middle"
+	"middle/internal/data"
+)
+
+func main() {
+	var (
+		exp        = flag.String("exp", "fig6", "experiment: fig1|fig2|fig6|fig7|fig8|ablation|mobmodels|theory|run|all")
+		task       = flag.String("task", "mnist", "task: mnist|emnist|cifar10|speech|all")
+		scaleFlag  = flag.String("scale", "fast", "scale: fast|paper")
+		seed       = flag.Int64("seed", 1, "root random seed")
+		p          = flag.Float64("p", 0.5, "global mobility P")
+		steps      = flag.Int("steps", 0, "time-step horizon override (0 = scale default)")
+		strategy   = flag.String("strategy", "MIDDLE", "strategy for -exp run")
+		strategies = flag.String("strategies", "", "comma-separated strategy subset (default: paper set)")
+		csvDir     = flag.String("csv", "", "directory to write CSV series into")
+		smooth     = flag.Int("smooth", 1, "smoothing window for printed curves")
+		seeds      = flag.Int("seeds", 1, "number of seeds to average (fig6 only)")
+		saveModel  = flag.String("savemodel", "", "write the final global model checkpoint here (-exp run only)")
+	)
+	flag.Parse()
+
+	scale := middle.Scale(*scaleFlag)
+	if scale != middle.Fast && scale != middle.Paper {
+		fatalf("unknown scale %q (fast|paper)", *scaleFlag)
+	}
+	strats, err := parseStrategies(*strategies)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	switch *exp {
+	case "fig1":
+		runFig1(scale, *seed, *steps, *csvDir)
+	case "fig2":
+		runFig2(scale, *seed, *csvDir)
+	case "fig6":
+		forTasks(*task, func(t middle.TaskName) {
+			if *seeds > 1 {
+				runFig6Seeds(t, scale, strats, *p, *seed, *seeds, *steps, *csvDir, *smooth)
+			} else {
+				runFig6(t, scale, strats, *p, *seed, *steps, *csvDir, *smooth)
+			}
+		})
+	case "fig7":
+		forTasks(*task, func(t middle.TaskName) { runFig7(t, scale, strats, *seed, *steps) })
+	case "fig8":
+		forTasks(*task, func(t middle.TaskName) { runFig8(t, scale, *p, *seed, *steps, *csvDir, *smooth) })
+	case "ablation":
+		forTasks(*task, func(t middle.TaskName) { runAblation(t, scale, *p, *seed, *steps, *csvDir, *smooth) })
+	case "mobmodels":
+		forTasks(*task, func(t middle.TaskName) { runMobilityModels(t, scale, *p, *seed, *steps) })
+	case "theory":
+		runTheory(scale, *seed)
+	case "run":
+		forTasks(*task, func(t middle.TaskName) { runSingle(t, scale, *strategy, *p, *seed, *steps, *saveModel) })
+	case "all":
+		runFig1(scale, *seed, *steps, *csvDir)
+		runFig2(scale, *seed, *csvDir)
+		forTasks(*task, func(t middle.TaskName) {
+			runFig6(t, scale, strats, *p, *seed, *steps, *csvDir, *smooth)
+			runFig7(t, scale, strats, *seed, *steps)
+			runFig8(t, scale, *p, *seed, *steps, *csvDir, *smooth)
+		})
+		runTheory(scale, *seed)
+	default:
+		fatalf("unknown experiment %q", *exp)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "middlesim: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func parseStrategies(list string) ([]middle.Strategy, error) {
+	if list == "" {
+		return middle.EvaluationSet(), nil
+	}
+	var out []middle.Strategy
+	for _, name := range strings.Split(list, ",") {
+		s, err := middle.StrategyByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func forTasks(task string, fn func(middle.TaskName)) {
+	if task == "all" {
+		for _, t := range middle.AllTasks() {
+			fn(t)
+		}
+		return
+	}
+	t := middle.TaskName(task)
+	switch t {
+	case data.TaskMNIST, data.TaskEMNIST, data.TaskCIFAR, data.TaskSpeech:
+		fn(t)
+	default:
+		fatalf("unknown task %q (mnist|emnist|cifar10|speech|all)", task)
+	}
+}
+
+func writeCSV(dir, name string, series []middle.Series) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatalf("creating %s: %v", dir, err)
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("creating %s: %v", path, err)
+	}
+	defer f.Close()
+	if err := middle.WriteSeriesCSV(f, series); err != nil {
+		fatalf("writing %s: %v", path, err)
+	}
+	fmt.Printf("  wrote %s\n", path)
+}
+
+func smoothAll(series []middle.Series, window int) []middle.Series {
+	if window <= 1 {
+		return series
+	}
+	out := make([]middle.Series, len(series))
+	for i, s := range series {
+		out[i] = middle.Series{Name: s.Name, X: s.X, Y: middle.Smooth(s.Y, window)}
+	}
+	return out
+}
+
+func runFig1(scale middle.Scale, seed int64, steps int, csvDir string) {
+	fmt.Printf("=== Figure 1: Non-IID across edges starves minor classes (scale=%s) ===\n", scale)
+	r := middle.RunFig1(middle.Fig1Config{Scale: scale, Seed: seed, Steps: steps})
+	fmt.Print(middle.LineChart("accuracy over time steps", r.Series(), 70, 16))
+	last := len(r.Steps) - 1
+	fmt.Printf("final: global %.4f | edge1 %.4f | edge1 major %.4f | edge1 minor %.4f\n\n",
+		r.GlobalAcc[last], r.EdgeAcc[last], r.MajorAcc[last], r.MinorAcc[last])
+	writeCSV(csvDir, "fig1.csv", r.Series())
+}
+
+func runFig2(scale middle.Scale, seed int64, csvDir string) {
+	fmt.Printf("=== Figure 2: on-device model aggregation case study (scale=%s) ===\n", scale)
+	r := middle.RunFig2(middle.Fig2Config{Scale: scale, Seed: seed})
+	classLabels := make([]string, r.Classes)
+	for c := range classLabels {
+		classLabels[c] = fmt.Sprintf("class %d", c)
+	}
+	fmt.Print(middle.BarChart("global (cloud) model per-class accuracy", classLabels, r.Methods,
+		transpose(r.CloudPerClass), 30))
+	fmt.Print(middle.BarChart("edge model 1 per-class accuracy", classLabels, r.Methods,
+		transpose(r.EdgePerClass), 30))
+	fmt.Printf("overall: cloud %s %.4f vs %s %.4f | edge1 %s %.4f vs %s %.4f\n",
+		r.Methods[0], r.CloudOverall[0], r.Methods[1], r.CloudOverall[1],
+		r.Methods[0], r.EdgeOverall[0], r.Methods[1], r.EdgeOverall[1])
+	fmt.Printf("classes that moved across edges: %v\n\n", r.SwappedClasses)
+	if csvDir != "" {
+		var series []middle.Series
+		for mi, m := range r.Methods {
+			x := make([]int, r.Classes)
+			for c := range x {
+				x[c] = c
+			}
+			series = append(series,
+				middle.Series{Name: "cloud-" + m, X: x, Y: r.CloudPerClass[mi]},
+				middle.Series{Name: "edge1-" + m, X: x, Y: r.EdgePerClass[mi]})
+		}
+		writeCSV(csvDir, "fig2.csv", series)
+	}
+}
+
+func transpose(in [][]float64) [][]float64 {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make([][]float64, len(in[0]))
+	for i := range out {
+		out[i] = make([]float64, len(in))
+		for j := range in {
+			out[i][j] = in[j][i]
+		}
+	}
+	return out
+}
+
+func runFig6(task middle.TaskName, scale middle.Scale, strats []middle.Strategy, p float64, seed int64, steps int, csvDir string, smooth int) {
+	fmt.Printf("=== Figure 6 (%s): time-to-accuracy, P=%.2f (scale=%s) ===\n", task, p, scale)
+	setup := middle.NewTaskSetup(task, scale, seed)
+	r := middle.RunFig6(setup, strats, p, seed, steps)
+	fmt.Print(middle.LineChart("global accuracy over time steps", smoothAll(r.Curves, smooth), 70, 16))
+	fmt.Println(r.SpeedupTable())
+	writeCSV(csvDir, fmt.Sprintf("fig6_%s.csv", task), r.Curves)
+}
+
+func runFig6Seeds(task middle.TaskName, scale middle.Scale, strats []middle.Strategy, p float64, seed int64, nSeeds, steps int, csvDir string, smooth int) {
+	fmt.Printf("=== Figure 6 (%s): time-to-accuracy averaged over %d seeds, P=%.2f (scale=%s) ===\n", task, nSeeds, p, scale)
+	seedList := make([]int64, nSeeds)
+	for i := range seedList {
+		seedList[i] = seed + int64(i)*1000
+	}
+	r := middle.RunFig6Seeds(task, scale, strats, p, seedList, steps)
+	fmt.Print(middle.LineChart("mean global accuracy over time steps", smoothAll(r.MeanCurves(), smooth), 70, 16))
+	fmt.Println(r.Table())
+	writeCSV(csvDir, fmt.Sprintf("fig6_%s_seeds.csv", task), r.MeanCurves())
+}
+
+func runFig7(task middle.TaskName, scale middle.Scale, strats []middle.Strategy, seed int64, steps int) {
+	ps := []float64{0.1, 0.3, 0.5}
+	fmt.Printf("=== Figure 7 (%s): final accuracy vs global mobility P (scale=%s) ===\n", task, scale)
+	setup := middle.NewTaskSetup(task, scale, seed)
+	r := middle.RunFig7(setup, strats, ps, seed, steps)
+	groups := make([]string, len(ps))
+	for i, p := range ps {
+		groups[i] = fmt.Sprintf("P=%.1f", p)
+	}
+	fmt.Print(middle.BarChart("final global accuracy", r.Strategies, groups, r.FinalAcc, 30))
+	fmt.Println()
+}
+
+func runFig8(task middle.TaskName, scale middle.Scale, p float64, seed int64, steps int, csvDir string, smooth int) {
+	tcs := []int{5, 10, 20}
+	fmt.Printf("=== Figure 8 (%s): MIDDLE vs OORT across T_c (scale=%s) ===\n", task, scale)
+	setup := middle.NewTaskSetup(task, scale, seed)
+	r := middle.RunFig8(setup, []middle.Strategy{middle.MIDDLE(), middle.OORT()}, tcs, p, seed, steps)
+	fmt.Print(middle.LineChart("global accuracy over time steps", smoothAll(r.Curves, smooth), 70, 16))
+	for _, c := range r.Curves {
+		if len(c.Y) > 0 {
+			fmt.Printf("  final %-16s %.4f\n", c.Name, c.Y[len(c.Y)-1])
+		}
+	}
+	fmt.Println()
+	writeCSV(csvDir, fmt.Sprintf("fig8_%s.csv", task), r.Curves)
+}
+
+func runAblation(task middle.TaskName, scale middle.Scale, p float64, seed int64, steps int, csvDir string, smooth int) {
+	fmt.Printf("=== Ablation (%s): MIDDLE vs its two mechanisms in isolation (scale=%s) ===\n", task, scale)
+	setup := middle.NewTaskSetup(task, scale, seed)
+	r := middle.RunAblation(setup, p, seed, steps)
+	fmt.Print(middle.LineChart("global accuracy over time steps", smoothAll(r.Curves, smooth), 70, 16))
+	fmt.Println(r.Table())
+	writeCSV(csvDir, fmt.Sprintf("ablation_%s.csv", task), r.Curves)
+}
+
+func runMobilityModels(task middle.TaskName, scale middle.Scale, p float64, seed int64, steps int) {
+	fmt.Printf("=== Mobility models (%s): MIDDLE under Markov vs random waypoint (scale=%s) ===\n", task, scale)
+	setup := middle.NewTaskSetup(task, scale, seed)
+	r := middle.RunMobilityModels(setup, p, seed, steps)
+	fmt.Print(middle.LineChart("global accuracy over time steps", r.Curves, 70, 14))
+	for name, ep := range r.EmpiricalP {
+		fmt.Printf("  %-10s empirical mobility %.3f\n", name, ep)
+	}
+	fmt.Println()
+}
+
+func runTheory(scale middle.Scale, seed int64) {
+	fmt.Printf("=== Theorem 1 / Remark 1: convex validation (scale=%s) ===\n", scale)
+	r := middle.RunTheory(middle.TheoryConfig{Scale: scale, Seed: seed})
+	fmt.Println("P      bound(α=0.5)   " + header(r.Alphas))
+	for i, p := range r.Ps {
+		fmt.Printf("%-6.2f %-14.4g", p, r.Bound[i])
+		for j := range r.Alphas {
+			fmt.Printf(" gap=%-9.3g div=%-9.3g", r.Gap[i][j], r.Divergence[i][j])
+		}
+		fmt.Println()
+	}
+	fmt.Println("(bound decreases monotonically in P — Remark 1; div is the start-point divergence the proof bounds)")
+	fmt.Println()
+}
+
+func header(alphas []float64) string {
+	parts := make([]string, len(alphas))
+	for i, a := range alphas {
+		parts[i] = fmt.Sprintf("[α=%.1f: gap, divergence]", a)
+	}
+	return strings.Join(parts, " ")
+}
+
+func runSingle(task middle.TaskName, scale middle.Scale, strategy string, p float64, seed int64, steps int, saveModel string) {
+	strat, err := middle.StrategyByName(strategy)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	setup := middle.NewTaskSetup(task, scale, seed)
+	part := setup.Partition(seed)
+	mob := middle.NewMarkovMobility(setup.Edges, setup.Devices, p, seed+11)
+	sim := middle.NewSimulation(setup.Config(seed, steps), setup.Factory, part, setup.Test, mob, strat)
+	fmt.Printf("=== %s on %s (scale=%s, P=%.2f) ===\n", strategy, task, scale, p)
+	h := sim.Run()
+	fmt.Print(middle.LineChart("global accuracy", []middle.Series{{Name: strategy, X: h.Steps, Y: h.GlobalAcc}}, 70, 14))
+	if step, ok := h.TimeToAccuracy(setup.TargetAcc); ok {
+		fmt.Printf("reached target %.2f at time step %d\n", setup.TargetAcc, step)
+	} else {
+		fmt.Printf("target %.2f not reached; final accuracy %.4f\n", setup.TargetAcc, h.FinalAcc())
+	}
+	fmt.Printf("empirical mobility: %.3f\n\n", h.EmpiricalMobility)
+	if saveModel != "" {
+		f, err := os.Create(saveModel)
+		if err != nil {
+			fatalf("creating %s: %v", saveModel, err)
+		}
+		defer f.Close()
+		name := fmt.Sprintf("%s-%s-P%.2f-seed%d", task, strategy, p, seed)
+		if err := middle.SaveModel(f, name, sim.CloudModel()); err != nil {
+			fatalf("saving model: %v", err)
+		}
+		fmt.Printf("saved global model to %s\n", saveModel)
+	}
+}

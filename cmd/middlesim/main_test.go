@@ -1,0 +1,57 @@
+package main
+
+import (
+	"testing"
+
+	"middle"
+)
+
+func TestParseStrategiesDefault(t *testing.T) {
+	got, err := parseStrategies("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 || got[0].Name() != "MIDDLE" {
+		t.Fatalf("default strategies %v", got)
+	}
+}
+
+func TestParseStrategiesExplicit(t *testing.T) {
+	got, err := parseStrategies("OORT, Greedy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name() != "OORT" || got[1].Name() != "Greedy" {
+		t.Fatalf("parsed %v", got)
+	}
+	if _, err := parseStrategies("OORT,nope"); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	in := [][]float64{{1, 2, 3}, {4, 5, 6}}
+	out := transpose(in)
+	if len(out) != 3 || len(out[0]) != 2 {
+		t.Fatalf("shape %dx%d", len(out), len(out[0]))
+	}
+	if out[2][1] != 6 || out[0][1] != 4 {
+		t.Fatalf("content %v", out)
+	}
+	if transpose(nil) != nil {
+		t.Fatal("transpose(nil)")
+	}
+}
+
+func TestSmoothAll(t *testing.T) {
+	in := []middle.Series{{Name: "a", X: []int{1, 2, 3}, Y: []float64{0, 3, 0}}}
+	out := smoothAll(in, 3)
+	if out[0].Y[1] != 1 {
+		t.Fatalf("smoothed %v", out[0].Y)
+	}
+	// Window 1 returns input unchanged (same backing arrays acceptable).
+	same := smoothAll(in, 1)
+	if &same[0] != &in[0] {
+		t.Fatal("window 1 should be a no-op")
+	}
+}

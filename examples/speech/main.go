@@ -1,0 +1,37 @@
+// Speech: the paper's fourth task end to end — long sparse 1-D signals
+// classified by a 3-conv 1-D CNN trained with Adam (paper §6.1.2), the
+// configuration where the paper reports the largest benefit from
+// cross-edge knowledge sharing on complex tasks.
+//
+//	go run ./examples/speech
+package main
+
+import (
+	"fmt"
+
+	"middle"
+)
+
+func main() {
+	const seed = 7
+	setup := middle.NewTaskSetup(middle.TaskSpeech, middle.Fast, seed)
+	fmt.Printf("task=%s classes=%d sample=%v optimizer=%s lr=%g\n",
+		setup.Task, setup.Test.Classes, setup.Test.Shape, setup.Optimizer.Kind, setup.Optimizer.LR)
+
+	part := setup.Partition(seed)
+	var curves []middle.Series
+	var results []middle.TTAResult
+	for _, strat := range []middle.Strategy{middle.MIDDLE(), middle.OORT()} {
+		mob := middle.NewMarkovMobility(setup.Edges, setup.Devices, 0.5, seed+11)
+		sim := middle.NewSimulation(setup.Config(seed, 60), setup.Factory, part, setup.Test, mob, strat)
+		h := sim.Run()
+		curves = append(curves, middle.Series{Name: strat.Name(), X: h.Steps, Y: h.GlobalAcc})
+		r := middle.TTAResult{Strategy: strat.Name(), FinalAcc: h.FinalAcc()}
+		if step, ok := h.TimeToAccuracy(setup.TargetAcc); ok {
+			r.Steps, r.Reached = step, true
+		}
+		results = append(results, r)
+	}
+	fmt.Print(middle.LineChart("speech-profile task (Conv1D + Adam)", curves, 70, 14))
+	fmt.Println(middle.SpeedupTable(results, "MIDDLE", setup.TargetAcc))
+}

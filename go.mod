@@ -1,0 +1,3 @@
+module middle
+
+go 1.22

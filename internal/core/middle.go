@@ -1,0 +1,52 @@
+// Package core implements the MIDDLE strategy — mobility-driven
+// on-device model aggregation (paper Eq. 9) plus similarity-guided
+// in-edge device selection (Eq. 12) — together with the four baselines
+// the paper compares against (§6.1.3): OORT, FedMes, Greedy and
+// Ensemble, and the plain "General" HFL policy used in the motivation
+// experiments.
+package core
+
+import (
+	"middle/internal/hfl"
+	"middle/internal/simil"
+	"middle/internal/tensor"
+)
+
+// Middle is the paper's proposed strategy.
+//
+//   - Selection: each edge picks the K devices whose accumulated update
+//     Δw_m = w_m − w_c is *least* similar to the cloud model
+//     (TOPK(−U(w_c, Δw_m)), Eq. 12) — devices carrying information the
+//     global model has not absorbed yet.
+//   - Initialisation: a device that moved across edges blends the
+//     downloaded edge model with its carried local model using the
+//     similarity utility as the blending weight (Eq. 9); devices that
+//     stayed start from the edge model as in classical HFL.
+type Middle struct{}
+
+// NewMiddle returns the MIDDLE strategy.
+func NewMiddle() *Middle { return &Middle{} }
+
+// Name implements hfl.Strategy.
+func (*Middle) Name() string { return "MIDDLE" }
+
+// Select implements Eq. 12.
+func (*Middle) Select(v hfl.View, edge int, candidates []int, k int, rng *tensor.RNG) []int {
+	cloud := v.CloudModel()
+	return hfl.TopKByScore(candidates, func(m int) float64 {
+		return simil.SelectionScore(cloud, v.LocalModel(m))
+	}, k, rng)
+}
+
+// InitLocal implements Eq. 9 for moved devices and the classical
+// edge-model start otherwise (Algorithm 1 lines 4–7).
+func (*Middle) InitLocal(v hfl.View, device, edge int, moved bool) []float64 {
+	edgeModel := v.EdgeModel(edge)
+	if !moved {
+		return clone(edgeModel)
+	}
+	agg, _ := simil.OnDeviceAggregate(edgeModel, v.LocalModel(device))
+	return agg
+}
+
+func clone(v []float64) []float64 { return append([]float64(nil), v...) }

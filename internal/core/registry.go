@@ -1,0 +1,46 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"middle/internal/hfl"
+)
+
+// factories maps strategy names (case-sensitive, as the paper spells
+// them) to constructors.
+var factories = map[string]func() hfl.Strategy{
+	"MIDDLE":     func() hfl.Strategy { return NewMiddle() },
+	"OORT":       func() hfl.Strategy { return NewOort() },
+	"FedMes":     func() hfl.Strategy { return NewFedMes() },
+	"Greedy":     func() hfl.Strategy { return NewGreedy() },
+	"Ensemble":   func() hfl.Strategy { return NewEnsemble() },
+	"General":    func() hfl.Strategy { return NewGeneral() },
+	"MIDDLE-Sel": func() hfl.Strategy { return NewMiddleSelOnly() },
+	"MIDDLE-Agg": func() hfl.Strategy { return NewMiddleAggOnly() },
+}
+
+// ByName constructs a strategy from its registry name.
+func ByName(name string) (hfl.Strategy, error) {
+	f, ok := factories[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown strategy %q (known: %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// Names lists the registered strategy names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(factories))
+	for name := range factories {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EvaluationSet returns the five strategies of the paper's main
+// comparison (Figures 6 and 7) in paper order.
+func EvaluationSet() []hfl.Strategy {
+	return []hfl.Strategy{NewMiddle(), NewOort(), NewFedMes(), NewGreedy(), NewEnsemble()}
+}

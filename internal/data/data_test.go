@@ -1,0 +1,317 @@
+package data
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"middle/internal/nn"
+	"middle/internal/tensor"
+)
+
+func TestNewDatasetValidation(t *testing.T) {
+	// Wrong data length must panic.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("short data did not panic")
+			}
+		}()
+		NewDataset("x", []int{2}, 2, []float64{1, 2, 3}, []int{0, 1})
+	}()
+	// Out-of-range label must panic.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("bad label did not panic")
+			}
+		}()
+		NewDataset("x", []int{1}, 2, []float64{1, 2}, []int{0, 2})
+	}()
+}
+
+func TestBatchShapesAndContent(t *testing.T) {
+	d := NewDataset("x", []int{2}, 2, []float64{1, 2, 3, 4, 5, 6}, []int{0, 1, 0})
+	x, y := d.Batch([]int{2, 0})
+	if x.Dim(0) != 2 || x.Dim(1) != 2 {
+		t.Fatalf("batch shape %v", x.Shape())
+	}
+	if x.At(0, 0) != 5 || x.At(1, 1) != 2 {
+		t.Fatalf("batch content %v", x.Data)
+	}
+	if y[0] != 0 || y[1] != 0 {
+		t.Fatalf("batch labels %v", y)
+	}
+}
+
+func TestGenerateImagesDeterministicAndBalanced(t *testing.T) {
+	p := FastImageProfile(4)
+	d1 := GenerateImages(p, 40, 7)
+	d2 := GenerateImages(p, 40, 7)
+	for i := 0; i < d1.Len()*d1.SampleSize(); i++ {
+		if d1.data[i] != d2.data[i] {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	counts := d1.ClassCounts()
+	for c, n := range counts {
+		if n != 10 {
+			t.Fatalf("class %d has %d samples, want 10", c, n)
+		}
+	}
+	d3 := GenerateImages(p, 40, 8)
+	same := true
+	for i := range d1.data {
+		if d1.data[i] != d3.data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestTrainTestShareDistribution(t *testing.T) {
+	// A model trained on the train split must beat chance on the test
+	// split — this is exactly what breaks if prototypes are reseeded.
+	train, test := GenerateTask(TaskMNIST, 300, 200, 5)
+	if train.Classes != 10 || test.Classes != 10 {
+		t.Fatalf("classes %d/%d", train.Classes, test.Classes)
+	}
+	rng := tensor.NewRNG(1)
+	net := nn.NewMLP(nn.MLPConfig{In: train.SampleSize(), Classes: 10}, rng)
+	flat := func(d *Dataset, idx []int) (*tensor.Tensor, []int) {
+		x, y := d.Batch(idx)
+		return x.Reshape(len(idx), d.SampleSize()), y
+	}
+	x, y := flat(train, train.All())
+	for it := 0; it < 40; it++ {
+		net.ZeroGrad()
+		logits := net.Forward(x, true)
+		_, g := nn.SoftmaxCrossEntropy(logits, y)
+		net.Backward(g)
+		for _, p := range net.Params() {
+			p.Value.AddScaledInPlace(-0.05, p.Grad)
+		}
+	}
+	tx, ty := flat(test, test.All())
+	acc := nn.Accuracy(net.Forward(tx, false), ty)
+	if acc < 0.5 {
+		t.Fatalf("test accuracy %v — train/test distributions diverge", acc)
+	}
+}
+
+func TestSpeechProfileIsSparse(t *testing.T) {
+	p := FastSequenceProfile(4)
+	d := GenerateSequences(p, 8, 3)
+	// Most mass should be near zero: count |x| > 0.5.
+	active := 0
+	total := 0
+	for i := 0; i < d.Len(); i++ {
+		for _, v := range d.Sample(i) {
+			if math.Abs(v) > 0.5 {
+				active++
+			}
+			total++
+		}
+	}
+	frac := float64(active) / float64(total)
+	if frac > 0.2 {
+		t.Fatalf("sequence data active fraction %v, want sparse", frac)
+	}
+	if active == 0 {
+		t.Fatal("sequence data has no signal at all")
+	}
+}
+
+func TestGaussianBlobsSeparable(t *testing.T) {
+	d := GaussianBlobs("blobs", 5, 3, 150, 3.0, 0.3, 11)
+	// Nearest-centroid on the generated data should be near perfect.
+	centroids := make([][]float64, 3)
+	counts := make([]int, 3)
+	for c := range centroids {
+		centroids[c] = make([]float64, 5)
+	}
+	for i := 0; i < d.Len(); i++ {
+		y := d.Label(i)
+		counts[y]++
+		for j, v := range d.Sample(i) {
+			centroids[y][j] += v
+		}
+	}
+	for c := range centroids {
+		for j := range centroids[c] {
+			centroids[c][j] /= float64(counts[c])
+		}
+	}
+	correct := 0
+	for i := 0; i < d.Len(); i++ {
+		best, bi := math.Inf(1), -1
+		for c := range centroids {
+			s := 0.0
+			for j, v := range d.Sample(i) {
+				diff := v - centroids[c][j]
+				s += diff * diff
+			}
+			if s < best {
+				best, bi = s, c
+			}
+		}
+		if bi == d.Label(i) {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(d.Len()); acc < 0.95 {
+		t.Fatalf("blob nearest-centroid accuracy %v", acc)
+	}
+}
+
+func TestPartitionMajorClass(t *testing.T) {
+	d := GenerateImages(FastImageProfile(5), 500, 1)
+	p := PartitionMajorClass(d, 10, 40, 0.8, 2)
+	if p.NumDevices() != 10 {
+		t.Fatalf("devices %d", p.NumDevices())
+	}
+	for m := 0; m < 10; m++ {
+		if len(p.Indices[m]) != 40 {
+			t.Fatalf("device %d has %d samples", m, len(p.Indices[m]))
+		}
+		wantMajor := m % 5
+		hist := p.LabelHistogram(m)
+		if hist[wantMajor] != 32 { // 0.8 * 40
+			t.Fatalf("device %d major class count %d, want 32 (hist %v)", m, hist[wantMajor], hist)
+		}
+		if p.MajorClassOf(m) != wantMajor {
+			t.Fatalf("device %d major class %d, want %d", m, p.MajorClassOf(m), wantMajor)
+		}
+	}
+}
+
+func TestPartitionSingleClass(t *testing.T) {
+	d := GenerateImages(FastImageProfile(4), 200, 1)
+	p := PartitionSingleClass(d, 8, 20, 3)
+	for m := 0; m < 8; m++ {
+		hist := p.LabelHistogram(m)
+		for c, n := range hist {
+			if c == m%4 {
+				if n != 20 {
+					t.Fatalf("device %d class %d count %d", m, c, n)
+				}
+			} else if n != 0 {
+				t.Fatalf("device %d has stray class %d", m, c)
+			}
+		}
+	}
+}
+
+func TestPartitionEdgeSkew(t *testing.T) {
+	d := GenerateImages(FastImageProfile(10), 2000, 1)
+	// 6 devices: first 3 on edge 0 (major {0..4}), rest on edge 1.
+	edgeOf := []int{0, 0, 0, 1, 1, 1}
+	majors := [][]int{{0, 1, 2, 3, 4}, {5, 6, 7, 8, 9}}
+	p := PartitionEdgeSkew(d, edgeOf, majors, 100, 0.7, 4)
+	for m, e := range edgeOf {
+		hist := p.LabelHistogram(m)
+		majorN := 0
+		for _, c := range majors[e] {
+			majorN += hist[c]
+		}
+		frac := float64(majorN) / 100.0
+		if frac < 0.55 || frac > 0.85 {
+			t.Fatalf("device %d major fraction %v, want ≈0.7", m, frac)
+		}
+	}
+}
+
+func TestPartitionIIDCoversAllClasses(t *testing.T) {
+	d := GenerateImages(FastImageProfile(5), 500, 1)
+	p := PartitionIID(d, 4, 200, 9)
+	for m := 0; m < 4; m++ {
+		hist := p.LabelHistogram(m)
+		for c, n := range hist {
+			if n < 20 {
+				t.Fatalf("device %d class %d only %d samples of 200", m, c, n)
+			}
+		}
+	}
+}
+
+// Property: PartitionMajorClass always produces exactly perDevice indices
+// per device, all valid, with the requested major fraction.
+func TestQuickPartitionInvariants(t *testing.T) {
+	d := GenerateImages(FastImageProfile(6), 600, 1)
+	f := func(seed int64, devs8, per8 uint8) bool {
+		devs := 1 + int(devs8%12)
+		per := 6 + int(per8%30)
+		p := PartitionMajorClass(d, devs, per, 0.8, seed)
+		if p.NumDevices() != devs {
+			return false
+		}
+		for m := 0; m < devs; m++ {
+			if len(p.Indices[m]) != per {
+				return false
+			}
+			for _, i := range p.Indices[m] {
+				if i < 0 || i >= d.Len() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionMajorClassClustered(t *testing.T) {
+	d := GenerateImages(FastImageProfile(10), 4000, 1)
+	edges := 4
+	p := PartitionMajorClassClustered(d, 20, 40, 0.85, edges, 2)
+	// Every class must have at least one majoring device (coverage).
+	covered := make([]bool, 10)
+	for m := 0; m < 20; m++ {
+		covered[p.MajorClassOf(m)] = true
+	}
+	for c, ok := range covered {
+		if !ok {
+			t.Fatalf("class %d has no majoring device", c)
+		}
+	}
+	// Devices sharing an initial edge must major on a narrow class block:
+	// spread = ceil(10/4) = 3 distinct classes at most.
+	for e := 0; e < edges; e++ {
+		classes := map[int]bool{}
+		for m := e; m < 20; m += edges {
+			classes[p.MajorClassOf(m)] = true
+		}
+		if len(classes) > 3 {
+			t.Fatalf("edge %d devices major on %d classes, want ≤3", e, len(classes))
+		}
+	}
+	// Major fraction respected.
+	for m := 0; m < 20; m++ {
+		hist := p.LabelHistogram(m)
+		if hist[p.MajorClassOf(m)] != 34 { // floor(0.85*40)
+			t.Fatalf("device %d major count %d", m, hist[p.MajorClassOf(m)])
+		}
+	}
+}
+
+func TestPartitionMajorClassClusteredPanics(t *testing.T) {
+	d := GenerateImages(FastImageProfile(4), 100, 1)
+	for name, fn := range map[string]func(){
+		"edges":     func() { PartitionMajorClassClustered(d, 4, 10, 0.8, 0, 1) },
+		"majorFrac": func() { PartitionMajorClassClustered(d, 4, 10, 1.5, 2, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,104 @@
+// Package data provides the learning tasks of the MIDDLE evaluation.
+// The paper trains on MNIST, EMNIST-Letters, CIFAR10 and SpeechCommands;
+// those corpora are not available to an offline stdlib-only build, so this
+// package generates synthetic class-conditional datasets with matching
+// geometry (see DESIGN.md, "Substitutions") plus the Non-IID label-skew
+// partitioners of §6.1.2.
+package data
+
+import (
+	"fmt"
+
+	"middle/internal/tensor"
+)
+
+// Dataset is an in-memory labelled dataset. Samples are stored flattened
+// and contiguous; Batch materialises any index subset as a tensor.
+type Dataset struct {
+	Name    string
+	Shape   []int // per-sample shape, e.g. [1, 28, 28] or [1, 4000]
+	Classes int
+
+	data   []float64
+	labels []int
+}
+
+// NewDataset wraps raw storage in a Dataset. data must hold len(labels)
+// samples of prod(shape) values each.
+func NewDataset(name string, shape []int, classes int, data []float64, labels []int) *Dataset {
+	ss := 1
+	for _, d := range shape {
+		ss *= d
+	}
+	if len(data) != ss*len(labels) {
+		panic(fmt.Sprintf("data: %d values cannot hold %d samples of size %d", len(data), len(labels), ss))
+	}
+	for i, y := range labels {
+		if y < 0 || y >= classes {
+			panic(fmt.Sprintf("data: label %d of sample %d out of range [0,%d)", y, i, classes))
+		}
+	}
+	return &Dataset{Name: name, Shape: append([]int(nil), shape...), Classes: classes, data: data, labels: labels}
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.labels) }
+
+// SampleSize returns the number of values per sample.
+func (d *Dataset) SampleSize() int {
+	ss := 1
+	for _, x := range d.Shape {
+		ss *= x
+	}
+	return ss
+}
+
+// Label returns the label of sample i.
+func (d *Dataset) Label(i int) int { return d.labels[i] }
+
+// Sample returns a read-only view of the values of sample i.
+func (d *Dataset) Sample(i int) []float64 {
+	ss := d.SampleSize()
+	return d.data[i*ss : (i+1)*ss]
+}
+
+// Batch materialises the samples at idx as a tensor of shape
+// [len(idx), Shape...] along with their labels.
+func (d *Dataset) Batch(idx []int) (*tensor.Tensor, []int) {
+	ss := d.SampleSize()
+	shape := append([]int{len(idx)}, d.Shape...)
+	x := tensor.New(shape...)
+	labels := make([]int, len(idx))
+	for bi, i := range idx {
+		copy(x.Data[bi*ss:(bi+1)*ss], d.Sample(i))
+		labels[bi] = d.labels[i]
+	}
+	return x, labels
+}
+
+// All returns the index list [0, Len).
+func (d *Dataset) All() []int {
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// ByClass returns, for each class, the indices of its samples.
+func (d *Dataset) ByClass() [][]int {
+	out := make([][]int, d.Classes)
+	for i, y := range d.labels {
+		out[y] = append(out[y], i)
+	}
+	return out
+}
+
+// ClassCounts returns the number of samples per class.
+func (d *Dataset) ClassCounts() []int {
+	out := make([]int, d.Classes)
+	for _, y := range d.labels {
+		out[y]++
+	}
+	return out
+}

@@ -1,0 +1,252 @@
+package data
+
+import (
+	"fmt"
+
+	"middle/internal/tensor"
+)
+
+// Partition assigns every device a list of sample indices into a parent
+// dataset. Partitions are the unit the federated engine trains on: each
+// simulated device sees only its own indices.
+type Partition struct {
+	Dataset *Dataset
+	// Indices[m] lists the samples owned by device m.
+	Indices [][]int
+}
+
+// NumDevices returns the number of devices in the partition.
+func (p *Partition) NumDevices() int { return len(p.Indices) }
+
+// Sizes returns the number of samples per device (d_m in the paper).
+func (p *Partition) Sizes() []int {
+	out := make([]int, len(p.Indices))
+	for i, idx := range p.Indices {
+		out[i] = len(idx)
+	}
+	return out
+}
+
+// classPools builds shuffled per-class index pools with a cursor, drawing
+// without replacement and rewinding when a class is exhausted.
+type classPools struct {
+	pools [][]int
+	cur   []int
+}
+
+func newClassPools(d *Dataset, rng *tensor.RNG) *classPools {
+	pools := d.ByClass()
+	for _, pool := range pools {
+		rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	}
+	return &classPools{pools: pools, cur: make([]int, len(pools))}
+}
+
+// draw returns the next sample index of class c, recycling the pool when
+// it is exhausted (devices may then share samples, which is acceptable in
+// simulation and keeps per-device sizes exact).
+func (cp *classPools) draw(c int) int {
+	pool := cp.pools[c]
+	if len(pool) == 0 {
+		panic(fmt.Sprintf("data: class %d has no samples to draw", c))
+	}
+	idx := pool[cp.cur[c]%len(pool)]
+	cp.cur[c]++
+	return idx
+}
+
+// PartitionMajorClass implements the paper's §6.1.2 Non-IID setting:
+// every device has a major class holding majorFrac (> 0.8 in the paper)
+// of its perDevice samples, with the remainder drawn uniformly from the
+// other classes. Device m's major class is m mod Classes, so all classes
+// are represented across the fleet.
+func PartitionMajorClass(d *Dataset, numDevices, perDevice int, majorFrac float64, seed int64) *Partition {
+	if majorFrac < 0 || majorFrac > 1 {
+		panic(fmt.Sprintf("data: majorFrac %v outside [0,1]", majorFrac))
+	}
+	rng := tensor.Split(seed, 0x9A47)
+	cp := newClassPools(d, rng)
+	indices := make([][]int, numDevices)
+	for m := 0; m < numDevices; m++ {
+		major := m % d.Classes
+		nMajor := int(majorFrac * float64(perDevice))
+		own := make([]int, 0, perDevice)
+		for i := 0; i < nMajor; i++ {
+			own = append(own, cp.draw(major))
+		}
+		for i := nMajor; i < perDevice; i++ {
+			c := rng.Intn(d.Classes - 1)
+			if c >= major {
+				c++
+			}
+			own = append(own, cp.draw(c))
+		}
+		indices[m] = own
+	}
+	return &Partition{Dataset: d, Indices: indices}
+}
+
+// PartitionMajorClassClustered is PartitionMajorClass with the major
+// classes *clustered by initial edge*: device m (whose initial edge under
+// round-robin assignment is m mod edges) majors on a class from its
+// edge's contiguous class block. This models geographically correlated
+// data — devices near the same base station see similar classes — which
+// is what makes Non-IID-across-edges persist under locality-preserving
+// mobility. Blocks overlap just enough that every class has at least one
+// majoring device.
+func PartitionMajorClassClustered(d *Dataset, numDevices, perDevice int, majorFrac float64, edges int, seed int64) *Partition {
+	if edges < 1 {
+		panic(fmt.Sprintf("data: clustered partition needs ≥1 edge, got %d", edges))
+	}
+	if majorFrac < 0 || majorFrac > 1 {
+		panic(fmt.Sprintf("data: majorFrac %v outside [0,1]", majorFrac))
+	}
+	c := d.Classes
+	spread := (c + edges - 1) / edges // ceil(C/E): block width per edge
+	rng := tensor.Split(seed, 0x9A48)
+	cp := newClassPools(d, rng)
+	indices := make([][]int, numDevices)
+	for m := 0; m < numDevices; m++ {
+		e := m % edges
+		r := m / edges
+		major := (e*c/edges + r%spread) % c
+		nMajor := int(majorFrac * float64(perDevice))
+		own := make([]int, 0, perDevice)
+		for i := 0; i < nMajor; i++ {
+			own = append(own, cp.draw(major))
+		}
+		for i := nMajor; i < perDevice; i++ {
+			cc := rng.Intn(c - 1)
+			if cc >= major {
+				cc++
+			}
+			own = append(own, cp.draw(cc))
+		}
+		indices[m] = own
+	}
+	return &Partition{Dataset: d, Indices: indices}
+}
+
+// PartitionSingleClass assigns each device samples of exactly one class
+// (device m gets class m mod Classes), the setting of the paper's
+// Figure 2 motivation experiment.
+func PartitionSingleClass(d *Dataset, numDevices, perDevice int, seed int64) *Partition {
+	return PartitionMajorClass(d, numDevices, perDevice, 1.0, seed)
+}
+
+// PartitionEdgeSkew implements the paper's Figure 1 motivation setting:
+// devices belong to edges, and each *edge* has a label distribution that
+// puts majorFrac of mass on its majorClasses and the rest on the others.
+// edgeOf[m] names the edge of device m; majorClasses[e] lists edge e's
+// major classes.
+func PartitionEdgeSkew(d *Dataset, edgeOf []int, majorClasses [][]int, perDevice int, majorFrac float64, seed int64) *Partition {
+	rng := tensor.Split(seed, 0xED6E)
+	cp := newClassPools(d, rng)
+	numEdges := len(majorClasses)
+	minor := make([][]int, numEdges)
+	for e, major := range majorClasses {
+		isMajor := make(map[int]bool, len(major))
+		for _, c := range major {
+			if c < 0 || c >= d.Classes {
+				panic(fmt.Sprintf("data: edge %d major class %d out of range", e, c))
+			}
+			isMajor[c] = true
+		}
+		for c := 0; c < d.Classes; c++ {
+			if !isMajor[c] {
+				minor[e] = append(minor[e], c)
+			}
+		}
+	}
+	indices := make([][]int, len(edgeOf))
+	for m, e := range edgeOf {
+		if e < 0 || e >= numEdges {
+			panic(fmt.Sprintf("data: device %d assigned to unknown edge %d", m, e))
+		}
+		own := make([]int, 0, perDevice)
+		for i := 0; i < perDevice; i++ {
+			var c int
+			if rng.Float64() < majorFrac || len(minor[e]) == 0 {
+				mc := majorClasses[e]
+				c = mc[rng.Intn(len(mc))]
+			} else {
+				c = minor[e][rng.Intn(len(minor[e]))]
+			}
+			own = append(own, cp.draw(c))
+		}
+		indices[m] = own
+	}
+	return &Partition{Dataset: d, Indices: indices}
+}
+
+// PartitionIID gives each device perDevice samples drawn uniformly.
+func PartitionIID(d *Dataset, numDevices, perDevice int, seed int64) *Partition {
+	rng := tensor.Split(seed, 0x11D0)
+	indices := make([][]int, numDevices)
+	for m := range indices {
+		own := make([]int, perDevice)
+		for i := range own {
+			own[i] = rng.Intn(d.Len())
+		}
+		indices[m] = own
+	}
+	return &Partition{Dataset: d, Indices: indices}
+}
+
+// WithLabelNoise models heterogeneous device data quality: a fraction of
+// devices are "noisy" and have a fraction of their samples relabelled
+// uniformly at random. Real federated corpora (crowd-recorded speech,
+// user-labelled images) exhibit exactly this per-device quality skew; it
+// is what keeps pure loss-based device selection from dominating, since
+// noisy devices retain high training loss forever. The parent dataset is
+// not modified: the result wraps a copy of the labels.
+func (p *Partition) WithLabelNoise(fracDevices, fracSamples float64, seed int64) *Partition {
+	if fracDevices < 0 || fracDevices > 1 || fracSamples < 0 || fracSamples > 1 {
+		panic(fmt.Sprintf("data: noise fractions (%v, %v) outside [0,1]", fracDevices, fracSamples))
+	}
+	d := p.Dataset
+	labels := make([]int, d.Len())
+	copy(labels, d.labels)
+	rng := tensor.Split(seed, 0x401E)
+	for m := range p.Indices {
+		if rng.Float64() >= fracDevices {
+			continue
+		}
+		for _, i := range p.Indices[m] {
+			if rng.Float64() < fracSamples {
+				labels[i] = rng.Intn(d.Classes)
+			}
+		}
+	}
+	noisy := &Dataset{Name: d.Name + "+noise", Shape: append([]int(nil), d.Shape...), Classes: d.Classes, data: d.data, labels: labels}
+	indices := make([][]int, len(p.Indices))
+	for m := range indices {
+		indices[m] = append([]int(nil), p.Indices[m]...)
+	}
+	return &Partition{Dataset: noisy, Indices: indices}
+}
+
+// MajorClassOf returns the most frequent label in the device's shard,
+// useful for assertions and diagnostics.
+func (p *Partition) MajorClassOf(device int) int {
+	counts := make([]int, p.Dataset.Classes)
+	for _, i := range p.Indices[device] {
+		counts[p.Dataset.Label(i)]++
+	}
+	best, bi := -1, 0
+	for c, n := range counts {
+		if n > best {
+			best, bi = n, c
+		}
+	}
+	return bi
+}
+
+// LabelHistogram returns the per-class sample counts of one device.
+func (p *Partition) LabelHistogram(device int) []int {
+	counts := make([]int, p.Dataset.Classes)
+	for _, i := range p.Indices[device] {
+		counts[p.Dataset.Label(i)]++
+	}
+	return counts
+}

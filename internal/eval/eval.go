@@ -1,0 +1,350 @@
+// Package eval turns simulation histories into the artifacts the paper
+// reports: smoothed time-to-accuracy curves, speedup tables (§6.2.1's
+// 1.51×–6.85×), bar summaries for the mobility and T_c sweeps, plus CSV
+// and ASCII renderings for the command-line tools.
+package eval
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Series is a named (x, y) sequence, e.g. one strategy's accuracy curve.
+type Series struct {
+	Name string
+	X    []int
+	Y    []float64
+}
+
+// Smooth returns a centred moving average of y with the given window
+// (window ≤ 1 returns a copy). Ends shrink the window symmetrically,
+// matching how the paper presents smoothed curves over raw shading.
+func Smooth(y []float64, window int) []float64 {
+	out := make([]float64, len(y))
+	if window <= 1 {
+		copy(out, y)
+		return out
+	}
+	half := window / 2
+	for i := range y {
+		lo, hi := i-half, i+half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(y) {
+			hi = len(y) - 1
+		}
+		s := 0.0
+		for j := lo; j <= hi; j++ {
+			s += y[j]
+		}
+		out[i] = s / float64(hi-lo+1)
+	}
+	return out
+}
+
+// TimeToAccuracy scans a series for the first x at which y ≥ target.
+func TimeToAccuracy(s Series, target float64) (x int, ok bool) {
+	for i, v := range s.Y {
+		if v >= target {
+			return s.X[i], true
+		}
+	}
+	return 0, false
+}
+
+// TTAResult is one strategy's time-to-target-accuracy outcome.
+type TTAResult struct {
+	Strategy string
+	Steps    int
+	Reached  bool
+	FinalAcc float64
+}
+
+// Speedup computes how much faster the reference strategy (usually
+// MIDDLE) reached the target than other: other.Steps / ref.Steps.
+// It returns 0 when either did not reach the target.
+func Speedup(ref, other TTAResult) float64 {
+	if !ref.Reached || !other.Reached || ref.Steps == 0 {
+		return 0
+	}
+	return float64(other.Steps) / float64(ref.Steps)
+}
+
+// SpeedupTable renders the §6.2.1-style comparison: per strategy the
+// steps to target, final accuracy, and speedup of the reference strategy
+// over it. Results keep their given order; the reference is matched by
+// name.
+func SpeedupTable(results []TTAResult, refName string, target float64) string {
+	var ref TTAResult
+	found := false
+	for _, r := range results {
+		if r.Strategy == refName {
+			ref, found = r, true
+			break
+		}
+	}
+	rows := make([][]string, 0, len(results))
+	for _, r := range results {
+		steps := "—"
+		if r.Reached {
+			steps = strconv.Itoa(r.Steps)
+		}
+		speed := "—"
+		if found && r.Strategy != refName {
+			if s := Speedup(ref, r); s > 0 {
+				speed = fmt.Sprintf("%.2f×", s)
+			}
+		} else if r.Strategy == refName {
+			speed = "1.00×"
+		}
+		rows = append(rows, []string{r.Strategy, steps, fmt.Sprintf("%.4f", r.FinalAcc), speed})
+	}
+	return RenderTable(
+		fmt.Sprintf("time to accuracy %.2f (speedup = baseline steps / %s steps)", target, refName),
+		[]string{"strategy", "steps to target", "final acc", refName + " speedup"},
+		rows,
+	)
+}
+
+// RenderTable lays out a titled ASCII table with aligned columns.
+func RenderTable(title string, headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// WriteSeriesCSV emits aligned series as CSV with one x column and one
+// column per series. Series may have different x grids; missing cells
+// are left empty.
+func WriteSeriesCSV(w io.Writer, series []Series) error {
+	xs := map[int]bool{}
+	for _, s := range series {
+		for _, x := range s.X {
+			xs[x] = true
+		}
+	}
+	grid := make([]int, 0, len(xs))
+	for x := range xs {
+		grid = append(grid, x)
+	}
+	sort.Ints(grid)
+	lookup := make([]map[int]float64, len(series))
+	for i, s := range series {
+		lookup[i] = make(map[int]float64, len(s.X))
+		for j, x := range s.X {
+			lookup[i][x] = s.Y[j]
+		}
+	}
+	cw := csv.NewWriter(w)
+	header := []string{"x"}
+	for _, s := range series {
+		header = append(header, s.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, x := range grid {
+		row := []string{strconv.Itoa(x)}
+		for i := range series {
+			if y, ok := lookup[i][x]; ok {
+				row = append(row, strconv.FormatFloat(y, 'f', 5, 64))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadSeriesCSV parses the format WriteSeriesCSV produces.
+func ReadSeriesCSV(r io.Reader) ([]Series, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(records) < 1 || len(records[0]) < 2 {
+		return nil, fmt.Errorf("eval: series CSV needs a header with ≥2 columns")
+	}
+	series := make([]Series, len(records[0])-1)
+	for i := range series {
+		series[i].Name = records[0][i+1]
+	}
+	for ln, rec := range records[1:] {
+		x, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("eval: line %d: bad x %q", ln+2, rec[0])
+		}
+		for i := range series {
+			cell := rec[i+1]
+			if cell == "" {
+				continue
+			}
+			y, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("eval: line %d col %d: %w", ln+2, i+2, err)
+			}
+			series[i].X = append(series[i].X, x)
+			series[i].Y = append(series[i].Y, y)
+		}
+	}
+	return series, nil
+}
+
+// LineChart renders series as an ASCII chart (one glyph per series) with
+// y range auto-scaled; the legend maps glyphs to names.
+func LineChart(title string, series []Series, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+	minX, maxX := math.MaxInt, math.MinInt
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			if s.X[i] < minX {
+				minX = s.X[i]
+			}
+			if s.X[i] > maxX {
+				maxX = s.X[i]
+			}
+			if s.Y[i] < minY {
+				minY = s.Y[i]
+			}
+			if s.Y[i] > maxY {
+				maxY = s.Y[i]
+			}
+		}
+	}
+	if minX > maxX {
+		return title + "\n(no data)\n"
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			cx := 0
+			if maxX > minX {
+				cx = (s.X[i] - minX) * (width - 1) / (maxX - minX)
+			}
+			cy := int(math.Round((s.Y[i] - minY) / (maxY - minY) * float64(height-1)))
+			row := height - 1 - cy
+			grid[row][cx] = g
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	fmt.Fprintf(&b, "%8.3f ┤\n", maxY)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "         │%s\n", string(row))
+	}
+	fmt.Fprintf(&b, "%8.3f ┤%s\n", minY, strings.Repeat("─", width))
+	fmt.Fprintf(&b, "          x: %d … %d\n", minX, maxX)
+	for si, s := range series {
+		fmt.Fprintf(&b, "          %c %s\n", glyphs[si%len(glyphs)], s.Name)
+	}
+	return b.String()
+}
+
+// BarChart renders grouped horizontal bars, e.g. final accuracy per
+// strategy per mobility P.
+func BarChart(title string, labels []string, groupNames []string, values [][]float64, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	maxV := 0.0
+	for _, group := range values {
+		for _, v := range group {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	groupW := 0
+	for _, g := range groupNames {
+		if len(g) > groupW {
+			groupW = len(g)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for i, label := range labels {
+		for j, g := range groupNames {
+			v := 0.0
+			if i < len(values) && j < len(values[i]) {
+				v = values[i][j]
+			}
+			n := int(math.Round(v / maxV * float64(width)))
+			lead := label
+			if j > 0 {
+				lead = ""
+			}
+			fmt.Fprintf(&b, "%-*s  %-*s |%s%s| %.4f\n", labelW, lead, groupW, g,
+				strings.Repeat("█", n), strings.Repeat(" ", width-n), v)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,183 @@
+package eval
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSmoothWindowOneIsCopy(t *testing.T) {
+	y := []float64{1, 2, 3}
+	got := Smooth(y, 1)
+	for i := range y {
+		if got[i] != y[i] {
+			t.Fatalf("Smooth(1) = %v", got)
+		}
+	}
+	got[0] = 99
+	if y[0] != 1 {
+		t.Fatal("Smooth must not alias input")
+	}
+}
+
+func TestSmoothAverages(t *testing.T) {
+	y := []float64{0, 0, 6, 0, 0}
+	got := Smooth(y, 3)
+	if got[2] != 2 {
+		t.Fatalf("centre = %v, want 2", got[2])
+	}
+	if got[1] != 2 || got[3] != 2 {
+		t.Fatalf("neighbours = %v %v, want 2", got[1], got[3])
+	}
+	if got[0] != 0 || got[4] != 0 {
+		t.Fatalf("ends = %v %v", got[0], got[4])
+	}
+}
+
+func TestSmoothConstantInvariant(t *testing.T) {
+	f := func(v float64, w8 uint8) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+			// Values whose windowed sums overflow float64 are out of
+			// scope for accuracy curves.
+			return true
+		}
+		n := 10
+		y := make([]float64, n)
+		for i := range y {
+			y[i] = v
+		}
+		got := Smooth(y, 1+int(w8%9))
+		for _, g := range got {
+			if math.Abs(g-v) > 1e-9*(1+math.Abs(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeToAccuracy(t *testing.T) {
+	s := Series{Name: "a", X: []int{10, 20, 30}, Y: []float64{0.1, 0.6, 0.9}}
+	if x, ok := TimeToAccuracy(s, 0.5); !ok || x != 20 {
+		t.Fatalf("TTA = %d, %v", x, ok)
+	}
+	if _, ok := TimeToAccuracy(s, 0.95); ok {
+		t.Fatal("TTA reported unreachable target")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	ref := TTAResult{Strategy: "MIDDLE", Steps: 100, Reached: true}
+	other := TTAResult{Strategy: "OORT", Steps: 250, Reached: true}
+	if got := Speedup(ref, other); got != 2.5 {
+		t.Fatalf("Speedup = %v", got)
+	}
+	if got := Speedup(ref, TTAResult{Reached: false}); got != 0 {
+		t.Fatalf("unreached speedup = %v", got)
+	}
+	if got := Speedup(TTAResult{Reached: false}, other); got != 0 {
+		t.Fatalf("unreached ref speedup = %v", got)
+	}
+}
+
+func TestSpeedupTableRendering(t *testing.T) {
+	out := SpeedupTable([]TTAResult{
+		{Strategy: "MIDDLE", Steps: 100, Reached: true, FinalAcc: 0.97},
+		{Strategy: "OORT", Steps: 151, Reached: true, FinalAcc: 0.95},
+		{Strategy: "Greedy", Reached: false, FinalAcc: 0.70},
+	}, "MIDDLE", 0.95)
+	if !strings.Contains(out, "1.51×") {
+		t.Fatalf("missing speedup in output:\n%s", out)
+	}
+	if !strings.Contains(out, "—") {
+		t.Fatalf("missing dash for unreached target:\n%s", out)
+	}
+	if !strings.Contains(out, "1.00×") {
+		t.Fatalf("missing self speedup:\n%s", out)
+	}
+}
+
+func TestRenderTableAlignment(t *testing.T) {
+	out := RenderTable("t", []string{"a", "longheader"}, [][]string{{"xx", "y"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines %d:\n%s", len(lines), out)
+	}
+	if len(lines[1]) != len(lines[2]) {
+		t.Fatalf("separator misaligned:\n%s", out)
+	}
+}
+
+func TestSeriesCSVRoundTrip(t *testing.T) {
+	in := []Series{
+		{Name: "MIDDLE", X: []int{1, 2, 3}, Y: []float64{0.1, 0.2, 0.3}},
+		{Name: "OORT", X: []int{2, 3}, Y: []float64{0.15, 0.25}},
+	}
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSeriesCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "MIDDLE" || got[1].Name != "OORT" {
+		t.Fatalf("names %v %v", got[0].Name, got[1].Name)
+	}
+	if len(got[1].X) != 2 || got[1].X[0] != 2 || got[1].Y[1] != 0.25 {
+		t.Fatalf("sparse series mangled: %+v", got[1])
+	}
+	if len(got[0].X) != 3 || got[0].Y[0] != 0.1 {
+		t.Fatalf("dense series mangled: %+v", got[0])
+	}
+}
+
+func TestReadSeriesCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":   "",
+		"one col": "x\n1\n",
+		"bad x":   "x,a\nzz,0.5\n",
+		"bad y":   "x,a\n1,zz\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadSeriesCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted invalid CSV", name)
+		}
+	}
+}
+
+func TestLineChartContainsSeries(t *testing.T) {
+	out := LineChart("acc", []Series{
+		{Name: "MIDDLE", X: []int{0, 50, 100}, Y: []float64{0.1, 0.5, 0.9}},
+		{Name: "OORT", X: []int{0, 50, 100}, Y: []float64{0.1, 0.3, 0.6}},
+	}, 40, 10)
+	if !strings.Contains(out, "MIDDLE") || !strings.Contains(out, "OORT") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("glyphs missing:\n%s", out)
+	}
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	out := LineChart("t", nil, 40, 10)
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart output %q", out)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("final", []string{"MIDDLE", "OORT"}, []string{"P=0.1", "P=0.5"},
+		[][]float64{{0.9, 0.95}, {0.8, 0.7}}, 20)
+	if !strings.Contains(out, "MIDDLE") || !strings.Contains(out, "P=0.5") {
+		t.Fatalf("bar chart labels missing:\n%s", out)
+	}
+	if !strings.Contains(out, "0.9500") {
+		t.Fatalf("bar chart values missing:\n%s", out)
+	}
+}

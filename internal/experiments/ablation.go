@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+
+	"middle/internal/core"
+	"middle/internal/data"
+	"middle/internal/eval"
+	"middle/internal/hfl"
+	"middle/internal/mobility"
+)
+
+// AblationResult isolates MIDDLE's two mechanisms: full MIDDLE,
+// selection-only (Eq. 12 without Eq. 9), aggregation-only (Eq. 9 without
+// Eq. 12) and the no-mechanism control, on identical data, mobility and
+// initial model. This is the design-choice ablation DESIGN.md calls out;
+// the paper motivates each mechanism separately (§4.2, §4.3) but reports
+// only the combination.
+type AblationResult struct {
+	Task    data.TaskName
+	Target  float64
+	Curves  []eval.Series
+	Results []eval.TTAResult
+}
+
+// RunAblation executes the four-way ablation.
+func RunAblation(setup *TaskSetup, p float64, seed int64, steps int) AblationResult {
+	part := setup.Partition(seed)
+	res := AblationResult{Task: setup.Task, Target: setup.TargetAcc}
+	for _, strat := range core.AblationSet() {
+		mob := setup.Mobility(p, seed+11)
+		sim := hfl.New(setup.Config(seed, steps), setup.Factory, part, setup.Test, mob, strat)
+		h := sim.Run()
+		res.Curves = append(res.Curves, eval.Series{Name: strat.Name(), X: h.Steps, Y: h.GlobalAcc})
+		tta := eval.TTAResult{Strategy: strat.Name(), FinalAcc: h.FinalAcc()}
+		if step, ok := h.TimeToAccuracy(setup.TargetAcc); ok {
+			tta.Steps, tta.Reached = step, true
+		}
+		res.Results = append(res.Results, tta)
+	}
+	return res
+}
+
+// Table renders the ablation summary.
+func (r AblationResult) Table() string {
+	return eval.SpeedupTable(r.Results, "MIDDLE", r.Target)
+}
+
+// MobilityModelsResult compares MIDDLE under the Markov mobility model
+// against the planar random-waypoint model at matched empirical mobility,
+// validating the paper's claim that the approach is orthogonal to the
+// specific mobility model (§3.2).
+type MobilityModelsResult struct {
+	Task   data.TaskName
+	Curves []eval.Series
+	// EmpiricalP maps each curve name to the mobility its model produced.
+	EmpiricalP map[string]float64
+}
+
+// RunMobilityModels executes MIDDLE under both mobility models. The
+// waypoint model's speed range is chosen so its empirical mobility lands
+// near targetP; the result records what it actually was.
+func RunMobilityModels(setup *TaskSetup, targetP float64, seed int64, steps int) MobilityModelsResult {
+	part := setup.Partition(seed)
+	res := MobilityModelsResult{Task: setup.Task, EmpiricalP: map[string]float64{}}
+
+	gridW := setup.Edges / 2
+	if gridW < 1 {
+		gridW = 1
+	}
+	gridH := (setup.Edges + gridW - 1) / gridW
+	// Displacement per step scales with target mobility; calibrated for
+	// the unit square and small grids.
+	speed := targetP * 0.35
+	models := map[string]mobility.Model{
+		"Markov":   mobility.NewMarkovRing(setup.Edges, setup.Devices, targetP, seed+11),
+		"Waypoint": mobility.NewRandomWaypoint(gridW, gridH, setup.Devices, speed*0.5, speed*1.5, 1, seed+11),
+	}
+	for _, name := range []string{"Markov", "Waypoint"} {
+		mob := models[name]
+		if mob.NumEdges() != setup.Edges {
+			panic(fmt.Sprintf("experiments: %s model has %d edges, want %d", name, mob.NumEdges(), setup.Edges))
+		}
+		sim := hfl.New(setup.Config(seed, steps), setup.Factory, part, setup.Test, mob, core.NewMiddle())
+		h := sim.Run()
+		res.Curves = append(res.Curves, eval.Series{Name: name, X: h.Steps, Y: h.GlobalAcc})
+		res.EmpiricalP[name] = h.EmpiricalMobility
+	}
+	return res
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"middle/internal/core"
+	"middle/internal/data"
+	"middle/internal/eval"
+	"middle/internal/hfl"
+	"middle/internal/mobility"
+	"middle/internal/nn"
+	"middle/internal/tensor"
+)
+
+// Fig1Result reproduces the paper's Figure 1 motivation experiment: a
+// two-edge HFL deployment with opposite 70/30 label skews and no
+// mobility. It records the global model's accuracy, edge 1's accuracy,
+// and edge 1's accuracy restricted to its major and minor classes —
+// demonstrating that Non-IID data across edges starves the minor
+// classes.
+type Fig1Result struct {
+	Steps     []int
+	GlobalAcc []float64
+	EdgeAcc   []float64
+	MajorAcc  []float64
+	MinorAcc  []float64
+
+	MajorClasses []int
+	MinorClasses []int
+}
+
+// Fig1Config sizes the motivation experiment.
+type Fig1Config struct {
+	Scale Scale
+	Seed  int64
+	Steps int // 0 = scale default
+}
+
+// RunFig1 executes the Figure 1 experiment with classical HFL (the
+// "General" policy, full participation within each edge).
+func RunFig1(cfg Fig1Config) Fig1Result {
+	devices := pick(cfg.Scale, 50, 10)
+	perDevice := pick(cfg.Scale, 100, 40)
+	steps := cfg.Steps
+	if steps <= 0 {
+		steps = pick(cfg.Scale, 300, 60)
+	}
+	prof := pick(cfg.Scale, data.MNISTProfile(), data.FastImageProfile(10))
+	train := data.GenerateImagesSplit(prof, devices*perDevice*2, cfg.Seed, cfg.Seed)
+	test := data.GenerateImagesSplit(prof, pick(cfg.Scale, 2000, 400), cfg.Seed, cfg.Seed+1_000_003)
+
+	// Edge 0 majors on classes {0..4}, edge 1 on {5..9}, 70/30 split.
+	half := prof.Classes / 2
+	majors := [][]int{intRange(0, half), intRange(half, prof.Classes)}
+	edgeOf := make([]int, devices)
+	for m := range edgeOf {
+		edgeOf[m] = m % 2
+	}
+	// The paper uses a 70/30 skew at MNIST scale; the reduced fast task is
+	// easier, so it needs a stronger 90/10 skew to exhibit the same
+	// minor-class starvation within its short horizon.
+	skew := pick(cfg.Scale, 0.7, 0.9)
+	part := data.PartitionEdgeSkew(train, edgeOf, majors, perDevice, skew, cfg.Seed+1)
+
+	factory := func(rng *tensor.RNG) *nn.Network {
+		if cfg.Scale == Paper {
+			return nn.NewCNN2(nn.CNN2Config{InC: prof.C, H: prof.H, W: prof.W, Classes: prof.Classes, C1: 8, C2: 16, Hidden: 64}, rng)
+		}
+		return nn.NewCNN2(nn.CNN2Config{InC: prof.C, H: prof.H, W: prof.W, Classes: prof.Classes, C1: 4, C2: 8, Hidden: 24}, rng)
+	}
+
+	// Static membership: interleaved round-robin matches edgeOf above.
+	mob := mobility.NewStatic(2, devices)
+	simCfg := hfl.Config{
+		Seed: cfg.Seed, K: devices / 2, LocalSteps: 10, CloudInterval: 10,
+		BatchSize: pick(cfg.Scale, 16, 8), Steps: steps,
+		// Figure 1 uses plain SGD with lr 0.001 in the paper; the fast
+		// scale raises it so the 60-step horizon shows the same shape.
+		Optimizer: hfl.OptimizerSpec{Kind: hfl.OptSGD, LR: pick(cfg.Scale, 0.001, 0.05)},
+	}
+	sim := hfl.New(simCfg, factory, part, test, mob, core.NewGeneral())
+
+	res := Fig1Result{MajorClasses: majors[0], MinorClasses: majors[1]}
+	evalEvery := pick(cfg.Scale, 10, 5)
+	for sim.Step() < simCfg.Steps {
+		t := sim.StepOnce()
+		// Evaluate at pre-sync steps (t ≡ evalEvery−1): at sync steps the
+		// edge model has just been overwritten by the cloud model, which
+		// would hide exactly the drift Figure 1 demonstrates.
+		if t%evalEvery == evalEvery-1 {
+			acc, _ := sim.EvaluateVector(sim.CloudModel(), 0, false)
+			edgeAcc, _ := sim.EvaluateVector(sim.EdgeModel(0), 0, false)
+			major := sim.EvaluateVectorOnClasses(sim.EdgeModel(0), majors[0], 0)
+			minor := sim.EvaluateVectorOnClasses(sim.EdgeModel(0), majors[1], 0)
+			res.Steps = append(res.Steps, t)
+			res.GlobalAcc = append(res.GlobalAcc, acc)
+			res.EdgeAcc = append(res.EdgeAcc, edgeAcc)
+			res.MajorAcc = append(res.MajorAcc, major)
+			res.MinorAcc = append(res.MinorAcc, minor)
+		}
+	}
+	return res
+}
+
+// Series renders the recorded curves for plotting.
+func (r Fig1Result) Series() []eval.Series {
+	return []eval.Series{
+		{Name: "global", X: r.Steps, Y: r.GlobalAcc},
+		{Name: "edge1", X: r.Steps, Y: r.EdgeAcc},
+		{Name: "edge1-major", X: r.Steps, Y: r.MajorAcc},
+		{Name: "edge1-minor", X: r.Steps, Y: r.MinorAcc},
+	}
+}
+
+func intRange(lo, hi int) []int {
+	out := make([]int, 0, hi-lo)
+	for c := lo; c < hi; c++ {
+		out = append(out, c)
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"middle/internal/core"
+	"middle/internal/data"
+	"middle/internal/hfl"
+	"middle/internal/mobility"
+	"middle/internal/nn"
+	"middle/internal/simil"
+	"middle/internal/tensor"
+)
+
+// Fig2Result reproduces the paper's Figure 2 motivation experiment:
+// one-class-per-device devices, a scripted mid-training swap of devices
+// {3,4} and {8,9} between the two edges, and a comparison of "General"
+// (adopt the downloaded edge model) against 50/50 on-device model
+// aggregation. It reports overall and per-class accuracy of the cloud
+// model and of edge 1's model for both methods.
+type Fig2Result struct {
+	Classes int
+	Methods []string // "General", "OnDeviceAvg"
+
+	CloudOverall  []float64   // per method
+	EdgeOverall   []float64   // per method
+	CloudPerClass [][]float64 // [method][class]
+	EdgePerClass  [][]float64 // [method][class]
+
+	SwappedClasses []int // the classes that moved ({3,4,8,9} at 10 classes)
+}
+
+// Fig2Config sizes the Figure 2 experiment.
+type Fig2Config struct {
+	Scale  Scale
+	Seed   int64
+	Warmup int // steps before the swap (0 = scale default)
+	After  int // steps after the swap (0 = scale default)
+}
+
+// fig2Trace builds the scripted membership sequence: devices 0..C/2−1 on
+// edge 0 and the rest on edge 1 for warmup steps; then the top two
+// devices of each half swap edges for the remaining steps.
+func fig2Trace(classes, warmup, after int) *mobility.Trace {
+	half := classes / 2
+	base := make([]int, classes)
+	for m := range base {
+		if m >= half {
+			base[m] = 1
+		}
+	}
+	swapped := append([]int(nil), base...)
+	swapped[half-2], swapped[half-1] = 1, 1       // e.g. classes 3, 4 → edge 1
+	swapped[classes-2], swapped[classes-1] = 0, 0 // e.g. classes 8, 9 → edge 0
+	tr := &mobility.Trace{Edges: 2}
+	// The engine consumes one row for the initial membership M⁰ plus one
+	// per simulated step, so the trace holds warmup+1 base rows followed
+	// by the swapped rows.
+	for t := 0; t < warmup+1; t++ {
+		tr.Memberships = append(tr.Memberships, append([]int(nil), base...))
+	}
+	for t := 0; t < after; t++ {
+		tr.Memberships = append(tr.Memberships, append([]int(nil), swapped...))
+	}
+	return tr
+}
+
+// RunFig2 executes the Figure 2 experiment for both methods on identical
+// data, trace and initial model.
+func RunFig2(cfg Fig2Config) Fig2Result {
+	prof := pick(cfg.Scale, data.MNISTProfile(), data.FastImageProfile(10))
+	classes := prof.Classes
+	half := classes / 2
+	perDevice := pick(cfg.Scale, 200, 60)
+	warmup := cfg.Warmup
+	if warmup <= 0 {
+		warmup = pick(cfg.Scale, 100, 30)
+	}
+	after := cfg.After
+	if after <= 0 {
+		after = pick(cfg.Scale, 30, 8)
+	}
+	train := data.GenerateImagesSplit(prof, classes*perDevice*2, cfg.Seed, cfg.Seed)
+	test := data.GenerateImagesSplit(prof, pick(cfg.Scale, 2000, 400), cfg.Seed, cfg.Seed+1_000_003)
+	part := data.PartitionSingleClass(train, classes, perDevice, cfg.Seed+1)
+
+	factory := func(rng *tensor.RNG) *nn.Network {
+		if cfg.Scale == Paper {
+			return nn.NewCNN2(nn.CNN2Config{InC: prof.C, H: prof.H, W: prof.W, Classes: classes, C1: 8, C2: 16, Hidden: 64}, rng)
+		}
+		return nn.NewCNN2(nn.CNN2Config{InC: prof.C, H: prof.H, W: prof.W, Classes: classes, C1: 4, C2: 8, Hidden: 24}, rng)
+	}
+
+	res := Fig2Result{
+		Classes:        classes,
+		Methods:        []string{"General", "OnDeviceAvg"},
+		SwappedClasses: []int{half - 2, half - 1, classes - 2, classes - 1},
+	}
+	for _, strat := range []hfl.Strategy{core.NewGeneral(), core.NewFixedAlpha(0.5)} {
+		tr := fig2Trace(classes, warmup, after)
+		simCfg := hfl.Config{
+			Seed: cfg.Seed, K: half, LocalSteps: 10,
+			// No periodic cloud sync: the paper's Figure 2 procedure trains,
+			// then "aggregates all local models as the cloud model" once at
+			// the end, while edge model 1 is reported as-is.
+			CloudInterval: warmup + after + 1,
+			BatchSize:     pick(cfg.Scale, 16, 8),
+			Steps:         warmup + after,
+			Optimizer:     hfl.OptimizerSpec{Kind: hfl.OptSGD, LR: pick(cfg.Scale, 0.01, 0.02)},
+		}
+		sim := hfl.New(simCfg, factory, part, test, tr.Replay(), strat)
+		sim.Run()
+		// Final cloud model: data-size-weighted average of all local models.
+		vecs := make([][]float64, classes)
+		weights := make([]float64, classes)
+		for m := 0; m < classes; m++ {
+			vecs[m] = sim.LocalModel(m)
+			weights[m] = float64(sim.DataSize(m))
+		}
+		cloud := simil.WeightedAverage(vecs, weights)
+		cloudAcc, cloudPC := sim.EvaluateVector(cloud, 0, true)
+		edgeAcc, edgePC := sim.EvaluateVector(sim.EdgeModel(0), 0, true)
+		res.CloudOverall = append(res.CloudOverall, cloudAcc)
+		res.EdgeOverall = append(res.EdgeOverall, edgeAcc)
+		res.CloudPerClass = append(res.CloudPerClass, cloudPC)
+		res.EdgePerClass = append(res.EdgePerClass, edgePC)
+	}
+	return res
+}

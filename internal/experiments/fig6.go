@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"middle/internal/data"
+	"middle/internal/eval"
+	"middle/internal/hfl"
+)
+
+// Fig6Result holds one task's time-to-accuracy comparison (paper
+// Figure 6): one accuracy-over-time series per strategy plus the
+// time-to-target summary feeding the §6.2.1 speedup table.
+type Fig6Result struct {
+	Task    data.TaskName
+	Target  float64
+	Curves  []eval.Series
+	Results []eval.TTAResult
+}
+
+// RunFig6 runs every strategy on the task with the paper's topology
+// (shared mobility trace, shared partition, shared initial model seed) so
+// curves differ only by strategy. steps == 0 uses the setup default.
+func RunFig6(setup *TaskSetup, strategies []hfl.Strategy, p float64, seed int64, steps int) Fig6Result {
+	part := setup.Partition(seed)
+	res := Fig6Result{Task: setup.Task, Target: setup.TargetAcc}
+	for _, strat := range strategies {
+		mob := setup.Mobility(p, seed+11)
+		sim := hfl.New(setup.Config(seed, steps), setup.Factory, part, setup.Test, mob, strat)
+		h := sim.Run()
+		res.Curves = append(res.Curves, eval.Series{Name: strat.Name(), X: h.Steps, Y: h.GlobalAcc})
+		tta := eval.TTAResult{Strategy: strat.Name(), FinalAcc: h.FinalAcc()}
+		if step, ok := h.TimeToAccuracy(setup.TargetAcc); ok {
+			tta.Steps, tta.Reached = step, true
+		}
+		res.Results = append(res.Results, tta)
+	}
+	return res
+}
+
+// SpeedupTable renders the §6.2.1 comparison for this result.
+func (r Fig6Result) SpeedupTable() string {
+	return eval.SpeedupTable(r.Results, "MIDDLE", r.Target)
+}

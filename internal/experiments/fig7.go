@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"middle/internal/data"
+	"middle/internal/hfl"
+)
+
+// Fig7Result holds the final global-model accuracy per strategy per
+// global mobility P (paper Figure 7).
+type Fig7Result struct {
+	Task       data.TaskName
+	Strategies []string
+	Ps         []float64
+	// FinalAcc[i][j] is strategy i's final accuracy at mobility Ps[j].
+	FinalAcc [][]float64
+}
+
+// RunFig7 sweeps the global mobility P for every strategy. Each
+// (strategy, P) cell runs the full horizon and reports the final global
+// accuracy, matching the paper's bar presentation.
+func RunFig7(setup *TaskSetup, strategies []hfl.Strategy, ps []float64, seed int64, steps int) Fig7Result {
+	part := setup.Partition(seed)
+	res := Fig7Result{Task: setup.Task, Ps: ps}
+	for _, strat := range strategies {
+		res.Strategies = append(res.Strategies, strat.Name())
+		row := make([]float64, len(ps))
+		for j, p := range ps {
+			mob := setup.Mobility(p, seed+11)
+			sim := hfl.New(setup.Config(seed, steps), setup.Factory, part, setup.Test, mob, strat)
+			row[j] = sim.Run().FinalAcc()
+		}
+		res.FinalAcc = append(res.FinalAcc, row)
+	}
+	return res
+}

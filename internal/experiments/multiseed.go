@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"middle/internal/data"
+	"middle/internal/eval"
+	"middle/internal/hfl"
+)
+
+// Fig6SeedsResult is the multi-seed version of the Figure 6 experiment:
+// the paper presents curves "smoothed and presented by their averages,
+// and the shades are the actual experimental results", i.e. averages over
+// repeated runs. Each strategy gets a mean ± std band and aggregated
+// time-to-accuracy statistics.
+type Fig6SeedsResult struct {
+	Task   data.TaskName
+	Target float64
+	Seeds  []int64
+	Bands  []eval.Band
+	Stats  []eval.TTAStats
+}
+
+// RunFig6Seeds repeats RunFig6 across seeds (data, mobility and model
+// initialisation all reseeded together) and aggregates.
+func RunFig6Seeds(task data.TaskName, scale Scale, strategies []hfl.Strategy, p float64, seeds []int64, steps int) Fig6SeedsResult {
+	res := Fig6SeedsResult{Task: task, Seeds: seeds}
+	perStrategy := make([][]eval.Series, len(strategies))
+	perTTA := make([][]eval.TTAResult, len(strategies))
+	for _, seed := range seeds {
+		setup := NewTaskSetup(task, scale, seed)
+		res.Target = setup.TargetAcc
+		r := RunFig6(setup, strategies, p, seed, steps)
+		for i := range strategies {
+			perStrategy[i] = append(perStrategy[i], r.Curves[i])
+			perTTA[i] = append(perTTA[i], r.Results[i])
+		}
+	}
+	for i := range strategies {
+		res.Bands = append(res.Bands, eval.AggregateSeries(perStrategy[i]))
+		res.Stats = append(res.Stats, eval.AggregateTTA(perTTA[i]))
+	}
+	return res
+}
+
+// MeanCurves returns the per-strategy mean series for plotting.
+func (r Fig6SeedsResult) MeanCurves() []eval.Series {
+	out := make([]eval.Series, len(r.Bands))
+	for i, b := range r.Bands {
+		out[i] = b.MeanSeries()
+	}
+	return out
+}
+
+// Table renders the aggregated §6.2.1 comparison.
+func (r Fig6SeedsResult) Table() string {
+	return eval.TTAStatsTable(r.Stats, "MIDDLE", r.Target)
+}

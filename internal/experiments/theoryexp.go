@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"middle/internal/theory"
+)
+
+// TheoryResult sweeps the global mobility P and the fixed aggregation
+// coefficient α on the strongly convex quadratic objective of §5,
+// reporting the measured optimality gap, the starting-point divergence
+// the proof bounds, and the Theorem 1 bound itself.
+type TheoryResult struct {
+	Ps     []float64
+	Alphas []float64
+	// Gap[i][j] is the averaged optimality gap at (Ps[i], Alphas[j]).
+	Gap [][]float64
+	// Divergence[i][j] is the averaged starting-point divergence.
+	Divergence [][]float64
+	// Bound[i] is the Theorem 1 bound at Ps[i] with α = 0.5 and the
+	// sweep's nominal constants — the monotone-in-P reference curve of
+	// Remark 1.
+	Bound []float64
+}
+
+// TheoryConfig sizes the §5 validation sweep.
+type TheoryConfig struct {
+	Scale  Scale
+	Seed   int64
+	Ps     []float64
+	Alphas []float64
+}
+
+// RunTheory executes the sweep. Defaults reproduce the Remark 1 grid:
+// P ∈ {0.1 … 1.0}, α ∈ {0.1, 0.3, 0.5}.
+func RunTheory(cfg TheoryConfig) TheoryResult {
+	if len(cfg.Ps) == 0 {
+		cfg.Ps = []float64{0.1, 0.2, 0.3, 0.5, 0.7, 1.0}
+	}
+	if len(cfg.Alphas) == 0 {
+		cfg.Alphas = []float64{0.1, 0.3, 0.5}
+	}
+	dim := pick(cfg.Scale, 16, 8)
+	edges := pick(cfg.Scale, 10, 4)
+	devices := pick(cfg.Scale, 100, 16)
+	steps := pick(cfg.Scale, 500, 120)
+	seeds := pick(cfg.Scale, 16, 6)
+	q := theory.NewClusteredQuadratic(dim, edges, devices, 2.0, 0.3, 0.2, cfg.Seed)
+
+	res := TheoryResult{Ps: cfg.Ps, Alphas: cfg.Alphas}
+	iLocal := 5
+	gamma := float64(iLocal) * 2
+	for _, p := range cfg.Ps {
+		gapRow := make([]float64, len(cfg.Alphas))
+		divRow := make([]float64, len(cfg.Alphas))
+		for j, a := range cfg.Alphas {
+			r := theory.RunAveraged(q, theory.RunConfig{
+				Edges: edges, Devices: devices, P: p, Alpha: a,
+				LocalSteps: iLocal, CloudInterval: 10, Steps: steps,
+				Gamma: gamma, Seed: cfg.Seed + 31,
+			}, seeds)
+			gapRow[j] = r.Gap
+			divRow[j] = r.StartDivergence
+		}
+		res.Gap = append(res.Gap, gapRow)
+		res.Divergence = append(res.Divergence, divRow)
+		res.Bound = append(res.Bound, theory.Bound(theory.BoundParams{
+			Beta: 1, Mu: 1, Gamma: gamma, T: steps,
+			B: 1, InitDist2: 4, I: iLocal, G2: 4, Alpha: 0.5, P: p,
+		}))
+	}
+	return res
+}

@@ -1,0 +1,164 @@
+package fednet
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"middle/internal/simil"
+)
+
+// CloudConfig configures the coordinating cloud server.
+type CloudConfig struct {
+	// Addr is the TCP listen address ("127.0.0.1:0" for an ephemeral
+	// port in tests).
+	Addr string
+	// Edges is the number of edge servers to wait for before training.
+	Edges int
+	// Rounds is the number of Algorithm 1 time steps to coordinate.
+	Rounds int
+	// CloudInterval is T_c: every this many rounds the cloud aggregates
+	// edge models and broadcasts the new global model.
+	CloudInterval int
+	// InitModel is the initial global model vector.
+	InitModel []float64
+	// Timeout bounds every network read/write (default 30 s).
+	Timeout time.Duration
+	// Logf, when set, receives progress lines (default: discarded).
+	Logf func(format string, args ...any)
+	// OnRound, when set, is invoked after each round fully completes
+	// (all edges acked; global model broadcast on sync rounds) and
+	// before the next round starts. Demo harnesses use it to move
+	// devices between edges at round boundaries.
+	OnRound func(round int)
+}
+
+// Cloud coordinates rounds across edge servers. It is the lockstep
+// driver: edges act only on RoundStart messages.
+type Cloud struct {
+	cfg CloudConfig
+	ln  net.Listener
+
+	mu     sync.Mutex
+	global []float64
+}
+
+// NewCloud builds a cloud server and starts listening (so the address is
+// known before Run is called).
+func NewCloud(cfg CloudConfig) (*Cloud, error) {
+	if cfg.Edges < 1 || cfg.Rounds < 1 || cfg.CloudInterval < 1 {
+		return nil, fmt.Errorf("fednet: implausible cloud config %+v", cfg)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("fednet: cloud listen: %w", err)
+	}
+	return &Cloud{cfg: cfg, ln: ln, global: append([]float64(nil), cfg.InitModel...)}, nil
+}
+
+// Addr returns the cloud's listen address.
+func (c *Cloud) Addr() string { return c.ln.Addr().String() }
+
+// GlobalModel returns a copy of the current global model.
+func (c *Cloud) GlobalModel() []float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]float64(nil), c.global...)
+}
+
+type edgeConn struct {
+	id   int
+	conn net.Conn
+}
+
+// Run accepts the configured number of edges, drives all rounds, and
+// shuts the cluster down. It returns once training completes or a
+// protocol error occurs.
+func (c *Cloud) Run() error {
+	defer c.ln.Close()
+	edges := make([]*edgeConn, 0, c.cfg.Edges)
+	for len(edges) < c.cfg.Edges {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("fednet: cloud accept: %w", err)
+		}
+		conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
+		var reg RegisterEdge
+		t, _, err := ReadMsg(conn, &reg)
+		if err != nil || t != MsgRegisterEdge {
+			conn.Close()
+			log.Printf("fednet: cloud rejected connection (type %d, err %v)", t, err)
+			continue
+		}
+		edges = append(edges, &edgeConn{id: reg.EdgeID, conn: conn})
+		c.cfg.Logf("cloud: edge %d registered (%d/%d)", reg.EdgeID, len(edges), c.cfg.Edges)
+	}
+	defer func() {
+		for _, e := range edges {
+			e.conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
+			_ = WriteMsg(e.conn, MsgShutdown, struct{}{}, nil)
+			e.conn.Close()
+		}
+	}()
+
+	// Distribute the initial global model.
+	for _, e := range edges {
+		e.conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
+		if err := WriteMsg(e.conn, MsgGlobalModel, struct{}{}, c.global); err != nil {
+			return fmt.Errorf("fednet: cloud sending init model to edge %d: %w", e.id, err)
+		}
+	}
+
+	for r := 1; r <= c.cfg.Rounds; r++ {
+		sync := r%c.cfg.CloudInterval == 0
+		for _, e := range edges {
+			e.conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
+			if err := WriteMsg(e.conn, MsgRoundStart, RoundStart{Round: r, Sync: sync}, nil); err != nil {
+				return fmt.Errorf("fednet: cloud starting round %d on edge %d: %w", r, e.id, err)
+			}
+		}
+		var vecs [][]float64
+		var weights []float64
+		for _, e := range edges {
+			e.conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
+			var done RoundDone
+			t, vec, err := ReadMsg(e.conn, &done)
+			if err != nil || t != MsgRoundDone {
+				return fmt.Errorf("fednet: cloud waiting for edge %d round %d: type %d, %v", e.id, r, t, err)
+			}
+			if done.Round != r {
+				return fmt.Errorf("fednet: edge %d acked round %d during round %d", e.id, done.Round, r)
+			}
+			if sync && done.Weight > 0 && len(vec) > 0 {
+				vecs = append(vecs, vec)
+				weights = append(weights, done.Weight)
+			}
+		}
+		if sync {
+			if len(vecs) > 0 {
+				c.mu.Lock()
+				c.global = simil.WeightedAverage(vecs, weights)
+				c.mu.Unlock()
+			}
+			for _, e := range edges {
+				e.conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
+				if err := WriteMsg(e.conn, MsgGlobalModel, struct{}{}, c.GlobalModel()); err != nil {
+					return fmt.Errorf("fednet: cloud broadcasting global model to edge %d: %w", e.id, err)
+				}
+			}
+			c.cfg.Logf("cloud: round %d synced %d edge models", r, len(vecs))
+		}
+		if c.cfg.OnRound != nil {
+			c.cfg.OnRound(r)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+package fednet
+
+import (
+	"fmt"
+	"sync"
+
+	"middle/internal/data"
+	"middle/internal/hfl"
+	"middle/internal/mobility"
+	"middle/internal/nn"
+	"middle/internal/tensor"
+)
+
+// ClusterConfig assembles a full in-process deployment: one cloud, E
+// edges and M devices on loopback TCP, with devices migrating between
+// edge servers according to a mobility model at round boundaries.
+type ClusterConfig struct {
+	Rounds        int
+	K             int
+	LocalSteps    int
+	BatchSize     int
+	CloudInterval int
+	Strategy      hfl.Strategy
+	Partition     *data.Partition
+	Factory       func(rng *tensor.RNG) *nn.Network
+	Optimizer     hfl.OptimizerSpec
+	Mobility      mobility.Model
+	Seed          int64
+	Logf          func(format string, args ...any)
+}
+
+// Cluster is a running deployment.
+type Cluster struct {
+	cloud   *Cloud
+	edges   []*Edge
+	devices []*Device
+
+	wg       sync.WaitGroup
+	mu       sync.Mutex
+	errs     []error
+	moveErrs int
+}
+
+// StartCluster builds and starts the deployment. The mobility model's
+// device count must match the partition's. The call returns once all
+// components are connected and the first round is about to start; use
+// Wait to block until training completes.
+func StartCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Partition.NumDevices() != cfg.Mobility.NumDevices() {
+		return nil, fmt.Errorf("fednet: partition has %d devices, mobility %d", cfg.Partition.NumDevices(), cfg.Mobility.NumDevices())
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	numEdges := cfg.Mobility.NumEdges()
+	numDevices := cfg.Mobility.NumDevices()
+	c := &Cluster{}
+
+	init := cfg.Factory(tensor.Split(cfg.Seed, 0)).ParamVector()
+	cfg.Mobility.Reset()
+	membership := cfg.Mobility.Step()
+
+	// Device migration at round boundaries, driven by the cloud.
+	onRound := func(round int) {
+		next := cfg.Mobility.Step()
+		for m, e := range next {
+			if e == membership[m] {
+				continue
+			}
+			if err := c.devices[m].Connect(e, c.edges[e].Addr()); err != nil {
+				cfg.Logf("cluster: device %d failed to move to edge %d: %v", m, e, err)
+				c.mu.Lock()
+				c.moveErrs++
+				c.mu.Unlock()
+			}
+		}
+		membership = next
+	}
+
+	cloud, err := NewCloud(CloudConfig{
+		Addr: "127.0.0.1:0", Edges: numEdges, Rounds: cfg.Rounds,
+		CloudInterval: cfg.CloudInterval, InitModel: init,
+		Logf: cfg.Logf, OnRound: onRound,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.cloud = cloud
+
+	for e := 0; e < numEdges; e++ {
+		edge, err := NewEdge(EdgeConfig{
+			EdgeID: e, CloudAddr: cloud.Addr(), Addr: "127.0.0.1:0",
+			K: cfg.K, Strategy: cfg.Strategy, Seed: cfg.Seed, Logf: cfg.Logf,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.edges = append(c.edges, edge)
+	}
+	mode := AggModeForStrategy(cfg.Strategy.Name())
+	for m := 0; m < numDevices; m++ {
+		dev, err := NewDevice(DeviceConfig{
+			DeviceID:   m,
+			Dataset:    cfg.Partition.Dataset,
+			Indices:    cfg.Partition.Indices[m],
+			Factory:    cfg.Factory,
+			Optimizer:  cfg.Optimizer.New(),
+			LocalSteps: cfg.LocalSteps, BatchSize: cfg.BatchSize,
+			Mode: mode, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.devices = append(c.devices, dev)
+	}
+
+	// Launch servers.
+	c.wg.Add(1 + numEdges)
+	go func() {
+		defer c.wg.Done()
+		if err := cloud.Run(); err != nil {
+			c.recordErr(fmt.Errorf("cloud: %w", err))
+		}
+	}()
+	for _, e := range c.edges {
+		go func(e *Edge) {
+			defer c.wg.Done()
+			if err := e.Run(); err != nil {
+				c.recordErr(fmt.Errorf("edge %d: %w", e.cfg.EdgeID, err))
+			}
+		}(e)
+	}
+
+	// Attach devices at their initial edges.
+	for m, e := range membership {
+		if err := c.devices[m].Connect(e, c.edges[e].Addr()); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func (c *Cluster) recordErr(err error) {
+	c.mu.Lock()
+	c.errs = append(c.errs, err)
+	c.mu.Unlock()
+}
+
+// Wait blocks until the cloud and all edges terminate, disconnects the
+// devices, and returns the first component error (nil on success).
+func (c *Cluster) Wait() error {
+	c.wg.Wait()
+	for _, d := range c.devices {
+		d.Disconnect()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.errs) > 0 {
+		return c.errs[0]
+	}
+	return nil
+}
+
+// GlobalModel returns the cloud's current global model.
+func (c *Cluster) GlobalModel() []float64 { return c.cloud.GlobalModel() }
+
+// DeviceRounds returns how many rounds each device trained (diagnostics).
+func (c *Cluster) DeviceRounds() []int {
+	out := make([]int, len(c.devices))
+	for i, d := range c.devices {
+		out[i] = d.Rounds()
+	}
+	return out
+}
+
+// MoveErrors reports how many device migrations failed.
+func (c *Cluster) MoveErrors() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.moveErrs
+}

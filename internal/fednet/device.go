@@ -1,0 +1,253 @@
+package fednet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"middle/internal/data"
+	"middle/internal/nn"
+	"middle/internal/optim"
+	"middle/internal/simil"
+	"middle/internal/tensor"
+)
+
+// AggMode selects the on-device model-initialisation behaviour, the
+// device-side half of each strategy (the edge-side half is selection).
+type AggMode string
+
+// On-device aggregation modes.
+const (
+	// AggEdge adopts the downloaded edge model (General, OORT).
+	AggEdge AggMode = "edge"
+	// AggEq9 applies the paper's similarity-weighted blend (MIDDLE).
+	AggEq9 AggMode = "eq9"
+	// AggHalf averages edge and carried models 50/50 (FedMes, Ensemble).
+	AggHalf AggMode = "half"
+	// AggKeep keeps the carried model wholesale (Greedy).
+	AggKeep AggMode = "keep"
+)
+
+// AggModeForStrategy maps a strategy name to its device-side behaviour.
+func AggModeForStrategy(name string) AggMode {
+	switch name {
+	case "MIDDLE", "MIDDLE-Agg":
+		return AggEq9
+	case "FedMes", "Ensemble":
+		return AggHalf
+	case "Greedy":
+		return AggKeep
+	default:
+		return AggEdge
+	}
+}
+
+// DeviceConfig configures one device client.
+type DeviceConfig struct {
+	DeviceID int
+	// Dataset + Indices define the device's local shard.
+	Dataset *data.Dataset
+	Indices []int
+	// Factory builds the task architecture; the device owns one instance.
+	Factory func(rng *tensor.RNG) *nn.Network
+	// Optimizer spec for local training.
+	Optimizer optim.Optimizer
+	// LocalSteps (I) and BatchSize per training round.
+	LocalSteps int
+	BatchSize  int
+	// Mode is the on-device aggregation behaviour.
+	Mode AggMode
+	// Seed derives the device's batch-sampling randomness.
+	Seed int64
+	// Timeout bounds network operations (default 30 s).
+	Timeout time.Duration
+}
+
+// Device is a mobile client. Connect attaches it to an edge (closing any
+// previous attachment — that is the "move"), after which it serves
+// training requests until disconnected or shut down.
+type Device struct {
+	cfg DeviceConfig
+	net *nn.Network
+
+	mu       sync.Mutex
+	conn     net.Conn
+	prevEdge int
+	local    []float64 // carried local model (nil until first training)
+	rounds   int       // training rounds served (diagnostics)
+	done     chan struct{}
+}
+
+// NewDevice builds a device client.
+func NewDevice(cfg DeviceConfig) (*Device, error) {
+	if cfg.Dataset == nil || len(cfg.Indices) == 0 || cfg.Factory == nil || cfg.Optimizer == nil {
+		return nil, fmt.Errorf("fednet: incomplete device config for device %d", cfg.DeviceID)
+	}
+	if cfg.LocalSteps < 1 {
+		cfg.LocalSteps = 10
+	}
+	if cfg.BatchSize < 1 {
+		cfg.BatchSize = 16
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.Mode == "" {
+		cfg.Mode = AggEdge
+	}
+	return &Device{
+		cfg:      cfg,
+		net:      cfg.Factory(tensor.Split(cfg.Seed, int64(1000+cfg.DeviceID))),
+		prevEdge: -1,
+	}, nil
+}
+
+// Connect attaches the device to the edge at addr (identified by edgeID
+// for the moved predicate), detaching from any previous edge first. The
+// device then serves training requests in a background goroutine.
+func (d *Device) Connect(edgeID int, addr string) error {
+	d.Disconnect()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("fednet: device %d dialing edge %d: %w", d.cfg.DeviceID, edgeID, err)
+	}
+	conn.SetDeadline(time.Now().Add(d.cfg.Timeout))
+	reg := RegisterDevice{DeviceID: d.cfg.DeviceID, DataSize: len(d.cfg.Indices), PrevEdge: d.prevEdge}
+	if err := WriteMsg(conn, MsgRegisterDevice, reg, nil); err != nil {
+		conn.Close()
+		return fmt.Errorf("fednet: device %d registering at edge %d: %w", d.cfg.DeviceID, edgeID, err)
+	}
+	conn.SetDeadline(time.Time{})
+	d.mu.Lock()
+	d.conn = conn
+	d.done = make(chan struct{})
+	done := d.done
+	d.mu.Unlock()
+	go d.serve(conn, edgeID, done)
+	return nil
+}
+
+// Disconnect detaches from the current edge (a "move away"); it is safe
+// to call when not connected.
+func (d *Device) Disconnect() {
+	d.mu.Lock()
+	conn, done := d.conn, d.done
+	d.conn, d.done = nil, nil
+	d.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+		<-done // wait for the serve loop to exit
+	}
+}
+
+// Rounds returns how many training rounds the device has served.
+func (d *Device) Rounds() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.rounds
+}
+
+// LocalModel returns a copy of the carried local model (nil before the
+// device ever trained).
+func (d *Device) LocalModel() []float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.local == nil {
+		return nil
+	}
+	return append([]float64(nil), d.local...)
+}
+
+// serve handles requests on one connection until it closes.
+func (d *Device) serve(conn net.Conn, edgeID int, done chan struct{}) {
+	defer close(done)
+	defer conn.Close()
+	for {
+		var req TrainRequest
+		t, edgeModel, err := ReadMsg(conn, &req)
+		if err != nil {
+			if !errors.Is(err, net.ErrClosed) {
+				// Connection dropped (edge gone or we moved): just stop.
+				return
+			}
+			return
+		}
+		switch t {
+		case MsgShutdown:
+			return
+		case MsgTrainRequest:
+		default:
+			return
+		}
+		vec, reply := d.train(req, edgeModel, edgeID)
+		conn.SetDeadline(time.Now().Add(d.cfg.Timeout))
+		if err := WriteMsg(conn, MsgTrainReply, reply, vec); err != nil {
+			return
+		}
+		conn.SetDeadline(time.Time{})
+	}
+}
+
+// train executes one local round: on-device initialisation per the
+// device's mode, then I SGD/Adam steps over the local shard.
+func (d *Device) train(req TrainRequest, edgeModel []float64, edgeID int) ([]float64, TrainReply) {
+	d.mu.Lock()
+	if req.ResetLocal {
+		d.local = nil
+	}
+	start := append([]float64(nil), edgeModel...)
+	if req.Moved && d.local != nil && len(d.local) == len(edgeModel) {
+		switch d.cfg.Mode {
+		case AggEq9:
+			start, _ = simil.OnDeviceAggregate(edgeModel, d.local)
+		case AggHalf:
+			start = simil.Blend(edgeModel, d.local, 0.5)
+		case AggKeep:
+			start = append([]float64(nil), d.local...)
+		}
+	}
+	d.mu.Unlock()
+
+	d.net.SetParamVector(start)
+	d.cfg.Optimizer.Reset()
+	rng := tensor.Split(d.cfg.Seed, int64(req.Round)*100_003+int64(d.cfg.DeviceID)*13+5)
+	batch := d.cfg.BatchSize
+	if batch > len(d.cfg.Indices) {
+		batch = len(d.cfg.Indices)
+	}
+	idx := make([]int, batch)
+	sumSq, samples := 0.0, 0
+	for i := 0; i < d.cfg.LocalSteps; i++ {
+		for b := range idx {
+			idx[b] = d.cfg.Indices[rng.Intn(len(d.cfg.Indices))]
+		}
+		x, y := d.cfg.Dataset.Batch(idx)
+		d.net.ZeroGrad()
+		logits := d.net.Forward(x, true)
+		_, g, perSample := nn.SoftmaxCrossEntropyPerSample(logits, y)
+		d.net.Backward(g)
+		d.cfg.Optimizer.Step(d.net.Params())
+		for _, l := range perSample {
+			sumSq += l * l
+		}
+		samples += len(perSample)
+	}
+	vec := d.net.ParamVector()
+
+	d.mu.Lock()
+	d.local = append([]float64(nil), vec...)
+	d.prevEdge = edgeID
+	d.rounds++
+	d.mu.Unlock()
+
+	util := float64(len(d.cfg.Indices)) * math.Sqrt(sumSq/float64(samples))
+	return vec, TrainReply{
+		DeviceID: d.cfg.DeviceID,
+		Round:    req.Round,
+		DataSize: len(d.cfg.Indices),
+		Utility:  util,
+	}
+}

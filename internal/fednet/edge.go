@@ -1,0 +1,341 @@
+package fednet
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"middle/internal/hfl"
+	"middle/internal/simil"
+	"middle/internal/tensor"
+)
+
+// EdgeConfig configures one edge server.
+type EdgeConfig struct {
+	EdgeID    int
+	CloudAddr string
+	// Addr is the device-facing TCP listen address.
+	Addr string
+	// K devices are selected per round (paper §6.1.2: 5).
+	K int
+	// Strategy decides which connected devices train each round. The
+	// edge adapts it through a View over its device-state cache.
+	Strategy hfl.Strategy
+	// Seed derives the per-round selection tie-break randomness.
+	Seed int64
+	// Timeout bounds network operations (default 30 s).
+	Timeout time.Duration
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// deviceState is the edge's cached knowledge about one connected device —
+// exactly the information the paper allows selection to use (model
+// vectors and participation history, never raw data).
+type deviceState struct {
+	conn        net.Conn
+	id          int
+	dataSize    int
+	arrivedFrom int  // edge the device trained under before connecting here
+	trainedHere bool // has it trained at this edge since arriving?
+	lastModel   []float64
+	statUtil    float64
+	lastTrained int
+}
+
+// Edge runs the in-edge half of Algorithm 1 as a server: it accepts
+// device connections, selects K of them each round, ships them the edge
+// model, aggregates their replies (Eq. 6) and reports to the cloud.
+type Edge struct {
+	cfg EdgeConfig
+	ln  net.Listener
+
+	mu      sync.Mutex
+	devices map[int]*deviceState
+
+	edgeModel []float64
+	cloudSeen []float64 // last global model received (w_c for Eq. 12)
+	weight    float64   // d̂ accumulator since last sync
+	lastSync  int       // round of the last cloud sync
+}
+
+// NewEdge builds an edge server and starts its device listener.
+func NewEdge(cfg EdgeConfig) (*Edge, error) {
+	if cfg.K < 1 || cfg.Strategy == nil {
+		return nil, fmt.Errorf("fednet: implausible edge config %+v", cfg)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("fednet: edge %d listen: %w", cfg.EdgeID, err)
+	}
+	return &Edge{cfg: cfg, ln: ln, devices: map[int]*deviceState{}}, nil
+}
+
+// Addr returns the edge's device-facing listen address.
+func (e *Edge) Addr() string { return e.ln.Addr().String() }
+
+// acceptLoop registers incoming devices until the listener closes.
+func (e *Edge) acceptLoop() {
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			return
+		}
+		go func(conn net.Conn) {
+			conn.SetDeadline(time.Now().Add(e.cfg.Timeout))
+			var reg RegisterDevice
+			t, _, err := ReadMsg(conn, &reg)
+			if err != nil || t != MsgRegisterDevice {
+				conn.Close()
+				return
+			}
+			conn.SetDeadline(time.Time{})
+			e.mu.Lock()
+			if old, ok := e.devices[reg.DeviceID]; ok {
+				old.conn.Close()
+			}
+			e.devices[reg.DeviceID] = &deviceState{
+				conn:        conn,
+				id:          reg.DeviceID,
+				dataSize:    reg.DataSize,
+				arrivedFrom: reg.PrevEdge,
+				statUtil:    math.NaN(),
+				lastTrained: -1,
+			}
+			e.mu.Unlock()
+			e.cfg.Logf("edge %d: device %d joined (from edge %d)", e.cfg.EdgeID, reg.DeviceID, reg.PrevEdge)
+		}(conn)
+	}
+}
+
+// dropDevice removes a device whose connection failed. The conn pointer
+// guards against a race with re-registration: if the device already
+// reconnected (new state under the same id), the fresh entry stays.
+func (e *Edge) dropDevice(id int, conn net.Conn) {
+	e.mu.Lock()
+	if d, ok := e.devices[id]; ok && d.conn == conn {
+		d.conn.Close()
+		delete(e.devices, id)
+	}
+	e.mu.Unlock()
+}
+
+// Run connects to the cloud and participates until shutdown.
+func (e *Edge) Run() error {
+	defer e.ln.Close()
+	cloud, err := net.Dial("tcp", e.cfg.CloudAddr)
+	if err != nil {
+		return fmt.Errorf("fednet: edge %d dialing cloud: %w", e.cfg.EdgeID, err)
+	}
+	defer cloud.Close()
+	cloud.SetDeadline(time.Now().Add(e.cfg.Timeout))
+	if err := WriteMsg(cloud, MsgRegisterEdge, RegisterEdge{EdgeID: e.cfg.EdgeID}, nil); err != nil {
+		return fmt.Errorf("fednet: edge %d registering: %w", e.cfg.EdgeID, err)
+	}
+	t, vec, err := ReadMsg(cloud, nil)
+	if err != nil || t != MsgGlobalModel {
+		return fmt.Errorf("fednet: edge %d waiting for init model: type %d, %v", e.cfg.EdgeID, t, err)
+	}
+	e.edgeModel = vec
+	e.cloudSeen = append([]float64(nil), vec...)
+
+	go e.acceptLoop()
+
+	for {
+		cloud.SetDeadline(time.Time{}) // rounds may start at any time
+		var rs RoundStart
+		t, _, err := ReadMsg(cloud, &rs)
+		if err != nil {
+			return fmt.Errorf("fednet: edge %d reading round start: %w", e.cfg.EdgeID, err)
+		}
+		switch t {
+		case MsgShutdown:
+			e.shutdownDevices()
+			return nil
+		case MsgRoundStart:
+		default:
+			return fmt.Errorf("fednet: edge %d unexpected message type %d", e.cfg.EdgeID, t)
+		}
+
+		trained, weight := e.runRound(rs.Round)
+		e.weight += weight
+
+		cloud.SetDeadline(time.Now().Add(e.cfg.Timeout))
+		done := RoundDone{EdgeID: e.cfg.EdgeID, Round: rs.Round, Trained: trained}
+		var payload []float64
+		if rs.Sync {
+			done.Weight = e.weight
+			if e.weight > 0 {
+				payload = e.edgeModel
+			}
+		}
+		if err := WriteMsg(cloud, MsgRoundDone, done, payload); err != nil {
+			return fmt.Errorf("fednet: edge %d acking round %d: %w", e.cfg.EdgeID, rs.Round, err)
+		}
+		if rs.Sync {
+			t, vec, err := ReadMsg(cloud, nil)
+			if err != nil || t != MsgGlobalModel {
+				return fmt.Errorf("fednet: edge %d waiting for global model: type %d, %v", e.cfg.EdgeID, t, err)
+			}
+			e.edgeModel = vec
+			e.cloudSeen = append([]float64(nil), vec...)
+			e.weight = 0
+			e.lastSync = rs.Round
+		}
+	}
+}
+
+// runRound executes one Algorithm 1 time step: selection, parallel
+// training on the selected devices, Eq. 6 aggregation.
+func (e *Edge) runRound(round int) (trained int, weight float64) {
+	e.mu.Lock()
+	candidates := make([]int, 0, len(e.devices))
+	for id := range e.devices {
+		candidates = append(candidates, id)
+	}
+	view := &edgeView{edge: e, round: round}
+	e.mu.Unlock()
+	if len(candidates) == 0 {
+		return 0, 0
+	}
+
+	rng := tensor.Split(e.cfg.Seed, int64(round)*1_000_003+int64(e.cfg.EdgeID)*7+1)
+	e.mu.Lock()
+	sel := e.cfg.Strategy.Select(view, e.cfg.EdgeID, candidates, e.cfg.K, rng)
+	e.mu.Unlock()
+	if len(sel) > e.cfg.K {
+		sel = sel[:e.cfg.K]
+	}
+
+	type result struct {
+		id    int
+		conn  net.Conn
+		vec   []float64
+		reply TrainReply
+		err   error
+	}
+	results := make(chan result, len(sel))
+	for _, id := range sel {
+		e.mu.Lock()
+		d, ok := e.devices[id]
+		var req TrainRequest
+		if ok {
+			req = TrainRequest{
+				Round:      round,
+				Moved:      !d.trainedHere && d.arrivedFrom >= 0 && d.arrivedFrom != e.cfg.EdgeID,
+				ResetLocal: d.lastTrained < e.lastSync,
+			}
+		}
+		e.mu.Unlock()
+		if !ok {
+			results <- result{id: id, err: fmt.Errorf("device %d vanished", id)}
+			continue
+		}
+		go func(d *deviceState, req TrainRequest) {
+			d.conn.SetDeadline(time.Now().Add(e.cfg.Timeout))
+			if err := WriteMsg(d.conn, MsgTrainRequest, req, e.edgeModel); err != nil {
+				results <- result{id: d.id, conn: d.conn, err: err}
+				return
+			}
+			var reply TrainReply
+			t, vec, err := ReadMsg(d.conn, &reply)
+			if err != nil || t != MsgTrainReply {
+				results <- result{id: d.id, conn: d.conn, err: fmt.Errorf("type %d, %v", t, err)}
+				return
+			}
+			results <- result{id: d.id, conn: d.conn, vec: vec, reply: reply}
+		}(d, req)
+	}
+
+	var vecs [][]float64
+	var ws []float64
+	for range sel {
+		res := <-results
+		if res.err != nil {
+			e.cfg.Logf("edge %d: device %d failed round %d: %v", e.cfg.EdgeID, res.id, round, res.err)
+			e.dropDevice(res.id, res.conn)
+			continue
+		}
+		e.mu.Lock()
+		if d, ok := e.devices[res.id]; ok {
+			d.lastModel = res.vec
+			d.statUtil = res.reply.Utility
+			d.lastTrained = round
+			d.trainedHere = true
+		}
+		e.mu.Unlock()
+		vecs = append(vecs, res.vec)
+		ws = append(ws, float64(res.reply.DataSize))
+		weight += float64(res.reply.DataSize)
+		trained++
+	}
+	if len(vecs) > 0 {
+		e.edgeModel = simil.WeightedAverage(vecs, ws)
+	}
+	return trained, weight
+}
+
+func (e *Edge) shutdownDevices() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for id, d := range e.devices {
+		d.conn.SetDeadline(time.Now().Add(e.cfg.Timeout))
+		_ = WriteMsg(d.conn, MsgShutdown, struct{}{}, nil)
+		d.conn.Close()
+		delete(e.devices, id)
+	}
+}
+
+// edgeView adapts the edge's device cache to hfl.View so the simulation
+// strategies (MIDDLE, OORT, …) run unchanged in the networked setting.
+// The caller must hold e.mu.
+type edgeView struct {
+	edge  *Edge
+	round int
+}
+
+func (v *edgeView) Step() int             { return v.round }
+func (v *edgeView) CloudModel() []float64 { return v.edge.cloudSeen }
+func (v *edgeView) EdgeModel(int) []float64 {
+	return v.edge.edgeModel
+}
+
+func (v *edgeView) LocalModel(device int) []float64 {
+	if d, ok := v.edge.devices[device]; ok && d.lastModel != nil {
+		return d.lastModel
+	}
+	// Never-seen devices are treated as carrying the last global model
+	// (Δw = 0), matching the post-sync state in the simulation.
+	return v.edge.cloudSeen
+}
+
+func (v *edgeView) DataSize(device int) int {
+	if d, ok := v.edge.devices[device]; ok {
+		return d.dataSize
+	}
+	return 0
+}
+
+func (v *edgeView) StatUtility(device int) float64 {
+	if d, ok := v.edge.devices[device]; ok {
+		return d.statUtil
+	}
+	return math.NaN()
+}
+
+func (v *edgeView) LastTrained(device int) int {
+	if d, ok := v.edge.devices[device]; ok {
+		return d.lastTrained
+	}
+	return -1
+}
+
+var _ hfl.View = (*edgeView)(nil)

@@ -1,0 +1,298 @@
+package fednet
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"middle/internal/core"
+	"middle/internal/data"
+	"middle/internal/hfl"
+	"middle/internal/mobility"
+	"middle/internal/nn"
+	"middle/internal/tensor"
+)
+
+// --- protocol codec -------------------------------------------------------
+
+func TestProtocolRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	vec := []float64{1.5, -2, math.Pi}
+	in := TrainRequest{Round: 7, Moved: true, ResetLocal: true}
+	if err := WriteMsg(&buf, MsgTrainRequest, in, vec); err != nil {
+		t.Fatal(err)
+	}
+	var out TrainRequest
+	typ, gotVec, err := ReadMsg(&buf, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgTrainRequest || out != in {
+		t.Fatalf("got type %d header %+v", typ, out)
+	}
+	for i := range vec {
+		if gotVec[i] != vec[i] {
+			t.Fatalf("vector %v", gotVec)
+		}
+	}
+}
+
+func TestProtocolEmptyVector(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMsg(&buf, MsgShutdown, struct{}{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, vec, err := ReadMsg(&buf, nil)
+	if err != nil || typ != MsgShutdown || vec != nil {
+		t.Fatalf("type %d vec %v err %v", typ, vec, err)
+	}
+}
+
+func TestProtocolRejectsOversizedFrames(t *testing.T) {
+	// Hand-craft a frame claiming a gigantic header.
+	raw := []byte{byte(MsgRoundStart), 0xFF, 0xFF, 0xFF, 0xFF}
+	if _, _, err := ReadMsg(bytes.NewReader(raw), nil); err == nil {
+		t.Fatal("oversized header accepted")
+	}
+}
+
+func TestProtocolTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMsg(&buf, MsgTrainReply, TrainReply{DeviceID: 1}, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, cut := range []int{0, 1, 3, len(raw) / 2, len(raw) - 1} {
+		if _, _, err := ReadMsg(bytes.NewReader(raw[:cut]), nil); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// EOF at a clean frame boundary is io.EOF specifically.
+	if _, _, err := ReadMsg(bytes.NewReader(nil), nil); err != io.EOF {
+		t.Fatalf("clean EOF error %v", err)
+	}
+}
+
+func TestProtocolSequentialMessages(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 3; i++ {
+		if err := WriteMsg(&buf, MsgRoundStart, RoundStart{Round: i}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		var rs RoundStart
+		typ, _, err := ReadMsg(&buf, &rs)
+		if err != nil || typ != MsgRoundStart || rs.Round != i {
+			t.Fatalf("message %d: type %d round %d err %v", i, typ, rs.Round, err)
+		}
+	}
+}
+
+// --- aggregation mode mapping ----------------------------------------------
+
+func TestAggModeForStrategy(t *testing.T) {
+	cases := map[string]AggMode{
+		"MIDDLE":     AggEq9,
+		"MIDDLE-Agg": AggEq9,
+		"FedMes":     AggHalf,
+		"Ensemble":   AggHalf,
+		"Greedy":     AggKeep,
+		"OORT":       AggEdge,
+		"General":    AggEdge,
+		"MIDDLE-Sel": AggEdge,
+	}
+	for name, want := range cases {
+		if got := AggModeForStrategy(name); got != want {
+			t.Errorf("%s -> %s, want %s", name, got, want)
+		}
+	}
+}
+
+// --- end-to-end cluster ------------------------------------------------------
+
+func clusterFixture(t *testing.T, strat hfl.Strategy, rounds int, mob mobility.Model) *Cluster {
+	t.Helper()
+	prof := data.FastImageProfile(4)
+	train := data.GenerateImagesSplit(prof, 400, 5, 5)
+	part := data.PartitionMajorClass(train, mob.NumDevices(), 30, 0.85, 6)
+	factory := func(rng *tensor.RNG) *nn.Network {
+		return nn.NewNetwork(
+			nn.NewFlatten(),
+			nn.NewLinear(train.SampleSize(), 16, rng),
+			nn.NewReLU(),
+			nn.NewLinear(16, train.Classes, rng),
+		)
+	}
+	c, err := StartCluster(ClusterConfig{
+		Rounds: rounds, K: 2, LocalSteps: 2, BatchSize: 8, CloudInterval: 3,
+		Strategy: strat, Partition: part, Factory: factory,
+		Optimizer: hfl.OptimizerSpec{Kind: hfl.OptSGDMomentum, LR: 0.05, Momentum: 0.9},
+		Mobility:  mob, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestClusterEndToEndMiddle(t *testing.T) {
+	mob := mobility.NewMarkovRing(3, 9, 0.4, 7)
+	c := clusterFixture(t, core.NewMiddle(), 9, mob)
+	before := c.GlobalModel()
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	after := c.GlobalModel()
+	changed := false
+	for i := range before {
+		if before[i] != after[i] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("global model never changed")
+	}
+	rounds := c.DeviceRounds()
+	total := 0
+	for _, r := range rounds {
+		total += r
+	}
+	// 9 rounds × 3 edges × up to K=2 devices each.
+	if total == 0 || total > 9*3*2 {
+		t.Fatalf("device training rounds %v (total %d)", rounds, total)
+	}
+}
+
+func TestClusterTrainingImprovesAccuracy(t *testing.T) {
+	prof := data.FastImageProfile(4)
+	train := data.GenerateImagesSplit(prof, 600, 9, 9)
+	test := data.GenerateImagesSplit(prof, 200, 9, 91)
+	mob := mobility.NewMarkovRing(2, 8, 0.3, 3)
+	part := data.PartitionMajorClass(train, 8, 60, 0.85, 4)
+	factory := func(rng *tensor.RNG) *nn.Network {
+		return nn.NewNetwork(
+			nn.NewFlatten(),
+			nn.NewLinear(train.SampleSize(), 24, rng),
+			nn.NewReLU(),
+			nn.NewLinear(24, train.Classes, rng),
+		)
+	}
+	c, err := StartCluster(ClusterConfig{
+		Rounds: 15, K: 3, LocalSteps: 4, BatchSize: 12, CloudInterval: 5,
+		Strategy: core.NewMiddle(), Partition: part, Factory: factory,
+		Optimizer: hfl.OptimizerSpec{Kind: hfl.OptSGDMomentum, LR: 0.05, Momentum: 0.9},
+		Mobility:  mob, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evalNet := factory(tensor.NewRNG(1))
+	evalNet.SetParamVector(c.GlobalModel())
+	x, y := test.Batch(test.All())
+	accBefore := nn.Accuracy(evalNet.Forward(x, false), y)
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	evalNet.SetParamVector(c.GlobalModel())
+	accAfter := nn.Accuracy(evalNet.Forward(x, false), y)
+	if accAfter < accBefore+0.2 {
+		t.Fatalf("networked training barely improved: %v -> %v", accBefore, accAfter)
+	}
+	if c.MoveErrors() != 0 {
+		t.Fatalf("%d device migrations failed", c.MoveErrors())
+	}
+}
+
+func TestClusterAllStrategiesRun(t *testing.T) {
+	for _, strat := range []hfl.Strategy{core.NewOort(), core.NewFedMes(), core.NewGreedy()} {
+		mob := mobility.NewMarkovRing(2, 6, 0.5, 11)
+		c := clusterFixture(t, strat, 6, mob)
+		if err := c.Wait(); err != nil {
+			t.Fatalf("%s: %v", strat.Name(), err)
+		}
+	}
+}
+
+func TestClusterStaticMobility(t *testing.T) {
+	mob := mobility.NewStatic(2, 6)
+	c := clusterFixture(t, core.NewGeneral(), 6, mob)
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if c.MoveErrors() != 0 {
+		t.Fatal("static mobility produced move errors")
+	}
+}
+
+func TestClusterRejectsMismatchedSizes(t *testing.T) {
+	prof := data.FastImageProfile(2)
+	train := data.GenerateImagesSplit(prof, 40, 5, 5)
+	part := data.PartitionMajorClass(train, 4, 10, 0.8, 1)
+	mob := mobility.NewStatic(2, 6) // 6 ≠ 4
+	_, err := StartCluster(ClusterConfig{
+		Rounds: 1, K: 1, CloudInterval: 1,
+		Strategy: core.NewGeneral(), Partition: part,
+		Factory: func(rng *tensor.RNG) *nn.Network {
+			return nn.NewMLP(nn.MLPConfig{In: train.SampleSize(), Classes: 2}, rng)
+		},
+		Optimizer: hfl.OptimizerSpec{Kind: hfl.OptSGD, LR: 0.1},
+		Mobility:  mob, Seed: 1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "devices") {
+		t.Fatalf("mismatch accepted: %v", err)
+	}
+}
+
+// TestDeviceSurvivesEdgeVanishing exercises the failure path: a device
+// whose edge dies mid-session must exit its serve loop cleanly.
+func TestDeviceSurvivesEdgeVanishing(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err == nil {
+			// Consume the registration, then vanish.
+			_, _, _ = ReadMsg(conn, &RegisterDevice{})
+			conn.Close()
+		}
+		accepted <- conn
+	}()
+	prof := data.FastImageProfile(2)
+	train := data.GenerateImagesSplit(prof, 20, 5, 5)
+	dev, err := NewDevice(DeviceConfig{
+		DeviceID: 1, Dataset: train, Indices: []int{0, 1, 2},
+		Factory: func(rng *tensor.RNG) *nn.Network {
+			return nn.NewMLP(nn.MLPConfig{In: train.SampleSize(), Classes: 2}, rng)
+		},
+		Optimizer: hfl.OptimizerSpec{Kind: hfl.OptSGD, LR: 0.1}.New(),
+		Timeout:   2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Connect(0, ln.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	<-accepted
+	// Disconnect must not hang even though the peer is gone.
+	doneCh := make(chan struct{})
+	go func() {
+		dev.Disconnect()
+		close(doneCh)
+	}()
+	select {
+	case <-doneCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Disconnect hung after edge vanished")
+	}
+	ln.Close()
+}

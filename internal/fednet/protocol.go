@@ -1,0 +1,176 @@
+// Package fednet is a networked deployment of the MIDDLE training loop:
+// a cloud server, edge servers and device clients speaking a compact
+// binary protocol over TCP. The simulation engine (internal/hfl) remains
+// the tool for controlled experiments; fednet demonstrates the same
+// Algorithm 1 round structure — cloud-coordinated rounds, in-edge device
+// selection from cached device state, on-device Eq. 9 aggregation, T_c
+// cloud synchronisation — as an actual distributed system, with devices
+// that migrate between edge servers mid-training.
+//
+// Wire format (little-endian): every message is
+//
+//	type    byte
+//	jsonLen uint32, JSON header bytes
+//	vecLen  uint32, vecLen float64 values (the model payload, may be 0)
+//
+// Headers are small JSON structs (stdlib encoding/json); model vectors
+// travel as raw float64s to avoid base64 overhead.
+package fednet
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// MsgType identifies a protocol message.
+type MsgType byte
+
+// Protocol messages.
+const (
+	// MsgRegisterEdge: edge → cloud. Header: RegisterEdge.
+	MsgRegisterEdge MsgType = iota + 1
+	// MsgRegisterDevice: device → edge. Header: RegisterDevice.
+	MsgRegisterDevice
+	// MsgRoundStart: cloud → edge. Header: RoundStart.
+	MsgRoundStart
+	// MsgRoundDone: edge → cloud. Header: RoundDone. Carries the edge
+	// model vector on cloud-sync rounds, empty otherwise.
+	MsgRoundDone
+	// MsgGlobalModel: cloud → edge after a sync round. Carries the new
+	// global model vector.
+	MsgGlobalModel
+	// MsgTrainRequest: edge → device. Header: TrainRequest. Carries the
+	// edge model vector.
+	MsgTrainRequest
+	// MsgTrainReply: device → edge. Header: TrainReply. Carries the
+	// updated local model vector.
+	MsgTrainReply
+	// MsgShutdown: cloud → edge → device. Ends the session.
+	MsgShutdown
+)
+
+// maxFrame bounds a frame's payload sizes against corrupt peers.
+const maxFrame = 1 << 28
+
+// RegisterEdge announces an edge server to the cloud.
+type RegisterEdge struct {
+	EdgeID int `json:"edge_id"`
+}
+
+// RegisterDevice announces a device to its (current) edge.
+type RegisterDevice struct {
+	DeviceID int `json:"device_id"`
+	DataSize int `json:"data_size"`
+	// PrevEdge is the edge the device last trained under (−1 if none);
+	// the edge uses it to derive the paper's "moved" predicate.
+	PrevEdge int `json:"prev_edge"`
+}
+
+// RoundStart instructs an edge to run one Algorithm 1 time step.
+type RoundStart struct {
+	Round int `json:"round"`
+	// Sync marks a T_c boundary: the edge must report its model and
+	// will receive the new global model.
+	Sync bool `json:"sync"`
+}
+
+// RoundDone acknowledges a completed round to the cloud.
+type RoundDone struct {
+	EdgeID int `json:"edge_id"`
+	Round  int `json:"round"`
+	// Weight is Σ d_m over devices that trained this sync period
+	// (cloud aggregation weight d̂_n); meaningful on sync rounds.
+	Weight float64 `json:"weight"`
+	// Trained reports how many devices trained this round (diagnostics).
+	Trained int `json:"trained"`
+}
+
+// TrainRequest asks a device to run I local steps from the given start
+// model (already blended by the device according to its AggMode).
+type TrainRequest struct {
+	Round int `json:"round"`
+	// Moved tells the device whether the edge considers it newly
+	// arrived (m ∉ M^{t−1}_n), enabling on-device aggregation.
+	Moved bool `json:"moved"`
+	// ResetLocal tells the device to discard its carried local model
+	// first (issued on the round after a cloud sync, Algorithm 1
+	// lines 14–15).
+	ResetLocal bool `json:"reset_local"`
+}
+
+// TrainReply returns the device's updated model and bookkeeping.
+type TrainReply struct {
+	DeviceID int     `json:"device_id"`
+	Round    int     `json:"round"`
+	DataSize int     `json:"data_size"`
+	Utility  float64 `json:"utility"` // Oort statistical utility
+}
+
+// WriteMsg frames and writes one message.
+func WriteMsg(w io.Writer, t MsgType, header any, vec []float64) error {
+	js, err := json.Marshal(header)
+	if err != nil {
+		return fmt.Errorf("fednet: marshal header: %w", err)
+	}
+	buf := make([]byte, 1+4+len(js)+4+8*len(vec))
+	buf[0] = byte(t)
+	binary.LittleEndian.PutUint32(buf[1:], uint32(len(js)))
+	copy(buf[5:], js)
+	off := 5 + len(js)
+	binary.LittleEndian.PutUint32(buf[off:], uint32(len(vec)))
+	off += 4
+	for _, v := range vec {
+		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+		off += 8
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadMsg reads one framed message; header is decoded into headerOut
+// (pass a pointer, or nil to discard).
+func ReadMsg(r io.Reader, headerOut any) (MsgType, []float64, error) {
+	var tb [1]byte
+	if _, err := io.ReadFull(r, tb[:]); err != nil {
+		return 0, nil, err
+	}
+	var lb [4]byte
+	if _, err := io.ReadFull(r, lb[:]); err != nil {
+		return 0, nil, fmt.Errorf("fednet: reading header length: %w", err)
+	}
+	jsonLen := binary.LittleEndian.Uint32(lb[:])
+	if jsonLen > maxFrame {
+		return 0, nil, fmt.Errorf("fednet: header length %d too large", jsonLen)
+	}
+	js := make([]byte, jsonLen)
+	if _, err := io.ReadFull(r, js); err != nil {
+		return 0, nil, fmt.Errorf("fednet: reading header: %w", err)
+	}
+	if headerOut != nil && jsonLen > 0 {
+		if err := json.Unmarshal(js, headerOut); err != nil {
+			return 0, nil, fmt.Errorf("fednet: decoding header: %w", err)
+		}
+	}
+	if _, err := io.ReadFull(r, lb[:]); err != nil {
+		return 0, nil, fmt.Errorf("fednet: reading vector length: %w", err)
+	}
+	vecLen := binary.LittleEndian.Uint32(lb[:])
+	if vecLen > maxFrame/8 {
+		return 0, nil, fmt.Errorf("fednet: vector length %d too large", vecLen)
+	}
+	var vec []float64
+	if vecLen > 0 {
+		raw := make([]byte, 8*vecLen)
+		if _, err := io.ReadFull(r, raw); err != nil {
+			return 0, nil, fmt.Errorf("fednet: reading vector: %w", err)
+		}
+		vec = make([]float64, vecLen)
+		for i := range vec {
+			vec[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+		}
+	}
+	return MsgType(tb[0]), vec, nil
+}

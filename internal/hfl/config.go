@@ -1,0 +1,129 @@
+// Package hfl implements the device-edge-cloud hierarchical federated
+// learning engine of the MIDDLE paper (Algorithm 1): mobile devices run
+// local SGD, edges aggregate the selected devices' models every time
+// step (Eq. 6), and the cloud aggregates edge models every T_c steps
+// (Eq. 7). The engine is parameterised by a Strategy — the device
+// selection and on-device model-initialisation policy — which is where
+// MIDDLE and the paper's baselines differ (see internal/core).
+package hfl
+
+import (
+	"fmt"
+	"runtime"
+
+	"middle/internal/nn"
+	"middle/internal/optim"
+	"middle/internal/tensor"
+)
+
+// OptimizerKind selects the local optimizer family.
+type OptimizerKind string
+
+// Supported local optimizers (paper §6.1.2: SGD+momentum 0.9 for the
+// image tasks, Adam for the speech task).
+const (
+	OptSGD         OptimizerKind = "sgd"
+	OptSGDMomentum OptimizerKind = "sgd-momentum"
+	OptAdam        OptimizerKind = "adam"
+)
+
+// OptimizerSpec configures the per-round local optimizer.
+type OptimizerSpec struct {
+	Kind     OptimizerKind
+	LR       float64
+	Momentum float64 // used by OptSGDMomentum
+}
+
+// New constructs a fresh optimizer from the spec.
+func (s OptimizerSpec) New() optim.Optimizer {
+	switch s.Kind {
+	case OptSGD, "":
+		return optim.NewSGD(s.LR)
+	case OptSGDMomentum:
+		return optim.NewSGDMomentum(s.LR, s.Momentum)
+	case OptAdam:
+		return optim.NewAdam(s.LR)
+	default:
+		panic(fmt.Sprintf("hfl: unknown optimizer kind %q", s.Kind))
+	}
+}
+
+// Config holds the simulation hyper-parameters of Algorithm 1.
+type Config struct {
+	Seed int64
+
+	// K is the number of devices each edge selects per time step
+	// (paper: K = 5).
+	K int
+	// LocalSteps is I, the local SGD updates per time step (paper: 10).
+	LocalSteps int
+	// CloudInterval is T_c, the edge–cloud synchronisation period in
+	// time steps (paper: 10).
+	CloudInterval int
+	// BatchSize is the ξ mini-batch size per local update.
+	BatchSize int
+	// Steps is the total number of time steps to simulate.
+	Steps int
+
+	// EvalEvery evaluates the global model each time this many steps
+	// elapse (and always at the final step). 0 disables periodic eval.
+	EvalEvery int
+	// EvalSamples caps how many test samples each evaluation uses
+	// (0 = the whole test set).
+	EvalSamples int
+	// EvalEdges additionally records each edge model's accuracy.
+	EvalEdges bool
+	// EvalPerClass additionally records global per-class accuracy.
+	EvalPerClass bool
+
+	// Parallelism bounds the device-training worker pool
+	// (0 = GOMAXPROCS).
+	Parallelism int
+
+	Optimizer OptimizerSpec
+	// LRSchedule, when set, overrides the optimizer's learning rate at
+	// every time step (e.g. the inverse decay η_t = η₀γ/(γ+t) of the
+	// paper's Theorem 1). Nil keeps the constant Optimizer.LR.
+	LRSchedule optim.Schedule
+
+	// Latency and Deadline model system heterogeneity (the stragglers
+	// the paper's §1 motivates device selection with). When both are
+	// set, a selected device whose Latency(device) exceeds Deadline
+	// misses the round: it does not train and is excluded from the
+	// edge aggregation. The paper's main experiments assume every
+	// device completes its round (§3.2 principle 2), so both default
+	// to off.
+	Latency  func(device int) float64
+	Deadline float64
+}
+
+// withDefaults fills unset fields with safe values and validates.
+func (c Config) withDefaults() Config {
+	if c.K <= 0 {
+		c.K = 5
+	}
+	if c.LocalSteps <= 0 {
+		c.LocalSteps = 10
+	}
+	if c.CloudInterval <= 0 {
+		c.CloudInterval = 10
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 16
+	}
+	if c.Steps <= 0 {
+		c.Steps = 100
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.Optimizer.LR <= 0 {
+		c.Optimizer = OptimizerSpec{Kind: OptSGDMomentum, LR: 0.01, Momentum: 0.9}
+	}
+	return c
+}
+
+// ModelFactory builds one instance of the task's network architecture.
+// All instances must have identical parameter layout; the engine
+// overwrites their weights with model vectors.
+type ModelFactory func(rng *tensor.RNG) *nn.Network

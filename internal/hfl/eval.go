@@ -1,0 +1,143 @@
+package hfl
+
+import (
+	"middle/internal/nn"
+)
+
+// EvaluateVector measures the accuracy of a model vector on the test set
+// (capped at maxSamples; 0 = all). It also returns per-class accuracy
+// when perClass is true. The test set is generated round-robin by class,
+// so a prefix subset stays class-balanced.
+func (s *Sim) EvaluateVector(vec []float64, maxSamples int, perClass bool) (acc float64, classAcc []float64) {
+	n := s.test.Len()
+	if maxSamples > 0 && maxSamples < n {
+		n = maxSamples
+	}
+	s.evalNet.SetParamVector(vec)
+	batch := 64
+	correct := 0
+	var perCorrect, perTotal []int
+	if perClass {
+		perCorrect = make([]int, s.test.Classes)
+		perTotal = make([]int, s.test.Classes)
+	}
+	idx := make([]int, 0, batch)
+	flush := func() {
+		if len(idx) == 0 {
+			return
+		}
+		x, y := s.test.Batch(idx)
+		logits := s.evalNet.Forward(x, false)
+		pred := logits.ArgMaxRows()
+		for i, p := range pred {
+			if perClass {
+				perTotal[y[i]]++
+			}
+			if p == y[i] {
+				correct++
+				if perClass {
+					perCorrect[y[i]]++
+				}
+			}
+		}
+		idx = idx[:0]
+	}
+	for i := 0; i < n; i++ {
+		idx = append(idx, i)
+		if len(idx) == batch {
+			flush()
+		}
+	}
+	flush()
+	acc = float64(correct) / float64(n)
+	if perClass {
+		classAcc = make([]float64, s.test.Classes)
+		for c := range classAcc {
+			if perTotal[c] > 0 {
+				classAcc[c] = float64(perCorrect[c]) / float64(perTotal[c])
+			}
+		}
+	}
+	return acc, classAcc
+}
+
+// EvaluateVectorOnClasses measures accuracy restricted to a class subset
+// (used by the Figure 1 motivation experiment's major/minor split).
+func (s *Sim) EvaluateVectorOnClasses(vec []float64, classes []int, maxSamples int) float64 {
+	want := make(map[int]bool, len(classes))
+	for _, c := range classes {
+		want[c] = true
+	}
+	n := s.test.Len()
+	if maxSamples > 0 && maxSamples < n {
+		n = maxSamples
+	}
+	s.evalNet.SetParamVector(vec)
+	correct, total := 0, 0
+	var idx []int
+	for i := 0; i < n; i++ {
+		if want[s.test.Label(i)] {
+			idx = append(idx, i)
+		}
+	}
+	for lo := 0; lo < len(idx); lo += 64 {
+		hi := lo + 64
+		if hi > len(idx) {
+			hi = len(idx)
+		}
+		x, y := s.test.Batch(idx[lo:hi])
+		pred := s.evalNet.Forward(x, false).ArgMaxRows()
+		for i, p := range pred {
+			total++
+			if p == y[i] {
+				correct++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// GlobalLoss computes the weighted global objective F(w) of Eq. 4 for a
+// model vector over all device shards (capped per device to keep it
+// affordable; 0 = all samples). Used by convergence diagnostics.
+func (s *Sim) GlobalLoss(vec []float64, maxPerDevice int) float64 {
+	s.evalNet.SetParamVector(vec)
+	totalLoss, totalWeight := 0.0, 0.0
+	for m := 0; m < s.numDevices; m++ {
+		shard := s.part.Indices[m]
+		n := len(shard)
+		if maxPerDevice > 0 && maxPerDevice < n {
+			n = maxPerDevice
+		}
+		if n == 0 {
+			continue
+		}
+		x, y := s.part.Dataset.Batch(shard[:n])
+		logits := s.evalNet.Forward(x, false)
+		loss, _ := nn.SoftmaxCrossEntropy(logits, y)
+		w := float64(len(shard))
+		totalLoss += w * loss
+		totalWeight += w
+	}
+	if totalWeight == 0 {
+		return 0
+	}
+	return totalLoss / totalWeight
+}
+
+// recordEval snapshots metrics for the current step into the history.
+func (s *Sim) recordEval(t int) {
+	perClass := s.cfg.EvalPerClass
+	acc, classAcc := s.EvaluateVector(s.cloud, s.cfg.EvalSamples, perClass)
+	var edgeAcc []float64
+	if s.cfg.EvalEdges {
+		edgeAcc = make([]float64, s.numEdges)
+		for n := range s.edges {
+			edgeAcc[n], _ = s.EvaluateVector(s.edges[n], s.cfg.EvalSamples, false)
+		}
+	}
+	s.history.AppendComm(t, acc, classAcc, edgeAcc, s.commDeviceEdge, s.commEdgeCloud)
+}

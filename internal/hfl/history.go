@@ -1,0 +1,124 @@
+package hfl
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// History records the evaluation series of one simulation run. Slices
+// are indexed by evaluation event, not by time step; Steps holds the
+// time step of each event.
+type History struct {
+	Strategy          string
+	EmpiricalMobility float64
+
+	Steps       []int
+	GlobalAcc   []float64
+	PerClassAcc [][]float64 // nil entries when per-class eval is off
+	EdgeAcc     [][]float64 // nil entries when edge eval is off
+	// CommDeviceEdge/CommEdgeCloud are cumulative model-transfer counts
+	// on each link class at each evaluation event.
+	CommDeviceEdge []int64
+	CommEdgeCloud  []int64
+}
+
+// Append records one evaluation event.
+func (h *History) Append(step int, acc float64, perClass, edgeAcc []float64) {
+	h.AppendComm(step, acc, perClass, edgeAcc, 0, 0)
+}
+
+// AppendComm records one evaluation event with communication counters.
+func (h *History) AppendComm(step int, acc float64, perClass, edgeAcc []float64, commDE, commEC int64) {
+	h.Steps = append(h.Steps, step)
+	h.GlobalAcc = append(h.GlobalAcc, acc)
+	h.PerClassAcc = append(h.PerClassAcc, perClass)
+	h.EdgeAcc = append(h.EdgeAcc, edgeAcc)
+	h.CommDeviceEdge = append(h.CommDeviceEdge, commDE)
+	h.CommEdgeCloud = append(h.CommEdgeCloud, commEC)
+}
+
+// CommToAccuracy returns the cumulative model transfers (device–edge,
+// edge–cloud) at the first evaluation reaching the target accuracy.
+func (h *History) CommToAccuracy(target float64) (deviceEdge, edgeCloud int64, ok bool) {
+	for i, a := range h.GlobalAcc {
+		if a >= target {
+			return h.CommDeviceEdge[i], h.CommEdgeCloud[i], true
+		}
+	}
+	return 0, 0, false
+}
+
+// Len returns the number of recorded evaluation events.
+func (h *History) Len() int { return len(h.Steps) }
+
+// FinalAcc returns the last recorded global accuracy (0 if none).
+func (h *History) FinalAcc() float64 {
+	if len(h.GlobalAcc) == 0 {
+		return 0
+	}
+	return h.GlobalAcc[len(h.GlobalAcc)-1]
+}
+
+// BestAcc returns the highest recorded global accuracy.
+func (h *History) BestAcc() float64 {
+	best := 0.0
+	for _, a := range h.GlobalAcc {
+		if a > best {
+			best = a
+		}
+	}
+	return best
+}
+
+// TimeToAccuracy returns the first time step at which the global
+// accuracy reached target, and whether it ever did. This is the paper's
+// convergence-speed metric (§6.1.2).
+func (h *History) TimeToAccuracy(target float64) (step int, ok bool) {
+	for i, a := range h.GlobalAcc {
+		if a >= target {
+			return h.Steps[i], true
+		}
+	}
+	return 0, false
+}
+
+// WriteCSV emits the history as CSV: step, global accuracy, then any
+// per-class and per-edge columns present in the first event.
+func (h *History) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"step", "global_acc"}
+	nClass, nEdge := 0, 0
+	if len(h.PerClassAcc) > 0 && h.PerClassAcc[0] != nil {
+		nClass = len(h.PerClassAcc[0])
+		for c := 0; c < nClass; c++ {
+			header = append(header, fmt.Sprintf("class%d_acc", c))
+		}
+	}
+	if len(h.EdgeAcc) > 0 && h.EdgeAcc[0] != nil {
+		nEdge = len(h.EdgeAcc[0])
+		for e := 0; e < nEdge; e++ {
+			header = append(header, fmt.Sprintf("edge%d_acc", e))
+		}
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := range h.Steps {
+		row := []string{strconv.Itoa(h.Steps[i]), formatF(h.GlobalAcc[i])}
+		for c := 0; c < nClass; c++ {
+			row = append(row, formatF(h.PerClassAcc[i][c]))
+		}
+		for e := 0; e < nEdge; e++ {
+			row = append(row, formatF(h.EdgeAcc[i][e]))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatF(v float64) string { return strconv.FormatFloat(v, 'f', 5, 64) }

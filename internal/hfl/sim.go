@@ -1,0 +1,367 @@
+package hfl
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"middle/internal/data"
+	"middle/internal/mobility"
+	"middle/internal/nn"
+	"middle/internal/optim"
+	"middle/internal/simil"
+	"middle/internal/tensor"
+)
+
+// Sim is one device-edge-cloud federated training run. Construct with
+// New, drive with Run (or StepOnce for fine-grained control), and read
+// results from the returned History.
+type Sim struct {
+	cfg     Config
+	factory ModelFactory
+	part    *data.Partition
+	test    *data.Dataset
+	mob     mobility.Model
+	strat   Strategy
+
+	numEdges   int
+	numDevices int
+	step       int // completed time steps (1-based after first StepOnce)
+
+	cloud      []float64
+	edges      [][]float64
+	locals     [][]float64
+	dataSizes  []int
+	statUtil   []float64
+	lastTrain  []int
+	edgeWeight []float64 // d̂_n accumulators since last cloud sync
+	membership []int
+	moves      int // cross-edge moves observed
+	moveTotal  int
+	stragglers int // selected devices that missed the deadline
+
+	// Communication accounting: model transfers on each link class.
+	// Every selected device downloads the edge model and uploads its
+	// local model (2 transfers); every cloud sync exchanges edge models
+	// up and the global model down (2 per participating edge).
+	commDeviceEdge int64
+	commEdgeCloud  int64
+
+	workers []*trainWorker
+	evalNet *nn.Network
+	history *History
+}
+
+// trainWorker owns one reusable network + optimizer pair. The pool keeps
+// memory proportional to parallelism rather than to the device count.
+type trainWorker struct {
+	net *nn.Network
+	opt optim.Optimizer
+}
+
+// New builds a simulation. The partition defines the device population
+// and their Non-IID shards; the mobility model must cover the same
+// number of devices. The initial global model is drawn deterministically
+// from cfg.Seed and installed on the cloud, every edge and every device.
+func New(cfg Config, factory ModelFactory, part *data.Partition, test *data.Dataset, mob mobility.Model, strat Strategy) *Sim {
+	cfg = cfg.withDefaults()
+	if part.NumDevices() != mob.NumDevices() {
+		panic(fmt.Sprintf("hfl: partition has %d devices but mobility model has %d", part.NumDevices(), mob.NumDevices()))
+	}
+	s := &Sim{
+		cfg:        cfg,
+		factory:    factory,
+		part:       part,
+		test:       test,
+		mob:        mob,
+		strat:      strat,
+		numEdges:   mob.NumEdges(),
+		numDevices: mob.NumDevices(),
+	}
+	init := factory(tensor.Split(cfg.Seed, 0)).ParamVector()
+	s.cloud = init
+	s.edges = make([][]float64, s.numEdges)
+	for n := range s.edges {
+		s.edges[n] = cloneVec(init)
+	}
+	s.locals = make([][]float64, s.numDevices)
+	s.statUtil = make([]float64, s.numDevices)
+	s.lastTrain = make([]int, s.numDevices)
+	for m := range s.locals {
+		s.locals[m] = cloneVec(init)
+		s.statUtil[m] = math.NaN()
+		s.lastTrain[m] = -1
+	}
+	s.dataSizes = part.Sizes()
+	s.edgeWeight = make([]float64, s.numEdges)
+	mob.Reset()
+	s.membership = mob.Step() // M^0: membership before the first round
+	s.workers = make([]*trainWorker, cfg.Parallelism)
+	for i := range s.workers {
+		s.workers[i] = &trainWorker{
+			net: factory(tensor.Split(cfg.Seed, int64(100+i))),
+			opt: cfg.Optimizer.New(),
+		}
+	}
+	s.evalNet = factory(tensor.Split(cfg.Seed, 99))
+	s.history = &History{Strategy: strat.Name()}
+	return s
+}
+
+func cloneVec(v []float64) []float64 { return append([]float64(nil), v...) }
+
+// --- View implementation -------------------------------------------------
+
+// Step returns the number of completed time steps.
+func (s *Sim) Step() int { return s.step }
+
+// CloudModel returns the current global model vector (read-only).
+func (s *Sim) CloudModel() []float64 { return s.cloud }
+
+// EdgeModel returns edge n's model vector (read-only).
+func (s *Sim) EdgeModel(edge int) []float64 { return s.edges[edge] }
+
+// LocalModel returns device m's carried local model vector (read-only).
+func (s *Sim) LocalModel(device int) []float64 { return s.locals[device] }
+
+// DataSize returns d_m.
+func (s *Sim) DataSize(device int) int { return s.dataSizes[device] }
+
+// StatUtility returns the device's Oort statistical utility (NaN before
+// its first training round).
+func (s *Sim) StatUtility(device int) float64 { return s.statUtil[device] }
+
+// LastTrained returns the step the device last trained at, or -1.
+func (s *Sim) LastTrained(device int) int { return s.lastTrain[device] }
+
+// NumEdges returns the edge count.
+func (s *Sim) NumEdges() int { return s.numEdges }
+
+// NumDevices returns the device count.
+func (s *Sim) NumDevices() int { return s.numDevices }
+
+// Membership returns the devices' current edge assignment (read-only).
+func (s *Sim) Membership() []int { return s.membership }
+
+// History returns the metrics recorded so far.
+func (s *Sim) History() *History { return s.history }
+
+// --- engine ---------------------------------------------------------------
+
+type trainJob struct {
+	device int
+	init   []float64
+	out    []float64
+	util   float64
+}
+
+// StepOnce advances the simulation by one time step of Algorithm 1 and
+// returns the (1-based) step index just completed.
+func (s *Sim) StepOnce() int {
+	s.step++
+	t := s.step
+
+	prev := s.membership
+	s.membership = s.mob.Step()
+	moved := make([]bool, s.numDevices)
+	for m := range moved {
+		moved[m] = s.membership[m] != prev[m]
+		if moved[m] {
+			s.moves++
+		}
+		s.moveTotal++
+	}
+
+	// Line 1–2: per-edge candidate sets and device selection.
+	candidates := make([][]int, s.numEdges)
+	for m, e := range s.membership {
+		candidates[e] = append(candidates[e], m)
+	}
+	var jobs []trainJob
+	selectedByEdge := make([][]int, s.numEdges)
+	for n := 0; n < s.numEdges; n++ {
+		if len(candidates[n]) == 0 {
+			continue
+		}
+		rng := tensor.Split(s.cfg.Seed, int64(t)*1_000_003+int64(n)*7+1)
+		sel := s.strat.Select(s, n, candidates[n], s.cfg.K, rng)
+		if len(sel) > s.cfg.K {
+			sel = sel[:s.cfg.K]
+		}
+		// System heterogeneity: selected devices that cannot finish
+		// within the deadline miss the round (stragglers).
+		if s.cfg.Latency != nil && s.cfg.Deadline > 0 {
+			kept := sel[:0]
+			for _, m := range sel {
+				if s.cfg.Latency(m) <= s.cfg.Deadline {
+					kept = append(kept, m)
+				} else {
+					s.stragglers++
+				}
+			}
+			sel = kept
+		}
+		selectedByEdge[n] = sel
+		s.commDeviceEdge += 2 * int64(len(sel))
+		for _, m := range sel {
+			// Lines 4–7: on-device model initialisation.
+			init := s.strat.InitLocal(s, m, n, moved[m])
+			jobs = append(jobs, trainJob{device: m, init: init})
+		}
+	}
+
+	// Line 8: parallel local training across the worker pool.
+	s.runJobs(jobs, t)
+	for i := range jobs {
+		j := &jobs[i]
+		s.locals[j.device] = j.out
+		s.statUtil[j.device] = j.util
+		s.lastTrain[j.device] = t
+	}
+
+	// Line 9: edge aggregation (Eq. 6), weighted by data sizes.
+	for n := 0; n < s.numEdges; n++ {
+		sel := selectedByEdge[n]
+		if len(sel) == 0 {
+			continue
+		}
+		vecs := make([][]float64, len(sel))
+		weights := make([]float64, len(sel))
+		for i, m := range sel {
+			vecs[i] = s.locals[m]
+			weights[i] = float64(s.dataSizes[m])
+			s.edgeWeight[n] += float64(s.dataSizes[m])
+		}
+		s.edges[n] = simil.WeightedAverage(vecs, weights)
+	}
+
+	// Lines 10–15: cloud aggregation (Eq. 7) every T_c steps, then push
+	// the new global model down to all edges and devices.
+	if t%s.cfg.CloudInterval == 0 {
+		var vecs [][]float64
+		var weights []float64
+		for n := 0; n < s.numEdges; n++ {
+			if s.edgeWeight[n] > 0 {
+				vecs = append(vecs, s.edges[n])
+				weights = append(weights, s.edgeWeight[n])
+			}
+		}
+		if len(vecs) > 0 {
+			s.cloud = simil.WeightedAverage(vecs, weights)
+		}
+		s.commEdgeCloud += 2 * int64(len(vecs))
+		for n := range s.edges {
+			s.edges[n] = cloneVec(s.cloud)
+			s.edgeWeight[n] = 0
+		}
+		for m := range s.locals {
+			s.locals[m] = cloneVec(s.cloud)
+		}
+	}
+
+	if s.cfg.EvalEvery > 0 && (t%s.cfg.EvalEvery == 0 || t == s.cfg.Steps) {
+		s.recordEval(t)
+	}
+	return t
+}
+
+// runJobs fans the training jobs out over the worker pool. Each job's
+// randomness derives from (seed, step, device) only, so results do not
+// depend on scheduling.
+func (s *Sim) runJobs(jobs []trainJob, t int) {
+	if len(jobs) == 0 {
+		return
+	}
+	workers := len(s.workers)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(tw *trainWorker) {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(jobs) {
+					return
+				}
+				s.trainDevice(tw, &jobs[i], t)
+			}
+		}(s.workers[w])
+	}
+	wg.Wait()
+}
+
+// trainDevice performs I local SGD steps (Eq. 5) for one job and fills
+// in the resulting model vector and Oort statistical utility
+// d_m·sqrt(mean(loss²)).
+func (s *Sim) trainDevice(tw *trainWorker, job *trainJob, t int) {
+	rng := tensor.Split(s.cfg.Seed, int64(t)*int64(s.numDevices)*4+int64(job.device)*4+2)
+	tw.net.SetParamVector(job.init)
+	tw.opt.Reset()
+	if s.cfg.LRSchedule != nil {
+		tw.opt.SetLR(s.cfg.LRSchedule.At(t))
+	}
+	shard := s.part.Indices[job.device]
+	batch := s.cfg.BatchSize
+	if batch > len(shard) {
+		batch = len(shard)
+	}
+	idx := make([]int, batch)
+	sumSq := 0.0
+	samples := 0
+	for i := 0; i < s.cfg.LocalSteps; i++ {
+		for b := range idx {
+			idx[b] = shard[rng.Intn(len(shard))]
+		}
+		x, y := s.part.Dataset.Batch(idx)
+		tw.net.ZeroGrad()
+		logits := tw.net.Forward(x, true)
+		_, g, perSample := nn.SoftmaxCrossEntropyPerSample(logits, y)
+		tw.net.Backward(g)
+		tw.opt.Step(tw.net.Params())
+		for _, l := range perSample {
+			sumSq += l * l
+		}
+		samples += len(perSample)
+	}
+	job.out = tw.net.ParamVector()
+	// Oort's statistical utility: |B|·sqrt(mean per-sample loss²), with
+	// |B| the device's data size d_m.
+	job.util = float64(len(shard)) * math.Sqrt(sumSq/float64(samples))
+}
+
+// Run executes the configured number of time steps and returns the
+// recorded history.
+func (s *Sim) Run() *History {
+	for s.step < s.cfg.Steps {
+		s.StepOnce()
+	}
+	s.history.EmpiricalMobility = s.ObservedMobility()
+	return s.history
+}
+
+// CommCounts returns the cumulative number of model transfers on the
+// device–edge and edge–cloud links (one transfer = one full model).
+func (s *Sim) CommCounts() (deviceEdge, edgeCloud int64) {
+	return s.commDeviceEdge, s.commEdgeCloud
+}
+
+// Stragglers returns how many selected device-rounds were lost to the
+// heterogeneity deadline so far.
+func (s *Sim) Stragglers() int { return s.stragglers }
+
+// ObservedMobility returns the fraction of device-steps that crossed
+// edges so far.
+func (s *Sim) ObservedMobility() float64 {
+	if s.moveTotal == 0 {
+		return 0
+	}
+	return float64(s.moves) / float64(s.moveTotal)
+}

@@ -1,0 +1,76 @@
+package hfl
+
+import "middle/internal/tensor"
+
+// View is the read-only window a Strategy gets into the simulation state.
+// It exposes exactly the information the paper's policies need: model
+// vectors (never raw device data — the privacy constraint of §4.3),
+// participation history and data sizes.
+type View interface {
+	// Step returns the current time step (0-based).
+	Step() int
+	// CloudModel returns the current global model vector w_c.
+	CloudModel() []float64
+	// EdgeModel returns edge n's current model vector w_n.
+	EdgeModel(edge int) []float64
+	// LocalModel returns device m's carried local model vector w_m
+	// (possibly stale — the device may not have trained recently).
+	LocalModel(device int) []float64
+	// DataSize returns d_m, the number of samples on device m.
+	DataSize(device int) int
+	// StatUtility returns the Oort-style statistical utility from the
+	// device's most recent training round, or NaN if it never trained
+	// since the last reset.
+	StatUtility(device int) float64
+	// LastTrained returns the time step at which the device last
+	// performed local training, or -1.
+	LastTrained(device int) int
+}
+
+// Strategy is the policy slot of Algorithm 1: which devices each edge
+// selects (line 2) and what starting model a selected device uses for
+// local training (lines 4–7).
+type Strategy interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// Select returns at most k device ids from candidates (the devices
+	// currently inside the edge) to participate in this time step. rng
+	// is a per-(step, edge) deterministic stream for tie-breaking or
+	// random selection.
+	Select(v View, edge int, candidates []int, k int, rng *tensor.RNG) []int
+	// InitLocal returns the model vector the device starts local
+	// training from this step. moved reports whether the device entered
+	// this edge since the previous time step (m ∉ M^{t−1}_n). The
+	// returned slice must be freshly allocated or otherwise safe for
+	// the engine to hand to a training worker.
+	InitLocal(v View, device, edge int, moved bool) []float64
+}
+
+// TopKByScore returns the (at most k) candidate ids with the highest
+// scores, breaking ties by the shuffled order. It is the TOPK(·) of
+// paper Eq. 12 and is shared by several strategies.
+func TopKByScore(candidates []int, score func(device int) float64, k int, rng *tensor.RNG) []int {
+	if k <= 0 || len(candidates) == 0 {
+		return nil
+	}
+	idx := append([]int(nil), candidates...)
+	rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	scores := make(map[int]float64, len(idx))
+	for _, m := range idx {
+		scores[m] = score(m)
+	}
+	// Stable selection sort of the shuffled order: O(n·k) with k small.
+	if k > len(idx) {
+		k = len(idx)
+	}
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(idx); j++ {
+			if scores[idx[j]] > scores[idx[best]] {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	return idx[:k]
+}

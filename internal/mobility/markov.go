@@ -1,0 +1,128 @@
+package mobility
+
+import (
+	"fmt"
+
+	"middle/internal/tensor"
+)
+
+// Markov is the direct realisation of the paper's mobility abstraction:
+// at every time step device m moves with probability P_m and stays put
+// otherwise. The global mobility P is the average of P_m (paper §3.2).
+// The destination distribution is configurable: uniform over all other
+// edges (the memoryless default), or restricted to ring-adjacent edges
+// (NewMarkovRing), which preserves the spatial locality real traces —
+// e.g. from the ONE simulator — exhibit: a device drifts between
+// neighbouring cells rather than teleporting across the map.
+type Markov struct {
+	edges   int
+	probs   []float64 // per-device move probability P_m
+	ring    bool      // adjacent-edge moves only
+	seed    int64
+	rng     *tensor.RNG
+	current []int
+}
+
+// NewMarkov builds a Markov mobility model in which every device shares
+// the same move probability p (the paper's experiments set P_m = P).
+func NewMarkov(edges, devices int, p float64, seed int64) *Markov {
+	probs := make([]float64, devices)
+	for i := range probs {
+		probs[i] = p
+	}
+	return NewMarkovPerDevice(edges, probs, seed)
+}
+
+// NewMarkovPerDevice builds a Markov mobility model with an individual
+// move probability per device; the global mobility is their mean.
+func NewMarkovPerDevice(edges int, probs []float64, seed int64) *Markov {
+	validate(edges, len(probs))
+	for m, p := range probs {
+		if p < 0 || p > 1 {
+			panic(fmt.Sprintf("mobility: device %d probability %v outside [0,1]", m, p))
+		}
+	}
+	mk := &Markov{edges: edges, probs: append([]float64(nil), probs...), seed: seed}
+	mk.Reset()
+	return mk
+}
+
+// NumEdges returns the number of edges.
+func (mk *Markov) NumEdges() int { return mk.edges }
+
+// NumDevices returns the number of devices.
+func (mk *Markov) NumDevices() int { return len(mk.probs) }
+
+// GlobalMobility returns the mean of the per-device move probabilities.
+func (mk *Markov) GlobalMobility() float64 {
+	s := 0.0
+	for _, p := range mk.probs {
+		s += p
+	}
+	return s / float64(len(mk.probs))
+}
+
+// NewMarkovRing builds a locality-preserving Markov model: a moving
+// device steps to one of its two ring-adjacent edges (edge e ± 1 mod E),
+// every device sharing move probability p. Global mobility still equals
+// p, but edge membership retains spatial correlation over time.
+func NewMarkovRing(edges, devices int, p float64, seed int64) *Markov {
+	mk := NewMarkov(edges, devices, p, seed)
+	mk.ring = true
+	return mk
+}
+
+// Step advances one time step: each device moves with its own
+// probability, either to a uniform other edge or (ring mode) to an
+// adjacent edge.
+func (mk *Markov) Step() []int {
+	for m := range mk.current {
+		if mk.edges > 1 && mk.rng.Float64() < mk.probs[m] {
+			if mk.ring {
+				dir := 1
+				if mk.rng.Float64() < 0.5 {
+					dir = mk.edges - 1 // −1 mod edges
+				}
+				mk.current[m] = (mk.current[m] + dir) % mk.edges
+			} else {
+				next := mk.rng.Intn(mk.edges - 1)
+				if next >= mk.current[m] {
+					next++
+				}
+				mk.current[m] = next
+			}
+		}
+	}
+	return append([]int(nil), mk.current...)
+}
+
+// Reset restores the balanced initial membership and reseeds the stream.
+func (mk *Markov) Reset() {
+	mk.rng = tensor.Split(mk.seed, 0x30B1)
+	mk.current = roundRobin(mk.edges, len(mk.probs))
+}
+
+// Static is the no-mobility special case (P = 0): membership never
+// changes. It is the classical HFL setting baselines assume.
+type Static struct {
+	edges      int
+	membership []int
+}
+
+// NewStatic pins each device to its round-robin edge forever.
+func NewStatic(edges, devices int) *Static {
+	validate(edges, devices)
+	return &Static{edges: edges, membership: roundRobin(edges, devices)}
+}
+
+// NumEdges returns the number of edges.
+func (s *Static) NumEdges() int { return s.edges }
+
+// NumDevices returns the number of devices.
+func (s *Static) NumDevices() int { return len(s.membership) }
+
+// Step returns the fixed membership.
+func (s *Static) Step() []int { return append([]int(nil), s.membership...) }
+
+// Reset is a no-op for a static model.
+func (s *Static) Reset() {}

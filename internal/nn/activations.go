@@ -1,0 +1,125 @@
+package nn
+
+import (
+	"middle/internal/tensor"
+)
+
+// ReLU applies max(x, 0) elementwise.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU constructs a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward computes max(x, 0), caching the active mask for Backward.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := x.Clone()
+	if len(r.mask) != len(out.Data) {
+		r.mask = make([]bool, len(out.Data))
+	}
+	for i, v := range out.Data {
+		if v > 0 {
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward zeroes the gradient where the activation was clipped.
+func (r *ReLU) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dx := dy.Clone()
+	for i := range dx.Data {
+		if !r.mask[i] {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+// Params returns nil: ReLU has no trainable state.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Flatten reshapes [N, d1, d2, ...] to [N, d1*d2*...]. It is a view: data
+// is shared with the input.
+type Flatten struct {
+	inShape []int
+}
+
+// NewFlatten constructs a flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Forward flattens all dimensions after the batch dimension.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	f.inShape = x.Shape()
+	n := x.Dim(0)
+	return x.Reshape(n, x.Size()/n)
+}
+
+// Backward restores the original shape.
+func (f *Flatten) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	return dy.Reshape(f.inShape...)
+}
+
+// Params returns nil: Flatten has no trainable state.
+func (f *Flatten) Params() []*Param { return nil }
+
+// Dropout randomly zeroes activations during training, scaling the
+// survivors by 1/(1−rate) (inverted dropout), and is the identity at
+// evaluation time.
+type Dropout struct {
+	Rate float64
+	rng  *tensor.RNG
+	keep []bool
+}
+
+// NewDropout constructs a dropout layer with the given drop rate in [0,1).
+func NewDropout(rate float64, rng *tensor.RNG) *Dropout {
+	return &Dropout{Rate: rate, rng: rng}
+}
+
+// Forward drops activations in train mode and passes through otherwise.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.Rate <= 0 {
+		d.keep = nil
+		return x
+	}
+	out := x.Clone()
+	if len(d.keep) != len(out.Data) {
+		d.keep = make([]bool, len(out.Data))
+	}
+	scale := 1.0 / (1.0 - d.Rate)
+	for i := range out.Data {
+		if d.rng.Float64() < d.Rate {
+			d.keep[i] = false
+			out.Data[i] = 0
+		} else {
+			d.keep[i] = true
+			out.Data[i] *= scale
+		}
+	}
+	return out
+}
+
+// Backward propagates gradients only through kept activations.
+func (d *Dropout) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if d.keep == nil {
+		return dy
+	}
+	dx := dy.Clone()
+	scale := 1.0 / (1.0 - d.Rate)
+	for i := range dx.Data {
+		if d.keep[i] {
+			dx.Data[i] *= scale
+		} else {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+// Params returns nil: Dropout has no trainable state.
+func (d *Dropout) Params() []*Param { return nil }

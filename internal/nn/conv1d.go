@@ -1,0 +1,94 @@
+package nn
+
+import (
+	"middle/internal/tensor"
+)
+
+// Conv1D is a 1-D convolution over inputs of shape [N, C, L], used by the
+// speech-commands-profile model on long sparse signal vectors.
+type Conv1D struct {
+	InC, OutC   int
+	K           int
+	Stride, Pad int
+	W, B        *Param
+	inL, outL   int
+
+	x    *tensor.Tensor
+	cols []float64
+}
+
+// NewConv1D constructs a 1-D convolution layer with He-normal weights for
+// inputs of length inL.
+func NewConv1D(inC, outC, k, stride, pad, inL int, rng *tensor.RNG) *Conv1D {
+	c := &Conv1D{
+		InC: inC, OutC: outC, K: k, Stride: stride, Pad: pad,
+		inL:  inL,
+		outL: tensor.ConvOut(inL, k, stride, pad),
+		W:    newParam("conv1d.W", outC, inC*k),
+		B:    newParam("conv1d.B", outC),
+	}
+	rng.HeNormal(c.W.Value, inC*k)
+	return c
+}
+
+// OutLen returns the per-sample output length.
+func (c *Conv1D) OutLen() int { return c.outL }
+
+// Forward convolves a batch [N, C, L] producing [N, OutC, OL].
+func (c *Conv1D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 3 || x.Dim(1) != c.InC || x.Dim(2) != c.inL {
+		panic(shapeError("Conv1D", "[N, C, L] matching construction", x.Shape()))
+	}
+	n := x.Dim(0)
+	ck := c.InC * c.K
+	ol := c.outL
+	c.x = x
+	if len(c.cols) != n*ck*ol {
+		c.cols = make([]float64, n*ck*ol)
+	}
+	out := tensor.New(n, c.OutC, ol)
+	inSz := c.InC * c.inL
+	for i := 0; i < n; i++ {
+		cols := c.cols[i*ck*ol : (i+1)*ck*ol]
+		tensor.Im2Col1D(x.Data[i*inSz:(i+1)*inSz], c.InC, c.inL, c.K, c.Stride, c.Pad, cols)
+		colsT := tensor.FromSlice(cols, ck, ol)
+		y := tensor.MatMul(c.W.Value, colsT)
+		dst := out.Data[i*c.OutC*ol : (i+1)*c.OutC*ol]
+		copy(dst, y.Data)
+		for oc := 0; oc < c.OutC; oc++ {
+			b := c.B.Value.Data[oc]
+			row := dst[oc*ol : (oc+1)*ol]
+			for j := range row {
+				row[j] += b
+			}
+		}
+	}
+	return out
+}
+
+// Backward consumes dOut [N, OutC, OL] and returns dX [N, C, L].
+func (c *Conv1D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	n := dout.Dim(0)
+	ck := c.InC * c.K
+	ol := c.outL
+	inSz := c.InC * c.inL
+	dx := tensor.New(n, c.InC, c.inL)
+	for i := 0; i < n; i++ {
+		dyi := tensor.FromSlice(dout.Data[i*c.OutC*ol:(i+1)*c.OutC*ol], c.OutC, ol)
+		colsT := tensor.FromSlice(c.cols[i*ck*ol:(i+1)*ck*ol], ck, ol)
+		c.W.Grad.AddInPlace(tensor.MatMulTransB(dyi, colsT))
+		for oc := 0; oc < c.OutC; oc++ {
+			s := 0.0
+			for _, v := range dyi.Data[oc*ol : (oc+1)*ol] {
+				s += v
+			}
+			c.B.Grad.Data[oc] += s
+		}
+		dcols := tensor.MatMulTransA(c.W.Value, dyi)
+		tensor.Col2Im1D(dcols.Data, c.InC, c.inL, c.K, c.Stride, c.Pad, dx.Data[i*inSz:(i+1)*inSz])
+	}
+	return dx
+}
+
+// Params returns the kernel and bias parameters.
+func (c *Conv1D) Params() []*Param { return []*Param{c.W, c.B} }

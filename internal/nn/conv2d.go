@@ -1,0 +1,102 @@
+package nn
+
+import (
+	"middle/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over inputs of shape [N, C, H, W], lowered
+// to matrix products with im2col. Weights are stored as a matrix
+// [OutC, C*KH*KW] so one sample's convolution is a single MatMul.
+type Conv2D struct {
+	InC, OutC            int
+	KH, KW               int
+	Stride, Pad          int
+	W, B                 *Param
+	inH, inW, outH, outW int
+
+	x    *tensor.Tensor // cached input
+	cols []float64      // cached im2col buffers, one block per sample
+}
+
+// NewConv2D constructs a convolution layer with He-normal weights for
+// inputs of spatial size inH×inW (fixed per network; the paper's tasks
+// each have a fixed input geometry).
+func NewConv2D(inC, outC, kh, kw, stride, pad, inH, inW int, rng *tensor.RNG) *Conv2D {
+	c := &Conv2D{
+		InC: inC, OutC: outC, KH: kh, KW: kw, Stride: stride, Pad: pad,
+		inH: inH, inW: inW,
+		outH: tensor.ConvOut(inH, kh, stride, pad),
+		outW: tensor.ConvOut(inW, kw, stride, pad),
+		W:    newParam("conv2d.W", outC, inC*kh*kw),
+		B:    newParam("conv2d.B", outC),
+	}
+	rng.HeNormal(c.W.Value, inC*kh*kw)
+	return c
+}
+
+// OutShape returns the per-sample output shape [OutC, OH, OW].
+func (c *Conv2D) OutShape() []int { return []int{c.OutC, c.outH, c.outW} }
+
+// Forward convolves a batch [N, C, H, W] producing [N, OutC, OH, OW].
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 || x.Dim(1) != c.InC || x.Dim(2) != c.inH || x.Dim(3) != c.inW {
+		panic(shapeError("Conv2D", "[N, C, H, W] matching construction", x.Shape()))
+	}
+	n := x.Dim(0)
+	ckk := c.InC * c.KH * c.KW
+	ohw := c.outH * c.outW
+	c.x = x
+	if len(c.cols) != n*ckk*ohw {
+		c.cols = make([]float64, n*ckk*ohw)
+	}
+	out := tensor.New(n, c.OutC, c.outH, c.outW)
+	inSz := c.InC * c.inH * c.inW
+	for i := 0; i < n; i++ {
+		cols := c.cols[i*ckk*ohw : (i+1)*ckk*ohw]
+		tensor.Im2Col(x.Data[i*inSz:(i+1)*inSz], c.InC, c.inH, c.inW, c.KH, c.KW, c.Stride, c.Pad, cols)
+		colsT := tensor.FromSlice(cols, ckk, ohw)
+		y := tensor.MatMul(c.W.Value, colsT) // [OutC, OHW]
+		dst := out.Data[i*c.OutC*ohw : (i+1)*c.OutC*ohw]
+		copy(dst, y.Data)
+		for oc := 0; oc < c.OutC; oc++ {
+			b := c.B.Value.Data[oc]
+			row := dst[oc*ohw : (oc+1)*ohw]
+			for j := range row {
+				row[j] += b
+			}
+		}
+	}
+	return out
+}
+
+// Backward consumes dOut [N, OutC, OH, OW], accumulates dW and dB, and
+// returns dX [N, C, H, W].
+func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	n := dout.Dim(0)
+	ckk := c.InC * c.KH * c.KW
+	ohw := c.outH * c.outW
+	inSz := c.InC * c.inH * c.inW
+	dx := tensor.New(n, c.InC, c.inH, c.inW)
+	for i := 0; i < n; i++ {
+		dyi := tensor.FromSlice(dout.Data[i*c.OutC*ohw:(i+1)*c.OutC*ohw], c.OutC, ohw)
+		colsT := tensor.FromSlice(c.cols[i*ckk*ohw:(i+1)*ckk*ohw], ckk, ohw)
+		// dW += dy · colsᵀ
+		c.W.Grad.AddInPlace(tensor.MatMulTransB(dyi, colsT))
+		// dB += row sums of dy
+		for oc := 0; oc < c.OutC; oc++ {
+			s := 0.0
+			row := dyi.Data[oc*ohw : (oc+1)*ohw]
+			for _, v := range row {
+				s += v
+			}
+			c.B.Grad.Data[oc] += s
+		}
+		// dcols = Wᵀ · dy, then scatter back to image space.
+		dcols := tensor.MatMulTransA(c.W.Value, dyi)
+		tensor.Col2Im(dcols.Data, c.InC, c.inH, c.inW, c.KH, c.KW, c.Stride, c.Pad, dx.Data[i*inSz:(i+1)*inSz])
+	}
+	return dx
+}
+
+// Params returns the kernel and bias parameters.
+func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }

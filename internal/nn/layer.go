@@ -1,0 +1,48 @@
+// Package nn implements a layer-based neural-network training stack with
+// full backpropagation on top of the tensor package. It provides the
+// convolutional architectures the MIDDLE paper trains (2-conv and 3-conv
+// CNNs for image tasks, a 1-D CNN for the speech task) and lossless
+// flattening of all parameters to a vector, which is the representation
+// the federated aggregation rules (paper Eqs. 6, 7, 9) operate on.
+package nn
+
+import (
+	"fmt"
+
+	"middle/internal/tensor"
+)
+
+// Param is a trainable parameter with its accumulated gradient.
+type Param struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+}
+
+func newParam(name string, shape ...int) *Param {
+	return &Param{Name: name, Value: tensor.New(shape...), Grad: tensor.New(shape...)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Layer is one stage of a feed-forward network. Forward caches whatever it
+// needs so that the next Backward call can produce input gradients and
+// accumulate parameter gradients. Layers are stateful and not safe for
+// concurrent use; every simulated device owns its own network instance.
+type Layer interface {
+	// Forward computes the layer output for a batch. train enables
+	// training-only behaviour (e.g. dropout).
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward consumes the gradient of the loss with respect to the
+	// layer output and returns the gradient with respect to the input,
+	// accumulating parameter gradients as a side effect.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's trainable parameters (possibly empty).
+	Params() []*Param
+}
+
+// shapeError builds a consistent panic message for layer shape mismatches.
+func shapeError(layer string, want string, got []int) string {
+	return fmt.Sprintf("nn: %s expects input %s, got shape %v", layer, want, got)
+}

@@ -1,0 +1,58 @@
+package nn
+
+import (
+	"middle/internal/tensor"
+)
+
+// Linear is a fully connected layer: y = x·W + b for x of shape [N, In].
+type Linear struct {
+	In, Out int
+	W, B    *Param
+
+	x *tensor.Tensor // cached input for Backward
+}
+
+// NewLinear constructs a fully connected layer with Xavier-uniform weights.
+func NewLinear(in, out int, rng *tensor.RNG) *Linear {
+	l := &Linear{
+		In:  in,
+		Out: out,
+		W:   newParam("linear.W", in, out),
+		B:   newParam("linear.B", out),
+	}
+	rng.XavierUniform(l.W.Value, in, out)
+	return l
+}
+
+// Forward computes x·W + b.
+func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 2 || x.Dim(1) != l.In {
+		panic(shapeError("Linear", "[N, in]", x.Shape()))
+	}
+	l.x = x
+	y := tensor.MatMul(x, l.W.Value)
+	n := y.Dim(0)
+	for i := 0; i < n; i++ {
+		row := y.Data[i*l.Out : (i+1)*l.Out]
+		for j := range row {
+			row[j] += l.B.Value.Data[j]
+		}
+	}
+	return y
+}
+
+// Backward accumulates dW = xᵀ·dy and db = Σ rows(dy), returning dx = dy·Wᵀ.
+func (l *Linear) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	l.W.Grad.AddInPlace(tensor.MatMulTransA(l.x, dy))
+	n := dy.Dim(0)
+	for i := 0; i < n; i++ {
+		row := dy.Data[i*l.Out : (i+1)*l.Out]
+		for j := range row {
+			l.B.Grad.Data[j] += row[j]
+		}
+	}
+	return tensor.MatMulTransB(dy, l.W.Value)
+}
+
+// Params returns the weight and bias parameters.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }

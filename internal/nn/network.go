@@ -1,0 +1,95 @@
+package nn
+
+import (
+	"fmt"
+
+	"middle/internal/tensor"
+)
+
+// Network is a sequential feed-forward stack of layers.
+type Network struct {
+	Layers []Layer
+}
+
+// NewNetwork builds a sequential network from layers.
+func NewNetwork(layers ...Layer) *Network { return &Network{Layers: layers} }
+
+// Forward runs the batch through all layers.
+func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range n.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward pushes the output gradient back through all layers,
+// accumulating parameter gradients.
+func (n *Network) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad = n.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params collects all trainable parameters in layer order.
+func (n *Network) Params() []*Param {
+	var ps []*Param
+	for _, l := range n.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrad clears every parameter gradient.
+func (n *Network) ZeroGrad() {
+	for _, p := range n.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// NumParams returns the total number of scalar parameters.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += p.Value.Size()
+	}
+	return total
+}
+
+// ParamVector copies all parameter values into a single flat vector in
+// layer order. This is the model representation the federated aggregation
+// rules operate on.
+func (n *Network) ParamVector() []float64 {
+	v := make([]float64, 0, n.NumParams())
+	for _, p := range n.Params() {
+		v = append(v, p.Value.Data...)
+	}
+	return v
+}
+
+// SetParamVector loads a flat vector (as produced by ParamVector) back
+// into the parameters.
+func (n *Network) SetParamVector(v []float64) {
+	off := 0
+	for _, p := range n.Params() {
+		sz := p.Value.Size()
+		if off+sz > len(v) {
+			panic(fmt.Sprintf("nn: SetParamVector vector too short: have %d, need >= %d", len(v), off+sz))
+		}
+		copy(p.Value.Data, v[off:off+sz])
+		off += sz
+	}
+	if off != len(v) {
+		panic(fmt.Sprintf("nn: SetParamVector vector too long: have %d, consumed %d", len(v), off))
+	}
+}
+
+// GradVector copies all parameter gradients into a single flat vector in
+// layer order.
+func (n *Network) GradVector() []float64 {
+	v := make([]float64, 0, n.NumParams())
+	for _, p := range n.Params() {
+		v = append(v, p.Grad.Data...)
+	}
+	return v
+}

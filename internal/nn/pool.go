@@ -1,0 +1,124 @@
+package nn
+
+import (
+	"math"
+
+	"middle/internal/tensor"
+)
+
+// MaxPool2D applies non-overlapping max pooling with a square window of
+// size K and stride K over inputs of shape [N, C, H, W].
+type MaxPool2D struct {
+	K int
+
+	inShape []int
+	argmax  []int // flat input index of each output element
+}
+
+// NewMaxPool2D constructs a max-pooling layer with window and stride k.
+func NewMaxPool2D(k int) *MaxPool2D { return &MaxPool2D{K: k} }
+
+// Forward pools each K×K window to its maximum.
+func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(shapeError("MaxPool2D", "[N, C, H, W]", x.Shape()))
+	}
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh, ow := h/p.K, w/p.K
+	p.inShape = x.Shape()
+	out := tensor.New(n, c, oh, ow)
+	if len(p.argmax) != out.Size() {
+		p.argmax = make([]int, out.Size())
+	}
+	oi := 0
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			base := (i*c + ch) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best, bi := math.Inf(-1), -1
+					for ky := 0; ky < p.K; ky++ {
+						rowBase := base + (oy*p.K+ky)*w + ox*p.K
+						for kx := 0; kx < p.K; kx++ {
+							if v := x.Data[rowBase+kx]; v > best {
+								best, bi = v, rowBase+kx
+							}
+						}
+					}
+					out.Data[oi] = best
+					p.argmax[oi] = bi
+					oi++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward routes each output gradient to the argmax input position.
+func (p *MaxPool2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(p.inShape...)
+	for oi, ii := range p.argmax {
+		dx.Data[ii] += dy.Data[oi]
+	}
+	return dx
+}
+
+// Params returns nil: pooling has no trainable state.
+func (p *MaxPool2D) Params() []*Param { return nil }
+
+// MaxPool1D applies non-overlapping max pooling with window and stride K
+// over inputs of shape [N, C, L].
+type MaxPool1D struct {
+	K int
+
+	inShape []int
+	argmax  []int
+}
+
+// NewMaxPool1D constructs a 1-D max-pooling layer with window and stride k.
+func NewMaxPool1D(k int) *MaxPool1D { return &MaxPool1D{K: k} }
+
+// Forward pools each length-K window to its maximum.
+func (p *MaxPool1D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 3 {
+		panic(shapeError("MaxPool1D", "[N, C, L]", x.Shape()))
+	}
+	n, c, l := x.Dim(0), x.Dim(1), x.Dim(2)
+	ol := l / p.K
+	p.inShape = x.Shape()
+	out := tensor.New(n, c, ol)
+	if len(p.argmax) != out.Size() {
+		p.argmax = make([]int, out.Size())
+	}
+	oi := 0
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			base := (i*c + ch) * l
+			for o := 0; o < ol; o++ {
+				best, bi := math.Inf(-1), -1
+				for k := 0; k < p.K; k++ {
+					if v := x.Data[base+o*p.K+k]; v > best {
+						best, bi = v, base+o*p.K+k
+					}
+				}
+				out.Data[oi] = best
+				p.argmax[oi] = bi
+				oi++
+			}
+		}
+	}
+	return out
+}
+
+// Backward routes each output gradient to the argmax input position.
+func (p *MaxPool1D) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(p.inShape...)
+	for oi, ii := range p.argmax {
+		dx.Data[ii] += dy.Data[oi]
+	}
+	return dx
+}
+
+// Params returns nil: pooling has no trainable state.
+func (p *MaxPool1D) Params() []*Param { return nil }

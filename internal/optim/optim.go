@@ -1,0 +1,195 @@
+// Package optim implements the optimizers the MIDDLE paper uses:
+// SGD with momentum 0.9 for the image-classification tasks and Adam for
+// the speech-recognition task (§6.1.2), plus learning-rate schedules.
+package optim
+
+import (
+	"math"
+
+	"middle/internal/nn"
+)
+
+// Optimizer updates network parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update using the gradients currently stored in
+	// params and the optimizer's internal state.
+	Step(params []*nn.Param)
+	// Reset clears internal state (momentum buffers, Adam moments).
+	// Called when a device's model is replaced wholesale, e.g. after a
+	// cloud synchronisation, so stale momentum does not leak across
+	// model generations.
+	Reset()
+	// LR returns the current learning rate.
+	LR() float64
+	// SetLR overrides the learning rate (used by schedules).
+	SetLR(lr float64)
+}
+
+// SGD is stochastic gradient descent with optional momentum and weight
+// decay: v ← µv + g + λw; w ← w − η·v.
+type SGD struct {
+	lr          float64
+	Momentum    float64
+	WeightDecay float64
+
+	velocity [][]float64
+}
+
+// NewSGD returns plain SGD with learning rate lr.
+func NewSGD(lr float64) *SGD { return &SGD{lr: lr} }
+
+// NewSGDMomentum returns SGD with the given momentum coefficient
+// (the paper uses 0.9).
+func NewSGDMomentum(lr, momentum float64) *SGD {
+	return &SGD{lr: lr, Momentum: momentum}
+}
+
+// Step applies one SGD update.
+func (s *SGD) Step(params []*nn.Param) {
+	if s.Momentum == 0 {
+		for _, p := range params {
+			g := p.Grad.Data
+			w := p.Value.Data
+			for i := range w {
+				d := g[i]
+				if s.WeightDecay != 0 {
+					d += s.WeightDecay * w[i]
+				}
+				w[i] -= s.lr * d
+			}
+		}
+		return
+	}
+	s.ensureState(params)
+	for j, p := range params {
+		g := p.Grad.Data
+		w := p.Value.Data
+		v := s.velocity[j]
+		for i := range w {
+			d := g[i]
+			if s.WeightDecay != 0 {
+				d += s.WeightDecay * w[i]
+			}
+			v[i] = s.Momentum*v[i] + d
+			w[i] -= s.lr * v[i]
+		}
+	}
+}
+
+func (s *SGD) ensureState(params []*nn.Param) {
+	if len(s.velocity) == len(params) {
+		return
+	}
+	s.velocity = make([][]float64, len(params))
+	for j, p := range params {
+		s.velocity[j] = make([]float64, p.Value.Size())
+	}
+}
+
+// Reset clears momentum buffers.
+func (s *SGD) Reset() { s.velocity = nil }
+
+// LR returns the current learning rate.
+func (s *SGD) LR() float64 { return s.lr }
+
+// SetLR overrides the learning rate.
+func (s *SGD) SetLR(lr float64) { s.lr = lr }
+
+// Adam implements the Adam optimizer (Kingma & Ba) with bias correction.
+type Adam struct {
+	lr           float64
+	Beta1, Beta2 float64
+	Eps          float64
+	WeightDecay  float64
+
+	t    int
+	m, v [][]float64
+}
+
+// NewAdam returns Adam with the standard β₁=0.9, β₂=0.999, ε=1e-8.
+func NewAdam(lr float64) *Adam {
+	return &Adam{lr: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step applies one Adam update.
+func (a *Adam) Step(params []*nn.Param) {
+	a.ensureState(params)
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for j, p := range params {
+		g := p.Grad.Data
+		w := p.Value.Data
+		m, v := a.m[j], a.v[j]
+		for i := range w {
+			d := g[i]
+			if a.WeightDecay != 0 {
+				d += a.WeightDecay * w[i]
+			}
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*d
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*d*d
+			mh := m[i] / bc1
+			vh := v[i] / bc2
+			w[i] -= a.lr * mh / (math.Sqrt(vh) + a.Eps)
+		}
+	}
+}
+
+func (a *Adam) ensureState(params []*nn.Param) {
+	if len(a.m) == len(params) {
+		return
+	}
+	a.m = make([][]float64, len(params))
+	a.v = make([][]float64, len(params))
+	for j, p := range params {
+		a.m[j] = make([]float64, p.Value.Size())
+		a.v[j] = make([]float64, p.Value.Size())
+	}
+}
+
+// Reset clears moment estimates and the step counter.
+func (a *Adam) Reset() { a.m, a.v, a.t = nil, nil, 0 }
+
+// LR returns the current learning rate.
+func (a *Adam) LR() float64 { return a.lr }
+
+// SetLR overrides the learning rate.
+func (a *Adam) SetLR(lr float64) { a.lr = lr }
+
+// Schedule maps a global time step to a learning rate.
+type Schedule interface {
+	At(step int) float64
+}
+
+// ConstantSchedule always returns the same rate.
+type ConstantSchedule float64
+
+// At returns the constant rate.
+func (c ConstantSchedule) At(step int) float64 { return float64(c) }
+
+// InverseSchedule implements η_t = η₀·γ/(γ+t), the decay used in the
+// paper's Theorem 1 (η_t = 2/(µ(γ+t)) up to the constant).
+type InverseSchedule struct {
+	Base  float64
+	Gamma float64
+}
+
+// At returns Base·Gamma/(Gamma+step).
+func (s InverseSchedule) At(step int) float64 {
+	return s.Base * s.Gamma / (s.Gamma + float64(step))
+}
+
+// StepSchedule decays the rate by Factor every Every steps.
+type StepSchedule struct {
+	Base   float64
+	Every  int
+	Factor float64
+}
+
+// At returns Base·Factor^⌊step/Every⌋.
+func (s StepSchedule) At(step int) float64 {
+	if s.Every <= 0 {
+		return s.Base
+	}
+	return s.Base * math.Pow(s.Factor, float64(step/s.Every))
+}

@@ -1,0 +1,212 @@
+package optim
+
+import (
+	"math"
+	"testing"
+
+	"middle/internal/nn"
+	"middle/internal/tensor"
+)
+
+// quadNet builds a 1-parameter "network" whose loss is ½(w−target)², so
+// optimizer trajectories can be verified analytically.
+type quadParam struct{ p *nn.Param }
+
+func newQuad(w0 float64) *quadParam {
+	p := &nn.Param{Name: "w", Value: tensor.FromSlice([]float64{w0}, 1), Grad: tensor.New(1)}
+	return &quadParam{p: p}
+}
+
+func (q *quadParam) grad(target float64) { q.p.Grad.Data[0] = q.p.Value.Data[0] - target }
+func (q *quadParam) w() float64          { return q.p.Value.Data[0] }
+
+func TestSGDPlainStep(t *testing.T) {
+	q := newQuad(1.0)
+	s := NewSGD(0.1)
+	q.grad(0)
+	s.Step([]*nn.Param{q.p})
+	if math.Abs(q.w()-0.9) > 1e-12 {
+		t.Fatalf("w = %v, want 0.9", q.w())
+	}
+}
+
+func TestSGDMomentumAccumulates(t *testing.T) {
+	q := newQuad(1.0)
+	s := NewSGDMomentum(0.1, 0.9)
+	// Constant gradient 1.0: velocities are 1, 1.9, 2.71, ...
+	q.p.Grad.Data[0] = 1
+	s.Step([]*nn.Param{q.p})
+	w1 := q.w()
+	q.p.Grad.Data[0] = 1
+	s.Step([]*nn.Param{q.p})
+	w2 := q.w()
+	if math.Abs((1.0-w1)-0.1) > 1e-12 {
+		t.Fatalf("first step moved %v, want 0.1", 1.0-w1)
+	}
+	if math.Abs((w1-w2)-0.19) > 1e-12 {
+		t.Fatalf("second step moved %v, want 0.19", w1-w2)
+	}
+}
+
+func TestSGDMomentumResetClearsVelocity(t *testing.T) {
+	q := newQuad(1.0)
+	s := NewSGDMomentum(0.1, 0.9)
+	q.p.Grad.Data[0] = 1
+	s.Step([]*nn.Param{q.p})
+	s.Reset()
+	q.p.Grad.Data[0] = 1
+	before := q.w()
+	s.Step([]*nn.Param{q.p})
+	if math.Abs((before-q.w())-0.1) > 1e-12 {
+		t.Fatalf("after Reset step moved %v, want fresh 0.1", before-q.w())
+	}
+}
+
+func TestSGDWeightDecay(t *testing.T) {
+	q := newQuad(2.0)
+	s := NewSGD(0.1)
+	s.WeightDecay = 0.5
+	q.p.Grad.Data[0] = 0
+	s.Step([]*nn.Param{q.p})
+	// w ← w − lr·λ·w = 2 − 0.1·0.5·2 = 1.9
+	if math.Abs(q.w()-1.9) > 1e-12 {
+		t.Fatalf("w = %v, want 1.9", q.w())
+	}
+}
+
+func TestAdamFirstStepIsLRSized(t *testing.T) {
+	// With bias correction, the first Adam step is ≈ lr·sign(g).
+	q := newQuad(1.0)
+	a := NewAdam(0.01)
+	q.p.Grad.Data[0] = 3.7
+	a.Step([]*nn.Param{q.p})
+	moved := 1.0 - q.w()
+	if math.Abs(moved-0.01) > 1e-6 {
+		t.Fatalf("first Adam step %v, want ~0.01", moved)
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	q := newQuad(5.0)
+	a := NewAdam(0.1)
+	ps := []*nn.Param{q.p}
+	for i := 0; i < 500; i++ {
+		q.grad(1.0)
+		a.Step(ps)
+	}
+	if math.Abs(q.w()-1.0) > 0.05 {
+		t.Fatalf("Adam ended at %v, want ~1", q.w())
+	}
+}
+
+func TestAdamResetRestartsBiasCorrection(t *testing.T) {
+	q := newQuad(1.0)
+	a := NewAdam(0.01)
+	q.p.Grad.Data[0] = 1
+	a.Step([]*nn.Param{q.p})
+	a.Reset()
+	w := q.w()
+	q.p.Grad.Data[0] = 1
+	a.Step([]*nn.Param{q.p})
+	if math.Abs((w-q.w())-0.01) > 1e-6 {
+		t.Fatalf("post-Reset step %v, want ~0.01", w-q.w())
+	}
+}
+
+func TestSetLR(t *testing.T) {
+	s := NewSGD(0.1)
+	s.SetLR(0.5)
+	if s.LR() != 0.5 {
+		t.Fatalf("LR = %v", s.LR())
+	}
+	a := NewAdam(0.1)
+	a.SetLR(0.2)
+	if a.LR() != 0.2 {
+		t.Fatalf("Adam LR = %v", a.LR())
+	}
+}
+
+func TestSchedules(t *testing.T) {
+	c := ConstantSchedule(0.3)
+	if c.At(0) != 0.3 || c.At(1000) != 0.3 {
+		t.Fatal("ConstantSchedule not constant")
+	}
+	inv := InverseSchedule{Base: 0.1, Gamma: 10}
+	if inv.At(0) != 0.1 {
+		t.Fatalf("InverseSchedule.At(0) = %v", inv.At(0))
+	}
+	if got := inv.At(10); math.Abs(got-0.05) > 1e-12 {
+		t.Fatalf("InverseSchedule.At(10) = %v, want 0.05", got)
+	}
+	st := StepSchedule{Base: 1, Every: 10, Factor: 0.5}
+	if st.At(9) != 1 || st.At(10) != 0.5 || st.At(25) != 0.25 {
+		t.Fatalf("StepSchedule values %v %v %v", st.At(9), st.At(10), st.At(25))
+	}
+	st0 := StepSchedule{Base: 1, Every: 0, Factor: 0.5}
+	if st0.At(100) != 1 {
+		t.Fatal("StepSchedule with Every=0 must be constant")
+	}
+}
+
+// TestOptimizersTrainRealNetwork exercises both optimizers against the nn
+// package end to end.
+func TestOptimizersTrainRealNetwork(t *testing.T) {
+	for name, mk := range map[string]func() Optimizer{
+		"sgd-momentum": func() Optimizer { return NewSGDMomentum(0.05, 0.9) },
+		"adam":         func() Optimizer { return NewAdam(0.01) },
+	} {
+		rng := tensor.NewRNG(42)
+		net := nn.NewMLP(nn.MLPConfig{In: 2, Classes: 2, Hidden: []int{8}}, rng)
+		opt := mk()
+		n := 64
+		x := tensor.New(n, 2)
+		labels := make([]int, n)
+		for i := 0; i < n; i++ {
+			c := i % 2
+			labels[i] = c
+			off := -1.0
+			if c == 1 {
+				off = 1.0
+			}
+			x.Data[2*i] = off + 0.2*rng.NormFloat64()
+			x.Data[2*i+1] = off + 0.2*rng.NormFloat64()
+		}
+		var last float64
+		for it := 0; it < 150; it++ {
+			net.ZeroGrad()
+			logits := net.Forward(x, true)
+			loss, g := nn.SoftmaxCrossEntropy(logits, labels)
+			net.Backward(g)
+			opt.Step(net.Params())
+			last = loss
+		}
+		if last > 0.1 {
+			t.Fatalf("%s: final loss %v", name, last)
+		}
+	}
+}
+
+func TestAdamWeightDecay(t *testing.T) {
+	q := newQuad(2.0)
+	a := NewAdam(0.01)
+	a.WeightDecay = 0.5
+	q.p.Grad.Data[0] = 0
+	a.Step([]*nn.Param{q.p})
+	// Effective gradient is λw = 1.0 > 0, so w must decrease.
+	if q.w() >= 2.0 {
+		t.Fatalf("weight decay did not shrink w: %v", q.w())
+	}
+}
+
+func TestSGDVelocityReallocatedOnParamChange(t *testing.T) {
+	s := NewSGDMomentum(0.1, 0.9)
+	q1 := newQuad(1.0)
+	q1.p.Grad.Data[0] = 1
+	s.Step([]*nn.Param{q1.p})
+	// Stepping with a different param-set size must not panic.
+	q2 := newQuad(1.0)
+	q3 := newQuad(2.0)
+	q2.p.Grad.Data[0] = 1
+	q3.p.Grad.Data[0] = 1
+	s.Step([]*nn.Param{q2.p, q3.p})
+}

@@ -1,0 +1,146 @@
+// Package simil implements the model-similarity mathematics at the heart
+// of MIDDLE: the similarity utility U (paper Eq. 8), the on-device model
+// aggregation rule (Eq. 9) and the accumulated update Δw (Eq. 10), all on
+// flat parameter vectors.
+package simil
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns ⟨a, b⟩ for equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("simil: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm returns ‖a‖₂.
+func Norm(a []float64) float64 {
+	s := 0.0
+	for _, x := range a {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Cosine returns the cosine similarity of a and b. If either vector is
+// (numerically) zero the direction is undefined and Cosine returns 0,
+// which downstream turns into "no aggregation" — the safe choice.
+func Cosine(a, b []float64) float64 {
+	na, nb := Norm(a), Norm(b)
+	if na < 1e-12 || nb < 1e-12 {
+		return 0
+	}
+	c := Dot(a, b) / (na * nb)
+	// Guard against floating-point drift outside [-1, 1].
+	if c > 1 {
+		c = 1
+	}
+	if c < -1 {
+		c = -1
+	}
+	return c
+}
+
+// Utility is the paper's similarity utility (Eq. 8):
+// U(a, b) = max(cos(a, b), 0). Clipping at zero prevents "blind
+// aggregation" of models whose update directions oppose each other.
+func Utility(a, b []float64) float64 {
+	return math.Max(Cosine(a, b), 0)
+}
+
+// Blend aggregates two models with an explicit coefficient:
+// out = (1−α)·a + α·b. It is the primitive both the fixed-α analysis
+// (paper §5) and the baselines' 50/50 averaging build on.
+func Blend(a, b []float64, alpha float64) []float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("simil: Blend length mismatch %d vs %d", len(a), len(b)))
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = (1-alpha)*a[i] + alpha*b[i]
+	}
+	return out
+}
+
+// OnDeviceAggregate implements the paper's Eq. 9. Given the freshly
+// downloaded edge model wEdge and the device's carried local model
+// wLocal, it computes U = U(wLocal, wEdge) and returns
+//
+//	ŵ = wEdge/(1+U) + U·wLocal/(1+U)
+//
+// along with the utility used. With U = 0 the result is exactly the edge
+// model (no aggregation); with U = 1 it is the 50/50 average, so the edge
+// model always dominates or ties.
+func OnDeviceAggregate(wEdge, wLocal []float64) (aggregated []float64, utility float64) {
+	u := Utility(wLocal, wEdge)
+	if u == 0 {
+		return append([]float64(nil), wEdge...), 0
+	}
+	return Blend(wEdge, wLocal, u/(1+u)), u
+}
+
+// Delta returns the accumulated update Δw = w − wRef (paper Eq. 10, with
+// wRef the cloud model).
+func Delta(w, wRef []float64) []float64 {
+	if len(w) != len(wRef) {
+		panic(fmt.Sprintf("simil: Delta length mismatch %d vs %d", len(w), len(wRef)))
+	}
+	out := make([]float64, len(w))
+	for i := range w {
+		out[i] = w[i] - wRef[i]
+	}
+	return out
+}
+
+// SelectionScore is the in-edge device-selection criterion (Eq. 12
+// operand): −U(w_c, Δw_m) where Δw_m = w_m − w_c. Devices whose
+// accumulated update points *away* from the cloud model (low similarity)
+// score highest — they carry data the global model has not learned yet.
+func SelectionScore(wCloud, wLocal []float64) float64 {
+	return -Utility(wCloud, Delta(wLocal, wCloud))
+}
+
+// WeightedAverage computes Σ wᵢ·vecᵢ / Σ wᵢ over the given model vectors
+// (the FedAvg-style aggregation of paper Eqs. 6 and 7). It panics when
+// vectors disagree in length or all weights are zero.
+func WeightedAverage(vecs [][]float64, weights []float64) []float64 {
+	if len(vecs) == 0 {
+		panic("simil: WeightedAverage of no vectors")
+	}
+	if len(vecs) != len(weights) {
+		panic(fmt.Sprintf("simil: %d vectors but %d weights", len(vecs), len(weights)))
+	}
+	n := len(vecs[0])
+	totalW := 0.0
+	for i, v := range vecs {
+		if len(v) != n {
+			panic(fmt.Sprintf("simil: vector %d has length %d, want %d", i, len(v), n))
+		}
+		if weights[i] < 0 {
+			panic(fmt.Sprintf("simil: negative weight %v", weights[i]))
+		}
+		totalW += weights[i]
+	}
+	if totalW == 0 {
+		panic("simil: WeightedAverage with all-zero weights")
+	}
+	out := make([]float64, n)
+	for i, v := range vecs {
+		w := weights[i] / totalW
+		if w == 0 {
+			continue
+		}
+		for j := range v {
+			out[j] += w * v[j]
+		}
+	}
+	return out
+}

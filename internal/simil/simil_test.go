@@ -1,0 +1,245 @@
+package simil
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"middle/internal/tensor"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestCosineKnownValues(t *testing.T) {
+	if got := Cosine([]float64{1, 0}, []float64{1, 0}); !almostEq(got, 1, 1e-12) {
+		t.Fatalf("parallel cosine = %v", got)
+	}
+	if got := Cosine([]float64{1, 0}, []float64{0, 1}); !almostEq(got, 0, 1e-12) {
+		t.Fatalf("orthogonal cosine = %v", got)
+	}
+	if got := Cosine([]float64{1, 0}, []float64{-1, 0}); !almostEq(got, -1, 1e-12) {
+		t.Fatalf("antiparallel cosine = %v", got)
+	}
+	if got := Cosine([]float64{0, 0}, []float64{1, 0}); got != 0 {
+		t.Fatalf("zero-vector cosine = %v", got)
+	}
+}
+
+func TestUtilityClipsNegative(t *testing.T) {
+	if got := Utility([]float64{1, 0}, []float64{-1, 0}); got != 0 {
+		t.Fatalf("Utility of opposed vectors = %v, want 0 (Eq. 8 clipping)", got)
+	}
+	if got := Utility([]float64{2, 0}, []float64{3, 0}); !almostEq(got, 1, 1e-12) {
+		t.Fatalf("Utility of parallel vectors = %v, want 1", got)
+	}
+}
+
+func TestUtilityScaleInvariant(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{2, -1, 0.5}
+	u1 := Utility(a, b)
+	a2 := []float64{10, 20, 30}
+	b2 := []float64{0.2, -0.1, 0.05}
+	u2 := Utility(a2, b2)
+	if !almostEq(u1, u2, 1e-12) {
+		t.Fatalf("Utility not scale invariant: %v vs %v", u1, u2)
+	}
+}
+
+func TestBlend(t *testing.T) {
+	a := []float64{1, 1}
+	b := []float64{3, 5}
+	got := Blend(a, b, 0.25)
+	if !almostEq(got[0], 1.5, 1e-12) || !almostEq(got[1], 2, 1e-12) {
+		t.Fatalf("Blend = %v", got)
+	}
+	if got := Blend(a, b, 0); got[0] != 1 || got[1] != 1 {
+		t.Fatalf("Blend α=0 = %v", got)
+	}
+	if got := Blend(a, b, 1); got[0] != 3 || got[1] != 5 {
+		t.Fatalf("Blend α=1 = %v", got)
+	}
+}
+
+func TestOnDeviceAggregateOrthogonalKeepsEdgeModel(t *testing.T) {
+	wEdge := []float64{1, 0}
+	wLocal := []float64{0, 1}
+	got, u := OnDeviceAggregate(wEdge, wLocal)
+	if u != 0 {
+		t.Fatalf("utility = %v", u)
+	}
+	if got[0] != 1 || got[1] != 0 {
+		t.Fatalf("aggregated = %v, want edge model", got)
+	}
+	// Must be a copy, not an alias.
+	got[0] = 99
+	if wEdge[0] != 1 {
+		t.Fatal("OnDeviceAggregate aliased the edge model")
+	}
+}
+
+func TestOnDeviceAggregateParallelIsHalfHalf(t *testing.T) {
+	wEdge := []float64{2, 0}
+	wLocal := []float64{4, 0}
+	got, u := OnDeviceAggregate(wEdge, wLocal)
+	if !almostEq(u, 1, 1e-12) {
+		t.Fatalf("utility = %v", u)
+	}
+	if !almostEq(got[0], 3, 1e-12) {
+		t.Fatalf("aggregated = %v, want 50/50 average", got)
+	}
+}
+
+// TestOnDeviceAggregateEq9Coefficients checks the exact Eq. 9 weighting
+// for an intermediate utility value.
+func TestOnDeviceAggregateEq9Coefficients(t *testing.T) {
+	wEdge := []float64{1, 0}
+	wLocal := []float64{1, 1} // cosine = 1/√2
+	u := 1 / math.Sqrt2
+	got, gotU := OnDeviceAggregate(wEdge, wLocal)
+	if !almostEq(gotU, u, 1e-12) {
+		t.Fatalf("utility = %v, want %v", gotU, u)
+	}
+	want0 := 1/(1+u)*1 + u/(1+u)*1
+	want1 := u / (1 + u)
+	if !almostEq(got[0], want0, 1e-12) || !almostEq(got[1], want1, 1e-12) {
+		t.Fatalf("aggregated = %v, want [%v %v]", got, want0, want1)
+	}
+}
+
+func TestDelta(t *testing.T) {
+	got := Delta([]float64{3, 5}, []float64{1, 2})
+	if got[0] != 2 || got[1] != 3 {
+		t.Fatalf("Delta = %v", got)
+	}
+}
+
+func TestSelectionScorePrefersDissimilarUpdates(t *testing.T) {
+	wCloud := []float64{1, 0}
+	aligned := []float64{2, 0}   // Δw parallel to cloud model
+	divergent := []float64{1, 1} // Δw orthogonal to cloud model
+	sAligned := SelectionScore(wCloud, aligned)
+	sDivergent := SelectionScore(wCloud, divergent)
+	if !(sDivergent > sAligned) {
+		t.Fatalf("selection must prefer divergent updates: aligned %v divergent %v", sAligned, sDivergent)
+	}
+}
+
+func TestWeightedAverage(t *testing.T) {
+	vecs := [][]float64{{1, 2}, {3, 6}}
+	got := WeightedAverage(vecs, []float64{1, 3})
+	if !almostEq(got[0], 2.5, 1e-12) || !almostEq(got[1], 5, 1e-12) {
+		t.Fatalf("WeightedAverage = %v", got)
+	}
+	// Zero-weight members are ignored.
+	got = WeightedAverage(vecs, []float64{1, 0})
+	if got[0] != 1 || got[1] != 2 {
+		t.Fatalf("zero-weight member leaked: %v", got)
+	}
+}
+
+func TestWeightedAveragePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":       func() { WeightedAverage(nil, nil) },
+		"mismatch":    func() { WeightedAverage([][]float64{{1}}, []float64{1, 2}) },
+		"ragged":      func() { WeightedAverage([][]float64{{1}, {1, 2}}, []float64{1, 1}) },
+		"zero weight": func() { WeightedAverage([][]float64{{1}}, []float64{0}) },
+		"negative":    func() { WeightedAverage([][]float64{{1}}, []float64{-1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: Utility is always in [0, 1].
+func TestQuickUtilityRange(t *testing.T) {
+	f := func(seed int64) bool {
+		r := tensor.NewRNG(seed)
+		n := 1 + r.Intn(20)
+		a, b := make([]float64, n), make([]float64, n)
+		for i := range a {
+			a[i] = r.NormFloat64() * 10
+			b[i] = r.NormFloat64() * 10
+		}
+		u := Utility(a, b)
+		return u >= 0 && u <= 1 && !math.IsNaN(u)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the on-device aggregate lies on the segment between the edge
+// and local models, never past either endpoint, and the edge model's
+// coefficient 1/(1+U) ≥ 1/2 always dominates (paper §4.2).
+func TestQuickAggregateIsDominatedBlend(t *testing.T) {
+	f := func(seed int64) bool {
+		r := tensor.NewRNG(seed)
+		n := 2 + r.Intn(10)
+		wEdge, wLocal := make([]float64, n), make([]float64, n)
+		for i := range wEdge {
+			wEdge[i] = r.NormFloat64()
+			wLocal[i] = r.NormFloat64()
+		}
+		got, u := OnDeviceAggregate(wEdge, wLocal)
+		if u < 0 || u > 1 {
+			return false
+		}
+		alpha := u / (1 + u) // local model coefficient
+		if alpha > 0.5 {
+			return false
+		}
+		for i := range got {
+			want := (1-alpha)*wEdge[i] + alpha*wLocal[i]
+			if math.Abs(got[i]-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: WeightedAverage with equal weights equals the plain mean, and
+// is permutation invariant.
+func TestQuickWeightedAverageMean(t *testing.T) {
+	f := func(seed int64) bool {
+		r := tensor.NewRNG(seed)
+		k := 2 + r.Intn(5)
+		n := 1 + r.Intn(8)
+		vecs := make([][]float64, k)
+		for i := range vecs {
+			vecs[i] = make([]float64, n)
+			for j := range vecs[i] {
+				vecs[i][j] = r.NormFloat64()
+			}
+		}
+		w := make([]float64, k)
+		for i := range w {
+			w[i] = 1
+		}
+		got := WeightedAverage(vecs, w)
+		for j := 0; j < n; j++ {
+			mean := 0.0
+			for i := range vecs {
+				mean += vecs[i][j]
+			}
+			mean /= float64(k)
+			if math.Abs(got[j]-mean) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,133 @@
+package tensor
+
+// Convolution lowering kernels (im2col / col2im). The nn package builds
+// Conv2D/Conv1D layers on top of these plus MatMul: convolution of one
+// sample becomes a single matrix product
+//
+//	out [OutC, OH*OW] = W [OutC, C*KH*KW] · cols [C*KH*KW, OH*OW]
+//
+// which keeps the hot loop in the cache-friendly MatMul kernel.
+
+// ConvOut returns the output spatial size of a convolution along one axis.
+func ConvOut(in, kernel, stride, pad int) int {
+	return (in+2*pad-kernel)/stride + 1
+}
+
+// Im2Col lowers a single-sample image x (layout [C, H, W], flat slice) to
+// a column matrix written into cols, which must have length
+// C*KH*KW * OH*OW and is interpreted as [C*KH*KW, OH*OW] row-major.
+// Out-of-bounds taps (zero padding) produce zeros.
+func Im2Col(x []float64, c, h, w, kh, kw, stride, pad int, cols []float64) {
+	oh := ConvOut(h, kh, stride, pad)
+	ow := ConvOut(w, kw, stride, pad)
+	ohw := oh * ow
+	row := 0
+	for ch := 0; ch < c; ch++ {
+		chBase := ch * h * w
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				dst := cols[row*ohw : (row+1)*ohw]
+				i := 0
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*stride - pad + ky
+					if iy < 0 || iy >= h {
+						for ox := 0; ox < ow; ox++ {
+							dst[i] = 0
+							i++
+						}
+						continue
+					}
+					rowBase := chBase + iy*w
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*stride - pad + kx
+						if ix < 0 || ix >= w {
+							dst[i] = 0
+						} else {
+							dst[i] = x[rowBase+ix]
+						}
+						i++
+					}
+				}
+				row++
+			}
+		}
+	}
+}
+
+// Col2Im scatters a column-matrix gradient (layout [C*KH*KW, OH*OW])
+// back into an image gradient dx (layout [C, H, W]), accumulating where
+// receptive fields overlap. dx must be zeroed by the caller if it should
+// not accumulate into existing values.
+func Col2Im(cols []float64, c, h, w, kh, kw, stride, pad int, dx []float64) {
+	oh := ConvOut(h, kh, stride, pad)
+	ow := ConvOut(w, kw, stride, pad)
+	ohw := oh * ow
+	row := 0
+	for ch := 0; ch < c; ch++ {
+		chBase := ch * h * w
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				src := cols[row*ohw : (row+1)*ohw]
+				i := 0
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*stride - pad + ky
+					if iy < 0 || iy >= h {
+						i += ow
+						continue
+					}
+					rowBase := chBase + iy*w
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*stride - pad + kx
+						if ix >= 0 && ix < w {
+							dx[rowBase+ix] += src[i]
+						}
+						i++
+					}
+				}
+				row++
+			}
+		}
+	}
+}
+
+// Im2Col1D lowers a single-sample sequence x (layout [C, L]) to a column
+// matrix cols of layout [C*K, OL].
+func Im2Col1D(x []float64, c, l, k, stride, pad int, cols []float64) {
+	ol := ConvOut(l, k, stride, pad)
+	row := 0
+	for ch := 0; ch < c; ch++ {
+		chBase := ch * l
+		for kx := 0; kx < k; kx++ {
+			dst := cols[row*ol : (row+1)*ol]
+			for o := 0; o < ol; o++ {
+				ix := o*stride - pad + kx
+				if ix < 0 || ix >= l {
+					dst[o] = 0
+				} else {
+					dst[o] = x[chBase+ix]
+				}
+			}
+			row++
+		}
+	}
+}
+
+// Col2Im1D scatters a column-matrix gradient (layout [C*K, OL]) back into
+// a sequence gradient dx (layout [C, L]), accumulating overlaps.
+func Col2Im1D(cols []float64, c, l, k, stride, pad int, dx []float64) {
+	ol := ConvOut(l, k, stride, pad)
+	row := 0
+	for ch := 0; ch < c; ch++ {
+		chBase := ch * l
+		for kx := 0; kx < k; kx++ {
+			src := cols[row*ol : (row+1)*ol]
+			for o := 0; o < ol; o++ {
+				ix := o*stride - pad + kx
+				if ix >= 0 && ix < l {
+					dx[chBase+ix] += src[o]
+				}
+			}
+			row++
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package tensor
+
+import "fmt"
+
+// MatMul computes C = A·B for A of shape [m, k] and B of shape [k, n].
+// Rows of the output are computed in parallel; the inner loops are ordered
+// (i, p, j) so the innermost loop streams contiguously through B and C.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires rank-2 operands, got %v and %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims differ: %v x %v", a.shape, b.shape))
+	}
+	c := New(m, n)
+	ParallelFor(m, 16, func(i int) {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j := range brow {
+				crow[j] += av * brow[j]
+			}
+		}
+	})
+	return c
+}
+
+// MatMulTransA computes C = Aᵀ·B for A of shape [k, m] and B of shape
+// [k, n], producing [m, n], without materialising the transpose.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA requires rank-2 operands, got %v and %v", a.shape, b.shape))
+	}
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dims differ: %v x %v", a.shape, b.shape))
+	}
+	c := New(m, n)
+	// Parallelise over output rows (columns of A). Each worker owns a
+	// disjoint row of C.
+	ParallelFor(m, 16, func(i int) {
+		crow := c.Data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := a.Data[p*m+i]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j := range brow {
+				crow[j] += av * brow[j]
+			}
+		}
+	})
+	return c
+}
+
+// MatMulTransB computes C = A·Bᵀ for A of shape [m, k] and B of shape
+// [n, k], producing [m, n], without materialising the transpose.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB requires rank-2 operands, got %v and %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dims differ: %v x %v", a.shape, b.shape))
+	}
+	c := New(m, n)
+	ParallelFor(m, 16, func(i int) {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			s := 0.0
+			for p := range arow {
+				s += arow[p] * brow[p]
+			}
+			crow[j] = s
+		}
+	})
+	return c
+}
+
+// Transpose2D returns the transpose of a rank-2 tensor as a new tensor.
+func Transpose2D(a *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: Transpose2D requires rank 2, got %v", a.shape))
+	}
+	m, n := a.shape[0], a.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[j*m+i] = a.Data[i*n+j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// maxWorkers bounds the goroutine fan-out of parallel kernels. It defaults
+// to GOMAXPROCS and can be lowered (e.g. to 1 for deterministic profiling)
+// with SetMaxWorkers.
+var maxWorkersMu sync.RWMutex
+var maxWorkers = runtime.GOMAXPROCS(0)
+
+// SetMaxWorkers bounds the parallelism of tensor kernels. n < 1 resets to
+// GOMAXPROCS. It returns the previous value.
+func SetMaxWorkers(n int) int {
+	maxWorkersMu.Lock()
+	defer maxWorkersMu.Unlock()
+	prev := maxWorkers
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	maxWorkers = n
+	return prev
+}
+
+// MaxWorkers returns the current kernel parallelism bound.
+func MaxWorkers() int {
+	maxWorkersMu.RLock()
+	defer maxWorkersMu.RUnlock()
+	return maxWorkers
+}
+
+// ParallelFor runs fn(i) for i in [0, n) across at most MaxWorkers()
+// goroutines, splitting the index space into contiguous chunks. The work
+// per index should be independent: results must go to disjoint memory.
+// Small loops (n < grain) run inline to avoid goroutine overhead.
+func ParallelFor(n, grain int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	workers := MaxWorkers()
+	if workers > (n+grain-1)/grain {
+		workers = (n + grain - 1) / grain
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,187 @@
+package middle_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"middle"
+)
+
+// These tests exercise the public facade end to end: everything a
+// downstream user can reach without touching internal packages.
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	setup := middle.NewTaskSetup(middle.TaskMNIST, middle.Fast, 1)
+	part := setup.Partition(1)
+	mob := middle.NewMarkovRingMobility(setup.Edges, setup.Devices, 0.5, 1)
+	sim := middle.NewSimulation(setup.Config(1, 10), setup.Factory, part, setup.Test, mob, middle.MIDDLE())
+	h := sim.Run()
+	if h.Len() == 0 {
+		t.Fatal("no evaluations recorded")
+	}
+	if h.FinalAcc() <= 0 || h.FinalAcc() > 1 {
+		t.Fatalf("final accuracy %v", h.FinalAcc())
+	}
+	if h.Strategy != "MIDDLE" {
+		t.Fatalf("history strategy %q", h.Strategy)
+	}
+}
+
+func TestPublicStrategyRegistry(t *testing.T) {
+	names := middle.StrategyNames()
+	if len(names) < 6 {
+		t.Fatalf("registry names %v", names)
+	}
+	for _, n := range names {
+		s, err := middle.StrategyByName(n)
+		if err != nil || s.Name() != n {
+			t.Fatalf("ByName(%q) -> %v, %v", n, s, err)
+		}
+	}
+	if _, err := middle.StrategyByName("nope"); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	if got := len(middle.EvaluationSet()); got != 5 {
+		t.Fatalf("evaluation set %d", got)
+	}
+	if got := len(middle.AblationSet()); got != 4 {
+		t.Fatalf("ablation set %d", got)
+	}
+}
+
+func TestPublicSimilarityMath(t *testing.T) {
+	if u := middle.SimilarityUtility([]float64{1, 0}, []float64{-1, 0}); u != 0 {
+		t.Fatalf("opposed utility %v", u)
+	}
+	agg, u := middle.OnDeviceAggregate([]float64{2, 0}, []float64{4, 0})
+	if math.Abs(u-1) > 1e-12 || math.Abs(agg[0]-3) > 1e-12 {
+		t.Fatalf("aggregate %v u %v", agg, u)
+	}
+	sAligned := middle.SelectionScore([]float64{1, 0}, []float64{2, 0})
+	sDiverse := middle.SelectionScore([]float64{1, 0}, []float64{1, 1})
+	if sDiverse <= sAligned {
+		t.Fatal("selection score ordering wrong")
+	}
+}
+
+func TestPublicMobilityAndTraces(t *testing.T) {
+	mob := middle.NewMarkovMobility(4, 12, 0.3, 9)
+	tr := middle.RecordTrace(mob, 30)
+	if tr.Steps() != 30 || tr.NumDevices() != 12 {
+		t.Fatalf("trace %d steps %d devices", tr.Steps(), tr.NumDevices())
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := middle.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.EmpiricalMobility() != tr.EmpiricalMobility() {
+		t.Fatal("trace round trip changed mobility")
+	}
+	wp := middle.NewRandomWaypointMobility(2, 2, 8, 0.05, 0.1, 1, 3)
+	if wp.NumEdges() != 4 {
+		t.Fatalf("waypoint edges %d", wp.NumEdges())
+	}
+	st := middle.NewStaticMobility(3, 9)
+	if middle.RecordTrace(st, 10).EmpiricalMobility() != 0 {
+		t.Fatal("static mobility moved")
+	}
+}
+
+func TestPublicModelBuilders(t *testing.T) {
+	rng := middle.NewRNG(1)
+	if n := middle.NewCNN2(middle.CNN2Config{InC: 1, H: 8, W: 8, Classes: 4, C1: 2, C2: 3, Hidden: 8}, rng); n.NumParams() == 0 {
+		t.Fatal("CNN2 empty")
+	}
+	if n := middle.NewCNN3(middle.CNN3Config{InC: 3, H: 8, W: 8, Classes: 4, C1: 2, C2: 2, C3: 3, Hidden: 8}, rng); n.NumParams() == 0 {
+		t.Fatal("CNN3 empty")
+	}
+	if n := middle.NewSeqCNN(middle.SeqCNNConfig{L: 1600, Classes: 4, C1: 2, C2: 2, C3: 3, Hidden: 8}, rng); n.NumParams() == 0 {
+		t.Fatal("SeqCNN empty")
+	}
+	mlp := middle.NewMLP(middle.MLPConfig{In: 4, Classes: 2, Hidden: []int{3}}, rng)
+	v := mlp.ParamVector()
+	mlp.SetParamVector(v)
+	if len(v) != mlp.NumParams() {
+		t.Fatal("param vector round trip broken")
+	}
+}
+
+func TestPublicDatasets(t *testing.T) {
+	for _, task := range middle.AllTasks() {
+		train, test := middle.GenerateTask(task, 40, 20, 1)
+		if train.Len() != 40 || test.Len() != 20 {
+			t.Fatalf("%s sizes %d/%d", task, train.Len(), test.Len())
+		}
+	}
+	train, _ := middle.GenerateTask(middle.TaskMNIST, 200, 10, 1)
+	p := middle.PartitionMajorClass(train, 5, 20, 0.9, 2)
+	if p.NumDevices() != 5 {
+		t.Fatal("partition devices")
+	}
+	pc := middle.PartitionMajorClassClustered(train, 8, 20, 0.9, 4, 2)
+	if pc.NumDevices() != 8 {
+		t.Fatal("clustered partition devices")
+	}
+	iid := middle.PartitionIID(train, 3, 30, 2)
+	if len(iid.Indices[2]) != 30 {
+		t.Fatal("iid partition size")
+	}
+}
+
+func TestPublicReporting(t *testing.T) {
+	sm := middle.Smooth([]float64{0, 3, 0}, 3)
+	if sm[1] != 1 {
+		t.Fatalf("smooth %v", sm)
+	}
+	table := middle.SpeedupTable([]middle.TTAResult{
+		{Strategy: "MIDDLE", Steps: 10, Reached: true, FinalAcc: 0.9},
+		{Strategy: "OORT", Steps: 20, Reached: true, FinalAcc: 0.8},
+	}, "MIDDLE", 0.8)
+	if !strings.Contains(table, "2.00×") {
+		t.Fatalf("table missing speedup:\n%s", table)
+	}
+	chart := middle.LineChart("t", []middle.Series{{Name: "a", X: []int{0, 1}, Y: []float64{0, 1}}}, 20, 5)
+	if !strings.Contains(chart, "a") {
+		t.Fatal("chart missing legend")
+	}
+	bars := middle.BarChart("t", []string{"x"}, []string{"g"}, [][]float64{{0.5}}, 10)
+	if !strings.Contains(bars, "0.5000") {
+		t.Fatal("bars missing value")
+	}
+	var buf bytes.Buffer
+	if err := middle.WriteSeriesCSV(&buf, []middle.Series{{Name: "a", X: []int{1}, Y: []float64{0.5}}}); err != nil {
+		t.Fatal(err)
+	}
+	series, err := middle.ReadSeriesCSV(&buf)
+	if err != nil || len(series) != 1 || series[0].Y[0] != 0.5 {
+		t.Fatalf("csv round trip: %v %v", series, err)
+	}
+}
+
+func TestPublicTheoremBound(t *testing.T) {
+	lo := middle.TheoremBound(middle.BoundParams{Beta: 1, Mu: 1, Gamma: 10, T: 100, B: 1, InitDist2: 1, I: 5, G2: 1, Alpha: 0.5, P: 1.0})
+	hi := middle.TheoremBound(middle.BoundParams{Beta: 1, Mu: 1, Gamma: 10, T: 100, B: 1, InitDist2: 1, I: 5, G2: 1, Alpha: 0.5, P: 0.1})
+	if lo >= hi {
+		t.Fatalf("bound not decreasing in P: %v vs %v", lo, hi)
+	}
+}
+
+func TestPublicCustomStrategyInterface(t *testing.T) {
+	// A user-defined strategy compiles and runs against the engine.
+	type randomish struct{ middle.Strategy }
+	base := middle.General()
+	custom := randomish{base}
+	setup := middle.NewTaskSetup(middle.TaskMNIST, middle.Fast, 2)
+	part := setup.Partition(2)
+	mob := middle.NewStaticMobility(setup.Edges, setup.Devices)
+	sim := middle.NewSimulation(setup.Config(2, 5), setup.Factory, part, setup.Test, mob, custom)
+	if sim.Run().Len() == 0 {
+		t.Fatal("custom strategy run recorded nothing")
+	}
+}
