@@ -203,6 +203,24 @@ func BenchmarkOnDeviceAggregation(b *testing.B) {
 	}
 }
 
+func BenchmarkOnDeviceAggregationInto(b *testing.B) {
+	// Allocation-free form used inside Sim.StepOnce: the aggregate lands
+	// in a caller-owned buffer, so steady-state steps do not allocate.
+	rng := tensor.NewRNG(1)
+	n := 60000
+	wEdge := make([]float64, n)
+	wLocal := make([]float64, n)
+	dst := make([]float64, n)
+	for i := range wEdge {
+		wEdge[i] = rng.NormFloat64()
+		wLocal[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		middle.OnDeviceAggregateInto(dst, wEdge, wLocal)
+	}
+}
+
 func BenchmarkSelectionScoring(b *testing.B) {
 	rng := tensor.NewRNG(1)
 	n := 60000

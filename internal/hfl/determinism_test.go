@@ -1,0 +1,43 @@
+package hfl
+
+import (
+	"testing"
+
+	"middle/internal/tensor"
+)
+
+// TestSimBitIdenticalAcrossMaxWorkers pins the kernel-level determinism
+// contract end to end: the tensor kernels chunk work across goroutines,
+// but every output element's summation order is fixed, so a full
+// federated run must produce bit-identical models whether the kernels run
+// serially or with 8 workers.
+func TestSimBitIdenticalAcrossMaxWorkers(t *testing.T) {
+	runWith := func(workers int) ([]float64, []float64) {
+		prev := tensor.SetMaxWorkers(workers)
+		defer tensor.SetMaxWorkers(prev)
+		f := newFixture(t, 0.5)
+		cfg := smallConfig()
+		cfg.Parallelism = 2
+		s := New(cfg, f.factory(), f.part, f.test, f.mob, &spyStrategy{})
+		h := s.Run()
+		return s.cloud, h.GlobalAcc
+	}
+	cloud1, acc1 := runWith(1)
+	cloud8, acc8 := runWith(8)
+	if len(cloud1) != len(cloud8) {
+		t.Fatalf("model sizes differ: %d vs %d", len(cloud1), len(cloud8))
+	}
+	for i := range cloud1 {
+		if cloud1[i] != cloud8[i] {
+			t.Fatalf("cloud model differs at %d between MaxWorkers 1 and 8: %v vs %v", i, cloud1[i], cloud8[i])
+		}
+	}
+	if len(acc1) != len(acc8) {
+		t.Fatalf("eval counts differ: %d vs %d", len(acc1), len(acc8))
+	}
+	for i := range acc1 {
+		if acc1[i] != acc8[i] {
+			t.Fatalf("accuracy differs at eval %d: %v vs %v", i, acc1[i], acc8[i])
+		}
+	}
+}

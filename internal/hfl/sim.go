@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"middle/internal/data"
 	"middle/internal/mobility"
@@ -50,13 +51,26 @@ type Sim struct {
 	workers []*trainWorker
 	evalNet *nn.Network
 	history *History
+
+	// Per-step scratch, reused across StepOnce calls so the steady-state
+	// loop performs no per-step slice allocations of its own. The model
+	// vectors in cloud/edges/locals keep their backing arrays for the
+	// lifetime of the Sim; aggregation writes into them in place.
+	moved      []bool
+	candidates [][]int
+	selected   [][]int
+	jobs       []trainJob
+	aggVecs    [][]float64
+	aggWeights []float64
 }
 
-// trainWorker owns one reusable network + optimizer pair. The pool keeps
-// memory proportional to parallelism rather than to the device count.
+// trainWorker owns one reusable network + optimizer pair plus its batch
+// index scratch. The pool keeps memory proportional to parallelism rather
+// than to the device count.
 type trainWorker struct {
 	net *nn.Network
 	opt optim.Optimizer
+	idx []int
 }
 
 // New builds a simulation. The partition defines the device population
@@ -151,7 +165,7 @@ func (s *Sim) History() *History { return s.history }
 type trainJob struct {
 	device int
 	init   []float64
-	out    []float64
+	out    []float64 // preset to s.locals[device]; overwritten by the worker
 	util   float64
 }
 
@@ -163,7 +177,10 @@ func (s *Sim) StepOnce() int {
 
 	prev := s.membership
 	s.membership = s.mob.Step()
-	moved := make([]bool, s.numDevices)
+	if s.moved == nil {
+		s.moved = make([]bool, s.numDevices)
+	}
+	moved := s.moved
 	for m := range moved {
 		moved[m] = s.membership[m] != prev[m]
 		if moved[m] {
@@ -173,12 +190,22 @@ func (s *Sim) StepOnce() int {
 	}
 
 	// Line 1–2: per-edge candidate sets and device selection.
-	candidates := make([][]int, s.numEdges)
+	if s.candidates == nil {
+		s.candidates = make([][]int, s.numEdges)
+		s.selected = make([][]int, s.numEdges)
+	}
+	candidates := s.candidates
+	for n := range candidates {
+		candidates[n] = candidates[n][:0]
+	}
 	for m, e := range s.membership {
 		candidates[e] = append(candidates[e], m)
 	}
-	var jobs []trainJob
-	selectedByEdge := make([][]int, s.numEdges)
+	s.jobs = s.jobs[:0]
+	selectedByEdge := s.selected
+	for n := range selectedByEdge {
+		selectedByEdge[n] = nil
+	}
 	for n := 0; n < s.numEdges; n++ {
 		if len(candidates[n]) == 0 {
 			continue
@@ -204,42 +231,48 @@ func (s *Sim) StepOnce() int {
 		selectedByEdge[n] = sel
 		s.commDeviceEdge += 2 * int64(len(sel))
 		for _, m := range sel {
-			// Lines 4–7: on-device model initialisation.
+			// Lines 4–7: on-device model initialisation. The job writes
+			// the trained model straight into the device's carried vector
+			// (each device appears in at most one job per step, and
+			// SetParamVector copies init before the overwrite).
 			init := s.strat.InitLocal(s, m, n, moved[m])
-			jobs = append(jobs, trainJob{device: m, init: init})
+			s.jobs = append(s.jobs, trainJob{device: m, init: init, out: s.locals[m]})
 		}
 	}
 
 	// Line 8: parallel local training across the worker pool.
+	jobs := s.jobs
 	s.runJobs(jobs, t)
 	for i := range jobs {
 		j := &jobs[i]
-		s.locals[j.device] = j.out
 		s.statUtil[j.device] = j.util
 		s.lastTrain[j.device] = t
 	}
 
-	// Line 9: edge aggregation (Eq. 6), weighted by data sizes.
+	// Line 9: edge aggregation (Eq. 6), weighted by data sizes. The edge
+	// vector is overwritten in place (it never aliases a device vector).
 	for n := 0; n < s.numEdges; n++ {
 		sel := selectedByEdge[n]
 		if len(sel) == 0 {
 			continue
 		}
-		vecs := make([][]float64, len(sel))
-		weights := make([]float64, len(sel))
-		for i, m := range sel {
-			vecs[i] = s.locals[m]
-			weights[i] = float64(s.dataSizes[m])
+		vecs := s.aggVecs[:0]
+		weights := s.aggWeights[:0]
+		for _, m := range sel {
+			vecs = append(vecs, s.locals[m])
+			weights = append(weights, float64(s.dataSizes[m]))
 			s.edgeWeight[n] += float64(s.dataSizes[m])
 		}
-		s.edges[n] = simil.WeightedAverage(vecs, weights)
+		simil.WeightedAverageInto(s.edges[n], vecs, weights)
+		s.aggVecs, s.aggWeights = vecs, weights
 	}
 
 	// Lines 10–15: cloud aggregation (Eq. 7) every T_c steps, then push
-	// the new global model down to all edges and devices.
+	// the new global model down to all edges and devices (copy into the
+	// existing vectors; their backing arrays are stable for the run).
 	if t%s.cfg.CloudInterval == 0 {
-		var vecs [][]float64
-		var weights []float64
+		vecs := s.aggVecs[:0]
+		weights := s.aggWeights[:0]
 		for n := 0; n < s.numEdges; n++ {
 			if s.edgeWeight[n] > 0 {
 				vecs = append(vecs, s.edges[n])
@@ -247,16 +280,17 @@ func (s *Sim) StepOnce() int {
 			}
 		}
 		if len(vecs) > 0 {
-			s.cloud = simil.WeightedAverage(vecs, weights)
+			simil.WeightedAverageInto(s.cloud, vecs, weights)
 		}
 		s.commEdgeCloud += 2 * int64(len(vecs))
 		for n := range s.edges {
-			s.edges[n] = cloneVec(s.cloud)
+			copy(s.edges[n], s.cloud)
 			s.edgeWeight[n] = 0
 		}
 		for m := range s.locals {
-			s.locals[m] = cloneVec(s.cloud)
+			copy(s.locals[m], s.cloud)
 		}
+		s.aggVecs, s.aggWeights = vecs, weights
 	}
 
 	if s.cfg.EvalEvery > 0 && (t%s.cfg.EvalEvery == 0 || t == s.cfg.Steps) {
@@ -276,18 +310,14 @@ func (s *Sim) runJobs(jobs []trainJob, t int) {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
-	var next int
-	var mu sync.Mutex
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(tw *trainWorker) {
 			defer wg.Done()
 			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
+				i := int(next.Add(1)) - 1
 				if i >= len(jobs) {
 					return
 				}
@@ -313,7 +343,10 @@ func (s *Sim) trainDevice(tw *trainWorker, job *trainJob, t int) {
 	if batch > len(shard) {
 		batch = len(shard)
 	}
-	idx := make([]int, batch)
+	if cap(tw.idx) < batch {
+		tw.idx = make([]int, batch)
+	}
+	idx := tw.idx[:batch]
 	sumSq := 0.0
 	samples := 0
 	for i := 0; i < s.cfg.LocalSteps; i++ {
@@ -331,7 +364,7 @@ func (s *Sim) trainDevice(tw *trainWorker, job *trainJob, t int) {
 		}
 		samples += len(perSample)
 	}
-	job.out = tw.net.ParamVector()
+	tw.net.ParamVectorInto(job.out)
 	// Oort's statistical utility: |B|·sqrt(mean per-sample loss²), with
 	// |B| the device's data size d_m.
 	job.util = float64(len(shard)) * math.Sqrt(sumSq/float64(samples))

@@ -4,9 +4,12 @@ import (
 	"middle/internal/tensor"
 )
 
-// ReLU applies max(x, 0) elementwise.
+// ReLU applies max(x, 0) elementwise. It reuses its output and gradient
+// buffers across steps; returned tensors are valid until the next call.
 type ReLU struct {
 	mask []bool
+	out  *tensor.Tensor
+	dx   *tensor.Tensor
 }
 
 // NewReLU constructs a ReLU activation layer.
@@ -14,13 +17,15 @@ func NewReLU() *ReLU { return &ReLU{} }
 
 // Forward computes max(x, 0), caching the active mask for Backward.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	out := x.Clone()
+	r.out = ensureTensor(r.out, x.Shape()...)
+	out := r.out
 	if len(r.mask) != len(out.Data) {
 		r.mask = make([]bool, len(out.Data))
 	}
-	for i, v := range out.Data {
+	for i, v := range x.Data {
 		if v > 0 {
 			r.mask[i] = true
+			out.Data[i] = v
 		} else {
 			r.mask[i] = false
 			out.Data[i] = 0
@@ -31,9 +36,12 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward zeroes the gradient where the activation was clipped.
 func (r *ReLU) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	dx := dy.Clone()
-	for i := range dx.Data {
-		if !r.mask[i] {
+	r.dx = ensureTensor(r.dx, dy.Shape()...)
+	dx := r.dx
+	for i, v := range dy.Data {
+		if r.mask[i] {
+			dx.Data[i] = v
+		} else {
 			dx.Data[i] = 0
 		}
 	}
@@ -74,6 +82,8 @@ type Dropout struct {
 	Rate float64
 	rng  *tensor.RNG
 	keep []bool
+	out  *tensor.Tensor
+	dx   *tensor.Tensor
 }
 
 // NewDropout constructs a dropout layer with the given drop rate in [0,1).
@@ -87,18 +97,19 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		d.keep = nil
 		return x
 	}
-	out := x.Clone()
+	d.out = ensureTensor(d.out, x.Shape()...)
+	out := d.out
 	if len(d.keep) != len(out.Data) {
 		d.keep = make([]bool, len(out.Data))
 	}
 	scale := 1.0 / (1.0 - d.Rate)
-	for i := range out.Data {
+	for i, v := range x.Data {
 		if d.rng.Float64() < d.Rate {
 			d.keep[i] = false
 			out.Data[i] = 0
 		} else {
 			d.keep[i] = true
-			out.Data[i] *= scale
+			out.Data[i] = v * scale
 		}
 	}
 	return out
@@ -109,11 +120,12 @@ func (d *Dropout) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	if d.keep == nil {
 		return dy
 	}
-	dx := dy.Clone()
+	d.dx = ensureTensor(d.dx, dy.Shape()...)
+	dx := d.dx
 	scale := 1.0 / (1.0 - d.Rate)
-	for i := range dx.Data {
+	for i, v := range dy.Data {
 		if d.keep[i] {
-			dx.Data[i] *= scale
+			dx.Data[i] = v * scale
 		} else {
 			dx.Data[i] = 0
 		}

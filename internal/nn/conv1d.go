@@ -5,7 +5,11 @@ import (
 )
 
 // Conv1D is a 1-D convolution over inputs of shape [N, C, L], used by the
-// speech-commands-profile model on long sparse signal vectors.
+// speech-commands-profile model on long sparse signal vectors. Like
+// Conv2D it lowers the whole batch into one column matrix [C*K, N*OL]
+// (sample i owns columns [i*OL, (i+1)*OL)) so forward and backward are a
+// fixed number of matrix products per step. The layer owns its scratch
+// buffers; returned tensors are valid until the next Forward/Backward.
 type Conv1D struct {
 	InC, OutC   int
 	K           int
@@ -13,8 +17,13 @@ type Conv1D struct {
 	W, B        *Param
 	inL, outL   int
 
-	x    *tensor.Tensor
-	cols []float64
+	cols  []float64
+	y     *tensor.Tensor
+	out   *tensor.Tensor
+	dy    *tensor.Tensor
+	dcols *tensor.Tensor
+	dw    *tensor.Tensor
+	dx    *tensor.Tensor
 }
 
 // NewConv1D constructs a 1-D convolution layer with He-normal weights for
@@ -42,27 +51,31 @@ func (c *Conv1D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n := x.Dim(0)
 	ck := c.InC * c.K
 	ol := c.outL
-	c.x = x
-	if len(c.cols) != n*ck*ol {
-		c.cols = make([]float64, n*ck*ol)
-	}
-	out := tensor.New(n, c.OutC, ol)
+	cols := ensureFloats(c.cols, ck*n*ol)
+	c.cols = cols
 	inSz := c.InC * c.inL
-	for i := 0; i < n; i++ {
-		cols := c.cols[i*ck*ol : (i+1)*ck*ol]
-		tensor.Im2Col1D(x.Data[i*inSz:(i+1)*inSz], c.InC, c.inL, c.K, c.Stride, c.Pad, cols)
-		colsT := tensor.FromSlice(cols, ck, ol)
-		y := tensor.MatMul(c.W.Value, colsT)
-		dst := out.Data[i*c.OutC*ol : (i+1)*c.OutC*ol]
-		copy(dst, y.Data)
+	rowStride := n * ol
+	tensor.ParallelFor(n, 1, func(i int) {
+		tensor.Im2Col1DStrided(x.Data[i*inSz:(i+1)*inSz], c.InC, c.inL,
+			c.K, c.Stride, c.Pad, cols[i*ol:], rowStride)
+	})
+	colsT := tensor.FromSlice(cols, ck, rowStride)
+	c.y = ensureTensor(c.y, c.OutC, rowStride)
+	tensor.MatMulInto(c.y, c.W.Value, colsT)
+	out := ensureTensor(c.out, n, c.OutC, ol)
+	c.out = out
+	yd := c.y.Data
+	bd := c.B.Value.Data
+	tensor.ParallelFor(n, 1, func(i int) {
 		for oc := 0; oc < c.OutC; oc++ {
-			b := c.B.Value.Data[oc]
-			row := dst[oc*ol : (oc+1)*ol]
-			for j := range row {
-				row[j] += b
+			src := yd[oc*rowStride+i*ol : oc*rowStride+(i+1)*ol]
+			dst := out.Data[(i*c.OutC+oc)*ol : (i*c.OutC+oc+1)*ol]
+			b := bd[oc]
+			for j, v := range src {
+				dst[j] = v + b
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -72,21 +85,37 @@ func (c *Conv1D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	ck := c.InC * c.K
 	ol := c.outL
 	inSz := c.InC * c.inL
-	dx := tensor.New(n, c.InC, c.inL)
-	for i := 0; i < n; i++ {
-		dyi := tensor.FromSlice(dout.Data[i*c.OutC*ol:(i+1)*c.OutC*ol], c.OutC, ol)
-		colsT := tensor.FromSlice(c.cols[i*ck*ol:(i+1)*ck*ol], ck, ol)
-		c.W.Grad.AddInPlace(tensor.MatMulTransB(dyi, colsT))
+	rowStride := n * ol
+	c.dy = ensureTensor(c.dy, c.OutC, rowStride)
+	dyd := c.dy.Data
+	tensor.ParallelFor(n, 1, func(i int) {
 		for oc := 0; oc < c.OutC; oc++ {
-			s := 0.0
-			for _, v := range dyi.Data[oc*ol : (oc+1)*ol] {
-				s += v
-			}
-			c.B.Grad.Data[oc] += s
+			copy(dyd[oc*rowStride+i*ol:oc*rowStride+(i+1)*ol],
+				dout.Data[(i*c.OutC+oc)*ol:(i*c.OutC+oc+1)*ol])
 		}
-		dcols := tensor.MatMulTransA(c.W.Value, dyi)
-		tensor.Col2Im1D(dcols.Data, c.InC, c.inL, c.K, c.Stride, c.Pad, dx.Data[i*inSz:(i+1)*inSz])
+	})
+	colsT := tensor.FromSlice(c.cols, ck, rowStride)
+	c.dw = ensureTensor(c.dw, c.OutC, ck)
+	tensor.MatMulTransBInto(c.dw, c.dy, colsT)
+	c.W.Grad.AddInPlace(c.dw)
+	for oc := 0; oc < c.OutC; oc++ {
+		s := 0.0
+		for _, v := range dyd[oc*rowStride : (oc+1)*rowStride] {
+			s += v
+		}
+		c.B.Grad.Data[oc] += s
 	}
+	c.dcols = ensureTensor(c.dcols, ck, rowStride)
+	tensor.MatMulTransAInto(c.dcols, c.W.Value, c.dy)
+	dx := ensureTensor(c.dx, n, c.InC, c.inL)
+	c.dx = dx
+	dcd := c.dcols.Data
+	tensor.ParallelFor(n, 1, func(i int) {
+		dxi := dx.Data[i*inSz : (i+1)*inSz]
+		clear(dxi)
+		tensor.Col2Im1DStrided(dcd[i*ol:], c.InC, c.inL,
+			c.K, c.Stride, c.Pad, dxi, rowStride)
+	})
 	return dx
 }
 

@@ -6,7 +6,15 @@ import (
 
 // Conv2D is a 2-D convolution over inputs of shape [N, C, H, W], lowered
 // to matrix products with im2col. Weights are stored as a matrix
-// [OutC, C*KH*KW] so one sample's convolution is a single MatMul.
+// [OutC, C*KH*KW] and the whole batch is lowered at once into a single
+// column matrix [C*KH*KW, N*OH*OW] (sample i owns columns
+// [i*OH*OW, (i+1)*OH*OW)), so the convolution of the entire batch is one
+// MatMul per Forward and the backward pass is one MatMulTransB (dW) plus
+// one MatMulTransA (dX) regardless of batch size.
+//
+// The layer owns its scratch buffers (cols, y, out, dy, dcols, dw, dx):
+// tensors returned by Forward/Backward are valid only until the layer's
+// next Forward/Backward call.
 type Conv2D struct {
 	InC, OutC            int
 	KH, KW               int
@@ -14,8 +22,13 @@ type Conv2D struct {
 	W, B                 *Param
 	inH, inW, outH, outW int
 
-	x    *tensor.Tensor // cached input
-	cols []float64      // cached im2col buffers, one block per sample
+	cols  []float64      // batched im2col matrix [CKK, N*OHW]
+	y     *tensor.Tensor // pre-bias forward product [OutC, N*OHW]
+	out   *tensor.Tensor // forward output [N, OutC, OH, OW]
+	dy    *tensor.Tensor // gathered upstream gradient [OutC, N*OHW]
+	dcols *tensor.Tensor // column-space input gradient [CKK, N*OHW]
+	dw    *tensor.Tensor // per-step weight gradient [OutC, CKK]
+	dx    *tensor.Tensor // input gradient [N, C, H, W]
 }
 
 // NewConv2D constructs a convolution layer with He-normal weights for
@@ -45,27 +58,35 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n := x.Dim(0)
 	ckk := c.InC * c.KH * c.KW
 	ohw := c.outH * c.outW
-	c.x = x
-	if len(c.cols) != n*ckk*ohw {
-		c.cols = make([]float64, n*ckk*ohw)
-	}
-	out := tensor.New(n, c.OutC, c.outH, c.outW)
+	cols := ensureFloats(c.cols, ckk*n*ohw)
+	c.cols = cols
 	inSz := c.InC * c.inH * c.inW
-	for i := 0; i < n; i++ {
-		cols := c.cols[i*ckk*ohw : (i+1)*ckk*ohw]
-		tensor.Im2Col(x.Data[i*inSz:(i+1)*inSz], c.InC, c.inH, c.inW, c.KH, c.KW, c.Stride, c.Pad, cols)
-		colsT := tensor.FromSlice(cols, ckk, ohw)
-		y := tensor.MatMul(c.W.Value, colsT) // [OutC, OHW]
-		dst := out.Data[i*c.OutC*ohw : (i+1)*c.OutC*ohw]
-		copy(dst, y.Data)
+	rowStride := n * ohw
+	// Lower every sample into its column block of the shared matrix; the
+	// blocks are disjoint, so samples lower in parallel.
+	tensor.ParallelFor(n, 1, func(i int) {
+		tensor.Im2ColStrided(x.Data[i*inSz:(i+1)*inSz], c.InC, c.inH, c.inW,
+			c.KH, c.KW, c.Stride, c.Pad, cols[i*ohw:], rowStride)
+	})
+	colsT := tensor.FromSlice(cols, ckk, rowStride)
+	c.y = ensureTensor(c.y, c.OutC, rowStride)
+	tensor.MatMulInto(c.y, c.W.Value, colsT) // [OutC, N*OHW]
+	out := ensureTensor(c.out, n, c.OutC, c.outH, c.outW)
+	c.out = out
+	// Un-batch: copy each sample's column range back to [N, OutC, OH, OW]
+	// layout and add the bias.
+	yd := c.y.Data
+	bd := c.B.Value.Data
+	tensor.ParallelFor(n, 1, func(i int) {
 		for oc := 0; oc < c.OutC; oc++ {
-			b := c.B.Value.Data[oc]
-			row := dst[oc*ohw : (oc+1)*ohw]
-			for j := range row {
-				row[j] += b
+			src := yd[oc*rowStride+i*ohw : oc*rowStride+(i+1)*ohw]
+			dst := out.Data[(i*c.OutC+oc)*ohw : (i*c.OutC+oc+1)*ohw]
+			b := bd[oc]
+			for j, v := range src {
+				dst[j] = v + b
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -76,25 +97,42 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	ckk := c.InC * c.KH * c.KW
 	ohw := c.outH * c.outW
 	inSz := c.InC * c.inH * c.inW
-	dx := tensor.New(n, c.InC, c.inH, c.inW)
-	for i := 0; i < n; i++ {
-		dyi := tensor.FromSlice(dout.Data[i*c.OutC*ohw:(i+1)*c.OutC*ohw], c.OutC, ohw)
-		colsT := tensor.FromSlice(c.cols[i*ckk*ohw:(i+1)*ckk*ohw], ckk, ohw)
-		// dW += dy · colsᵀ
-		c.W.Grad.AddInPlace(tensor.MatMulTransB(dyi, colsT))
-		// dB += row sums of dy
+	rowStride := n * ohw
+	// Gather dOut into the batched column layout [OutC, N*OHW].
+	c.dy = ensureTensor(c.dy, c.OutC, rowStride)
+	dyd := c.dy.Data
+	tensor.ParallelFor(n, 1, func(i int) {
 		for oc := 0; oc < c.OutC; oc++ {
-			s := 0.0
-			row := dyi.Data[oc*ohw : (oc+1)*ohw]
-			for _, v := range row {
-				s += v
-			}
-			c.B.Grad.Data[oc] += s
+			src := dout.Data[(i*c.OutC+oc)*ohw : (i*c.OutC+oc+1)*ohw]
+			copy(dyd[oc*rowStride+i*ohw:oc*rowStride+(i+1)*ohw], src)
 		}
-		// dcols = Wᵀ · dy, then scatter back to image space.
-		dcols := tensor.MatMulTransA(c.W.Value, dyi)
-		tensor.Col2Im(dcols.Data, c.InC, c.inH, c.inW, c.KH, c.KW, c.Stride, c.Pad, dx.Data[i*inSz:(i+1)*inSz])
+	})
+	colsT := tensor.FromSlice(c.cols, ckk, rowStride)
+	// dW += dy · colsᵀ — one product for the whole batch.
+	c.dw = ensureTensor(c.dw, c.OutC, ckk)
+	tensor.MatMulTransBInto(c.dw, c.dy, colsT)
+	c.W.Grad.AddInPlace(c.dw)
+	// dB += row sums of dy.
+	for oc := 0; oc < c.OutC; oc++ {
+		s := 0.0
+		for _, v := range dyd[oc*rowStride : (oc+1)*rowStride] {
+			s += v
+		}
+		c.B.Grad.Data[oc] += s
 	}
+	// dcols = Wᵀ · dy, then scatter each sample's block back to image
+	// space (disjoint outputs → parallel across samples).
+	c.dcols = ensureTensor(c.dcols, ckk, rowStride)
+	tensor.MatMulTransAInto(c.dcols, c.W.Value, c.dy)
+	dx := ensureTensor(c.dx, n, c.InC, c.inH, c.inW)
+	c.dx = dx
+	dcd := c.dcols.Data
+	tensor.ParallelFor(n, 1, func(i int) {
+		dxi := dx.Data[i*inSz : (i+1)*inSz]
+		clear(dxi)
+		tensor.Col2ImStrided(dcd[i*ohw:], c.InC, c.inH, c.inW,
+			c.KH, c.KW, c.Stride, c.Pad, dxi, rowStride)
+	})
 	return dx
 }
 

@@ -1,0 +1,206 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"middle/internal/tensor"
+)
+
+// Reference per-sample convolution paths. These re-implement the original
+// sample-at-a-time lowering the batched kernels replaced; the batched
+// Forward/Backward must agree with them to 1e-12.
+
+func refConv2DForward(c *Conv2D, x *tensor.Tensor) *tensor.Tensor {
+	n := x.Dim(0)
+	ckk := c.InC * c.KH * c.KW
+	oh := tensor.ConvOut(c.inH, c.KH, c.Stride, c.Pad)
+	ow := tensor.ConvOut(c.inW, c.KW, c.Stride, c.Pad)
+	ohw := oh * ow
+	inSz := c.InC * c.inH * c.inW
+	out := tensor.New(n, c.OutC, oh, ow)
+	cols := make([]float64, ckk*ohw)
+	for i := 0; i < n; i++ {
+		tensor.Im2Col(x.Data[i*inSz:(i+1)*inSz], c.InC, c.inH, c.inW, c.KH, c.KW, c.Stride, c.Pad, cols)
+		y := tensor.MatMul(c.W.Value, tensor.FromSlice(cols, ckk, ohw))
+		dst := out.Data[i*c.OutC*ohw : (i+1)*c.OutC*ohw]
+		copy(dst, y.Data)
+		for oc := 0; oc < c.OutC; oc++ {
+			b := c.B.Value.Data[oc]
+			row := dst[oc*ohw : (oc+1)*ohw]
+			for j := range row {
+				row[j] += b
+			}
+		}
+	}
+	return out
+}
+
+// refConv2DBackward returns (dW, dB, dX) for the given input and upstream
+// gradient, without touching the layer's accumulators.
+func refConv2DBackward(c *Conv2D, x, dout *tensor.Tensor) (*tensor.Tensor, []float64, *tensor.Tensor) {
+	n := x.Dim(0)
+	ckk := c.InC * c.KH * c.KW
+	oh := tensor.ConvOut(c.inH, c.KH, c.Stride, c.Pad)
+	ow := tensor.ConvOut(c.inW, c.KW, c.Stride, c.Pad)
+	ohw := oh * ow
+	inSz := c.InC * c.inH * c.inW
+	dw := tensor.New(c.OutC, ckk)
+	db := make([]float64, c.OutC)
+	dx := tensor.New(n, c.InC, c.inH, c.inW)
+	cols := make([]float64, ckk*ohw)
+	for i := 0; i < n; i++ {
+		tensor.Im2Col(x.Data[i*inSz:(i+1)*inSz], c.InC, c.inH, c.inW, c.KH, c.KW, c.Stride, c.Pad, cols)
+		colsT := tensor.FromSlice(cols, ckk, ohw)
+		dyi := tensor.FromSlice(dout.Data[i*c.OutC*ohw:(i+1)*c.OutC*ohw], c.OutC, ohw)
+		dw.AddInPlace(tensor.MatMulTransB(dyi, colsT))
+		for oc := 0; oc < c.OutC; oc++ {
+			for _, v := range dyi.Data[oc*ohw : (oc+1)*ohw] {
+				db[oc] += v
+			}
+		}
+		dcols := tensor.MatMulTransA(c.W.Value, dyi)
+		tensor.Col2Im(dcols.Data, c.InC, c.inH, c.inW, c.KH, c.KW, c.Stride, c.Pad, dx.Data[i*inSz:(i+1)*inSz])
+	}
+	return dw, db, dx
+}
+
+func refConv1DForward(c *Conv1D, x *tensor.Tensor) *tensor.Tensor {
+	n := x.Dim(0)
+	ck := c.InC * c.K
+	ol := c.outL
+	inSz := c.InC * c.inL
+	out := tensor.New(n, c.OutC, ol)
+	cols := make([]float64, ck*ol)
+	for i := 0; i < n; i++ {
+		tensor.Im2Col1D(x.Data[i*inSz:(i+1)*inSz], c.InC, c.inL, c.K, c.Stride, c.Pad, cols)
+		y := tensor.MatMul(c.W.Value, tensor.FromSlice(cols, ck, ol))
+		dst := out.Data[i*c.OutC*ol : (i+1)*c.OutC*ol]
+		copy(dst, y.Data)
+		for oc := 0; oc < c.OutC; oc++ {
+			b := c.B.Value.Data[oc]
+			for j := 0; j < ol; j++ {
+				dst[oc*ol+j] += b
+			}
+		}
+	}
+	return out
+}
+
+func refConv1DBackward(c *Conv1D, x, dout *tensor.Tensor) (*tensor.Tensor, []float64, *tensor.Tensor) {
+	n := x.Dim(0)
+	ck := c.InC * c.K
+	ol := c.outL
+	inSz := c.InC * c.inL
+	dw := tensor.New(c.OutC, ck)
+	db := make([]float64, c.OutC)
+	dx := tensor.New(n, c.InC, c.inL)
+	cols := make([]float64, ck*ol)
+	for i := 0; i < n; i++ {
+		tensor.Im2Col1D(x.Data[i*inSz:(i+1)*inSz], c.InC, c.inL, c.K, c.Stride, c.Pad, cols)
+		colsT := tensor.FromSlice(cols, ck, ol)
+		dyi := tensor.FromSlice(dout.Data[i*c.OutC*ol:(i+1)*c.OutC*ol], c.OutC, ol)
+		dw.AddInPlace(tensor.MatMulTransB(dyi, colsT))
+		for oc := 0; oc < c.OutC; oc++ {
+			for _, v := range dyi.Data[oc*ol : (oc+1)*ol] {
+				db[oc] += v
+			}
+		}
+		dcols := tensor.MatMulTransA(c.W.Value, dyi)
+		tensor.Col2Im1D(dcols.Data, c.InC, c.inL, c.K, c.Stride, c.Pad, dx.Data[i*inSz:(i+1)*inSz])
+	}
+	return dw, db, dx
+}
+
+func fillNormal(t *tensor.Tensor, rng *tensor.RNG) {
+	rng.FillNormal(t, 0, 1)
+}
+
+func assertClose(t *testing.T, name string, got, want []float64, tol float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > tol {
+			t.Fatalf("%s: element %d differs: %v vs %v", name, i, got[i], want[i])
+		}
+	}
+}
+
+func TestConv2DBatchedMatchesReference(t *testing.T) {
+	cases := []struct{ n, inC, h, w, outC, kh, kw, stride, pad int }{
+		{1, 1, 7, 7, 3, 3, 3, 1, 1},
+		{4, 2, 9, 8, 5, 3, 3, 1, 0},
+		{3, 3, 10, 10, 4, 5, 5, 1, 2},
+		{5, 2, 11, 11, 6, 3, 3, 2, 1},
+	}
+	for _, tc := range cases {
+		rng := tensor.NewRNG(7)
+		c := NewConv2D(tc.inC, tc.outC, tc.kh, tc.kw, tc.stride, tc.pad, tc.h, tc.w, rng)
+		x := tensor.New(tc.n, tc.inC, tc.h, tc.w)
+		fillNormal(x, rng)
+		want := refConv2DForward(c, x)
+		got := c.Forward(x, true)
+		assertClose(t, "Conv2D forward", got.Data, want.Data, 1e-12)
+
+		dout := tensor.New(got.Shape()...)
+		fillNormal(dout, rng)
+		wantDW, wantDB, wantDX := refConv2DBackward(c, x, dout)
+		c.W.ZeroGrad()
+		c.B.ZeroGrad()
+		gotDX := c.Backward(dout)
+		assertClose(t, "Conv2D dX", gotDX.Data, wantDX.Data, 1e-12)
+		assertClose(t, "Conv2D dW", c.W.Grad.Data, wantDW.Data, 1e-12)
+		assertClose(t, "Conv2D dB", c.B.Grad.Data, wantDB, 1e-12)
+	}
+}
+
+func TestConv1DBatchedMatchesReference(t *testing.T) {
+	cases := []struct{ n, inC, l, outC, k, stride, pad int }{
+		{1, 1, 16, 4, 5, 1, 2},
+		{4, 2, 20, 3, 3, 1, 0},
+		{3, 2, 25, 5, 5, 3, 2},
+	}
+	for _, tc := range cases {
+		rng := tensor.NewRNG(13)
+		c := NewConv1D(tc.inC, tc.outC, tc.k, tc.stride, tc.pad, tc.l, rng)
+		x := tensor.New(tc.n, tc.inC, tc.l)
+		fillNormal(x, rng)
+		want := refConv1DForward(c, x)
+		got := c.Forward(x, true)
+		assertClose(t, "Conv1D forward", got.Data, want.Data, 1e-12)
+
+		dout := tensor.New(got.Shape()...)
+		fillNormal(dout, rng)
+		wantDW, wantDB, wantDX := refConv1DBackward(c, x, dout)
+		c.W.ZeroGrad()
+		c.B.ZeroGrad()
+		gotDX := c.Backward(dout)
+		assertClose(t, "Conv1D dX", gotDX.Data, wantDX.Data, 1e-12)
+		assertClose(t, "Conv1D dW", c.W.Grad.Data, wantDW.Data, 1e-12)
+		assertClose(t, "Conv1D dB", c.B.Grad.Data, wantDB, 1e-12)
+	}
+}
+
+// TestNetworkVectorRoundTripNoAlloc pins the cached-params fast path:
+// after the first call, flattening into a provided buffer is free.
+func TestNetworkVectorRoundTripNoAlloc(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	net := NewMLP(MLPConfig{In: 12, Classes: 3, Hidden: []int{8}}, rng)
+	v := net.ParamVector()
+	buf := make([]float64, net.NumParams())
+	if a := testing.AllocsPerRun(10, func() { net.ParamVectorInto(buf) }); a > 0 {
+		t.Fatalf("ParamVectorInto allocates %v/run", a)
+	}
+	assertClose(t, "ParamVectorInto", buf, v, 0)
+	if a := testing.AllocsPerRun(10, func() { net.SetParamVector(buf) }); a > 0 {
+		t.Fatalf("SetParamVector allocates %v/run", a)
+	}
+	if a := testing.AllocsPerRun(10, func() { net.ZeroGrad() }); a > 0 {
+		t.Fatalf("ZeroGrad allocates %v/run", a)
+	}
+	if a := testing.AllocsPerRun(10, func() { net.GradVectorInto(buf) }); a > 0 {
+		t.Fatalf("GradVectorInto allocates %v/run", a)
+	}
+}

@@ -5,11 +5,16 @@ import (
 )
 
 // Linear is a fully connected layer: y = x·W + b for x of shape [N, In].
+// The layer owns its output and gradient scratch buffers; tensors
+// returned by Forward/Backward are valid until the next call.
 type Linear struct {
 	In, Out int
 	W, B    *Param
 
-	x *tensor.Tensor // cached input for Backward
+	x  *tensor.Tensor // cached input for Backward
+	y  *tensor.Tensor // forward output [N, Out]
+	dw *tensor.Tensor // per-step weight gradient [In, Out]
+	dx *tensor.Tensor // input gradient [N, In]
 }
 
 // NewLinear constructs a fully connected layer with Xavier-uniform weights.
@@ -30,12 +35,14 @@ func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic(shapeError("Linear", "[N, in]", x.Shape()))
 	}
 	l.x = x
-	y := tensor.MatMul(x, l.W.Value)
-	n := y.Dim(0)
+	n := x.Dim(0)
+	l.y = ensureTensor(l.y, n, l.Out)
+	y := tensor.MatMulInto(l.y, x, l.W.Value)
+	bd := l.B.Value.Data
 	for i := 0; i < n; i++ {
 		row := y.Data[i*l.Out : (i+1)*l.Out]
 		for j := range row {
-			row[j] += l.B.Value.Data[j]
+			row[j] += bd[j]
 		}
 	}
 	return y
@@ -43,7 +50,9 @@ func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward accumulates dW = xᵀ·dy and db = Σ rows(dy), returning dx = dy·Wᵀ.
 func (l *Linear) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	l.W.Grad.AddInPlace(tensor.MatMulTransA(l.x, dy))
+	l.dw = ensureTensor(l.dw, l.In, l.Out)
+	tensor.MatMulTransAInto(l.dw, l.x, dy)
+	l.W.Grad.AddInPlace(l.dw)
 	n := dy.Dim(0)
 	for i := 0; i < n; i++ {
 		row := dy.Data[i*l.Out : (i+1)*l.Out]
@@ -51,7 +60,8 @@ func (l *Linear) Backward(dy *tensor.Tensor) *tensor.Tensor {
 			l.B.Grad.Data[j] += row[j]
 		}
 	}
-	return tensor.MatMulTransB(dy, l.W.Value)
+	l.dx = ensureTensor(l.dx, n, l.In)
+	return tensor.MatMulTransBInto(l.dx, dy, l.W.Value)
 }
 
 // Params returns the weight and bias parameters.

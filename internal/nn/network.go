@@ -9,6 +9,12 @@ import (
 // Network is a sequential feed-forward stack of layers.
 type Network struct {
 	Layers []Layer
+
+	// params caches the flattened parameter list. The layer stack is
+	// fixed at construction, so the cache never needs invalidation; it is
+	// built lazily on first use so zero-value Networks still work.
+	params    []*Param
+	numParams int
 }
 
 // NewNetwork builds a sequential network from layers.
@@ -31,13 +37,18 @@ func (n *Network) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	return grad
 }
 
-// Params collects all trainable parameters in layer order.
+// Params collects all trainable parameters in layer order. The slice is
+// cached (layers are fixed at construction); callers must not mutate it.
 func (n *Network) Params() []*Param {
-	var ps []*Param
-	for _, l := range n.Layers {
-		ps = append(ps, l.Params()...)
+	if n.params == nil {
+		for _, l := range n.Layers {
+			n.params = append(n.params, l.Params()...)
+		}
+		for _, p := range n.params {
+			n.numParams += p.Value.Size()
+		}
 	}
-	return ps
+	return n.params
 }
 
 // ZeroGrad clears every parameter gradient.
@@ -49,22 +60,29 @@ func (n *Network) ZeroGrad() {
 
 // NumParams returns the total number of scalar parameters.
 func (n *Network) NumParams() int {
-	total := 0
-	for _, p := range n.Params() {
-		total += p.Value.Size()
-	}
-	return total
+	n.Params()
+	return n.numParams
 }
 
 // ParamVector copies all parameter values into a single flat vector in
 // layer order. This is the model representation the federated aggregation
 // rules operate on.
 func (n *Network) ParamVector() []float64 {
-	v := make([]float64, 0, n.NumParams())
-	for _, p := range n.Params() {
-		v = append(v, p.Value.Data...)
-	}
+	v := make([]float64, n.NumParams())
+	n.ParamVectorInto(v)
 	return v
+}
+
+// ParamVectorInto copies all parameter values into v, which must have
+// length NumParams(). It performs no allocation.
+func (n *Network) ParamVectorInto(v []float64) {
+	if len(v) != n.NumParams() {
+		panic(fmt.Sprintf("nn: ParamVectorInto destination has length %d, want %d", len(v), n.NumParams()))
+	}
+	off := 0
+	for _, p := range n.Params() {
+		off += copy(v[off:], p.Value.Data)
+	}
 }
 
 // SetParamVector loads a flat vector (as produced by ParamVector) back
@@ -87,9 +105,19 @@ func (n *Network) SetParamVector(v []float64) {
 // GradVector copies all parameter gradients into a single flat vector in
 // layer order.
 func (n *Network) GradVector() []float64 {
-	v := make([]float64, 0, n.NumParams())
-	for _, p := range n.Params() {
-		v = append(v, p.Grad.Data...)
-	}
+	v := make([]float64, n.NumParams())
+	n.GradVectorInto(v)
 	return v
+}
+
+// GradVectorInto copies all parameter gradients into v, which must have
+// length NumParams(). It performs no allocation.
+func (n *Network) GradVectorInto(v []float64) {
+	if len(v) != n.NumParams() {
+		panic(fmt.Sprintf("nn: GradVectorInto destination has length %d, want %d", len(v), n.NumParams()))
+	}
+	off := 0
+	for _, p := range n.Params() {
+		off += copy(v[off:], p.Grad.Data)
+	}
 }

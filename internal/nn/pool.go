@@ -13,6 +13,8 @@ type MaxPool2D struct {
 
 	inShape []int
 	argmax  []int // flat input index of each output element
+	out     *tensor.Tensor
+	dx      *tensor.Tensor
 }
 
 // NewMaxPool2D constructs a max-pooling layer with window and stride k.
@@ -26,7 +28,8 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	oh, ow := h/p.K, w/p.K
 	p.inShape = x.Shape()
-	out := tensor.New(n, c, oh, ow)
+	p.out = ensureTensor(p.out, n, c, oh, ow)
+	out := p.out
 	if len(p.argmax) != out.Size() {
 		p.argmax = make([]int, out.Size())
 	}
@@ -57,7 +60,9 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward routes each output gradient to the argmax input position.
 func (p *MaxPool2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(p.inShape...)
+	p.dx = ensureTensor(p.dx, p.inShape...)
+	dx := p.dx
+	dx.Zero()
 	for oi, ii := range p.argmax {
 		dx.Data[ii] += dy.Data[oi]
 	}
@@ -74,6 +79,8 @@ type MaxPool1D struct {
 
 	inShape []int
 	argmax  []int
+	out     *tensor.Tensor
+	dx      *tensor.Tensor
 }
 
 // NewMaxPool1D constructs a 1-D max-pooling layer with window and stride k.
@@ -87,7 +94,8 @@ func (p *MaxPool1D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, c, l := x.Dim(0), x.Dim(1), x.Dim(2)
 	ol := l / p.K
 	p.inShape = x.Shape()
-	out := tensor.New(n, c, ol)
+	p.out = ensureTensor(p.out, n, c, ol)
+	out := p.out
 	if len(p.argmax) != out.Size() {
 		p.argmax = make([]int, out.Size())
 	}
@@ -113,7 +121,9 @@ func (p *MaxPool1D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward routes each output gradient to the argmax input position.
 func (p *MaxPool1D) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(p.inShape...)
+	p.dx = ensureTensor(p.dx, p.inShape...)
+	dx := p.dx
+	dx.Zero()
 	for oi, ii := range p.argmax {
 		dx.Data[ii] += dy.Data[oi]
 	}

@@ -1,0 +1,39 @@
+package nn
+
+import (
+	"middle/internal/tensor"
+)
+
+// Scratch-buffer helpers. Layers own their output and gradient buffers
+// and reuse them across steps: a tensor returned by Forward/Backward is
+// valid only until the same layer's next Forward/Backward call. Callers
+// that need to retain a result must copy it (see DESIGN.md, "Performance
+// architecture").
+
+// ensureTensor returns t if it already has exactly the given shape,
+// otherwise a freshly allocated zero tensor of that shape. The contents
+// of a reused tensor are unspecified; callers overwrite them fully.
+func ensureTensor(t *tensor.Tensor, shape ...int) *tensor.Tensor {
+	if t != nil && t.Rank() == len(shape) {
+		match := true
+		for i, d := range shape {
+			if t.Dim(i) != d {
+				match = false
+				break
+			}
+		}
+		if match {
+			return t
+		}
+	}
+	return tensor.New(shape...)
+}
+
+// ensureFloats returns s if it already has length n, otherwise a new
+// zeroed slice of length n.
+func ensureFloats(s []float64, n int) []float64 {
+	if len(s) == n {
+		return s
+	}
+	return make([]float64, n)
+}

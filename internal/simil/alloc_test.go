@@ -1,0 +1,108 @@
+package simil
+
+import (
+	"math"
+	"testing"
+)
+
+// Allocation-regression guards for the aggregation hot path: thousands of
+// Sim.StepOnce calls evaluate these over full model vectors, so they must
+// not allocate (Into forms) or allocate exactly the result (allocating
+// forms).
+
+func benchVecs() (a, b []float64) {
+	a = make([]float64, 4096)
+	b = make([]float64, 4096)
+	for i := range a {
+		a[i] = math.Sin(float64(i))
+		b[i] = math.Cos(float64(i) * 0.7)
+	}
+	return a, b
+}
+
+func TestSelectionScoreDoesNotAllocate(t *testing.T) {
+	a, b := benchVecs()
+	var sink float64
+	if allocs := testing.AllocsPerRun(20, func() { sink = SelectionScore(a, b) }); allocs > 0 {
+		t.Fatalf("SelectionScore allocates %v/run, want 0", allocs)
+	}
+	_ = sink
+}
+
+func TestOnDeviceAggregateAllocations(t *testing.T) {
+	a, b := benchVecs()
+	dst := make([]float64, len(a))
+	if allocs := testing.AllocsPerRun(20, func() { OnDeviceAggregateInto(dst, a, b) }); allocs > 0 {
+		t.Fatalf("OnDeviceAggregateInto allocates %v/run, want 0", allocs)
+	}
+	// The allocating form may allocate exactly the result vector.
+	if allocs := testing.AllocsPerRun(20, func() { _, _ = OnDeviceAggregate(a, b) }); allocs > 1 {
+		t.Fatalf("OnDeviceAggregate allocates %v/run, want <= 1", allocs)
+	}
+}
+
+func TestIntoVariantsMatchAllocatingForms(t *testing.T) {
+	a, b := benchVecs()
+	dst := make([]float64, len(a))
+
+	BlendInto(dst, a, b, 0.3)
+	for i, want := range Blend(a, b, 0.3) {
+		if dst[i] != want {
+			t.Fatalf("BlendInto differs at %d", i)
+		}
+	}
+
+	DeltaInto(dst, a, b)
+	for i, want := range Delta(a, b) {
+		if dst[i] != want {
+			t.Fatalf("DeltaInto differs at %d", i)
+		}
+	}
+
+	u := OnDeviceAggregateInto(dst, a, b)
+	want, wantU := OnDeviceAggregate(a, b)
+	if u != wantU {
+		t.Fatalf("utilities differ: %v vs %v", u, wantU)
+	}
+	for i := range dst {
+		if dst[i] != want[i] {
+			t.Fatalf("OnDeviceAggregateInto differs at %d", i)
+		}
+	}
+
+	vecs := [][]float64{a, b}
+	weights := []float64{2, 3}
+	WeightedAverageInto(dst, vecs, weights)
+	for i, w := range WeightedAverage(vecs, weights) {
+		if dst[i] != w {
+			t.Fatalf("WeightedAverageInto differs at %d", i)
+		}
+	}
+}
+
+func TestDotNormsMatchesSeparateReductions(t *testing.T) {
+	a, b := benchVecs()
+	dot, na, nb := DotNorms(a, b)
+	if math.Abs(dot-Dot(a, b)) > 1e-9 || math.Abs(na-Norm(a)) > 1e-12 || math.Abs(nb-Norm(b)) > 1e-12 {
+		t.Fatalf("DotNorms = (%v, %v, %v), want (%v, %v, %v)", dot, na, nb, Dot(a, b), Norm(a), Norm(b))
+	}
+}
+
+func TestSelectionScoreMatchesComposition(t *testing.T) {
+	a, b := benchVecs()
+	got := SelectionScore(a, b)
+	want := -math.Max(Cosine(a, Delta(b, a)), 0)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("SelectionScore fused = %v, composed = %v", got, want)
+	}
+}
+
+func TestWeightedAverageIntoAliasPanics(t *testing.T) {
+	a, b := benchVecs()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when dst aliases a source vector")
+		}
+	}()
+	WeightedAverageInto(a, [][]float64{a, b}, []float64{1, 1})
+}

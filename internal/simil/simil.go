@@ -2,6 +2,13 @@
 // of MIDDLE: the similarity utility U (paper Eq. 8), the on-device model
 // aggregation rule (Eq. 9) and the accumulated update Δw (Eq. 10), all on
 // flat parameter vectors.
+//
+// Every allocating helper has an allocation-free sibling (BlendInto,
+// DeltaInto, WeightedAverageInto, OnDeviceAggregateInto) that writes into
+// a caller-provided destination, and the similarity reductions are fused:
+// DotNorms computes a dot product and both norms in one sweep, and
+// SelectionScore never materialises the Δw vector. Hot loops (thousands
+// of Sim.StepOnce calls over full model vectors) use these forms.
 package simil
 
 import (
@@ -30,15 +37,30 @@ func Norm(a []float64) float64 {
 	return math.Sqrt(s)
 }
 
-// Cosine returns the cosine similarity of a and b. If either vector is
-// (numerically) zero the direction is undefined and Cosine returns 0,
-// which downstream turns into "no aggregation" — the safe choice.
-func Cosine(a, b []float64) float64 {
-	na, nb := Norm(a), Norm(b)
-	if na < 1e-12 || nb < 1e-12 {
+// DotNorms returns ⟨a, b⟩, ‖a‖₂ and ‖b‖₂ computed in a single pass over
+// both vectors — the fused reduction behind Cosine, Utility and
+// SelectionScore.
+func DotNorms(a, b []float64) (dot, normA, normB float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("simil: DotNorms length mismatch %d vs %d", len(a), len(b)))
+	}
+	var d, sa, sb float64
+	for i, av := range a {
+		bv := b[i]
+		d += av * bv
+		sa += av * av
+		sb += bv * bv
+	}
+	return d, math.Sqrt(sa), math.Sqrt(sb)
+}
+
+// cosineFrom turns a fused (dot, ‖a‖, ‖b‖) triple into the clamped cosine
+// similarity, with the zero-vector guard shared by all callers.
+func cosineFrom(dot, normA, normB float64) float64 {
+	if normA < 1e-12 || normB < 1e-12 {
 		return 0
 	}
-	c := Dot(a, b) / (na * nb)
+	c := dot / (normA * normB)
 	// Guard against floating-point drift outside [-1, 1].
 	if c > 1 {
 		c = 1
@@ -49,6 +71,13 @@ func Cosine(a, b []float64) float64 {
 	return c
 }
 
+// Cosine returns the cosine similarity of a and b. If either vector is
+// (numerically) zero the direction is undefined and Cosine returns 0,
+// which downstream turns into "no aggregation" — the safe choice.
+func Cosine(a, b []float64) float64 {
+	return cosineFrom(DotNorms(a, b))
+}
+
 // Utility is the paper's similarity utility (Eq. 8):
 // U(a, b) = max(cos(a, b), 0). Clipping at zero prevents "blind
 // aggregation" of models whose update directions oppose each other.
@@ -56,47 +85,67 @@ func Utility(a, b []float64) float64 {
 	return math.Max(Cosine(a, b), 0)
 }
 
+// BlendInto computes dst = (1−α)·a + α·b elementwise without allocating.
+// dst may alias a or b.
+func BlendInto(dst, a, b []float64, alpha float64) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic(fmt.Sprintf("simil: BlendInto length mismatch dst=%d a=%d b=%d", len(dst), len(a), len(b)))
+	}
+	for i := range a {
+		dst[i] = (1-alpha)*a[i] + alpha*b[i]
+	}
+}
+
 // Blend aggregates two models with an explicit coefficient:
 // out = (1−α)·a + α·b. It is the primitive both the fixed-α analysis
 // (paper §5) and the baselines' 50/50 averaging build on.
 func Blend(a, b []float64, alpha float64) []float64 {
-	if len(a) != len(b) {
-		panic(fmt.Sprintf("simil: Blend length mismatch %d vs %d", len(a), len(b)))
-	}
 	out := make([]float64, len(a))
-	for i := range a {
-		out[i] = (1-alpha)*a[i] + alpha*b[i]
-	}
+	BlendInto(out, a, b, alpha)
 	return out
 }
 
-// OnDeviceAggregate implements the paper's Eq. 9. Given the freshly
-// downloaded edge model wEdge and the device's carried local model
-// wLocal, it computes U = U(wLocal, wEdge) and returns
+// OnDeviceAggregateInto implements the paper's Eq. 9 without allocating.
+// Given the freshly downloaded edge model wEdge and the device's carried
+// local model wLocal, it computes U = U(wLocal, wEdge) and writes
 //
 //	ŵ = wEdge/(1+U) + U·wLocal/(1+U)
 //
-// along with the utility used. With U = 0 the result is exactly the edge
-// model (no aggregation); with U = 1 it is the 50/50 average, so the edge
-// model always dominates or ties.
-func OnDeviceAggregate(wEdge, wLocal []float64) (aggregated []float64, utility float64) {
+// into dst, returning the utility used. With U = 0 the result is exactly
+// the edge model (no aggregation); with U = 1 it is the 50/50 average, so
+// the edge model always dominates or ties. dst may alias wEdge or wLocal.
+func OnDeviceAggregateInto(dst, wEdge, wLocal []float64) (utility float64) {
 	u := Utility(wLocal, wEdge)
 	if u == 0 {
-		return append([]float64(nil), wEdge...), 0
+		copy(dst, wEdge)
+		return 0
 	}
-	return Blend(wEdge, wLocal, u/(1+u)), u
+	BlendInto(dst, wEdge, wLocal, u/(1+u))
+	return u
 }
 
-// Delta returns the accumulated update Δw = w − wRef (paper Eq. 10, with
-// wRef the cloud model).
-func Delta(w, wRef []float64) []float64 {
-	if len(w) != len(wRef) {
-		panic(fmt.Sprintf("simil: Delta length mismatch %d vs %d", len(w), len(wRef)))
+// OnDeviceAggregate is the allocating form of OnDeviceAggregateInto.
+func OnDeviceAggregate(wEdge, wLocal []float64) (aggregated []float64, utility float64) {
+	out := make([]float64, len(wEdge))
+	u := OnDeviceAggregateInto(out, wEdge, wLocal)
+	return out, u
+}
+
+// DeltaInto computes dst = w − wRef (paper Eq. 10, with wRef the cloud
+// model) without allocating. dst may alias w or wRef.
+func DeltaInto(dst, w, wRef []float64) {
+	if len(w) != len(wRef) || len(dst) != len(w) {
+		panic(fmt.Sprintf("simil: DeltaInto length mismatch dst=%d w=%d wRef=%d", len(dst), len(w), len(wRef)))
 	}
-	out := make([]float64, len(w))
 	for i := range w {
-		out[i] = w[i] - wRef[i]
+		dst[i] = w[i] - wRef[i]
 	}
+}
+
+// Delta returns the accumulated update Δw = w − wRef.
+func Delta(w, wRef []float64) []float64 {
+	out := make([]float64, len(w))
+	DeltaInto(out, w, wRef)
 	return out
 }
 
@@ -104,14 +153,29 @@ func Delta(w, wRef []float64) []float64 {
 // operand): −U(w_c, Δw_m) where Δw_m = w_m − w_c. Devices whose
 // accumulated update points *away* from the cloud model (low similarity)
 // score highest — they carry data the global model has not learned yet.
+// The Δw vector is never materialised: the dot product and both norms are
+// accumulated in one fused sweep over the two inputs.
 func SelectionScore(wCloud, wLocal []float64) float64 {
-	return -Utility(wCloud, Delta(wLocal, wCloud))
+	if len(wCloud) != len(wLocal) {
+		panic(fmt.Sprintf("simil: SelectionScore length mismatch %d vs %d", len(wCloud), len(wLocal)))
+	}
+	var dot, sc, sd float64
+	for i, cv := range wCloud {
+		dv := wLocal[i] - cv
+		dot += cv * dv
+		sc += cv * cv
+		sd += dv * dv
+	}
+	return -math.Max(cosineFrom(dot, math.Sqrt(sc), math.Sqrt(sd)), 0)
 }
 
-// WeightedAverage computes Σ wᵢ·vecᵢ / Σ wᵢ over the given model vectors
-// (the FedAvg-style aggregation of paper Eqs. 6 and 7). It panics when
-// vectors disagree in length or all weights are zero.
-func WeightedAverage(vecs [][]float64, weights []float64) []float64 {
+// WeightedAverageInto computes dst = Σ wᵢ·vecᵢ / Σ wᵢ over the given
+// model vectors (the FedAvg-style aggregation of paper Eqs. 6 and 7)
+// without allocating. dst is fully overwritten and must not alias any of
+// the source vectors (the accumulation is multi-pass). It panics when
+// vectors disagree in length, dst aliases a source, or all weights are
+// zero.
+func WeightedAverageInto(dst []float64, vecs [][]float64, weights []float64) {
 	if len(vecs) == 0 {
 		panic("simil: WeightedAverage of no vectors")
 	}
@@ -119,10 +183,16 @@ func WeightedAverage(vecs [][]float64, weights []float64) []float64 {
 		panic(fmt.Sprintf("simil: %d vectors but %d weights", len(vecs), len(weights)))
 	}
 	n := len(vecs[0])
+	if len(dst) != n {
+		panic(fmt.Sprintf("simil: WeightedAverageInto destination has length %d, want %d", len(dst), n))
+	}
 	totalW := 0.0
 	for i, v := range vecs {
 		if len(v) != n {
 			panic(fmt.Sprintf("simil: vector %d has length %d, want %d", i, len(v), n))
+		}
+		if n > 0 && &v[0] == &dst[0] {
+			panic(fmt.Sprintf("simil: WeightedAverageInto destination aliases source vector %d", i))
 		}
 		if weights[i] < 0 {
 			panic(fmt.Sprintf("simil: negative weight %v", weights[i]))
@@ -132,15 +202,24 @@ func WeightedAverage(vecs [][]float64, weights []float64) []float64 {
 	if totalW == 0 {
 		panic("simil: WeightedAverage with all-zero weights")
 	}
-	out := make([]float64, n)
+	clear(dst)
 	for i, v := range vecs {
 		w := weights[i] / totalW
 		if w == 0 {
 			continue
 		}
-		for j := range v {
-			out[j] += w * v[j]
+		for j, vj := range v {
+			dst[j] += w * vj
 		}
 	}
+}
+
+// WeightedAverage is the allocating form of WeightedAverageInto.
+func WeightedAverage(vecs [][]float64, weights []float64) []float64 {
+	if len(vecs) == 0 {
+		panic("simil: WeightedAverage of no vectors")
+	}
+	out := make([]float64, len(vecs[0]))
+	WeightedAverageInto(out, vecs, weights)
 	return out
 }

@@ -1,12 +1,15 @@
 package tensor
 
 // Convolution lowering kernels (im2col / col2im). The nn package builds
-// Conv2D/Conv1D layers on top of these plus MatMul: convolution of one
-// sample becomes a single matrix product
+// Conv2D/Conv1D layers on top of these plus MatMul: convolution of a
+// whole batch becomes a single matrix product
 //
-//	out [OutC, OH*OW] = W [OutC, C*KH*KW] · cols [C*KH*KW, OH*OW]
+//	out [OutC, N*OH*OW] = W [OutC, C*KH*KW] · cols [C*KH*KW, N*OH*OW]
 //
-// which keeps the hot loop in the cache-friendly MatMul kernel.
+// where sample i owns columns [i*OH*OW, (i+1)*OH*OW). The strided
+// variants below write/read one sample's column block inside that batched
+// matrix: row r of the block lives at cols[r*rowStride+...], so samples
+// can be lowered in parallel into disjoint column ranges.
 
 // ConvOut returns the output spatial size of a convolution along one axis.
 func ConvOut(in, kernel, stride, pad int) int {
@@ -20,38 +23,71 @@ func ConvOut(in, kernel, stride, pad int) int {
 func Im2Col(x []float64, c, h, w, kh, kw, stride, pad int, cols []float64) {
 	oh := ConvOut(h, kh, stride, pad)
 	ow := ConvOut(w, kw, stride, pad)
-	ohw := oh * ow
+	Im2ColStrided(x, c, h, w, kh, kw, stride, pad, cols, oh*ow)
+}
+
+// Im2ColStrided lowers a single-sample image x (layout [C, H, W]) into a
+// column block whose row r occupies cols[r*rowStride : r*rowStride+OH*OW].
+// Passing the batched matrix offset by the sample's column start and
+// rowStride = N*OH*OW places the sample inside the batched layout above.
+// Convolutions with stride 1 copy each in-bounds run with copy() instead
+// of per-element indexing.
+func Im2ColStrided(x []float64, c, h, w, kh, kw, stride, pad int, cols []float64, rowStride int) {
+	oh := ConvOut(h, kh, stride, pad)
+	ow := ConvOut(w, kw, stride, pad)
 	row := 0
 	for ch := 0; ch < c; ch++ {
 		chBase := ch * h * w
 		for ky := 0; ky < kh; ky++ {
 			for kx := 0; kx < kw; kx++ {
-				dst := cols[row*ohw : (row+1)*ohw]
-				i := 0
+				dst := cols[row*rowStride : row*rowStride+oh*ow]
 				for oy := 0; oy < oh; oy++ {
+					drow := dst[oy*ow : (oy+1)*ow]
 					iy := oy*stride - pad + ky
 					if iy < 0 || iy >= h {
-						for ox := 0; ox < ow; ox++ {
-							dst[i] = 0
-							i++
-						}
+						clear(drow)
 						continue
 					}
 					rowBase := chBase + iy*w
+					if stride == 1 {
+						lo, hi := inBoundsRange(w, ow, pad, kx)
+						if hi < lo {
+							clear(drow)
+							continue
+						}
+						clear(drow[:lo])
+						copy(drow[lo:hi+1], x[rowBase+lo-pad+kx:rowBase+hi+1-pad+kx])
+						clear(drow[hi+1:])
+						continue
+					}
 					for ox := 0; ox < ow; ox++ {
 						ix := ox*stride - pad + kx
 						if ix < 0 || ix >= w {
-							dst[i] = 0
+							drow[ox] = 0
 						} else {
-							dst[i] = x[rowBase+ix]
+							drow[ox] = x[rowBase+ix]
 						}
-						i++
 					}
 				}
 				row++
 			}
 		}
 	}
+}
+
+// inBoundsRange returns the inclusive output-index range [lo, hi] whose
+// stride-1 input taps ix = ox − pad + kx fall inside [0, w). An empty
+// range reports hi < lo.
+func inBoundsRange(w, ow, pad, kx int) (lo, hi int) {
+	lo = pad - kx
+	if lo < 0 {
+		lo = 0
+	}
+	hi = w - 1 + pad - kx
+	if hi > ow-1 {
+		hi = ow - 1
+	}
+	return lo, hi
 }
 
 // Col2Im scatters a column-matrix gradient (layout [C*KH*KW, OH*OW])
@@ -61,27 +97,44 @@ func Im2Col(x []float64, c, h, w, kh, kw, stride, pad int, cols []float64) {
 func Col2Im(cols []float64, c, h, w, kh, kw, stride, pad int, dx []float64) {
 	oh := ConvOut(h, kh, stride, pad)
 	ow := ConvOut(w, kw, stride, pad)
-	ohw := oh * ow
+	Col2ImStrided(cols, c, h, w, kh, kw, stride, pad, dx, oh*ow)
+}
+
+// Col2ImStrided is the adjoint of Im2ColStrided: it reads the sample's
+// column block (row r at cols[r*rowStride+...]) and accumulates into the
+// image gradient dx (layout [C, H, W]).
+func Col2ImStrided(cols []float64, c, h, w, kh, kw, stride, pad int, dx []float64, rowStride int) {
+	oh := ConvOut(h, kh, stride, pad)
+	ow := ConvOut(w, kw, stride, pad)
 	row := 0
 	for ch := 0; ch < c; ch++ {
 		chBase := ch * h * w
 		for ky := 0; ky < kh; ky++ {
 			for kx := 0; kx < kw; kx++ {
-				src := cols[row*ohw : (row+1)*ohw]
-				i := 0
+				src := cols[row*rowStride : row*rowStride+oh*ow]
 				for oy := 0; oy < oh; oy++ {
 					iy := oy*stride - pad + ky
 					if iy < 0 || iy >= h {
-						i += ow
 						continue
 					}
+					srow := src[oy*ow : (oy+1)*ow]
 					rowBase := chBase + iy*w
+					if stride == 1 {
+						lo, hi := inBoundsRange(w, ow, pad, kx)
+						if hi < lo {
+							continue
+						}
+						drow := dx[rowBase+lo-pad+kx:]
+						for ox := lo; ox <= hi; ox++ {
+							drow[ox-lo] += srow[ox]
+						}
+						continue
+					}
 					for ox := 0; ox < ow; ox++ {
 						ix := ox*stride - pad + kx
 						if ix >= 0 && ix < w {
-							dx[rowBase+ix] += src[i]
+							dx[rowBase+ix] += srow[ox]
 						}
-						i++
 					}
 				}
 				row++
@@ -93,12 +146,31 @@ func Col2Im(cols []float64, c, h, w, kh, kw, stride, pad int, dx []float64) {
 // Im2Col1D lowers a single-sample sequence x (layout [C, L]) to a column
 // matrix cols of layout [C*K, OL].
 func Im2Col1D(x []float64, c, l, k, stride, pad int, cols []float64) {
+	Im2Col1DStrided(x, c, l, k, stride, pad, cols, ConvOut(l, k, stride, pad))
+}
+
+// Im2Col1DStrided lowers a single-sample sequence into a column block
+// whose row r occupies cols[r*rowStride : r*rowStride+OL], mirroring
+// Im2ColStrided for the batched [C*K, N*OL] layout.
+func Im2Col1DStrided(x []float64, c, l, k, stride, pad int, cols []float64, rowStride int) {
 	ol := ConvOut(l, k, stride, pad)
 	row := 0
 	for ch := 0; ch < c; ch++ {
 		chBase := ch * l
 		for kx := 0; kx < k; kx++ {
-			dst := cols[row*ol : (row+1)*ol]
+			dst := cols[row*rowStride : row*rowStride+ol]
+			if stride == 1 {
+				lo, hi := inBoundsRange(l, ol, pad, kx)
+				if hi < lo {
+					clear(dst)
+				} else {
+					clear(dst[:lo])
+					copy(dst[lo:hi+1], x[chBase+lo-pad+kx:chBase+hi+1-pad+kx])
+					clear(dst[hi+1:])
+				}
+				row++
+				continue
+			}
 			for o := 0; o < ol; o++ {
 				ix := o*stride - pad + kx
 				if ix < 0 || ix >= l {
@@ -115,12 +187,28 @@ func Im2Col1D(x []float64, c, l, k, stride, pad int, cols []float64) {
 // Col2Im1D scatters a column-matrix gradient (layout [C*K, OL]) back into
 // a sequence gradient dx (layout [C, L]), accumulating overlaps.
 func Col2Im1D(cols []float64, c, l, k, stride, pad int, dx []float64) {
+	Col2Im1DStrided(cols, c, l, k, stride, pad, dx, ConvOut(l, k, stride, pad))
+}
+
+// Col2Im1DStrided is the adjoint of Im2Col1DStrided.
+func Col2Im1DStrided(cols []float64, c, l, k, stride, pad int, dx []float64, rowStride int) {
 	ol := ConvOut(l, k, stride, pad)
 	row := 0
 	for ch := 0; ch < c; ch++ {
 		chBase := ch * l
 		for kx := 0; kx < k; kx++ {
-			src := cols[row*ol : (row+1)*ol]
+			src := cols[row*rowStride : row*rowStride+ol]
+			if stride == 1 {
+				lo, hi := inBoundsRange(l, ol, pad, kx)
+				if hi >= lo {
+					drow := dx[chBase+lo-pad+kx:]
+					for o := lo; o <= hi; o++ {
+						drow[o-lo] += src[o]
+					}
+				}
+				row++
+				continue
+			}
 			for o := 0; o < ol; o++ {
 				ix := o*stride - pad + kx
 				if ix >= 0 && ix < l {

@@ -2,91 +2,279 @@ package tensor
 
 import "fmt"
 
-// MatMul computes C = A·B for A of shape [m, k] and B of shape [k, n].
-// Rows of the output are computed in parallel; the inner loops are ordered
-// (i, p, j) so the innermost loop streams contiguously through B and C.
-func MatMul(a, b *Tensor) *Tensor {
-	if a.Rank() != 2 || b.Rank() != 2 {
-		panic(fmt.Sprintf("tensor: MatMul requires rank-2 operands, got %v and %v", a.shape, b.shape))
+// Matrix-multiplication kernels. All three variants (plain, Aᵀ·B, A·Bᵀ)
+// share the same structure: the output rows are split into contiguous
+// chunks sized by rowGrain and distributed with ParallelForChunks, and
+// inside a chunk the kernel is tiled over cache-sized panels of the
+// shared dimension and of the output columns, with 4×1 (axpy-style) or
+// 2×2 (dot-style) register blocking in the innermost loops. Each output
+// element's summation order is fixed by the panel loops alone, never by
+// the chunking, so results are bit-identical for every MaxWorkers()
+// setting.
+const (
+	// mmPanelJ bounds the output-column panel so the B panel a chunk
+	// streams stays cache-resident across its rows.
+	mmPanelJ = 512
+	// mmPanelK bounds the shared-dimension panel for the same reason.
+	mmPanelK = 256
+	// mmGrainFlops is the target amount of work per parallel chunk;
+	// smaller chunks drown in scheduling overhead.
+	mmGrainFlops = 1 << 16
+)
+
+// rowGrain picks a row-chunk size so each parallel chunk carries about
+// mmGrainFlops of work (rowWork = flops per output row).
+func rowGrain(m, rowWork int) int {
+	if rowWork < 1 {
+		rowWork = 1
 	}
+	g := mmGrainFlops / rowWork
+	if g < 1 {
+		g = 1
+	}
+	if g > m {
+		g = m
+	}
+	return g
+}
+
+func checkRank2(op string, a, b *Tensor) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: %s requires rank-2 operands, got %v and %v", op, a.shape, b.shape))
+	}
+}
+
+func checkDst(op string, dst *Tensor, m, n int) {
+	if dst.Rank() != 2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: %s destination has shape %v, want [%d %d]", op, dst.shape, m, n))
+	}
+}
+
+// MatMul computes C = A·B for A of shape [m, k] and B of shape [k, n].
+func MatMul(a, b *Tensor) *Tensor {
+	return MatMulInto(New(a.shape[0], b.shape[1]), a, b)
+}
+
+// MatMulInto computes dst = A·B, overwriting dst (shape [m, n]). It
+// performs no allocation, so hot paths can reuse the destination.
+func MatMulInto(dst, a, b *Tensor) *Tensor {
+	checkRank2("MatMul", a, b)
 	m, k := a.shape[0], a.shape[1]
 	k2, n := b.shape[0], b.shape[1]
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMul inner dims differ: %v x %v", a.shape, b.shape))
 	}
-	c := New(m, n)
-	ParallelFor(m, 16, func(i int) {
-		arow := a.Data[i*k : (i+1)*k]
-		crow := c.Data[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
+	checkDst("MatMul", dst, m, n)
+	cd, ad, bd := dst.Data, a.Data, b.Data
+	// The serial path calls the kernel directly: no closure, so the call
+	// is allocation-free with MaxWorkers() == 1.
+	if MaxWorkers() <= 1 {
+		matmulRows(cd, ad, bd, k, n, 0, m)
+		return dst
+	}
+	ParallelForChunks(m, rowGrain(m, k*n), func(lo, hi int) {
+		matmulRows(cd, ad, bd, k, n, lo, hi)
+	})
+	return dst
+}
+
+// matmulRows computes rows [lo, hi) of C = A·B with panel tiling and
+// 4-row register blocking.
+func matmulRows(cd, ad, bd []float64, k, n, lo, hi int) {
+	for jb := 0; jb < n; jb += mmPanelJ {
+		je := min(jb+mmPanelJ, n)
+		w := je - jb
+		for pb := 0; pb < k; pb += mmPanelK {
+			pe := min(pb+mmPanelK, k)
+			first := pb == 0
+			i := lo
+			for ; i+4 <= hi; i += 4 {
+				c0 := cd[i*n+jb : i*n+jb+w]
+				c1 := cd[(i+1)*n+jb : (i+1)*n+jb+w]
+				c2 := cd[(i+2)*n+jb : (i+2)*n+jb+w]
+				c3 := cd[(i+3)*n+jb : (i+3)*n+jb+w]
+				if first {
+					clear(c0)
+					clear(c1)
+					clear(c2)
+					clear(c3)
+				}
+				a0 := ad[i*k+pb : i*k+pe]
+				a1 := ad[(i+1)*k+pb : (i+1)*k+pe]
+				a2 := ad[(i+2)*k+pb : (i+2)*k+pe]
+				a3 := ad[(i+3)*k+pb : (i+3)*k+pe]
+				a1 = a1[:len(a0)]
+				a2 = a2[:len(a0)]
+				a3 = a3[:len(a0)]
+				for pi, av0 := range a0 {
+					p := pb + pi
+					brow := bd[p*n+jb : p*n+jb+w]
+					axpy4(av0, a1[pi], a2[pi], a3[pi], brow, c0, c1, c2, c3)
+				}
 			}
-			brow := b.Data[p*n : (p+1)*n]
-			for j := range brow {
-				crow[j] += av * brow[j]
+			for ; i < hi; i++ {
+				crow := cd[i*n+jb : i*n+jb+w]
+				if first {
+					clear(crow)
+				}
+				arow := ad[i*k+pb : i*k+pe]
+				for pi, av := range arow {
+					if av == 0 {
+						continue
+					}
+					p := pb + pi
+					axpy(av, bd[p*n+jb:p*n+jb+w], crow)
+				}
 			}
 		}
-	})
-	return c
+	}
 }
 
 // MatMulTransA computes C = Aᵀ·B for A of shape [k, m] and B of shape
 // [k, n], producing [m, n], without materialising the transpose.
 func MatMulTransA(a, b *Tensor) *Tensor {
-	if a.Rank() != 2 || b.Rank() != 2 {
-		panic(fmt.Sprintf("tensor: MatMulTransA requires rank-2 operands, got %v and %v", a.shape, b.shape))
-	}
+	return MatMulTransAInto(New(a.shape[1], b.shape[1]), a, b)
+}
+
+// MatMulTransAInto computes dst = Aᵀ·B, overwriting dst (shape [m, n]),
+// without allocating.
+func MatMulTransAInto(dst, a, b *Tensor) *Tensor {
+	checkRank2("MatMulTransA", a, b)
 	k, m := a.shape[0], a.shape[1]
 	k2, n := b.shape[0], b.shape[1]
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMulTransA inner dims differ: %v x %v", a.shape, b.shape))
 	}
-	c := New(m, n)
-	// Parallelise over output rows (columns of A). Each worker owns a
-	// disjoint row of C.
-	ParallelFor(m, 16, func(i int) {
-		crow := c.Data[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := a.Data[p*m+i]
-			if av == 0 {
-				continue
+	checkDst("MatMulTransA", dst, m, n)
+	cd, ad, bd := dst.Data, a.Data, b.Data
+	if MaxWorkers() <= 1 {
+		matmulTransARows(cd, ad, bd, m, k, n, 0, m)
+		return dst
+	}
+	ParallelForChunks(m, rowGrain(m, k*n), func(lo, hi int) {
+		matmulTransARows(cd, ad, bd, m, k, n, lo, hi)
+	})
+	return dst
+}
+
+// matmulTransARows computes rows [lo, hi) of C = Aᵀ·B. Identical
+// structure to matmulRows except the A element for output row i lives at
+// the strided address a[p*m+i]; four adjacent output rows read four
+// adjacent A elements, so the strided loads still hit one cache line.
+func matmulTransARows(cd, ad, bd []float64, m, k, n, lo, hi int) {
+	for jb := 0; jb < n; jb += mmPanelJ {
+		je := min(jb+mmPanelJ, n)
+		w := je - jb
+		for pb := 0; pb < k; pb += mmPanelK {
+			pe := min(pb+mmPanelK, k)
+			first := pb == 0
+			i := lo
+			for ; i+4 <= hi; i += 4 {
+				c0 := cd[i*n+jb : i*n+jb+w]
+				c1 := cd[(i+1)*n+jb : (i+1)*n+jb+w]
+				c2 := cd[(i+2)*n+jb : (i+2)*n+jb+w]
+				c3 := cd[(i+3)*n+jb : (i+3)*n+jb+w]
+				if first {
+					clear(c0)
+					clear(c1)
+					clear(c2)
+					clear(c3)
+				}
+				for p := pb; p < pe; p++ {
+					apos := ad[p*m+i : p*m+i+4]
+					brow := bd[p*n+jb : p*n+jb+w]
+					axpy4(apos[0], apos[1], apos[2], apos[3], brow, c0, c1, c2, c3)
+				}
 			}
-			brow := b.Data[p*n : (p+1)*n]
-			for j := range brow {
-				crow[j] += av * brow[j]
+			for ; i < hi; i++ {
+				crow := cd[i*n+jb : i*n+jb+w]
+				if first {
+					clear(crow)
+				}
+				for p := pb; p < pe; p++ {
+					av := ad[p*m+i]
+					if av == 0 {
+						continue
+					}
+					axpy(av, bd[p*n+jb:p*n+jb+w], crow)
+				}
 			}
 		}
-	})
-	return c
+	}
 }
 
 // MatMulTransB computes C = A·Bᵀ for A of shape [m, k] and B of shape
 // [n, k], producing [m, n], without materialising the transpose.
 func MatMulTransB(a, b *Tensor) *Tensor {
-	if a.Rank() != 2 || b.Rank() != 2 {
-		panic(fmt.Sprintf("tensor: MatMulTransB requires rank-2 operands, got %v and %v", a.shape, b.shape))
-	}
+	return MatMulTransBInto(New(a.shape[0], b.shape[0]), a, b)
+}
+
+// MatMulTransBInto computes dst = A·Bᵀ, overwriting dst (shape [m, n]),
+// without allocating.
+func MatMulTransBInto(dst, a, b *Tensor) *Tensor {
+	checkRank2("MatMulTransB", a, b)
 	m, k := a.shape[0], a.shape[1]
 	n, k2 := b.shape[0], b.shape[1]
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMulTransB inner dims differ: %v x %v", a.shape, b.shape))
 	}
-	c := New(m, n)
-	ParallelFor(m, 16, func(i int) {
-		arow := a.Data[i*k : (i+1)*k]
-		crow := c.Data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b.Data[j*k : (j+1)*k]
-			s := 0.0
-			for p := range arow {
-				s += arow[p] * brow[p]
-			}
-			crow[j] = s
-		}
+	checkDst("MatMulTransB", dst, m, n)
+	cd, ad, bd := dst.Data, a.Data, b.Data
+	if MaxWorkers() <= 1 {
+		matmulTransBRows(cd, ad, bd, k, n, 0, m)
+		return dst
+	}
+	ParallelForChunks(m, rowGrain(m, k*n), func(lo, hi int) {
+		matmulTransBRows(cd, ad, bd, k, n, lo, hi)
 	})
-	return c
+	return dst
+}
+
+// matmulTransBRows computes rows [lo, hi) of C = A·Bᵀ: every output
+// element is a length-k dot product, tiled over k panels with 2×2
+// register blocking so each loaded A/B panel element feeds two
+// accumulating products.
+func matmulTransBRows(cd, ad, bd []float64, k, n, lo, hi int) {
+	for kb := 0; kb < k; kb += mmPanelK {
+		ke := min(kb+mmPanelK, k)
+		first := kb == 0
+		i := lo
+		for ; i+2 <= hi; i += 2 {
+			a0 := ad[i*k+kb : i*k+ke]
+			a1 := ad[(i+1)*k+kb : (i+1)*k+ke]
+			c0 := cd[i*n : (i+1)*n]
+			c1 := cd[(i+1)*n : (i+2)*n]
+			if first {
+				clear(c0)
+				clear(c1)
+			}
+			j := 0
+			for ; j+2 <= n; j += 2 {
+				b0 := bd[j*k+kb : j*k+ke]
+				b1 := bd[(j+1)*k+kb : (j+1)*k+ke]
+				s00, s01, s10, s11 := dot2x2(a0, a1, b0, b1)
+				c0[j] += s00
+				c0[j+1] += s01
+				c1[j] += s10
+				c1[j+1] += s11
+			}
+			for ; j < n; j++ {
+				b0 := bd[j*k+kb : j*k+ke]
+				c0[j] += dotVec(a0, b0)
+				c1[j] += dotVec(a1, b0)
+			}
+		}
+		for ; i < hi; i++ {
+			arow := ad[i*k+kb : i*k+ke]
+			crow := cd[i*n : (i+1)*n]
+			if first {
+				clear(crow)
+			}
+			for j := 0; j < n; j++ {
+				crow[j] += dotVec(arow, bd[j*k+kb:j*k+ke])
+			}
+		}
+	}
 }
 
 // Transpose2D returns the transpose of a rank-2 tensor as a new tensor.

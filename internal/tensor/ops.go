@@ -8,18 +8,14 @@ import (
 // AddInPlace adds u to t elementwise.
 func (t *Tensor) AddInPlace(u *Tensor) *Tensor {
 	t.mustMatch(u, "AddInPlace")
-	for i := range t.Data {
-		t.Data[i] += u.Data[i]
-	}
+	axpy(1, u.Data, t.Data)
 	return t
 }
 
 // SubInPlace subtracts u from t elementwise.
 func (t *Tensor) SubInPlace(u *Tensor) *Tensor {
 	t.mustMatch(u, "SubInPlace")
-	for i := range t.Data {
-		t.Data[i] -= u.Data[i]
-	}
+	axpy(-1, u.Data, t.Data)
 	return t
 }
 
@@ -43,9 +39,7 @@ func (t *Tensor) ScaleInPlace(s float64) *Tensor {
 // AddScaledInPlace performs t += s*u (axpy).
 func (t *Tensor) AddScaledInPlace(s float64, u *Tensor) *Tensor {
 	t.mustMatch(u, "AddScaledInPlace")
-	for i := range t.Data {
-		t.Data[i] += s * u.Data[i]
-	}
+	axpy(s, u.Data, t.Data)
 	return t
 }
 

@@ -3,6 +3,7 @@ package tensor
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // maxWorkers bounds the goroutine fan-out of parallel kernels. It defaults
@@ -31,45 +32,64 @@ func MaxWorkers() int {
 	return maxWorkers
 }
 
-// ParallelFor runs fn(i) for i in [0, n) across at most MaxWorkers()
-// goroutines, splitting the index space into contiguous chunks. The work
-// per index should be independent: results must go to disjoint memory.
-// Small loops (n < grain) run inline to avoid goroutine overhead.
-func ParallelFor(n, grain int, fn func(i int)) {
+// ParallelForChunks splits [0, n) into contiguous chunks of about grain
+// indices and runs fn(lo, hi) for each chunk across at most MaxWorkers()
+// goroutines. Chunks are handed out through an atomic cursor, so fast
+// workers steal the remaining chunks and uneven per-chunk cost balances
+// out. The work must be independent across indices: results must go to
+// disjoint memory, which also makes the output bit-identical for every
+// worker count. With MaxWorkers() == 1, or when a single chunk covers the
+// range, fn runs inline on the calling goroutine (deterministic serial
+// profiling).
+func ParallelForChunks(n, grain int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
 	if grain < 1 {
 		grain = 1
 	}
+	chunks := (n + grain - 1) / grain
 	workers := MaxWorkers()
-	if workers > (n+grain-1)/grain {
-		workers = (n + grain - 1) / grain
+	if workers > chunks {
+		workers = chunks
 	}
 	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
+		fn(0, n)
 		return
 	}
+	var cursor atomic.Int64
 	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
+	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
+		go func() {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				fn(i)
+			for {
+				c := int(cursor.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				lo := c * grain
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
 			}
-		}(lo, hi)
+		}()
 	}
 	wg.Wait()
+}
+
+// ParallelFor runs fn(i) for i in [0, n) across at most MaxWorkers()
+// goroutines. grain controls the chunk size: contiguous chunks of about
+// grain indices are handed out to workers, so a large grain amortises
+// scheduling overhead for cheap bodies and a small grain load-balances
+// expensive ones. The work per index must be independent: results must go
+// to disjoint memory.
+func ParallelFor(n, grain int, fn func(i int)) {
+	ParallelForChunks(n, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
 }

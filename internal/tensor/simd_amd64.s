@@ -1,0 +1,248 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuidAsm(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidAsm(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbvAsm() (eax, edx uint32)
+// Caller must have verified CPUID.1:ECX.OSXSAVE first.
+TEXT ·xgetbvAsm(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func axpyAVX(alpha float64, x, y *float64, n int)
+// y[j] += alpha*x[j] for j in [0, n); n must be a multiple of 4.
+TEXT ·axpyAVX(SB), NOSPLIT, $0-32
+	VBROADCASTSD alpha+0(FP), Y0
+	MOVQ x+8(FP), SI
+	MOVQ y+16(FP), DI
+	MOVQ n+24(FP), CX
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-16, DX
+	CMPQ AX, DX
+	JGE  axpy_tail
+
+axpy_loop16:
+	VMOVUPD (SI)(AX*8), Y1
+	VMOVUPD 32(SI)(AX*8), Y2
+	VMOVUPD 64(SI)(AX*8), Y3
+	VMOVUPD 96(SI)(AX*8), Y4
+	VMOVUPD (DI)(AX*8), Y5
+	VMOVUPD 32(DI)(AX*8), Y6
+	VMOVUPD 64(DI)(AX*8), Y7
+	VMOVUPD 96(DI)(AX*8), Y8
+	VFMADD231PD Y1, Y0, Y5
+	VFMADD231PD Y2, Y0, Y6
+	VFMADD231PD Y3, Y0, Y7
+	VFMADD231PD Y4, Y0, Y8
+	VMOVUPD Y5, (DI)(AX*8)
+	VMOVUPD Y6, 32(DI)(AX*8)
+	VMOVUPD Y7, 64(DI)(AX*8)
+	VMOVUPD Y8, 96(DI)(AX*8)
+	ADDQ $16, AX
+	CMPQ AX, DX
+	JLT  axpy_loop16
+
+axpy_tail:
+	CMPQ AX, CX
+	JGE  axpy_done
+	VMOVUPD (SI)(AX*8), Y1
+	VMOVUPD (DI)(AX*8), Y5
+	VFMADD231PD Y1, Y0, Y5
+	VMOVUPD Y5, (DI)(AX*8)
+	ADDQ $4, AX
+	JMP  axpy_tail
+
+axpy_done:
+	VZEROUPPER
+	RET
+
+// func axpy4AVX(av0, av1, av2, av3 float64, b, c0, c1, c2, c3 *float64, n int)
+// cR[j] += avR*b[j] for four rows; n must be a multiple of 4.
+TEXT ·axpy4AVX(SB), NOSPLIT, $0-80
+	VBROADCASTSD av0+0(FP), Y0
+	VBROADCASTSD av1+8(FP), Y1
+	VBROADCASTSD av2+16(FP), Y2
+	VBROADCASTSD av3+24(FP), Y3
+	MOVQ b+32(FP), SI
+	MOVQ c0+40(FP), DI
+	MOVQ c1+48(FP), R8
+	MOVQ c2+56(FP), R9
+	MOVQ c3+64(FP), R10
+	MOVQ n+72(FP), CX
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-8, DX
+	CMPQ AX, DX
+	JGE  axpy4_tail
+
+axpy4_loop8:
+	VMOVUPD (SI)(AX*8), Y4
+	VMOVUPD 32(SI)(AX*8), Y5
+	VMOVUPD (DI)(AX*8), Y6
+	VMOVUPD 32(DI)(AX*8), Y7
+	VFMADD231PD Y4, Y0, Y6
+	VFMADD231PD Y5, Y0, Y7
+	VMOVUPD Y6, (DI)(AX*8)
+	VMOVUPD Y7, 32(DI)(AX*8)
+	VMOVUPD (R8)(AX*8), Y8
+	VMOVUPD 32(R8)(AX*8), Y9
+	VFMADD231PD Y4, Y1, Y8
+	VFMADD231PD Y5, Y1, Y9
+	VMOVUPD Y8, (R8)(AX*8)
+	VMOVUPD Y9, 32(R8)(AX*8)
+	VMOVUPD (R9)(AX*8), Y10
+	VMOVUPD 32(R9)(AX*8), Y11
+	VFMADD231PD Y4, Y2, Y10
+	VFMADD231PD Y5, Y2, Y11
+	VMOVUPD Y10, (R9)(AX*8)
+	VMOVUPD Y11, 32(R9)(AX*8)
+	VMOVUPD (R10)(AX*8), Y12
+	VMOVUPD 32(R10)(AX*8), Y13
+	VFMADD231PD Y4, Y3, Y12
+	VFMADD231PD Y5, Y3, Y13
+	VMOVUPD Y12, (R10)(AX*8)
+	VMOVUPD Y13, 32(R10)(AX*8)
+	ADDQ $8, AX
+	CMPQ AX, DX
+	JLT  axpy4_loop8
+
+axpy4_tail:
+	CMPQ AX, CX
+	JGE  axpy4_done
+	VMOVUPD (SI)(AX*8), Y4
+	VMOVUPD (DI)(AX*8), Y6
+	VFMADD231PD Y4, Y0, Y6
+	VMOVUPD Y6, (DI)(AX*8)
+	VMOVUPD (R8)(AX*8), Y8
+	VFMADD231PD Y4, Y1, Y8
+	VMOVUPD Y8, (R8)(AX*8)
+	VMOVUPD (R9)(AX*8), Y10
+	VFMADD231PD Y4, Y2, Y10
+	VMOVUPD Y10, (R9)(AX*8)
+	VMOVUPD (R10)(AX*8), Y12
+	VFMADD231PD Y4, Y3, Y12
+	VMOVUPD Y12, (R10)(AX*8)
+	ADDQ $4, AX
+	JMP  axpy4_tail
+
+axpy4_done:
+	VZEROUPPER
+	RET
+
+// func dot2x2AVX(a0, a1, b0, b1 *float64, n int) (s00, s01, s10, s11 float64)
+// Four simultaneous dot products; n must be a multiple of 4. Each result
+// reduces four lanes at the end, so the summation order differs from the
+// scalar kernel but is fixed for a given n.
+TEXT ·dot2x2AVX(SB), NOSPLIT, $0-72
+	MOVQ a0+0(FP), SI
+	MOVQ a1+8(FP), DI
+	MOVQ b0+16(FP), R8
+	MOVQ b1+24(FP), R9
+	MOVQ n+32(FP), CX
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	XORQ AX, AX
+	CMPQ AX, CX
+	JGE  dot2x2_reduce
+
+dot2x2_loop4:
+	VMOVUPD (SI)(AX*8), Y4
+	VMOVUPD (DI)(AX*8), Y5
+	VMOVUPD (R8)(AX*8), Y6
+	VMOVUPD (R9)(AX*8), Y7
+	VFMADD231PD Y6, Y4, Y0
+	VFMADD231PD Y7, Y4, Y1
+	VFMADD231PD Y6, Y5, Y2
+	VFMADD231PD Y7, Y5, Y3
+	ADDQ $4, AX
+	CMPQ AX, CX
+	JLT  dot2x2_loop4
+
+dot2x2_reduce:
+	VEXTRACTF128 $1, Y0, X4
+	VADDPD X4, X0, X0
+	VHADDPD X0, X0, X0
+	VEXTRACTF128 $1, Y1, X5
+	VADDPD X5, X1, X1
+	VHADDPD X1, X1, X1
+	VEXTRACTF128 $1, Y2, X6
+	VADDPD X6, X2, X2
+	VHADDPD X2, X2, X2
+	VEXTRACTF128 $1, Y3, X7
+	VADDPD X7, X3, X3
+	VHADDPD X3, X3, X3
+	MOVSD X0, s00+40(FP)
+	MOVSD X1, s01+48(FP)
+	MOVSD X2, s10+56(FP)
+	MOVSD X3, s11+64(FP)
+	VZEROUPPER
+	RET
+
+// func dotAVX(x, y *float64, n int) float64
+// Dot product with four accumulator chains; n must be a multiple of 4.
+TEXT ·dotAVX(SB), NOSPLIT, $0-32
+	MOVQ x+0(FP), SI
+	MOVQ y+8(FP), DI
+	MOVQ n+16(FP), CX
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-16, DX
+	CMPQ AX, DX
+	JGE  dot_tail
+
+dot_loop16:
+	VMOVUPD (SI)(AX*8), Y4
+	VMOVUPD 32(SI)(AX*8), Y5
+	VMOVUPD 64(SI)(AX*8), Y6
+	VMOVUPD 96(SI)(AX*8), Y7
+	VMOVUPD (DI)(AX*8), Y8
+	VMOVUPD 32(DI)(AX*8), Y9
+	VMOVUPD 64(DI)(AX*8), Y10
+	VMOVUPD 96(DI)(AX*8), Y11
+	VFMADD231PD Y8, Y4, Y0
+	VFMADD231PD Y9, Y5, Y1
+	VFMADD231PD Y10, Y6, Y2
+	VFMADD231PD Y11, Y7, Y3
+	ADDQ $16, AX
+	CMPQ AX, DX
+	JLT  dot_loop16
+
+dot_tail:
+	CMPQ AX, CX
+	JGE  dot_reduce
+	VMOVUPD (SI)(AX*8), Y4
+	VMOVUPD (DI)(AX*8), Y8
+	VFMADD231PD Y8, Y4, Y0
+	ADDQ $4, AX
+	JMP  dot_tail
+
+dot_reduce:
+	VADDPD Y1, Y0, Y0
+	VADDPD Y3, Y2, Y2
+	VADDPD Y2, Y0, Y0
+	VEXTRACTF128 $1, Y0, X4
+	VADDPD X4, X0, X0
+	VHADDPD X0, X0, X0
+	MOVSD X0, ret+24(FP)
+	VZEROUPPER
+	RET

@@ -263,6 +263,13 @@ func OnDeviceAggregate(wEdge, wLocal []float64) (aggregated []float64, utility f
 	return simil.OnDeviceAggregate(wEdge, wLocal)
 }
 
+// OnDeviceAggregateInto is the allocation-free form of OnDeviceAggregate:
+// it writes the aggregated model into dst (which may alias either input)
+// and returns the utility used.
+func OnDeviceAggregateInto(dst, wEdge, wLocal []float64) (utility float64) {
+	return simil.OnDeviceAggregateInto(dst, wEdge, wLocal)
+}
+
 // SelectionScore is the Eq. 12 in-edge selection criterion −U(w_c, Δw_m).
 func SelectionScore(wCloud, wLocal []float64) float64 {
 	return simil.SelectionScore(wCloud, wLocal)

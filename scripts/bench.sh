@@ -1,0 +1,61 @@
+#!/bin/sh
+# Runs the kernel + SimulationStep benchmarks and writes BENCH_1.json
+# with the pre-optimisation seed baselines alongside the fresh numbers.
+# Usage: scripts/bench.sh [benchtime]   (default 10x)
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-10x}"
+OUT="BENCH_1.json"
+PATTERN='^(BenchmarkMatMul128|BenchmarkConv2DForward|BenchmarkLocalTrainingRound|BenchmarkOnDeviceAggregation|BenchmarkOnDeviceAggregationInto|BenchmarkSelectionScoring|BenchmarkSimulationStep)$'
+
+echo "Running benchmarks (benchtime=$BENCHTIME)..."
+RAW=$(go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" .)
+echo "$RAW"
+
+echo "$RAW" | awk -v benchtime="$BENCHTIME" '
+BEGIN {
+    # Seed-commit baselines (same machine, benchtime 10x), recorded
+    # before the batched-conv / allocation-free kernel work.
+    base["MatMul128"]            = "939270 ns/op, 3 allocs/op"
+    base["Conv2DForward"]        = "11282436 ns/op, 297 allocs/op"
+    base["LocalTrainingRound"]   = "316853513 ns/op, 8721 allocs/op"
+    base["OnDeviceAggregation"]  = "235643 ns/op, 1 allocs/op"
+    base["SelectionScoring"]     = "2108078 ns/op, 10 allocs/op"
+    base["SimulationStep"]       = "35278464 ns/op, 28915 allocs/op"
+    n = 0
+}
+/^Benchmark/ {
+    name = $1
+    sub(/^Benchmark/, "", name)
+    sub(/-[0-9]+$/, "", name)
+    names[n] = name
+    ns[name] = $3
+    bytes[name] = $5
+    allocs[name] = $7
+    n++
+}
+END {
+    printf "{\n"
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"baseline_note\": \"seed-commit numbers measured before the batched-conv/alloc-free PR\",\n"
+    printf "  \"benchmarks\": [\n"
+    for (i = 0; i < n; i++) {
+        name = names[i]
+        printf "    {\n"
+        printf "      \"name\": \"%s\",\n", name
+        printf "      \"ns_per_op\": %s,\n", ns[name]
+        printf "      \"bytes_per_op\": %s,\n", bytes[name]
+        printf "      \"allocs_per_op\": %s", allocs[name]
+        if (name in base) {
+            printf ",\n      \"seed_baseline\": \"%s\"\n", base[name]
+        } else {
+            printf "\n"
+        }
+        printf "    }%s\n", (i < n-1 ? "," : "")
+    }
+    printf "  ]\n"
+    printf "}\n"
+}' > "$OUT"
+
+echo "Wrote $OUT"

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Full pre-merge gate: formatting, vet, build, tests, and the race
+# detector on the two packages that spawn goroutines in hot paths.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l . | grep -v '^results/' || true)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:"
+    echo "$unformatted"
+    exit 1
+fi
+echo ok
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (tensor, hfl) =="
+go test -race ./internal/tensor ./internal/hfl
+
+echo "All checks passed."
