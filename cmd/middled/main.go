@@ -49,17 +49,32 @@ func main() {
 		to       = flag.Int("to", 9, "last device id inclusive (devices role)")
 		p        = flag.Float64("p", 0.5, "device mobility probability (devices role)")
 		moveMs   = flag.Int("movems", 2000, "milliseconds between mobility steps (devices role)")
+		metrics  = flag.String("metrics-addr", "", "serve /metrics, /status and /debug/pprof on this address (empty = disabled)")
+		results  = flag.String("results", "", "directory for the run summary JSON (empty = disabled)")
 	)
 	flag.Parse()
 
+	m, err := experiments.StartMetrics(*metrics)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if m != nil {
+		log.Printf("middled: metrics listening on %s", m.Addr())
+		m.SetStatus("role", *role)
+		m.SetStatus("task", *task)
+		m.SetStatus("scale", *scale)
+		defer m.Close()
+	}
+
 	setup := experiments.NewTaskSetup(data.TaskName(*task), experiments.Scale(*scale), *seed)
+	setup.Obs = m.Registry()
 	switch *role {
 	case "cloud":
-		runCloud(setup, *addr, *edgesN, *rounds, *tc, *seed)
+		runCloud(setup, m, *results, *addr, *edgesN, *rounds, *tc, *seed)
 	case "edge":
-		runEdge(setup, *id, *cloud, *addr, *strategy, *k, *seed)
+		runEdge(setup, m, *id, *cloud, *addr, *strategy, *k, *seed)
 	case "devices":
-		runDevices(setup, *edgeList, *from, *to, *p, *moveMs, *seed)
+		runDevices(setup, m, *edgeList, *from, *to, *p, *moveMs, *seed)
 	default:
 		fmt.Fprintln(os.Stderr, "middled: -role must be cloud, edge or devices")
 		flag.Usage()
@@ -67,11 +82,24 @@ func main() {
 	}
 }
 
-func runCloud(setup *experiments.TaskSetup, addr string, edges, rounds, tc int, seed int64) {
+// writeSummary records the run manifest + metrics snapshot (no-op when
+// metrics or -results are disabled).
+func writeSummary(m *experiments.Metrics, dir, name string) {
+	path, err := m.WriteSummary(dir, name, os.Args, nil)
+	if err != nil {
+		log.Printf("middled: writing summary: %v", err)
+		return
+	}
+	if path != "" {
+		log.Printf("middled: wrote summary %s", path)
+	}
+}
+
+func runCloud(setup *experiments.TaskSetup, m *experiments.Metrics, results, addr string, edges, rounds, tc int, seed int64) {
 	init := setup.Factory(tensor.Split(seed, 0)).ParamVector()
 	c, err := fednet.NewCloud(fednet.CloudConfig{
 		Addr: addr, Edges: edges, Rounds: rounds, CloudInterval: tc,
-		InitModel: init, Logf: log.Printf,
+		InitModel: init, Logf: log.Printf, Obs: m.Registry(),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -81,9 +109,10 @@ func runCloud(setup *experiments.TaskSetup, addr string, edges, rounds, tc int, 
 		log.Fatal(err)
 	}
 	log.Printf("middled: training complete")
+	writeSummary(m, results, "middled-cloud")
 }
 
-func runEdge(setup *experiments.TaskSetup, id int, cloudAddr, addr, strategy string, k int, seed int64) {
+func runEdge(setup *experiments.TaskSetup, m *experiments.Metrics, id int, cloudAddr, addr, strategy string, k int, seed int64) {
 	if cloudAddr == "" {
 		log.Fatal("middled: edge role requires -cloud")
 	}
@@ -94,6 +123,7 @@ func runEdge(setup *experiments.TaskSetup, id int, cloudAddr, addr, strategy str
 	e, err := fednet.NewEdge(fednet.EdgeConfig{
 		EdgeID: id, CloudAddr: cloudAddr, Addr: addr,
 		K: k, Strategy: strat, Seed: seed, Logf: log.Printf,
+		Obs: m.Registry(),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -104,7 +134,7 @@ func runEdge(setup *experiments.TaskSetup, id int, cloudAddr, addr, strategy str
 	}
 }
 
-func runDevices(setup *experiments.TaskSetup, edgeList string, from, to int, p float64, moveMs int, seed int64) {
+func runDevices(setup *experiments.TaskSetup, m *experiments.Metrics, edgeList string, from, to int, p float64, moveMs int, seed int64) {
 	addrs := strings.Split(edgeList, ",")
 	if len(addrs) == 0 || addrs[0] == "" {
 		log.Fatal("middled: devices role requires -edgeaddrs")
@@ -125,7 +155,7 @@ func runDevices(setup *experiments.TaskSetup, edgeList string, from, to int, p f
 			Factory:    setup.Factory,
 			Optimizer:  setup.Optimizer.New(),
 			LocalSteps: setup.I, BatchSize: setup.BatchSize,
-			Mode: mode, Seed: seed,
+			Mode: mode, Seed: seed, Obs: m.Registry(),
 		})
 		if err != nil {
 			log.Fatal(err)

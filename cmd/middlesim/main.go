@@ -23,6 +23,7 @@ import (
 
 	"middle"
 	"middle/internal/data"
+	"middle/internal/experiments"
 )
 
 func main() {
@@ -39,6 +40,8 @@ func main() {
 		smooth     = flag.Int("smooth", 1, "smoothing window for printed curves")
 		seeds      = flag.Int("seeds", 1, "number of seeds to average (fig6 only)")
 		saveModel  = flag.String("savemodel", "", "write the final global model checkpoint here (-exp run only)")
+		maddr      = flag.String("metrics-addr", "", "serve /metrics, /status and /debug/pprof on this address (empty = disabled)")
+		results    = flag.String("results", "", "directory for the run summary JSON (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -49,6 +52,18 @@ func main() {
 	strats, err := parseStrategies(*strategies)
 	if err != nil {
 		fatalf("%v", err)
+	}
+
+	metrics, err = experiments.StartMetrics(*maddr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if metrics != nil {
+		fmt.Printf("middlesim: metrics listening on %s\n", metrics.Addr())
+		metrics.SetStatus("experiment", *exp)
+		metrics.SetStatus("task", *task)
+		metrics.SetStatus("scale", *scaleFlag)
+		defer metrics.Close()
 	}
 
 	switch *exp {
@@ -88,6 +103,24 @@ func main() {
 	default:
 		fatalf("unknown experiment %q", *exp)
 	}
+
+	if path, err := metrics.WriteSummary(*results, "middlesim-"+*exp, os.Args,
+		map[string]any{"task": *task, "scale": *scaleFlag, "seed": *seed}); err != nil {
+		fatalf("writing summary: %v", err)
+	} else if path != "" {
+		fmt.Printf("middlesim: wrote summary %s\n", path)
+	}
+}
+
+// metrics is the process-wide observability handle (nil when
+// -metrics-addr is unset); newSetup threads its registry into every
+// experiment configuration.
+var metrics *experiments.Metrics
+
+func newSetup(task middle.TaskName, scale middle.Scale, seed int64) *middle.TaskSetup {
+	s := middle.NewTaskSetup(task, scale, seed)
+	s.Obs = metrics.Registry()
+	return s
 }
 
 func fatalf(format string, args ...any) {
@@ -212,7 +245,7 @@ func transpose(in [][]float64) [][]float64 {
 
 func runFig6(task middle.TaskName, scale middle.Scale, strats []middle.Strategy, p float64, seed int64, steps int, csvDir string, smooth int) {
 	fmt.Printf("=== Figure 6 (%s): time-to-accuracy, P=%.2f (scale=%s) ===\n", task, p, scale)
-	setup := middle.NewTaskSetup(task, scale, seed)
+	setup := newSetup(task, scale, seed)
 	r := middle.RunFig6(setup, strats, p, seed, steps)
 	fmt.Print(middle.LineChart("global accuracy over time steps", smoothAll(r.Curves, smooth), 70, 16))
 	fmt.Println(r.SpeedupTable())
@@ -234,7 +267,7 @@ func runFig6Seeds(task middle.TaskName, scale middle.Scale, strats []middle.Stra
 func runFig7(task middle.TaskName, scale middle.Scale, strats []middle.Strategy, seed int64, steps int) {
 	ps := []float64{0.1, 0.3, 0.5}
 	fmt.Printf("=== Figure 7 (%s): final accuracy vs global mobility P (scale=%s) ===\n", task, scale)
-	setup := middle.NewTaskSetup(task, scale, seed)
+	setup := newSetup(task, scale, seed)
 	r := middle.RunFig7(setup, strats, ps, seed, steps)
 	groups := make([]string, len(ps))
 	for i, p := range ps {
@@ -247,7 +280,7 @@ func runFig7(task middle.TaskName, scale middle.Scale, strats []middle.Strategy,
 func runFig8(task middle.TaskName, scale middle.Scale, p float64, seed int64, steps int, csvDir string, smooth int) {
 	tcs := []int{5, 10, 20}
 	fmt.Printf("=== Figure 8 (%s): MIDDLE vs OORT across T_c (scale=%s) ===\n", task, scale)
-	setup := middle.NewTaskSetup(task, scale, seed)
+	setup := newSetup(task, scale, seed)
 	r := middle.RunFig8(setup, []middle.Strategy{middle.MIDDLE(), middle.OORT()}, tcs, p, seed, steps)
 	fmt.Print(middle.LineChart("global accuracy over time steps", smoothAll(r.Curves, smooth), 70, 16))
 	for _, c := range r.Curves {
@@ -261,7 +294,7 @@ func runFig8(task middle.TaskName, scale middle.Scale, p float64, seed int64, st
 
 func runAblation(task middle.TaskName, scale middle.Scale, p float64, seed int64, steps int, csvDir string, smooth int) {
 	fmt.Printf("=== Ablation (%s): MIDDLE vs its two mechanisms in isolation (scale=%s) ===\n", task, scale)
-	setup := middle.NewTaskSetup(task, scale, seed)
+	setup := newSetup(task, scale, seed)
 	r := middle.RunAblation(setup, p, seed, steps)
 	fmt.Print(middle.LineChart("global accuracy over time steps", smoothAll(r.Curves, smooth), 70, 16))
 	fmt.Println(r.Table())
@@ -270,7 +303,7 @@ func runAblation(task middle.TaskName, scale middle.Scale, p float64, seed int64
 
 func runMobilityModels(task middle.TaskName, scale middle.Scale, p float64, seed int64, steps int) {
 	fmt.Printf("=== Mobility models (%s): MIDDLE under Markov vs random waypoint (scale=%s) ===\n", task, scale)
-	setup := middle.NewTaskSetup(task, scale, seed)
+	setup := newSetup(task, scale, seed)
 	r := middle.RunMobilityModels(setup, p, seed, steps)
 	fmt.Print(middle.LineChart("global accuracy over time steps", r.Curves, 70, 14))
 	for name, ep := range r.EmpiricalP {
@@ -307,7 +340,7 @@ func runSingle(task middle.TaskName, scale middle.Scale, strategy string, p floa
 	if err != nil {
 		fatalf("%v", err)
 	}
-	setup := middle.NewTaskSetup(task, scale, seed)
+	setup := newSetup(task, scale, seed)
 	part := setup.Partition(seed)
 	mob := middle.NewMarkovMobility(setup.Edges, setup.Devices, p, seed+11)
 	sim := middle.NewSimulation(setup.Config(seed, steps), setup.Factory, part, setup.Test, mob, strat)

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"time"
+
+	"middle/internal/obs"
+	"middle/internal/tensor"
+)
+
+// Metrics bundles the opt-in observability wiring shared by the
+// command-line daemons: one registry carrying process, tensor-kernel
+// and (via TaskSetup.Obs / fednet configs) run metrics, a status board
+// for the JSON endpoint, and the HTTP listener serving /metrics,
+// /status and /debug/pprof. A nil *Metrics is the disabled mode: every
+// method is a no-op and Registry() returns nil, which all instruments
+// accept.
+type Metrics struct {
+	reg     *obs.Registry
+	status  *obs.Status
+	server  *obs.Server
+	started time.Time
+}
+
+// StartMetrics starts the introspection listener on addr. An empty
+// addr disables observability entirely: it returns (nil, nil) and the
+// nil *Metrics threads a nil registry through the stack. Kernel-stats
+// collection in the tensor package is switched on so the
+// tensor_kernel_* gauges report live counts.
+func StartMetrics(addr string) (*Metrics, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	r := obs.NewRegistry()
+	obs.RegisterProcessMetrics(r)
+	registerTensorMetrics(r)
+	status := obs.NewStatus()
+	srv, err := obs.StartServer(obs.ServerConfig{Addr: addr, Registry: r, Status: status})
+	if err != nil {
+		return nil, err
+	}
+	return &Metrics{reg: r, status: status, server: srv, started: time.Now()}, nil
+}
+
+// registerTensorMetrics bridges the tensor package's dependency-free
+// kernel counters into the registry as scrape-time gauges.
+func registerTensorMetrics(r *obs.Registry) {
+	tensor.EnableKernelStats(true)
+	r.GaugeFunc("tensor_kernel_matmul_calls", func() float64 {
+		return float64(tensor.ReadKernelStats().MatMulCalls)
+	})
+	r.GaugeFunc("tensor_kernel_im2col_calls", func() float64 {
+		return float64(tensor.ReadKernelStats().Im2ColCalls)
+	})
+	r.GaugeFunc("tensor_kernel_col2im_calls", func() float64 {
+		return float64(tensor.ReadKernelStats().Col2ImCalls)
+	})
+	r.GaugeFunc("tensor_parallel_launches", func() float64 {
+		return float64(tensor.ReadKernelStats().ParallelLaunches)
+	})
+	r.GaugeFunc("tensor_parallel_inline", func() float64 {
+		return float64(tensor.ReadKernelStats().ParallelInline)
+	})
+	r.GaugeFunc("tensor_parallel_occupancy", func() float64 {
+		s := tensor.ReadKernelStats()
+		if s.ParallelLaunches == 0 {
+			return 0
+		}
+		return float64(s.ParallelWorkers) / float64(s.ParallelLaunches)
+	})
+}
+
+// Registry returns the backing registry (nil when disabled).
+func (m *Metrics) Registry() *obs.Registry {
+	if m == nil {
+		return nil
+	}
+	return m.reg
+}
+
+// Addr returns the resolved listen address ("" when disabled).
+func (m *Metrics) Addr() string {
+	if m == nil {
+		return ""
+	}
+	return m.server.Addr()
+}
+
+// SetStatus publishes a key on the /status board.
+func (m *Metrics) SetStatus(key string, value any) {
+	if m == nil {
+		return
+	}
+	m.status.Set(key, value)
+}
+
+// Close stops the HTTP listener.
+func (m *Metrics) Close() {
+	if m != nil {
+		m.server.Close()
+	}
+}
+
+// WriteSummary writes the run manifest plus a snapshot of every metric
+// to dir/<name>-<timestamp>.json and returns the path. Disabled mode
+// or an empty dir writes nothing and returns "".
+func (m *Metrics) WriteSummary(dir, name string, command []string, extra map[string]any) (string, error) {
+	if m == nil || dir == "" {
+		return "", nil
+	}
+	now := time.Now()
+	path := obs.SummaryPath(dir, name, now)
+	err := obs.WriteSummary(path, obs.Manifest{
+		Name:     name,
+		Command:  command,
+		Started:  m.started,
+		Finished: now,
+		Extra:    extra,
+	}, m.reg)
+	if err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -13,6 +13,7 @@ import (
 	"middle/internal/hfl"
 	"middle/internal/mobility"
 	"middle/internal/nn"
+	"middle/internal/obs"
 	"middle/internal/tensor"
 )
 
@@ -58,6 +59,9 @@ type TaskSetup struct {
 	// loss-based selection is only competitive against noise-free data).
 	NoisyDeviceFrac float64
 	NoisyLabelFrac  float64
+	// Obs, when set, is threaded into every simulation Config this setup
+	// produces, so one registry collects the whole experiment's metrics.
+	Obs *obs.Registry
 }
 
 // NewTaskSetup builds the setup for one of the four paper tasks.
@@ -182,6 +186,7 @@ func (s *TaskSetup) Config(seed int64, steps int) hfl.Config {
 		EvalEvery:     s.EvalEvery,
 		EvalSamples:   0,
 		Optimizer:     s.Optimizer,
+		Obs:           s.Obs,
 	}
 }
 

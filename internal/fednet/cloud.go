@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"middle/internal/obs"
 	"middle/internal/simil"
 )
 
@@ -33,6 +34,9 @@ type CloudConfig struct {
 	// before the next round starts. Demo harnesses use it to move
 	// devices between edges at round boundaries.
 	OnRound func(round int)
+	// Obs, when set, receives per-message byte/latency metrics
+	// (fednet_* series). Nil disables metrics at near-zero cost.
+	Obs *obs.Registry
 }
 
 // Cloud coordinates rounds across edge servers. It is the lockstep
@@ -40,6 +44,7 @@ type CloudConfig struct {
 type Cloud struct {
 	cfg CloudConfig
 	ln  net.Listener
+	m   cloudMetrics
 
 	mu     sync.Mutex
 	global []float64
@@ -61,7 +66,12 @@ func NewCloud(cfg CloudConfig) (*Cloud, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fednet: cloud listen: %w", err)
 	}
-	return &Cloud{cfg: cfg, ln: ln, global: append([]float64(nil), cfg.InitModel...)}, nil
+	return &Cloud{
+		cfg:    cfg,
+		ln:     ln,
+		m:      newCloudMetrics(cfg.Obs),
+		global: append([]float64(nil), cfg.InitModel...),
+	}, nil
 }
 
 // Addr returns the cloud's listen address.
@@ -92,7 +102,7 @@ func (c *Cloud) Run() error {
 		}
 		conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
 		var reg RegisterEdge
-		t, _, err := ReadMsg(conn, &reg)
+		t, _, err := c.m.link.readMsg(conn, &reg)
 		if err != nil || t != MsgRegisterEdge {
 			conn.Close()
 			log.Printf("fednet: cloud rejected connection (type %d, err %v)", t, err)
@@ -104,7 +114,7 @@ func (c *Cloud) Run() error {
 	defer func() {
 		for _, e := range edges {
 			e.conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
-			_ = WriteMsg(e.conn, MsgShutdown, struct{}{}, nil)
+			_ = c.m.link.writeMsg(e.conn, MsgShutdown, struct{}{}, nil)
 			e.conn.Close()
 		}
 	}()
@@ -112,16 +122,18 @@ func (c *Cloud) Run() error {
 	// Distribute the initial global model.
 	for _, e := range edges {
 		e.conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
-		if err := WriteMsg(e.conn, MsgGlobalModel, struct{}{}, c.global); err != nil {
+		if err := c.m.link.writeMsg(e.conn, MsgGlobalModel, struct{}{}, c.global); err != nil {
 			return fmt.Errorf("fednet: cloud sending init model to edge %d: %w", e.id, err)
 		}
 	}
 
 	for r := 1; r <= c.cfg.Rounds; r++ {
+		roundTok := c.m.roundSpan.Begin()
 		sync := r%c.cfg.CloudInterval == 0
 		for _, e := range edges {
 			e.conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
-			if err := WriteMsg(e.conn, MsgRoundStart, RoundStart{Round: r, Sync: sync}, nil); err != nil {
+			if err := c.m.link.writeMsg(e.conn, MsgRoundStart, RoundStart{Round: r, Sync: sync}, nil); err != nil {
+				countTimeout(c.m.timeouts, err)
 				return fmt.Errorf("fednet: cloud starting round %d on edge %d: %w", r, e.id, err)
 			}
 		}
@@ -130,8 +142,9 @@ func (c *Cloud) Run() error {
 		for _, e := range edges {
 			e.conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
 			var done RoundDone
-			t, vec, err := ReadMsg(e.conn, &done)
+			t, vec, err := c.m.link.readMsg(e.conn, &done)
 			if err != nil || t != MsgRoundDone {
+				countTimeout(c.m.timeouts, err)
 				return fmt.Errorf("fednet: cloud waiting for edge %d round %d: type %d, %v", e.id, r, t, err)
 			}
 			if done.Round != r {
@@ -150,12 +163,16 @@ func (c *Cloud) Run() error {
 			}
 			for _, e := range edges {
 				e.conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
-				if err := WriteMsg(e.conn, MsgGlobalModel, struct{}{}, c.GlobalModel()); err != nil {
+				if err := c.m.link.writeMsg(e.conn, MsgGlobalModel, struct{}{}, c.GlobalModel()); err != nil {
+					countTimeout(c.m.timeouts, err)
 					return fmt.Errorf("fednet: cloud broadcasting global model to edge %d: %w", e.id, err)
 				}
 			}
+			c.m.syncs.Inc()
 			c.cfg.Logf("cloud: round %d synced %d edge models", r, len(vecs))
 		}
+		c.m.rounds.Inc()
+		roundTok.End()
 		if c.cfg.OnRound != nil {
 			c.cfg.OnRound(r)
 		}

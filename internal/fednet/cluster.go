@@ -8,6 +8,7 @@ import (
 	"middle/internal/hfl"
 	"middle/internal/mobility"
 	"middle/internal/nn"
+	"middle/internal/obs"
 	"middle/internal/tensor"
 )
 
@@ -27,6 +28,9 @@ type ClusterConfig struct {
 	Mobility      mobility.Model
 	Seed          int64
 	Logf          func(format string, args ...any)
+	// Obs, when set, is threaded into every component so one registry
+	// reports the whole deployment's fednet_* series.
+	Obs *obs.Registry
 }
 
 // Cluster is a running deployment.
@@ -69,6 +73,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 			}
 			if err := c.devices[m].Connect(e, c.edges[e].Addr()); err != nil {
 				cfg.Logf("cluster: device %d failed to move to edge %d: %v", m, e, err)
+				cfg.Obs.Counter("fednet_move_errors_total").Inc()
 				c.mu.Lock()
 				c.moveErrs++
 				c.mu.Unlock()
@@ -80,7 +85,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	cloud, err := NewCloud(CloudConfig{
 		Addr: "127.0.0.1:0", Edges: numEdges, Rounds: cfg.Rounds,
 		CloudInterval: cfg.CloudInterval, InitModel: init,
-		Logf: cfg.Logf, OnRound: onRound,
+		Logf: cfg.Logf, OnRound: onRound, Obs: cfg.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -91,6 +96,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		edge, err := NewEdge(EdgeConfig{
 			EdgeID: e, CloudAddr: cloud.Addr(), Addr: "127.0.0.1:0",
 			K: cfg.K, Strategy: cfg.Strategy, Seed: cfg.Seed, Logf: cfg.Logf,
+			Obs: cfg.Obs,
 		})
 		if err != nil {
 			return nil, err
@@ -106,7 +112,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 			Factory:    cfg.Factory,
 			Optimizer:  cfg.Optimizer.New(),
 			LocalSteps: cfg.LocalSteps, BatchSize: cfg.BatchSize,
-			Mode: mode, Seed: cfg.Seed,
+			Mode: mode, Seed: cfg.Seed, Obs: cfg.Obs,
 		})
 		if err != nil {
 			return nil, err

@@ -10,6 +10,7 @@ import (
 
 	"middle/internal/data"
 	"middle/internal/nn"
+	"middle/internal/obs"
 	"middle/internal/optim"
 	"middle/internal/simil"
 	"middle/internal/tensor"
@@ -64,6 +65,9 @@ type DeviceConfig struct {
 	Seed int64
 	// Timeout bounds network operations (default 30 s).
 	Timeout time.Duration
+	// Obs, when set, receives per-message byte/latency metrics
+	// (fednet_* series). Nil disables metrics at near-zero cost.
+	Obs *obs.Registry
 }
 
 // Device is a mobile client. Connect attaches it to an edge (closing any
@@ -72,6 +76,7 @@ type DeviceConfig struct {
 type Device struct {
 	cfg DeviceConfig
 	net *nn.Network
+	m   deviceMetrics
 
 	mu       sync.Mutex
 	conn     net.Conn
@@ -101,6 +106,7 @@ func NewDevice(cfg DeviceConfig) (*Device, error) {
 	return &Device{
 		cfg:      cfg,
 		net:      cfg.Factory(tensor.Split(cfg.Seed, int64(1000+cfg.DeviceID))),
+		m:        newDeviceMetrics(cfg.Obs),
 		prevEdge: -1,
 	}, nil
 }
@@ -116,7 +122,7 @@ func (d *Device) Connect(edgeID int, addr string) error {
 	}
 	conn.SetDeadline(time.Now().Add(d.cfg.Timeout))
 	reg := RegisterDevice{DeviceID: d.cfg.DeviceID, DataSize: len(d.cfg.Indices), PrevEdge: d.prevEdge}
-	if err := WriteMsg(conn, MsgRegisterDevice, reg, nil); err != nil {
+	if err := d.m.link.writeMsg(conn, MsgRegisterDevice, reg, nil); err != nil {
 		conn.Close()
 		return fmt.Errorf("fednet: device %d registering at edge %d: %w", d.cfg.DeviceID, edgeID, err)
 	}
@@ -167,7 +173,7 @@ func (d *Device) serve(conn net.Conn, edgeID int, done chan struct{}) {
 	defer conn.Close()
 	for {
 		var req TrainRequest
-		t, edgeModel, err := ReadMsg(conn, &req)
+		t, edgeModel, err := d.m.link.readMsg(conn, &req)
 		if err != nil {
 			if !errors.Is(err, net.ErrClosed) {
 				// Connection dropped (edge gone or we moved): just stop.
@@ -182,9 +188,11 @@ func (d *Device) serve(conn net.Conn, edgeID int, done chan struct{}) {
 		default:
 			return
 		}
+		trainTok := d.m.trainSpan.Begin()
 		vec, reply := d.train(req, edgeModel, edgeID)
+		trainTok.End()
 		conn.SetDeadline(time.Now().Add(d.cfg.Timeout))
-		if err := WriteMsg(conn, MsgTrainReply, reply, vec); err != nil {
+		if err := d.m.link.writeMsg(conn, MsgTrainReply, reply, vec); err != nil {
 			return
 		}
 		conn.SetDeadline(time.Time{})

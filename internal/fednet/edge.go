@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"middle/internal/hfl"
+	"middle/internal/obs"
 	"middle/internal/simil"
 	"middle/internal/tensor"
 )
@@ -29,6 +30,9 @@ type EdgeConfig struct {
 	Timeout time.Duration
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...any)
+	// Obs, when set, receives per-message byte/latency metrics
+	// (fednet_* series). Nil disables metrics at near-zero cost.
+	Obs *obs.Registry
 }
 
 // deviceState is the edge's cached knowledge about one connected device —
@@ -51,6 +55,7 @@ type deviceState struct {
 type Edge struct {
 	cfg EdgeConfig
 	ln  net.Listener
+	m   edgeMetrics
 
 	mu      sync.Mutex
 	devices map[int]*deviceState
@@ -76,7 +81,7 @@ func NewEdge(cfg EdgeConfig) (*Edge, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fednet: edge %d listen: %w", cfg.EdgeID, err)
 	}
-	return &Edge{cfg: cfg, ln: ln, devices: map[int]*deviceState{}}, nil
+	return &Edge{cfg: cfg, ln: ln, m: newEdgeMetrics(cfg.Obs), devices: map[int]*deviceState{}}, nil
 }
 
 // Addr returns the edge's device-facing listen address.
@@ -92,7 +97,7 @@ func (e *Edge) acceptLoop() {
 		go func(conn net.Conn) {
 			conn.SetDeadline(time.Now().Add(e.cfg.Timeout))
 			var reg RegisterDevice
-			t, _, err := ReadMsg(conn, &reg)
+			t, _, err := e.m.deviceLink.readMsg(conn, &reg)
 			if err != nil || t != MsgRegisterDevice {
 				conn.Close()
 				return
@@ -101,6 +106,7 @@ func (e *Edge) acceptLoop() {
 			e.mu.Lock()
 			if old, ok := e.devices[reg.DeviceID]; ok {
 				old.conn.Close()
+				e.m.reconnects.Inc()
 			}
 			e.devices[reg.DeviceID] = &deviceState{
 				conn:        conn,
@@ -137,10 +143,10 @@ func (e *Edge) Run() error {
 	}
 	defer cloud.Close()
 	cloud.SetDeadline(time.Now().Add(e.cfg.Timeout))
-	if err := WriteMsg(cloud, MsgRegisterEdge, RegisterEdge{EdgeID: e.cfg.EdgeID}, nil); err != nil {
+	if err := e.m.cloudLink.writeMsg(cloud, MsgRegisterEdge, RegisterEdge{EdgeID: e.cfg.EdgeID}, nil); err != nil {
 		return fmt.Errorf("fednet: edge %d registering: %w", e.cfg.EdgeID, err)
 	}
-	t, vec, err := ReadMsg(cloud, nil)
+	t, vec, err := e.m.cloudLink.readMsg(cloud, nil)
 	if err != nil || t != MsgGlobalModel {
 		return fmt.Errorf("fednet: edge %d waiting for init model: type %d, %v", e.cfg.EdgeID, t, err)
 	}
@@ -152,7 +158,7 @@ func (e *Edge) Run() error {
 	for {
 		cloud.SetDeadline(time.Time{}) // rounds may start at any time
 		var rs RoundStart
-		t, _, err := ReadMsg(cloud, &rs)
+		t, _, err := e.m.cloudLink.readMsg(cloud, &rs)
 		if err != nil {
 			return fmt.Errorf("fednet: edge %d reading round start: %w", e.cfg.EdgeID, err)
 		}
@@ -165,7 +171,9 @@ func (e *Edge) Run() error {
 			return fmt.Errorf("fednet: edge %d unexpected message type %d", e.cfg.EdgeID, t)
 		}
 
+		roundTok := e.m.roundSpan.Begin()
 		trained, weight := e.runRound(rs.Round)
+		roundTok.End()
 		e.weight += weight
 
 		cloud.SetDeadline(time.Now().Add(e.cfg.Timeout))
@@ -177,11 +185,12 @@ func (e *Edge) Run() error {
 				payload = e.edgeModel
 			}
 		}
-		if err := WriteMsg(cloud, MsgRoundDone, done, payload); err != nil {
+		if err := e.m.cloudLink.writeMsg(cloud, MsgRoundDone, done, payload); err != nil {
+			countTimeout(e.m.timeouts, err)
 			return fmt.Errorf("fednet: edge %d acking round %d: %w", e.cfg.EdgeID, rs.Round, err)
 		}
 		if rs.Sync {
-			t, vec, err := ReadMsg(cloud, nil)
+			t, vec, err := e.m.cloudLink.readMsg(cloud, nil)
 			if err != nil || t != MsgGlobalModel {
 				return fmt.Errorf("fednet: edge %d waiting for global model: type %d, %v", e.cfg.EdgeID, t, err)
 			}
@@ -240,17 +249,21 @@ func (e *Edge) runRound(round int) (trained int, weight float64) {
 			continue
 		}
 		go func(d *deviceState, req TrainRequest) {
+			rpcTok := e.m.trainSpan.Begin()
 			d.conn.SetDeadline(time.Now().Add(e.cfg.Timeout))
-			if err := WriteMsg(d.conn, MsgTrainRequest, req, e.edgeModel); err != nil {
+			if err := e.m.deviceLink.writeMsg(d.conn, MsgTrainRequest, req, e.edgeModel); err != nil {
+				countTimeout(e.m.timeouts, err)
 				results <- result{id: d.id, conn: d.conn, err: err}
 				return
 			}
 			var reply TrainReply
-			t, vec, err := ReadMsg(d.conn, &reply)
+			t, vec, err := e.m.deviceLink.readMsg(d.conn, &reply)
 			if err != nil || t != MsgTrainReply {
+				countTimeout(e.m.timeouts, err)
 				results <- result{id: d.id, conn: d.conn, err: fmt.Errorf("type %d, %v", t, err)}
 				return
 			}
+			rpcTok.End()
 			results <- result{id: d.id, conn: d.conn, vec: vec, reply: reply}
 		}(d, req)
 	}
@@ -261,6 +274,7 @@ func (e *Edge) runRound(round int) (trained int, weight float64) {
 		res := <-results
 		if res.err != nil {
 			e.cfg.Logf("edge %d: device %d failed round %d: %v", e.cfg.EdgeID, res.id, round, res.err)
+			e.m.drops.Inc()
 			e.dropDevice(res.id, res.conn)
 			continue
 		}
@@ -288,7 +302,7 @@ func (e *Edge) shutdownDevices() {
 	defer e.mu.Unlock()
 	for id, d := range e.devices {
 		d.conn.SetDeadline(time.Now().Add(e.cfg.Timeout))
-		_ = WriteMsg(d.conn, MsgShutdown, struct{}{}, nil)
+		_ = e.m.deviceLink.writeMsg(d.conn, MsgShutdown, struct{}{}, nil)
 		d.conn.Close()
 		delete(e.devices, id)
 	}

@@ -1,0 +1,120 @@
+package fednet
+
+import (
+	"io"
+	"net"
+
+	"middle/internal/obs"
+)
+
+// Link classes label the traffic series, matching the simulation's
+// communication accounting (device–edge vs edge–cloud).
+const (
+	linkDeviceEdge = "device_edge"
+	linkEdgeCloud  = "edge_cloud"
+)
+
+// linkMetrics counts the protocol traffic of one link class. Instruments
+// registered per (family, link) are shared across every component in the
+// process, so a daemon hosting several edges reports aggregate series.
+// Built from a nil registry every counter is nil and recording no-ops.
+type linkMetrics struct {
+	sentBytes *obs.Counter
+	recvBytes *obs.Counter
+	sentMsgs  *obs.Counter
+	recvMsgs  *obs.Counter
+}
+
+func newLinkMetrics(r *obs.Registry, link string) linkMetrics {
+	return linkMetrics{
+		sentBytes: r.Counter("fednet_sent_bytes_total", "link", link),
+		recvBytes: r.Counter("fednet_recv_bytes_total", "link", link),
+		sentMsgs:  r.Counter("fednet_sent_msgs_total", "link", link),
+		recvMsgs:  r.Counter("fednet_recv_msgs_total", "link", link),
+	}
+}
+
+// writeMsg writes one framed message and records the bytes that made it
+// onto the wire (partial writes on error are still counted).
+func (lm linkMetrics) writeMsg(w io.Writer, t MsgType, header any, vec []float64) error {
+	n, err := WriteMsgCount(w, t, header, vec)
+	lm.sentBytes.Add(int64(n))
+	if err == nil {
+		lm.sentMsgs.Inc()
+	}
+	return err
+}
+
+// readMsg reads one framed message and records the bytes consumed.
+func (lm linkMetrics) readMsg(r io.Reader, headerOut any) (MsgType, []float64, error) {
+	t, vec, n, err := ReadMsgCount(r, headerOut)
+	lm.recvBytes.Add(int64(n))
+	if err == nil {
+		lm.recvMsgs.Inc()
+	}
+	return t, vec, err
+}
+
+// cloudMetrics instruments the cloud coordinator.
+type cloudMetrics struct {
+	link      linkMetrics
+	rounds    *obs.Counter
+	syncs     *obs.Counter
+	timeouts  *obs.Counter
+	roundSpan *obs.Span
+}
+
+func newCloudMetrics(r *obs.Registry) cloudMetrics {
+	return cloudMetrics{
+		link:      newLinkMetrics(r, linkEdgeCloud),
+		rounds:    r.Counter("fednet_rounds_total"),
+		syncs:     r.Counter("fednet_cloud_syncs_total"),
+		timeouts:  r.Counter("fednet_timeouts_total"),
+		roundSpan: r.Span("fednet_rpc_seconds", "op", "cloud_round"),
+	}
+}
+
+// edgeMetrics instruments one edge server (cloud-facing and
+// device-facing traffic separately).
+type edgeMetrics struct {
+	cloudLink  linkMetrics
+	deviceLink linkMetrics
+	drops      *obs.Counter
+	reconnects *obs.Counter
+	timeouts   *obs.Counter
+	roundSpan  *obs.Span
+	trainSpan  *obs.Span
+}
+
+func newEdgeMetrics(r *obs.Registry) edgeMetrics {
+	return edgeMetrics{
+		cloudLink:  newLinkMetrics(r, linkEdgeCloud),
+		deviceLink: newLinkMetrics(r, linkDeviceEdge),
+		drops:      r.Counter("fednet_device_drops_total"),
+		reconnects: r.Counter("fednet_device_reconnects_total"),
+		timeouts:   r.Counter("fednet_timeouts_total"),
+		roundSpan:  r.Span("fednet_rpc_seconds", "op", "edge_round"),
+		trainSpan:  r.Span("fednet_rpc_seconds", "op", "train_rpc"),
+	}
+}
+
+// deviceMetrics instruments one device client.
+type deviceMetrics struct {
+	link      linkMetrics
+	trainSpan *obs.Span
+}
+
+func newDeviceMetrics(r *obs.Registry) deviceMetrics {
+	return deviceMetrics{
+		link:      newLinkMetrics(r, linkDeviceEdge),
+		trainSpan: r.Span("fednet_rpc_seconds", "op", "device_train"),
+	}
+}
+
+// countTimeout increments c when err is a network timeout (deadline
+// exceeded); other errors are left to the caller's handling.
+func countTimeout(c *obs.Counter, err error) {
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		c.Inc()
+	}
+}

@@ -1,0 +1,229 @@
+package fednet
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"middle/internal/core"
+	"middle/internal/data"
+	"middle/internal/hfl"
+	"middle/internal/mobility"
+	"middle/internal/nn"
+	"middle/internal/obs"
+	"middle/internal/tensor"
+)
+
+func TestWriteReadMsgCount(t *testing.T) {
+	var buf bytes.Buffer
+	vec := []float64{1, 2, 3}
+	wrote, err := WriteMsgCount(&buf, MsgTrainReply, TrainReply{DeviceID: 3}, vec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrote != buf.Len() {
+		t.Fatalf("WriteMsgCount reported %d, buffer has %d", wrote, buf.Len())
+	}
+	_, gotVec, read, err := ReadMsgCount(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if read != wrote {
+		t.Fatalf("ReadMsgCount consumed %d, want %d", read, wrote)
+	}
+	if len(gotVec) != len(vec) {
+		t.Fatalf("vector %v", gotVec)
+	}
+	// A truncated stream still reports the bytes it did consume.
+	full := wrote
+	var buf2 bytes.Buffer
+	if _, err := WriteMsgCount(&buf2, MsgTrainReply, TrainReply{DeviceID: 3}, vec); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf2.Bytes()[:full-4]
+	_, _, partial, err := ReadMsgCount(bytes.NewReader(cut), nil)
+	if err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+	if partial != len(cut) {
+		t.Fatalf("partial count %d, want %d", partial, len(cut))
+	}
+}
+
+// TestLinkByteAccounting runs a scripted cloud↔edge exchange over a
+// loopback connection with a separate registry per endpoint and checks
+// that every byte one side sends, the other side receives.
+func TestLinkByteAccounting(t *testing.T) {
+	cloudReg := obs.NewRegistry()
+	edgeReg := obs.NewRegistry()
+	cloudLink := newLinkMetrics(cloudReg, linkEdgeCloud)
+	edgeLink := newLinkMetrics(edgeReg, linkEdgeCloud)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	model := make([]float64, 500)
+	for i := range model {
+		model[i] = float64(i) * 0.5
+	}
+
+	srvErr := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			srvErr <- err
+			return
+		}
+		defer conn.Close()
+		conn.SetDeadline(time.Now().Add(5 * time.Second))
+		// Cloud side: read registration, send model, read ack.
+		var reg RegisterEdge
+		if _, _, err := cloudLink.readMsg(conn, &reg); err != nil {
+			srvErr <- err
+			return
+		}
+		if err := cloudLink.writeMsg(conn, MsgGlobalModel, struct{}{}, model); err != nil {
+			srvErr <- err
+			return
+		}
+		var done RoundDone
+		if _, _, err := cloudLink.readMsg(conn, &done); err != nil {
+			srvErr <- err
+			return
+		}
+		srvErr <- nil
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	// Edge side: register, receive model, ack with its own payload.
+	if err := edgeLink.writeMsg(conn, MsgRegisterEdge, RegisterEdge{EdgeID: 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, vec, err := edgeLink.readMsg(conn, nil); err != nil || len(vec) != len(model) {
+		t.Fatalf("edge receiving model: %v (len %d)", err, len(vec))
+	}
+	if err := edgeLink.writeMsg(conn, MsgRoundDone, RoundDone{EdgeID: 1, Round: 1, Weight: 3}, model); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-srvErr; err != nil {
+		t.Fatal(err)
+	}
+
+	cloudSent := cloudReg.Counter("fednet_sent_bytes_total", "link", linkEdgeCloud).Value()
+	cloudRecv := cloudReg.Counter("fednet_recv_bytes_total", "link", linkEdgeCloud).Value()
+	edgeSent := edgeReg.Counter("fednet_sent_bytes_total", "link", linkEdgeCloud).Value()
+	edgeRecv := edgeReg.Counter("fednet_recv_bytes_total", "link", linkEdgeCloud).Value()
+	if cloudSent == 0 || edgeSent == 0 {
+		t.Fatalf("no bytes recorded: cloud sent %d, edge sent %d", cloudSent, edgeSent)
+	}
+	if cloudSent != edgeRecv {
+		t.Fatalf("cloud sent %d bytes but edge received %d", cloudSent, edgeRecv)
+	}
+	if edgeSent != cloudRecv {
+		t.Fatalf("edge sent %d bytes but cloud received %d", edgeSent, cloudRecv)
+	}
+	// The model payload dominates: 500 float64s ≈ 4 kB per carry.
+	if cloudSent < 4000 {
+		t.Fatalf("cloud sent only %d bytes for a %d-float model", cloudSent, len(model))
+	}
+	if got := cloudReg.Counter("fednet_sent_msgs_total", "link", linkEdgeCloud).Value(); got != 1 {
+		t.Fatalf("cloud sent msgs %d, want 1", got)
+	}
+	if got := edgeReg.Counter("fednet_recv_msgs_total", "link", linkEdgeCloud).Value(); got != 1 {
+		t.Fatalf("edge recv msgs %d, want 1", got)
+	}
+}
+
+// TestClusterMetrics runs a small end-to-end deployment with a shared
+// registry and checks the whole fednet series family shows up.
+func TestClusterMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	mob := mobility.NewMarkovRing(2, 6, 0.4, 7)
+	profClusterMetricsRun(t, reg, mob)
+
+	if got := reg.Counter("fednet_rounds_total").Value(); got != 6 {
+		t.Fatalf("fednet_rounds_total = %d, want 6", got)
+	}
+	if got := reg.Counter("fednet_cloud_syncs_total").Value(); got != 2 {
+		t.Fatalf("fednet_cloud_syncs_total = %d, want 2 (rounds 3 and 6)", got)
+	}
+	for _, link := range []string{linkDeviceEdge, linkEdgeCloud} {
+		sent := reg.Counter("fednet_sent_bytes_total", "link", link).Value()
+		recv := reg.Counter("fednet_recv_bytes_total", "link", link).Value()
+		if sent == 0 || recv == 0 {
+			t.Fatalf("link %s traffic: sent %d recv %d", link, sent, recv)
+		}
+		// Both endpoints of every link share this in-process registry, so
+		// each delivered byte is counted once sent and once received.
+		// Sends can exceed receives (shutdown frames and requests to
+		// migrated devices are written but may never be read) — never the
+		// reverse.
+		if recv > sent {
+			t.Fatalf("link %s received more than was sent: sent %d recv %d", link, sent, recv)
+		}
+	}
+	// Drops are legitimate under mobility (an edge can select a device
+	// that migrated between selection and the training RPC), but every
+	// selected-and-connected device pair should not fail.
+	if got := reg.Counter("fednet_device_drops_total").Value(); got > 6*2*2 {
+		t.Fatalf("implausibly many drops: %d", got)
+	}
+	if got := reg.Counter("fednet_move_errors_total").Value(); got != 0 {
+		t.Fatalf("unexpected move errors: %d", got)
+	}
+	for _, op := range []string{"cloud_round", "edge_round", "train_rpc", "device_train"} {
+		h := reg.Histogram("fednet_rpc_seconds", obs.DurationBuckets(), "op", op)
+		if h.Count() == 0 {
+			t.Fatalf("fednet_rpc_seconds{op=%q} has no observations", op)
+		}
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`fednet_sent_bytes_total{link="device_edge"}`,
+		`fednet_rpc_seconds_count{op="train_rpc"}`,
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("exposition missing %s", want)
+		}
+	}
+}
+
+func profClusterMetricsRun(t *testing.T, reg *obs.Registry, mob mobility.Model) {
+	t.Helper()
+	prof := data.FastImageProfile(4)
+	train := data.GenerateImagesSplit(prof, 400, 5, 5)
+	part := data.PartitionMajorClass(train, mob.NumDevices(), 30, 0.85, 6)
+	factory := func(rng *tensor.RNG) *nn.Network {
+		return nn.NewNetwork(
+			nn.NewFlatten(),
+			nn.NewLinear(train.SampleSize(), 16, rng),
+			nn.NewReLU(),
+			nn.NewLinear(16, train.Classes, rng),
+		)
+	}
+	c, err := StartCluster(ClusterConfig{
+		Rounds: 6, K: 2, LocalSteps: 2, BatchSize: 8, CloudInterval: 3,
+		Strategy: core.NewMiddle(), Partition: part, Factory: factory,
+		Optimizer: hfl.OptimizerSpec{Kind: hfl.OptSGDMomentum, LR: 0.05, Momentum: 0.9},
+		Mobility:  mob, Seed: 1, Obs: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -111,9 +111,16 @@ type TrainReply struct {
 
 // WriteMsg frames and writes one message.
 func WriteMsg(w io.Writer, t MsgType, header any, vec []float64) error {
+	_, err := WriteMsgCount(w, t, header, vec)
+	return err
+}
+
+// WriteMsgCount frames and writes one message, reporting how many bytes
+// actually went onto the wire (which may be short on error).
+func WriteMsgCount(w io.Writer, t MsgType, header any, vec []float64) (int, error) {
 	js, err := json.Marshal(header)
 	if err != nil {
-		return fmt.Errorf("fednet: marshal header: %w", err)
+		return 0, fmt.Errorf("fednet: marshal header: %w", err)
 	}
 	buf := make([]byte, 1+4+len(js)+4+8*len(vec))
 	buf[0] = byte(t)
@@ -126,51 +133,68 @@ func WriteMsg(w io.Writer, t MsgType, header any, vec []float64) error {
 		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
 		off += 8
 	}
-	_, err = w.Write(buf)
-	return err
+	return w.Write(buf)
 }
 
 // ReadMsg reads one framed message; header is decoded into headerOut
 // (pass a pointer, or nil to discard).
 func ReadMsg(r io.Reader, headerOut any) (MsgType, []float64, error) {
+	t, vec, _, err := ReadMsgCount(r, headerOut)
+	return t, vec, err
+}
+
+// ReadMsgCount reads one framed message and additionally reports how
+// many bytes were consumed from the stream (the partial count on error).
+func ReadMsgCount(r io.Reader, headerOut any) (MsgType, []float64, int, error) {
+	total := 0
 	var tb [1]byte
-	if _, err := io.ReadFull(r, tb[:]); err != nil {
-		return 0, nil, err
+	n, err := io.ReadFull(r, tb[:])
+	total += n
+	if err != nil {
+		return 0, nil, total, err
 	}
 	var lb [4]byte
-	if _, err := io.ReadFull(r, lb[:]); err != nil {
-		return 0, nil, fmt.Errorf("fednet: reading header length: %w", err)
+	n, err = io.ReadFull(r, lb[:])
+	total += n
+	if err != nil {
+		return 0, nil, total, fmt.Errorf("fednet: reading header length: %w", err)
 	}
 	jsonLen := binary.LittleEndian.Uint32(lb[:])
 	if jsonLen > maxFrame {
-		return 0, nil, fmt.Errorf("fednet: header length %d too large", jsonLen)
+		return 0, nil, total, fmt.Errorf("fednet: header length %d too large", jsonLen)
 	}
 	js := make([]byte, jsonLen)
-	if _, err := io.ReadFull(r, js); err != nil {
-		return 0, nil, fmt.Errorf("fednet: reading header: %w", err)
+	n, err = io.ReadFull(r, js)
+	total += n
+	if err != nil {
+		return 0, nil, total, fmt.Errorf("fednet: reading header: %w", err)
 	}
 	if headerOut != nil && jsonLen > 0 {
 		if err := json.Unmarshal(js, headerOut); err != nil {
-			return 0, nil, fmt.Errorf("fednet: decoding header: %w", err)
+			return 0, nil, total, fmt.Errorf("fednet: decoding header: %w", err)
 		}
 	}
-	if _, err := io.ReadFull(r, lb[:]); err != nil {
-		return 0, nil, fmt.Errorf("fednet: reading vector length: %w", err)
+	n, err = io.ReadFull(r, lb[:])
+	total += n
+	if err != nil {
+		return 0, nil, total, fmt.Errorf("fednet: reading vector length: %w", err)
 	}
 	vecLen := binary.LittleEndian.Uint32(lb[:])
 	if vecLen > maxFrame/8 {
-		return 0, nil, fmt.Errorf("fednet: vector length %d too large", vecLen)
+		return 0, nil, total, fmt.Errorf("fednet: vector length %d too large", vecLen)
 	}
 	var vec []float64
 	if vecLen > 0 {
 		raw := make([]byte, 8*vecLen)
-		if _, err := io.ReadFull(r, raw); err != nil {
-			return 0, nil, fmt.Errorf("fednet: reading vector: %w", err)
+		n, err = io.ReadFull(r, raw)
+		total += n
+		if err != nil {
+			return 0, nil, total, fmt.Errorf("fednet: reading vector: %w", err)
 		}
 		vec = make([]float64, vecLen)
 		for i := range vec {
 			vec[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
 		}
 	}
-	return MsgType(tb[0]), vec, nil
+	return MsgType(tb[0]), vec, total, nil
 }

@@ -12,6 +12,7 @@ import (
 	"runtime"
 
 	"middle/internal/nn"
+	"middle/internal/obs"
 	"middle/internal/optim"
 	"middle/internal/tensor"
 )
@@ -95,6 +96,13 @@ type Config struct {
 	// to off.
 	Latency  func(device int) float64
 	Deadline float64
+
+	// Obs, when set, receives run metrics: per-phase wall time
+	// (sim_phase_seconds{phase=...}), step/selection/straggler/mobility
+	// counters and cloud-sync counts. Nil (the default) disables metrics
+	// at near-zero cost; the always-on PhaseTimes breakdown remains
+	// available from Sim.PhaseSeconds either way.
+	Obs *obs.Registry
 }
 
 // withDefaults fills unset fields with safe values and validates.

@@ -139,5 +139,9 @@ func (s *Sim) recordEval(t int) {
 			edgeAcc[n], _ = s.EvaluateVector(s.edges[n], s.cfg.EvalSamples, false)
 		}
 	}
-	s.history.AppendComm(t, acc, classAcc, edgeAcc, s.commDeviceEdge, s.commEdgeCloud)
+	s.history.AppendPoint(EvalPoint{
+		Step: t, GlobalAcc: acc, PerClassAcc: classAcc, EdgeAcc: edgeAcc,
+		CommDeviceEdge: s.commDeviceEdge, CommEdgeCloud: s.commEdgeCloud,
+		Stragglers: s.stragglers, Phases: s.phases,
+	})
 }

@@ -1,0 +1,111 @@
+package hfl
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestHistoryCSVRoundTrip(t *testing.T) {
+	h := &History{Strategy: "middle"}
+	h.AppendPoint(EvalPoint{
+		Step: 5, GlobalAcc: 0.25,
+		PerClassAcc:    []float64{0.5, 0.125},
+		EdgeAcc:        []float64{0.25, 0.375, 0.5},
+		CommDeviceEdge: 20, CommEdgeCloud: 0, Stragglers: 1,
+		Phases: PhaseTimes{Select: 0.125, Train: 1.5, EdgeAgg: 0.0625, CloudSync: 0, Eval: 0},
+	})
+	h.AppendPoint(EvalPoint{
+		Step: 10, GlobalAcc: 0.625,
+		PerClassAcc:    []float64{0.75, 0.5},
+		EdgeAcc:        []float64{0.625, 0.5, 0.75},
+		CommDeviceEdge: 40, CommEdgeCloud: 6, Stragglers: 3,
+		Phases: PhaseTimes{Select: 0.25, Train: 3, EdgeAgg: 0.125, CloudSync: 0.5, Eval: 0.0625},
+	})
+
+	var buf bytes.Buffer
+	if err := h.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(buf.String(), "\n", 2)[0]
+	for _, want := range []string{
+		"comm_device_edge", "comm_edge_cloud", "stragglers",
+		"phase_select_s", "phase_train_s", "phase_edge_agg_s",
+		"phase_cloud_sync_s", "phase_eval_s",
+	} {
+		if !strings.Contains(header, want) {
+			t.Fatalf("header missing %q: %s", want, header)
+		}
+	}
+
+	got, err := ReadHistoryCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("round-trip rows %d, want 2", got.Len())
+	}
+	for i := range h.Steps {
+		if got.Steps[i] != h.Steps[i] || got.GlobalAcc[i] != h.GlobalAcc[i] {
+			t.Fatalf("row %d step/acc: %d/%v, want %d/%v", i, got.Steps[i], got.GlobalAcc[i], h.Steps[i], h.GlobalAcc[i])
+		}
+		if got.CommDeviceEdge[i] != h.CommDeviceEdge[i] || got.CommEdgeCloud[i] != h.CommEdgeCloud[i] {
+			t.Fatalf("row %d comm: %d/%d", i, got.CommDeviceEdge[i], got.CommEdgeCloud[i])
+		}
+		if got.Stragglers[i] != h.Stragglers[i] {
+			t.Fatalf("row %d stragglers: %d, want %d", i, got.Stragglers[i], h.Stragglers[i])
+		}
+		for _, pair := range [][2][]float64{
+			{got.PhaseSelect, h.PhaseSelect},
+			{got.PhaseTrain, h.PhaseTrain},
+			{got.PhaseEdgeAgg, h.PhaseEdgeAgg},
+			{got.PhaseCloudSync, h.PhaseCloudSync},
+			{got.PhaseEval, h.PhaseEval},
+		} {
+			if pair[0][i] != pair[1][i] {
+				t.Fatalf("row %d phase column: %v, want %v", i, pair[0][i], pair[1][i])
+			}
+		}
+		for c := range h.PerClassAcc[i] {
+			if got.PerClassAcc[i][c] != h.PerClassAcc[i][c] {
+				t.Fatalf("row %d class %d: %v", i, c, got.PerClassAcc[i][c])
+			}
+		}
+		for e := range h.EdgeAcc[i] {
+			if got.EdgeAcc[i][e] != h.EdgeAcc[i][e] {
+				t.Fatalf("row %d edge %d: %v", i, e, got.EdgeAcc[i][e])
+			}
+		}
+	}
+}
+
+// Histories assembled via the pre-phase Append API must still write
+// valid CSV (zero-filled new columns).
+func TestHistoryCSVLegacyAppend(t *testing.T) {
+	h := &History{}
+	h.Append(5, 0.5, nil, nil)
+	h.AppendComm(10, 0.75, nil, nil, 12, 2)
+	var buf bytes.Buffer
+	if err := h.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadHistoryCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 || got.Stragglers[0] != 0 || got.CommDeviceEdge[1] != 12 || got.PhaseTrain[1] != 0 {
+		t.Fatalf("legacy round-trip: %+v", got)
+	}
+}
+
+// ReadHistoryCSV must also accept the pre-phase column layout.
+func TestReadHistoryCSVOldLayout(t *testing.T) {
+	csvText := "step,global_acc\n5,0.50000\n10,0.75000\n"
+	got, err := ReadHistoryCSV(strings.NewReader(csvText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 || got.GlobalAcc[1] != 0.75 || got.CommDeviceEdge[1] != 0 {
+		t.Fatalf("old layout: %+v", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"middle/internal/data"
 	"middle/internal/mobility"
@@ -51,6 +52,11 @@ type Sim struct {
 	workers []*trainWorker
 	evalNet *nn.Network
 	history *History
+
+	// phases accumulates the always-on per-phase wall-clock breakdown;
+	// metrics mirrors it (plus counters) into cfg.Obs when set.
+	phases  PhaseTimes
+	metrics simMetrics
 
 	// Per-step scratch, reused across StepOnce calls so the steady-state
 	// loop performs no per-step slice allocations of its own. The model
@@ -119,6 +125,7 @@ func New(cfg Config, factory ModelFactory, part *data.Partition, test *data.Data
 	}
 	s.evalNet = factory(tensor.Split(cfg.Seed, 99))
 	s.history = &History{Strategy: strat.Name()}
+	s.metrics = newSimMetrics(cfg.Obs)
 	return s
 }
 
@@ -174,6 +181,8 @@ type trainJob struct {
 func (s *Sim) StepOnce() int {
 	s.step++
 	t := s.step
+	clock := time.Now()
+	movesBefore, stragglersBefore := s.moves, s.stragglers
 
 	prev := s.membership
 	s.membership = s.mob.Step()
@@ -239,6 +248,7 @@ func (s *Sim) StepOnce() int {
 			s.jobs = append(s.jobs, trainJob{device: m, init: init, out: s.locals[m]})
 		}
 	}
+	clock = phase(&s.phases.Select, s.metrics.selectSpan, clock)
 
 	// Line 8: parallel local training across the worker pool.
 	jobs := s.jobs
@@ -248,6 +258,7 @@ func (s *Sim) StepOnce() int {
 		s.statUtil[j.device] = j.util
 		s.lastTrain[j.device] = t
 	}
+	clock = phase(&s.phases.Train, s.metrics.trainSpan, clock)
 
 	// Line 9: edge aggregation (Eq. 6), weighted by data sizes. The edge
 	// vector is overwritten in place (it never aliases a device vector).
@@ -266,6 +277,7 @@ func (s *Sim) StepOnce() int {
 		simil.WeightedAverageInto(s.edges[n], vecs, weights)
 		s.aggVecs, s.aggWeights = vecs, weights
 	}
+	clock = phase(&s.phases.EdgeAgg, s.metrics.edgeAggSpan, clock)
 
 	// Lines 10–15: cloud aggregation (Eq. 7) every T_c steps, then push
 	// the new global model down to all edges and devices (copy into the
@@ -291,11 +303,21 @@ func (s *Sim) StepOnce() int {
 			copy(s.locals[m], s.cloud)
 		}
 		s.aggVecs, s.aggWeights = vecs, weights
+		s.metrics.cloudSyncs.Inc()
+		clock = phase(&s.phases.CloudSync, s.metrics.cloudSyncSpan, clock)
 	}
 
 	if s.cfg.EvalEvery > 0 && (t%s.cfg.EvalEvery == 0 || t == s.cfg.Steps) {
 		s.recordEval(t)
+		s.metrics.evals.Inc()
+		phase(&s.phases.Eval, s.metrics.evalSpan, clock)
 	}
+
+	s.metrics.steps.Inc()
+	s.metrics.selected.Add(int64(len(s.jobs)))
+	s.metrics.stragglers.Add(int64(s.stragglers - stragglersBefore))
+	s.metrics.moves.Add(int64(s.moves - movesBefore))
+	s.metrics.moveOpp.Add(int64(s.numDevices))
 	return t
 }
 
@@ -389,6 +411,10 @@ func (s *Sim) CommCounts() (deviceEdge, edgeCloud int64) {
 // Stragglers returns how many selected device-rounds were lost to the
 // heterogeneity deadline so far.
 func (s *Sim) Stragglers() int { return s.stragglers }
+
+// PhaseSeconds returns the cumulative wall-clock breakdown of StepOnce
+// across its phases. Maintained unconditionally (see PhaseTimes).
+func (s *Sim) PhaseSeconds() PhaseTimes { return s.phases }
 
 // ObservedMobility returns the fraction of device-steps that crossed
 // edges so far.

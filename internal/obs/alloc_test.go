@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The observability contract: disabled (nil) instruments are free, and
+// enabled hot-path updates are allocation-free after registration.
+
+func TestDisabledInstrumentsAllocFree(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("off_total")
+	g := reg.Gauge("off_gauge")
+	h := reg.Histogram("off_seconds", nil)
+	sp := reg.Span("off_span_seconds")
+
+	checks := []struct {
+		name string
+		fn   func()
+	}{
+		{"counter", func() { c.Inc(); c.Add(3) }},
+		{"gauge", func() { g.Set(1); g.Add(2) }},
+		{"histogram", func() { h.Observe(0.5) }},
+		{"span", func() { sp.Begin().End() }},
+		{"span_observe", func() { sp.Observe(time.Millisecond) }},
+	}
+	for _, tc := range checks {
+		if allocs := testing.AllocsPerRun(200, tc.fn); allocs != 0 {
+			t.Errorf("disabled %s: %.1f allocs/op, want 0", tc.name, allocs)
+		}
+	}
+}
+
+func TestEnabledUpdatesAllocFree(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("on_total")
+	g := reg.Gauge("on_gauge")
+	h := reg.Histogram("on_seconds", nil)
+	sp := reg.Span("on_span_seconds")
+
+	checks := []struct {
+		name string
+		fn   func()
+	}{
+		{"counter", func() { c.Inc(); c.Add(3) }},
+		{"gauge", func() { g.Set(1); g.Add(2) }},
+		{"histogram", func() { h.Observe(0.5) }},
+		{"span", func() { sp.Begin().End() }},
+		{"span_observe", func() { sp.Observe(time.Millisecond) }},
+	}
+	for _, tc := range checks {
+		if allocs := testing.AllocsPerRun(200, tc.fn); allocs != 0 {
+			t.Errorf("enabled %s: %.1f allocs/op, want 0", tc.name, allocs)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Emitter writes structured events as JSON Lines: one object per line
+// with "ts" (RFC 3339, UTC) and "event" keys plus the caller's fields.
+// It serialises concurrent emits with a mutex and is nil-safe, so
+// components can hold an *Emitter unconditionally.
+type Emitter struct {
+	mu  sync.Mutex
+	w   io.Writer
+	now func() time.Time // test hook; defaults to time.Now
+	err error            // first write error; later emits are dropped
+}
+
+// NewEmitter returns an emitter writing to w (nil w yields a nil,
+// inert emitter).
+func NewEmitter(w io.Writer) *Emitter {
+	if w == nil {
+		return nil
+	}
+	return &Emitter{w: w, now: time.Now}
+}
+
+// Emit writes one event with alternating key, value fields:
+//
+//	em.Emit("round_done", "round", 7, "trained", 12)
+//
+// Keys "ts" and "event" are reserved. Odd trailing keys are dropped.
+func (e *Emitter) Emit(event string, fields ...any) {
+	if e == nil {
+		return
+	}
+	obj := make(map[string]any, len(fields)/2+2)
+	for i := 0; i+1 < len(fields); i += 2 {
+		if k, ok := fields[i].(string); ok && k != "ts" && k != "event" {
+			obj[k] = fields[i+1]
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err != nil {
+		return
+	}
+	obj["ts"] = e.now().UTC().Format(time.RFC3339Nano)
+	obj["event"] = event
+	line, err := json.Marshal(obj)
+	if err != nil {
+		e.err = err
+		return
+	}
+	line = append(line, '\n')
+	if _, err := e.w.Write(line); err != nil {
+		e.err = err
+	}
+}
+
+// Err returns the first write/encode error, if any (nil-safe).
+func (e *Emitter) Err() error {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram counts observations into fixed buckets (cumulative
+// upper-bound semantics, Prometheus-style) and tracks their sum.
+// Observe is lock-free and allocation-free. Nil-safe.
+type Histogram struct {
+	bounds []float64      // strictly increasing upper bounds; +Inf implicit
+	counts []atomic.Int64 // len(bounds)+1, last is the +Inf bucket
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// DurationBuckets spans 10µs to 60s, the range of everything this
+// repository times (a SIMD kernel call up to a paper-scale cloud round).
+func DurationBuckets() []float64 {
+	return []float64{
+		1e-5, 1e-4, 2.5e-4, 1e-3, 2.5e-3, 5e-3, 0.01, 0.025, 0.05,
+		0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+	}
+}
+
+// SizeBuckets spans 64 B to 16 MiB, covering protocol frames from a
+// bare header up to a paper-scale model payload.
+func SizeBuckets() []float64 {
+	return []float64{64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304, 16777216}
+}
+
+// Histogram registers (or fetches) a histogram series with the given
+// bucket upper bounds (nil defaults to DurationBuckets). Bounds are
+// fixed by whichever call registers the series first.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	s := r.register(name, kindHistogram, labels, func() *series {
+		if bounds == nil {
+			bounds = DurationBuckets()
+		}
+		h := &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]atomic.Int64, len(bounds)+1),
+		}
+		return &series{h: h}
+	})
+	return s.h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Linear scan: bucket counts are small (≤ ~20) and the common case
+	// exits early; a branch-predicted scan beats binary search here.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// snapshotBuckets returns cumulative counts per upper bound (the +Inf
+// bucket last). Concurrent observes may land between bucket reads; the
+// result is still a valid histogram, just a momentary one.
+func (h *Histogram) snapshotBuckets() []int64 {
+	out := make([]int64, len(h.counts))
+	cum := int64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		out[i] = cum
+	}
+	return out
+}

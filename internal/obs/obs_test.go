@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentHammer drives every instrument type from many
+// goroutines at once; run under -race this is the package's
+// thread-safety proof, and the final values check for lost updates.
+func TestConcurrentHammer(t *testing.T) {
+	reg := NewRegistry()
+	const workers = 8
+	const perWorker = 2000
+
+	c := reg.Counter("hammer_total")
+	g := reg.Gauge("hammer_gauge")
+	h := reg.Histogram("hammer_seconds", []float64{0.25, 0.5, 0.75})
+	sp := reg.Span("hammer_span_seconds", "phase", "x")
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%4) * 0.25)
+				tok := sp.Begin()
+				tok.End()
+				// Same-series re-registration must return the shared
+				// instrument, not a fresh one.
+				reg.Counter("hammer_total").Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != 2*workers*perWorker {
+		t.Fatalf("counter lost updates: %d, want %d", got, 2*workers*perWorker)
+	}
+	if got := g.Value(); got != workers*perWorker {
+		t.Fatalf("gauge lost updates: %v, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("histogram lost observations: %d, want %d", got, workers*perWorker)
+	}
+	wantSum := float64(workers) * perWorker / 4 * (0 + 0.25 + 0.5 + 0.75)
+	if math.Abs(h.Sum()-wantSum) > 1e-6 {
+		t.Fatalf("histogram sum %v, want %v", h.Sum(), wantSum)
+	}
+	cum := h.snapshotBuckets()
+	if cum[len(cum)-1] != workers*perWorker {
+		t.Fatalf("+Inf bucket %d, want %d", cum[len(cum)-1], workers*perWorker)
+	}
+	if sp.h.Count() != workers*perWorker {
+		t.Fatalf("span recorded %d, want %d", sp.h.Count(), workers*perWorker)
+	}
+}
+
+// TestPrometheusGolden pins the exposition format end to end.
+func TestPrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b_requests_total", "link", "device_edge").Add(3)
+	reg.Counter("b_requests_total", "link", "edge_cloud").Add(5)
+	reg.Gauge("a_temperature").Set(1.5)
+	h := reg.Histogram("c_latency_seconds", []float64{0.1, 1}, "phase", "train")
+	// Binary-exact values keep the _sum line reproducible.
+	h.Observe(0.0625)
+	h.Observe(0.5)
+	h.Observe(0.5)
+	h.Observe(3)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE a_temperature gauge
+a_temperature 1.5
+# TYPE b_requests_total counter
+b_requests_total{link="device_edge"} 3
+b_requests_total{link="edge_cloud"} 5
+# TYPE c_latency_seconds histogram
+c_latency_seconds_bucket{phase="train",le="0.1"} 1
+c_latency_seconds_bucket{phase="train",le="1"} 3
+c_latency_seconds_bucket{phase="train",le="+Inf"} 4
+c_latency_seconds_sum{phase="train"} 4.0625
+c_latency_seconds_count{phase="train"} 4
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("esc_total", "path", `a"b\c`).Inc()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `esc_total{path="a\"b\\c"} 1`) {
+		t.Fatalf("escaping wrong:\n%s", buf.String())
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering x_total as a gauge did not panic")
+		}
+	}()
+	reg.Gauge("x_total")
+}
+
+func TestGaugeFunc(t *testing.T) {
+	reg := NewRegistry()
+	v := 7.25
+	reg.GaugeFunc("live_value", func() float64 { return v })
+	snap := reg.Snapshot()
+	if snap["live_value"] != 7.25 {
+		t.Fatalf("snapshot %v", snap["live_value"])
+	}
+	v = 8
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "live_value 8\n") {
+		t.Fatalf("gauge func not re-evaluated:\n%s", buf.String())
+	}
+}
+
+func TestSnapshotShapes(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("snap_total").Add(2)
+	reg.Histogram("snap_seconds", []float64{1}).Observe(0.5)
+	snap := reg.Snapshot()
+	if snap["snap_total"] != int64(2) {
+		t.Fatalf("counter snapshot %v (%T)", snap["snap_total"], snap["snap_total"])
+	}
+	hm, ok := snap["snap_seconds"].(map[string]any)
+	if !ok || hm["count"] != int64(1) || hm["sum"] != 0.5 {
+		t.Fatalf("histogram snapshot %#v", snap["snap_seconds"])
+	}
+	// The snapshot must be JSON-encodable as-is (it feeds WriteSummary).
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("nope_total")
+	c.Inc()
+	c.Add(5)
+	g := reg.Gauge("nope")
+	g.Set(1)
+	g.Add(1)
+	h := reg.Histogram("nope_seconds", nil)
+	h.Observe(1)
+	sp := reg.Span("nope_span")
+	sp.Begin().End()
+	sp.Observe(time.Second)
+	reg.GaugeFunc("nope_fn", func() float64 { return 1 })
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil instruments recorded values")
+	}
+	if reg.Snapshot() != nil {
+		t.Fatal("nil registry snapshot not nil")
+	}
+	if err := reg.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmitterJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	em := NewEmitter(&buf)
+	em.now = func() time.Time { return time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC) }
+	em.Emit("round_done", "round", 7, "trained", 12)
+	em.Emit("run_end", "ok", true)
+	if em.Err() != nil {
+		t.Fatal(em.Err())
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines %q", lines)
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first["event"] != "round_done" || first["round"] != 7.0 || first["ts"] != "2026-08-05T12:00:00Z" {
+		t.Fatalf("event %v", first)
+	}
+	// Nil emitter is inert.
+	var nilEm *Emitter
+	nilEm.Emit("x")
+	if nilEm.Err() != nil {
+		t.Fatal("nil emitter error")
+	}
+}
+
+func TestEmitterConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	em := NewEmitter(&buf)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				em.Emit("tick", "i", i)
+			}
+		}()
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 400 {
+		t.Fatalf("%d lines, want 400", len(lines))
+	}
+	for _, l := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(l), &obj); err != nil {
+			t.Fatalf("interleaved line %q: %v", l, err)
+		}
+	}
+}

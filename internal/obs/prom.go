@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus writes every registered series in the Prometheus text
+// exposition format (version 0.0.4), sorted by family then label set so
+// output is deterministic. Nil-safe (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, fam := range r.sortedFamilies() {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam.name, fam.kind); err != nil {
+			return err
+		}
+		for _, s := range fam.series {
+			if err := writeSeries(w, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+type familyView struct {
+	name   string
+	kind   kind
+	series []*series
+}
+
+// sortedFamilies snapshots the registry ordered by family name and,
+// within a family, by label set.
+func (r *Registry) sortedFamilies() []familyView {
+	r.mu.Lock()
+	byFam := map[string]*familyView{}
+	for _, s := range r.byKey {
+		f, ok := byFam[s.family]
+		if !ok {
+			f = &familyView{name: s.family, kind: s.kind}
+			byFam[s.family] = f
+		}
+		f.series = append(f.series, s)
+	}
+	r.mu.Unlock()
+	out := make([]familyView, 0, len(byFam))
+	for _, f := range byFam {
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+		out = append(out, *f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// seriesName renders family{labels} (or bare family).
+func seriesName(family, labels string) string {
+	if labels == "" {
+		return family
+	}
+	return family + "{" + labels + "}"
+}
+
+// labelsPlus appends one extra label pair to an existing rendered set.
+func labelsPlus(labels, extra string) string {
+	if labels == "" {
+		return extra
+	}
+	return labels + "," + extra
+}
+
+func writeSeries(w io.Writer, s *series) error {
+	switch {
+	case s.c != nil:
+		_, err := fmt.Fprintf(w, "%s %d\n", seriesName(s.family, s.labels), s.c.Value())
+		return err
+	case s.gf != nil:
+		_, err := fmt.Fprintf(w, "%s %s\n", seriesName(s.family, s.labels), formatFloat(s.gf()))
+		return err
+	case s.g != nil:
+		_, err := fmt.Fprintf(w, "%s %s\n", seriesName(s.family, s.labels), formatFloat(s.g.Value()))
+		return err
+	case s.h != nil:
+		h := s.h
+		cum := h.snapshotBuckets()
+		for i, bound := range h.bounds {
+			le := labelsPlus(s.labels, `le="`+formatFloat(bound)+`"`)
+			if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", s.family, le, cum[i]); err != nil {
+				return err
+			}
+		}
+		le := labelsPlus(s.labels, `le="+Inf"`)
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", s.family, le, cum[len(cum)-1]); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", s.family, braced(s.labels), formatFloat(h.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.family, braced(s.labels), h.Count())
+		return err
+	}
+	return nil
+}
+
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// Snapshot returns every series' current value as a plain map suitable
+// for JSON encoding: counters and gauges map to numbers, histograms to
+// {count, sum, buckets: {le: cumulative}}. Nil-safe (returns nil).
+func (r *Registry) Snapshot() map[string]any {
+	if r == nil {
+		return nil
+	}
+	out := map[string]any{}
+	for _, fam := range r.sortedFamilies() {
+		for _, s := range fam.series {
+			key := seriesName(s.family, s.labels)
+			switch {
+			case s.c != nil:
+				out[key] = s.c.Value()
+			case s.gf != nil:
+				out[key] = s.gf()
+			case s.g != nil:
+				out[key] = s.g.Value()
+			case s.h != nil:
+				cum := s.h.snapshotBuckets()
+				buckets := map[string]int64{}
+				for i, bound := range s.h.bounds {
+					buckets[formatFloat(bound)] = cum[i]
+				}
+				buckets["+Inf"] = cum[len(cum)-1]
+				out[key] = map[string]any{
+					"count":   s.h.Count(),
+					"sum":     s.h.Sum(),
+					"buckets": buckets,
+				}
+			}
+		}
+	}
+	return out
+}

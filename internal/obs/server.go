@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Status is a small concurrent key→value board for the /status
+// endpoint: components post their live state ("role", "round", …) and
+// the server snapshots it per request. Nil-safe.
+type Status struct {
+	mu sync.Mutex
+	m  map[string]any
+}
+
+// NewStatus returns an empty status board.
+func NewStatus() *Status { return &Status{m: map[string]any{}} }
+
+// Set stores one key.
+func (s *Status) Set(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.m[key] = value
+	s.mu.Unlock()
+}
+
+// Snapshot returns a copy of the board (nil for a nil board).
+func (s *Status) Snapshot() map[string]any {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]any, len(s.m))
+	for k, v := range s.m {
+		out[k] = v
+	}
+	return out
+}
+
+// ServerConfig configures the introspection HTTP listener.
+type ServerConfig struct {
+	// Addr is the TCP listen address; ":0" forms pick an ephemeral port
+	// (read the resolved one from Server.Addr).
+	Addr string
+	// Registry backs /metrics and the metrics part of /status.
+	Registry *Registry
+	// Status, when set, backs the "status" object of /status.
+	Status *Status
+}
+
+// Server serves /metrics (Prometheus text), /status (JSON) and
+// /debug/pprof/* for live profiling.
+type Server struct {
+	ln    net.Listener
+	srv   *http.Server
+	start time.Time
+}
+
+// StartServer listens on cfg.Addr and serves in a background goroutine.
+func StartServer(cfg ServerConfig) (*Server, error) {
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", cfg.Addr, err)
+	}
+	s := &Server{ln: ln, start: time.Now()}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "middle observability\n\n/metrics\n/status\n/debug/pprof/\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = cfg.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(map[string]any{
+			"now":            time.Now().UTC().Format(time.RFC3339Nano),
+			"uptime_seconds": time.Since(s.start).Seconds(),
+			"goroutines":     runtime.NumGoroutine(),
+			"status":         cfg.Status.Snapshot(),
+			"metrics":        cfg.Registry.Snapshot(),
+		})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s.srv = &http.Server{Handler: mux}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the resolved listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// RegisterProcessMetrics adds live process-level gauges (goroutines,
+// heap bytes, GC cycles, CPU count) to the registry, evaluated at
+// scrape time. Nil-safe.
+func RegisterProcessMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("process_goroutines", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc("process_heap_alloc_bytes", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapAlloc)
+	})
+	r.GaugeFunc("process_gc_cycles_total", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.NumGC)
+	})
+	r.GaugeFunc("process_cpu_count", func() float64 {
+		return float64(runtime.GOMAXPROCS(0))
+	})
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func getBody(t *testing.T, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("srv_rounds_total").Add(4)
+	RegisterProcessMetrics(reg)
+	st := NewStatus()
+	st.Set("role", "cloud")
+	st.Set("round", 4)
+
+	srv, err := StartServer(ServerConfig{Addr: "127.0.0.1:0", Registry: reg, Status: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	resp, body := getBody(t, base+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	for _, want := range []string{"srv_rounds_total 4", "# TYPE process_goroutines gauge", "process_cpu_count "} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	resp, body = getBody(t, base+"/status")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/status status %d", resp.StatusCode)
+	}
+	var status struct {
+		UptimeSeconds float64        `json:"uptime_seconds"`
+		Goroutines    int            `json:"goroutines"`
+		Status        map[string]any `json:"status"`
+		Metrics       map[string]any `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(body), &status); err != nil {
+		t.Fatalf("/status not JSON: %v\n%s", err, body)
+	}
+	if status.Status["role"] != "cloud" || status.Status["round"] != 4.0 {
+		t.Fatalf("/status board %v", status.Status)
+	}
+	if status.Metrics["srv_rounds_total"] != 4.0 {
+		t.Fatalf("/status metrics %v", status.Metrics["srv_rounds_total"])
+	}
+	if status.Goroutines <= 0 || status.UptimeSeconds < 0 {
+		t.Fatalf("/status process fields: %+v", status)
+	}
+
+	resp, body = getBody(t, base+"/debug/pprof/")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ status %d", resp.StatusCode)
+	}
+
+	resp, _ = getBody(t, base+"/nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/nope status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestSummaryRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sum_steps_total").Add(9)
+	reg.Gauge("sum_final_acc").Set(0.8125)
+
+	started := time.Date(2026, 8, 5, 10, 0, 0, 0, time.UTC)
+	m := Manifest{
+		Name:     "middlesim-test",
+		Command:  []string{"middlesim", "-fig", "6"},
+		Started:  started,
+		Finished: started.Add(42 * time.Second),
+		Extra:    map[string]any{"seed": 1.0, "strategy": "middle"},
+	}
+	path := SummaryPath(filepath.Join(t.TempDir(), "results"), m.Name, started)
+	if !strings.HasSuffix(path, "middlesim-test-20260805T100000.json") {
+		t.Fatalf("summary path %q", path)
+	}
+	if err := WriteSummary(path, m, reg); err != nil {
+		t.Fatal(err)
+	}
+
+	got, metrics, err := ReadSummary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != m.Name || !got.Started.Equal(m.Started) || !got.Finished.Equal(m.Finished) {
+		t.Fatalf("manifest round-trip: %+v", got)
+	}
+	if len(got.Command) != 3 || got.Command[2] != "6" {
+		t.Fatalf("command %v", got.Command)
+	}
+	if got.Extra["strategy"] != "middle" {
+		t.Fatalf("extra %v", got.Extra)
+	}
+	if metrics["sum_steps_total"] != 9.0 || metrics["sum_final_acc"] != 0.8125 {
+		t.Fatalf("metrics %v", metrics)
+	}
+}

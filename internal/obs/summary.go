@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Manifest describes one run for the machine-readable summary written
+// next to its results: what ran, with which arguments, when, and any
+// run-specific extras (task, strategy, seed, …).
+type Manifest struct {
+	// Name identifies the run, e.g. "middlesim-fig6" or "middled-cloud".
+	Name string `json:"name"`
+	// Command is the argv that produced the run.
+	Command []string `json:"command,omitempty"`
+	// Started and Finished bound the run's wall-clock window.
+	Started  time.Time `json:"started"`
+	Finished time.Time `json:"finished"`
+	// Extra carries free-form run parameters.
+	Extra map[string]any `json:"extra,omitempty"`
+}
+
+// summary is the on-disk shape: the manifest plus a full metrics dump.
+type summary struct {
+	Manifest Manifest       `json:"manifest"`
+	Metrics  map[string]any `json:"metrics"`
+}
+
+// WriteSummary writes the run manifest and a snapshot of every
+// registered metric as indented JSON to path, creating the directory
+// if needed.
+func WriteSummary(path string, m Manifest, r *Registry) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("obs: creating summary dir: %w", err)
+	}
+	data, err := json.MarshalIndent(summary{Manifest: m, Metrics: r.Snapshot()}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: encoding summary: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("obs: writing summary: %w", err)
+	}
+	return nil
+}
+
+// SummaryPath builds the conventional summary location:
+// dir/<name>-<UTC timestamp>.json.
+func SummaryPath(dir, name string, t time.Time) string {
+	return filepath.Join(dir, fmt.Sprintf("%s-%s.json", name, t.UTC().Format("20060102T150405")))
+}
+
+// ReadSummary loads a summary written by WriteSummary, returning the
+// manifest and the raw metrics map.
+func ReadSummary(path string) (Manifest, map[string]any, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Manifest{}, nil, err
+	}
+	var s summary
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Manifest{}, nil, fmt.Errorf("obs: decoding summary %s: %w", path, err)
+	}
+	return s.Manifest, s.Metrics, nil
+}

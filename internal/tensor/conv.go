@@ -33,6 +33,7 @@ func Im2Col(x []float64, c, h, w, kh, kw, stride, pad int, cols []float64) {
 // Convolutions with stride 1 copy each in-bounds run with copy() instead
 // of per-element indexing.
 func Im2ColStrided(x []float64, c, h, w, kh, kw, stride, pad int, cols []float64, rowStride int) {
+	countIm2Col()
 	oh := ConvOut(h, kh, stride, pad)
 	ow := ConvOut(w, kw, stride, pad)
 	row := 0
@@ -104,6 +105,7 @@ func Col2Im(cols []float64, c, h, w, kh, kw, stride, pad int, dx []float64) {
 // column block (row r at cols[r*rowStride+...]) and accumulates into the
 // image gradient dx (layout [C, H, W]).
 func Col2ImStrided(cols []float64, c, h, w, kh, kw, stride, pad int, dx []float64, rowStride int) {
+	countCol2Im()
 	oh := ConvOut(h, kh, stride, pad)
 	ow := ConvOut(w, kw, stride, pad)
 	row := 0
@@ -153,6 +155,7 @@ func Im2Col1D(x []float64, c, l, k, stride, pad int, cols []float64) {
 // whose row r occupies cols[r*rowStride : r*rowStride+OL], mirroring
 // Im2ColStrided for the batched [C*K, N*OL] layout.
 func Im2Col1DStrided(x []float64, c, l, k, stride, pad int, cols []float64, rowStride int) {
+	countIm2Col()
 	ol := ConvOut(l, k, stride, pad)
 	row := 0
 	for ch := 0; ch < c; ch++ {
@@ -192,6 +195,7 @@ func Col2Im1D(cols []float64, c, l, k, stride, pad int, dx []float64) {
 
 // Col2Im1DStrided is the adjoint of Im2Col1DStrided.
 func Col2Im1DStrided(cols []float64, c, l, k, stride, pad int, dx []float64, rowStride int) {
+	countCol2Im()
 	ol := ConvOut(l, k, stride, pad)
 	row := 0
 	for ch := 0; ch < c; ch++ {

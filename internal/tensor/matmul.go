@@ -58,6 +58,7 @@ func MatMul(a, b *Tensor) *Tensor {
 // MatMulInto computes dst = A·B, overwriting dst (shape [m, n]). It
 // performs no allocation, so hot paths can reuse the destination.
 func MatMulInto(dst, a, b *Tensor) *Tensor {
+	countMatMul()
 	checkRank2("MatMul", a, b)
 	m, k := a.shape[0], a.shape[1]
 	k2, n := b.shape[0], b.shape[1]
@@ -139,6 +140,7 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 // MatMulTransAInto computes dst = Aᵀ·B, overwriting dst (shape [m, n]),
 // without allocating.
 func MatMulTransAInto(dst, a, b *Tensor) *Tensor {
+	countMatMul()
 	checkRank2("MatMulTransA", a, b)
 	k, m := a.shape[0], a.shape[1]
 	k2, n := b.shape[0], b.shape[1]
@@ -212,6 +214,7 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 // MatMulTransBInto computes dst = A·Bᵀ, overwriting dst (shape [m, n]),
 // without allocating.
 func MatMulTransBInto(dst, a, b *Tensor) *Tensor {
+	countMatMul()
 	checkRank2("MatMulTransB", a, b)
 	m, k := a.shape[0], a.shape[1]
 	n, k2 := b.shape[0], b.shape[1]

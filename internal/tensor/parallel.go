@@ -54,9 +54,11 @@ func ParallelForChunks(n, grain int, fn func(lo, hi int)) {
 		workers = chunks
 	}
 	if workers <= 1 {
+		countParallelInline()
 		fn(0, n)
 		return
 	}
+	countParallelLaunch(chunks, workers)
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)

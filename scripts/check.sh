@@ -22,7 +22,44 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (tensor, hfl) =="
-go test -race ./internal/tensor ./internal/hfl
+echo "== go test -race (tensor, hfl, fednet, obs) =="
+go test -race ./internal/tensor ./internal/hfl ./internal/fednet ./internal/obs
+
+echo "== middled metrics smoke test =="
+tmpdir=$(mktemp -d)
+go build -o "$tmpdir/middled" ./cmd/middled
+"$tmpdir/middled" -role cloud -addr 127.0.0.1:0 -edges 1 -rounds 1 \
+    -metrics-addr 127.0.0.1:0 > "$tmpdir/middled.log" 2>&1 &
+mpid=$!
+cleanup() {
+    kill "$mpid" 2>/dev/null || true
+    rm -rf "$tmpdir"
+}
+trap cleanup EXIT
+maddr=""
+i=0
+while [ $i -lt 50 ]; do
+    maddr=$(sed -n 's/.*metrics listening on \(.*\)$/\1/p' "$tmpdir/middled.log")
+    [ -n "$maddr" ] && break
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$maddr" ]; then
+    echo "middled never announced its metrics listener:"
+    cat "$tmpdir/middled.log"
+    exit 1
+fi
+body=$(curl -fsS "http://$maddr/metrics")
+for want in fednet_rounds_total process_goroutines tensor_kernel_matmul_calls; do
+    if ! printf '%s\n' "$body" | grep -q "$want"; then
+        echo "/metrics is missing the $want series"
+        exit 1
+    fi
+done
+curl -fsS "http://$maddr/status" | grep -q '"role": "cloud"' || {
+    echo "/status did not report role=cloud"
+    exit 1
+}
+echo ok
 
 echo "All checks passed."
