@@ -27,6 +27,7 @@ import (
 	"middle/internal/experiments"
 	"middle/internal/fednet"
 	"middle/internal/mobility"
+	"middle/internal/obs"
 	"middle/internal/tensor"
 )
 
@@ -51,6 +52,7 @@ func main() {
 		moveMs   = flag.Int("movems", 2000, "milliseconds between mobility steps (devices role)")
 		metrics  = flag.String("metrics-addr", "", "serve /metrics, /status and /debug/pprof on this address (empty = disabled)")
 		results  = flag.String("results", "", "directory for the run summary JSON (empty = disabled)")
+		traceOut = flag.String("trace-out", "", "write this process's Chrome trace-event JSON here on exit (merge per-role files in Perfetto)")
 	)
 	flag.Parse()
 
@@ -65,21 +67,48 @@ func main() {
 		m.SetStatus("scale", *scale)
 		defer m.Close()
 	}
+	// The trace backing /debug/trace doubles as the -trace-out source;
+	// with metrics disabled a standalone collector still feeds the file.
+	trace := m.Trace()
+	if *traceOut != "" && trace == nil {
+		trace = obs.NewTrace(0)
+	}
+	defer writeTrace(trace, *traceOut)
 
 	setup := experiments.NewTaskSetup(data.TaskName(*task), experiments.Scale(*scale), *seed)
 	setup.Obs = m.Registry()
 	switch *role {
 	case "cloud":
-		runCloud(setup, m, *results, *addr, *edgesN, *rounds, *tc, *seed)
+		runCloud(setup, m, trace, *results, *addr, *edgesN, *rounds, *tc, *seed)
 	case "edge":
-		runEdge(setup, m, *id, *cloud, *addr, *strategy, *k, *seed)
+		runEdge(setup, m, trace, *id, *cloud, *addr, *strategy, *k, *seed)
 	case "devices":
-		runDevices(setup, m, *edgeList, *from, *to, *p, *moveMs, *seed)
+		runDevices(setup, m, trace, *edgeList, *from, *to, *p, *moveMs, *seed)
 	default:
 		fmt.Fprintln(os.Stderr, "middled: -role must be cloud, edge or devices")
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// writeTrace dumps the collected spans on clean exit (no-op when
+// -trace-out is unset). Each role records only its own spans; parent
+// references may point at spans in another role's file.
+func writeTrace(trace *obs.Trace, path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Printf("middled: creating %s: %v", path, err)
+		return
+	}
+	defer f.Close()
+	if err := trace.WriteJSON(f); err != nil {
+		log.Printf("middled: writing %s: %v", path, err)
+		return
+	}
+	log.Printf("middled: wrote trace %s (%d spans)", path, trace.Len())
 }
 
 // writeSummary records the run manifest + metrics snapshot (no-op when
@@ -95,11 +124,11 @@ func writeSummary(m *experiments.Metrics, dir, name string) {
 	}
 }
 
-func runCloud(setup *experiments.TaskSetup, m *experiments.Metrics, results, addr string, edges, rounds, tc int, seed int64) {
+func runCloud(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs.Trace, results, addr string, edges, rounds, tc int, seed int64) {
 	init := setup.Factory(tensor.Split(seed, 0)).ParamVector()
 	c, err := fednet.NewCloud(fednet.CloudConfig{
 		Addr: addr, Edges: edges, Rounds: rounds, CloudInterval: tc,
-		InitModel: init, Logf: log.Printf, Obs: m.Registry(),
+		InitModel: init, Logf: log.Printf, Obs: m.Registry(), Trace: trace,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -112,7 +141,7 @@ func runCloud(setup *experiments.TaskSetup, m *experiments.Metrics, results, add
 	writeSummary(m, results, "middled-cloud")
 }
 
-func runEdge(setup *experiments.TaskSetup, m *experiments.Metrics, id int, cloudAddr, addr, strategy string, k int, seed int64) {
+func runEdge(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs.Trace, id int, cloudAddr, addr, strategy string, k int, seed int64) {
 	if cloudAddr == "" {
 		log.Fatal("middled: edge role requires -cloud")
 	}
@@ -123,7 +152,7 @@ func runEdge(setup *experiments.TaskSetup, m *experiments.Metrics, id int, cloud
 	e, err := fednet.NewEdge(fednet.EdgeConfig{
 		EdgeID: id, CloudAddr: cloudAddr, Addr: addr,
 		K: k, Strategy: strat, Seed: seed, Logf: log.Printf,
-		Obs: m.Registry(),
+		Obs: m.Registry(), Trace: trace,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -134,7 +163,7 @@ func runEdge(setup *experiments.TaskSetup, m *experiments.Metrics, id int, cloud
 	}
 }
 
-func runDevices(setup *experiments.TaskSetup, m *experiments.Metrics, edgeList string, from, to int, p float64, moveMs int, seed int64) {
+func runDevices(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs.Trace, edgeList string, from, to int, p float64, moveMs int, seed int64) {
 	addrs := strings.Split(edgeList, ",")
 	if len(addrs) == 0 || addrs[0] == "" {
 		log.Fatal("middled: devices role requires -edgeaddrs")
@@ -155,7 +184,7 @@ func runDevices(setup *experiments.TaskSetup, m *experiments.Metrics, edgeList s
 			Factory:    setup.Factory,
 			Optimizer:  setup.Optimizer.New(),
 			LocalSteps: setup.I, BatchSize: setup.BatchSize,
-			Mode: mode, Seed: seed, Obs: m.Registry(),
+			Mode: mode, Seed: seed, Obs: m.Registry(), Trace: trace,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -24,6 +24,7 @@ import (
 	"middle"
 	"middle/internal/data"
 	"middle/internal/experiments"
+	"middle/internal/obs"
 )
 
 func main() {
@@ -42,6 +43,8 @@ func main() {
 		saveModel  = flag.String("savemodel", "", "write the final global model checkpoint here (-exp run only)")
 		maddr      = flag.String("metrics-addr", "", "serve /metrics, /status and /debug/pprof on this address (empty = disabled)")
 		results    = flag.String("results", "", "directory for the run summary JSON (empty = disabled)")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON of every round's phase spans here (load in Perfetto)")
+		telemOut   = flag.String("telemetry-out", "", "write the per-round/per-eval learning-dynamics JSONL stream here")
 	)
 	flag.Parse()
 
@@ -64,6 +67,21 @@ func main() {
 		metrics.SetStatus("task", *task)
 		metrics.SetStatus("scale", *scaleFlag)
 		defer metrics.Close()
+	}
+	// The trace backing /debug/trace doubles as the -trace-out source;
+	// with metrics disabled a standalone collector still feeds the file.
+	trace = metrics.Trace()
+	if *traceOut != "" && trace == nil {
+		trace = obs.NewTrace(0)
+	}
+	var telemetryFile *os.File
+	if *telemOut != "" {
+		f, err := os.Create(*telemOut)
+		if err != nil {
+			fatalf("creating %s: %v", *telemOut, err)
+		}
+		telemetryFile = f
+		events = obs.NewEmitter(f)
 	}
 
 	switch *exp {
@@ -90,7 +108,7 @@ func main() {
 	case "theory":
 		runTheory(scale, *seed)
 	case "run":
-		forTasks(*task, func(t middle.TaskName) { runSingle(t, scale, *strategy, *p, *seed, *steps, *saveModel) })
+		forTasks(*task, func(t middle.TaskName) { runSingle(t, scale, *strategy, *p, *seed, *steps, *saveModel, *csvDir) })
 	case "all":
 		runFig1(scale, *seed, *steps, *csvDir)
 		runFig2(scale, *seed, *csvDir)
@@ -110,16 +128,44 @@ func main() {
 	} else if path != "" {
 		fmt.Printf("middlesim: wrote summary %s\n", path)
 	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatalf("creating %s: %v", *traceOut, err)
+		}
+		if err := trace.WriteJSON(f); err != nil {
+			fatalf("writing %s: %v", *traceOut, err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("writing %s: %v", *traceOut, err)
+		}
+		fmt.Printf("middlesim: wrote trace %s (%d spans)\n", *traceOut, trace.Len())
+	}
+	if telemetryFile != nil {
+		if err := events.Err(); err != nil {
+			fatalf("writing %s: %v", *telemOut, err)
+		}
+		if err := telemetryFile.Close(); err != nil {
+			fatalf("writing %s: %v", *telemOut, err)
+		}
+		fmt.Printf("middlesim: wrote telemetry %s\n", *telemOut)
+	}
 }
 
-// metrics is the process-wide observability handle (nil when
-// -metrics-addr is unset); newSetup threads its registry into every
+// metrics, trace and events are the process-wide observability handles
+// (nil when their flags are unset); newSetup threads them into every
 // experiment configuration.
-var metrics *experiments.Metrics
+var (
+	metrics *experiments.Metrics
+	trace   *obs.Trace
+	events  *obs.Emitter
+)
 
 func newSetup(task middle.TaskName, scale middle.Scale, seed int64) *middle.TaskSetup {
 	s := middle.NewTaskSetup(task, scale, seed)
 	s.Obs = metrics.Registry()
+	s.Events = events
+	s.Trace = trace
 	return s
 }
 
@@ -335,7 +381,7 @@ func header(alphas []float64) string {
 	return strings.Join(parts, " ")
 }
 
-func runSingle(task middle.TaskName, scale middle.Scale, strategy string, p float64, seed int64, steps int, saveModel string) {
+func runSingle(task middle.TaskName, scale middle.Scale, strategy string, p float64, seed int64, steps int, saveModel, csvDir string) {
 	strat, err := middle.StrategyByName(strategy)
 	if err != nil {
 		fatalf("%v", err)
@@ -353,6 +399,25 @@ func runSingle(task middle.TaskName, scale middle.Scale, strategy string, p floa
 		fmt.Printf("target %.2f not reached; final accuracy %.4f\n", setup.TargetAcc, h.FinalAcc())
 	}
 	fmt.Printf("empirical mobility: %.3f\n\n", h.EmpiricalMobility)
+	if csvDir != "" {
+		// The full per-run history (accuracy, communication, phase-time
+		// and telemetry columns) — middleplot renders every column group.
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			fatalf("creating %s: %v", csvDir, err)
+		}
+		path := filepath.Join(csvDir, fmt.Sprintf("run_%s_%s_history.csv", task, strategy))
+		f, err := os.Create(path)
+		if err != nil {
+			fatalf("creating %s: %v", path, err)
+		}
+		if err := h.WriteCSV(f); err != nil {
+			fatalf("writing %s: %v", path, err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("writing %s: %v", path, err)
+		}
+		fmt.Printf("  wrote %s\n", path)
+	}
 	if saveModel != "" {
 		f, err := os.Create(saveModel)
 		if err != nil {

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"bytes"
+	"fmt"
 	"testing"
 
 	"middle"
+	"middle/internal/obs"
 )
 
 func TestParseStrategiesDefault(t *testing.T) {
@@ -53,5 +56,67 @@ func TestSmoothAll(t *testing.T) {
 	same := smoothAll(in, 1)
 	if &same[0] != &in[0] {
 		t.Fatal("window 1 should be a no-op")
+	}
+}
+
+// TestTraceExportTwoEdgeThreeRound is the end-to-end acceptance check
+// for -trace-out: a 2-edge, 3-round run's exported Chrome trace must
+// parse as valid JSON and hold monotonic, correctly parented spans.
+func TestTraceExportTwoEdgeThreeRound(t *testing.T) {
+	setup := middle.NewTaskSetup(middle.TaskMNIST, middle.Fast, 1)
+	setup.Edges, setup.Devices, setup.K = 2, 8, 2
+	setup.Trace = obs.NewTrace(0)
+	cfg := setup.Config(1, 3)
+	cfg.EvalEvery = 1
+	part := setup.Partition(1)
+	mob := middle.NewMarkovMobility(setup.Edges, setup.Devices, 0.5, 12)
+	strat, err := middle.StrategyByName("MIDDLE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := middle.NewSimulation(cfg, setup.Factory, part, setup.Test, mob, strat)
+	sim.Run()
+
+	// Export exactly what -trace-out writes, then re-parse it.
+	var buf bytes.Buffer
+	if err := setup.Trace.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ReadTraceJSON(&buf)
+	if err != nil {
+		t.Fatalf("exported trace does not parse: %v", err)
+	}
+	if err := obs.ValidateTraceEvents(events); err != nil {
+		t.Fatalf("exported trace invalid: %v", err)
+	}
+
+	var rounds []obs.TraceEvent
+	children := 0
+	for _, e := range events {
+		if e.Ph != "X" {
+			continue
+		}
+		if e.Name == "round" {
+			rounds = append(rounds, e)
+		} else if parent, _ := e.Args["parent"].(string); parent != "" {
+			children++
+		}
+	}
+	if len(rounds) != 3 {
+		t.Fatalf("round spans = %d, want 3", len(rounds))
+	}
+	var lastEnd int64 = -1
+	for i, e := range rounds {
+		if span, _ := e.Args["span"].(string); span != fmt.Sprintf("r%d", i+1) {
+			t.Fatalf("round[%d] span %q", i, span)
+		}
+		if e.Ts < lastEnd {
+			t.Fatalf("round[%d] starts at %d before previous ended at %d", i, e.Ts, lastEnd)
+		}
+		lastEnd = e.Ts + e.Dur
+	}
+	// Every round has at least select/train/edge_agg phase children.
+	if children < 3*3 {
+		t.Fatalf("phase spans = %d, want at least 9", children)
 	}
 }

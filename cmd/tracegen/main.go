@@ -7,9 +7,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime/debug"
+	"time"
 
 	"middle"
 )
@@ -29,6 +32,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		out      = flag.String("out", "", "output file (default stdout)")
 		inspect  = flag.String("inspect", "", "inspect an existing trace file instead of generating")
+		manifest = flag.String("manifest", "", "also write a reproducibility manifest (seed, flags, build revision) to this JSON file")
 	)
 	flag.Parse()
 
@@ -62,6 +66,47 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "tracegen: %d steps, %d devices, %d edges, empirical mobility %.4f\n",
 		tr.Steps(), tr.NumDevices(), tr.Edges, tr.EmpiricalMobility())
+	if *manifest != "" {
+		writeManifest(*manifest, *out, *seed, tr.EmpiricalMobility())
+	}
+}
+
+// writeManifest records everything needed to regenerate the trace: the
+// full flag set (defaults included), the seed, the trace destination,
+// the generation time and the binary's VCS revision as embedded by the
+// Go toolchain (empty outside a VCS build).
+func writeManifest(path, out string, seed int64, empiricalP float64) {
+	flags := map[string]string{}
+	flag.VisitAll(func(f *flag.Flag) { flags[f.Name] = f.Value.String() })
+	m := map[string]any{
+		"command":     os.Args,
+		"flags":       flags,
+		"seed":        seed,
+		"out":         out,
+		"empirical_p": empiricalP,
+		"generated":   time.Now().Format(time.RFC3339),
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		m["go_version"] = info.GoVersion
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				m["vcs_revision"] = s.Value
+			case "vcs.time":
+				m["vcs_time"] = s.Value
+			case "vcs.modified":
+				m["vcs_modified"] = s.Value
+			}
+		}
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		fatalf("encoding manifest: %v", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatalf("writing manifest %s: %v", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: wrote manifest %s\n", path)
 }
 
 func inspectTrace(path string) {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"middle/internal/obs"
@@ -18,6 +19,7 @@ type Metrics struct {
 	reg     *obs.Registry
 	status  *obs.Status
 	server  *obs.Server
+	trace   *obs.Trace
 	started time.Time
 }
 
@@ -34,11 +36,12 @@ func StartMetrics(addr string) (*Metrics, error) {
 	obs.RegisterProcessMetrics(r)
 	registerTensorMetrics(r)
 	status := obs.NewStatus()
-	srv, err := obs.StartServer(obs.ServerConfig{Addr: addr, Registry: r, Status: status})
+	trace := obs.NewTrace(0)
+	srv, err := obs.StartServer(obs.ServerConfig{Addr: addr, Registry: r, Status: status, Trace: trace})
 	if err != nil {
 		return nil, err
 	}
-	return &Metrics{reg: r, status: status, server: srv, started: time.Now()}, nil
+	return &Metrics{reg: r, status: status, server: srv, trace: trace, started: time.Now()}, nil
 }
 
 // registerTensorMetrics bridges the tensor package's dependency-free
@@ -77,6 +80,16 @@ func (m *Metrics) Registry() *obs.Registry {
 	return m.reg
 }
 
+// Trace returns the run's span collector, served live on /debug/trace
+// (nil when disabled). Thread it into hfl.Config.Trace or the fednet
+// component configs to record round spans.
+func (m *Metrics) Trace() *obs.Trace {
+	if m == nil {
+		return nil
+	}
+	return m.trace
+}
+
 // Addr returns the resolved listen address ("" when disabled).
 func (m *Metrics) Addr() string {
 	if m == nil {
@@ -93,10 +106,13 @@ func (m *Metrics) SetStatus(key string, value any) {
 	m.status.Set(key, value)
 }
 
-// Close stops the HTTP listener.
+// Close stops the HTTP listener gracefully: in-flight scrapes get up to
+// two seconds to drain before the listener is torn down.
 func (m *Metrics) Close() {
 	if m != nil {
-		m.server.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = m.server.Shutdown(ctx)
 	}
 }
 

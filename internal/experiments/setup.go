@@ -62,6 +62,12 @@ type TaskSetup struct {
 	// Obs, when set, is threaded into every simulation Config this setup
 	// produces, so one registry collects the whole experiment's metrics.
 	Obs *obs.Registry
+	// Events, when set, receives the per-round and per-eval JSONL
+	// telemetry stream of every simulation this setup produces.
+	Events *obs.Emitter
+	// Trace, when set, collects the round/phase span tree of every
+	// simulation this setup produces.
+	Trace *obs.Trace
 }
 
 // NewTaskSetup builds the setup for one of the four paper tasks.
@@ -187,6 +193,8 @@ func (s *TaskSetup) Config(seed int64, steps int) hfl.Config {
 		EvalSamples:   0,
 		Optimizer:     s.Optimizer,
 		Obs:           s.Obs,
+		Events:        s.Events,
+		Trace:         s.Trace,
 	}
 }
 

@@ -37,6 +37,10 @@ type CloudConfig struct {
 	// Obs, when set, receives per-message byte/latency metrics
 	// (fednet_* series). Nil disables metrics at near-zero cost.
 	Obs *obs.Registry
+	// Trace, when set, records a span per round (plus a sync child) and
+	// stamps RoundStart.Span so edges and devices can parent their spans
+	// on it. Nil disables tracing at near-zero cost.
+	Trace *obs.Trace
 }
 
 // Cloud coordinates rounds across edge servers. It is the lockstep
@@ -66,6 +70,7 @@ func NewCloud(cfg CloudConfig) (*Cloud, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fednet: cloud listen: %w", err)
 	}
+	cfg.Trace.SetProcessName(tracePidCloud, "cloud")
 	return &Cloud{
 		cfg:    cfg,
 		ln:     ln,
@@ -129,10 +134,16 @@ func (c *Cloud) Run() error {
 
 	for r := 1; r <= c.cfg.Rounds; r++ {
 		roundTok := c.m.roundSpan.Begin()
+		tr := c.cfg.Trace
+		traceStart := tr.Now()
+		span := ""
+		if tr != nil {
+			span = cloudRoundSpan(r)
+		}
 		sync := r%c.cfg.CloudInterval == 0
 		for _, e := range edges {
 			e.conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
-			if err := c.m.link.writeMsg(e.conn, MsgRoundStart, RoundStart{Round: r, Sync: sync}, nil); err != nil {
+			if err := c.m.link.writeMsg(e.conn, MsgRoundStart, RoundStart{Round: r, Sync: sync, Span: span}, nil); err != nil {
 				countTimeout(c.m.timeouts, err)
 				return fmt.Errorf("fednet: cloud starting round %d on edge %d: %w", r, e.id, err)
 			}
@@ -156,6 +167,7 @@ func (c *Cloud) Run() error {
 			}
 		}
 		if sync {
+			syncStart := tr.Now()
 			if len(vecs) > 0 {
 				c.mu.Lock()
 				c.global = simil.WeightedAverage(vecs, weights)
@@ -169,10 +181,20 @@ func (c *Cloud) Run() error {
 				}
 			}
 			c.m.syncs.Inc()
+			if tr != nil {
+				tr.Complete("cloud_sync", "fednet", tracePidCloud, 0,
+					syncStart, tr.Now().Sub(syncStart), span+".sync", span,
+					map[string]any{"round": r, "edges": len(vecs)})
+			}
 			c.cfg.Logf("cloud: round %d synced %d edge models", r, len(vecs))
 		}
 		c.m.rounds.Inc()
 		roundTok.End()
+		if tr != nil {
+			tr.Complete("cloud_round", "fednet", tracePidCloud, 0,
+				traceStart, tr.Now().Sub(traceStart), span, "",
+				map[string]any{"round": r, "sync": sync})
+		}
 		if c.cfg.OnRound != nil {
 			c.cfg.OnRound(r)
 		}

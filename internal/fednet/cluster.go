@@ -31,6 +31,9 @@ type ClusterConfig struct {
 	// Obs, when set, is threaded into every component so one registry
 	// reports the whole deployment's fednet_* series.
 	Obs *obs.Registry
+	// Trace, when set, is threaded into every component so one collector
+	// holds the full device→edge→cloud span tree of every round.
+	Trace *obs.Trace
 }
 
 // Cluster is a running deployment.
@@ -85,7 +88,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	cloud, err := NewCloud(CloudConfig{
 		Addr: "127.0.0.1:0", Edges: numEdges, Rounds: cfg.Rounds,
 		CloudInterval: cfg.CloudInterval, InitModel: init,
-		Logf: cfg.Logf, OnRound: onRound, Obs: cfg.Obs,
+		Logf: cfg.Logf, OnRound: onRound, Obs: cfg.Obs, Trace: cfg.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -96,7 +99,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		edge, err := NewEdge(EdgeConfig{
 			EdgeID: e, CloudAddr: cloud.Addr(), Addr: "127.0.0.1:0",
 			K: cfg.K, Strategy: cfg.Strategy, Seed: cfg.Seed, Logf: cfg.Logf,
-			Obs: cfg.Obs,
+			Obs: cfg.Obs, Trace: cfg.Trace,
 		})
 		if err != nil {
 			return nil, err
@@ -112,7 +115,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 			Factory:    cfg.Factory,
 			Optimizer:  cfg.Optimizer.New(),
 			LocalSteps: cfg.LocalSteps, BatchSize: cfg.BatchSize,
-			Mode: mode, Seed: cfg.Seed, Obs: cfg.Obs,
+			Mode: mode, Seed: cfg.Seed, Obs: cfg.Obs, Trace: cfg.Trace,
 		})
 		if err != nil {
 			return nil, err

@@ -68,6 +68,9 @@ type DeviceConfig struct {
 	// Obs, when set, receives per-message byte/latency metrics
 	// (fednet_* series). Nil disables metrics at near-zero cost.
 	Obs *obs.Registry
+	// Trace, when set, records a span per local-training round parented
+	// on the edge's RPC span (TrainRequest.Span). Nil disables tracing.
+	Trace *obs.Trace
 }
 
 // Device is a mobile client. Connect attaches it to an edge (closing any
@@ -103,6 +106,7 @@ func NewDevice(cfg DeviceConfig) (*Device, error) {
 	if cfg.Mode == "" {
 		cfg.Mode = AggEdge
 	}
+	cfg.Trace.SetProcessName(tracePidDeviceBase+cfg.DeviceID, fmt.Sprintf("device%d", cfg.DeviceID))
 	return &Device{
 		cfg:      cfg,
 		net:      cfg.Factory(tensor.Split(cfg.Seed, int64(1000+cfg.DeviceID))),
@@ -188,9 +192,20 @@ func (d *Device) serve(conn net.Conn, edgeID int, done chan struct{}) {
 		default:
 			return
 		}
+		tr := d.cfg.Trace
+		trainStart := tr.Now()
 		trainTok := d.m.trainSpan.Begin()
 		vec, reply := d.train(req, edgeModel, edgeID)
 		trainTok.End()
+		if tr != nil {
+			spanID := ""
+			if req.Span != "" { // untraced edges leave Span empty
+				spanID = req.Span + ".t"
+			}
+			tr.Complete("device_train", "fednet", tracePidDeviceBase+d.cfg.DeviceID, 0,
+				trainStart, tr.Now().Sub(trainStart), spanID, req.Span,
+				map[string]any{"round": req.Round, "moved": req.Moved})
+		}
 		conn.SetDeadline(time.Now().Add(d.cfg.Timeout))
 		if err := d.m.link.writeMsg(conn, MsgTrainReply, reply, vec); err != nil {
 			return

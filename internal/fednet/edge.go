@@ -33,6 +33,10 @@ type EdgeConfig struct {
 	// Obs, when set, receives per-message byte/latency metrics
 	// (fednet_* series). Nil disables metrics at near-zero cost.
 	Obs *obs.Registry
+	// Trace, when set, records a span per round and per train RPC,
+	// parented on the cloud's round span (RoundStart.Span) and passed
+	// down to devices via TrainRequest.Span. Nil disables tracing.
+	Trace *obs.Trace
 }
 
 // deviceState is the edge's cached knowledge about one connected device —
@@ -81,6 +85,7 @@ func NewEdge(cfg EdgeConfig) (*Edge, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fednet: edge %d listen: %w", cfg.EdgeID, err)
 	}
+	cfg.Trace.SetProcessName(tracePidEdgeBase+cfg.EdgeID, fmt.Sprintf("edge%d", cfg.EdgeID))
 	return &Edge{cfg: cfg, ln: ln, m: newEdgeMetrics(cfg.Obs), devices: map[int]*deviceState{}}, nil
 }
 
@@ -171,9 +176,20 @@ func (e *Edge) Run() error {
 			return fmt.Errorf("fednet: edge %d unexpected message type %d", e.cfg.EdgeID, t)
 		}
 
+		tr := e.cfg.Trace
+		traceStart := tr.Now()
+		eSpan := ""
+		if tr != nil {
+			eSpan = edgeRoundSpan(e.cfg.EdgeID, rs.Round)
+		}
 		roundTok := e.m.roundSpan.Begin()
-		trained, weight := e.runRound(rs.Round)
+		trained, weight := e.runRound(rs.Round, eSpan)
 		roundTok.End()
+		if tr != nil {
+			tr.Complete("edge_round", "fednet", tracePidEdgeBase+e.cfg.EdgeID, 0,
+				traceStart, tr.Now().Sub(traceStart), eSpan, rs.Span,
+				map[string]any{"round": rs.Round, "trained": trained})
+		}
 		e.weight += weight
 
 		cloud.SetDeadline(time.Now().Add(e.cfg.Timeout))
@@ -203,8 +219,10 @@ func (e *Edge) Run() error {
 }
 
 // runRound executes one Algorithm 1 time step: selection, parallel
-// training on the selected devices, Eq. 6 aggregation.
-func (e *Edge) runRound(round int) (trained int, weight float64) {
+// training on the selected devices, Eq. 6 aggregation. span is the
+// edge's round trace span id ("" when tracing is off); each train RPC
+// records a child span and forwards its id to the device.
+func (e *Edge) runRound(round int, span string) (trained int, weight float64) {
 	e.mu.Lock()
 	candidates := make([]int, 0, len(e.devices))
 	for id := range e.devices {
@@ -242,6 +260,9 @@ func (e *Edge) runRound(round int) (trained int, weight float64) {
 				Moved:      !d.trainedHere && d.arrivedFrom >= 0 && d.arrivedFrom != e.cfg.EdgeID,
 				ResetLocal: d.lastTrained < e.lastSync,
 			}
+			if span != "" {
+				req.Span = trainRPCSpan(span, id)
+			}
 		}
 		e.mu.Unlock()
 		if !ok {
@@ -249,6 +270,8 @@ func (e *Edge) runRound(round int) (trained int, weight float64) {
 			continue
 		}
 		go func(d *deviceState, req TrainRequest) {
+			tr := e.cfg.Trace
+			rpcStart := tr.Now()
 			rpcTok := e.m.trainSpan.Begin()
 			d.conn.SetDeadline(time.Now().Add(e.cfg.Timeout))
 			if err := e.m.deviceLink.writeMsg(d.conn, MsgTrainRequest, req, e.edgeModel); err != nil {
@@ -264,6 +287,11 @@ func (e *Edge) runRound(round int) (trained int, weight float64) {
 				return
 			}
 			rpcTok.End()
+			if tr != nil {
+				tr.Complete("train_rpc", "fednet", tracePidEdgeBase+e.cfg.EdgeID, d.id,
+					rpcStart, tr.Now().Sub(rpcStart), req.Span, span,
+					map[string]any{"round": round, "device": d.id})
+			}
 			results <- result{id: d.id, conn: d.conn, vec: vec, reply: reply}
 		}(d, req)
 	}

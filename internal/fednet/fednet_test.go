@@ -14,6 +14,7 @@ import (
 	"middle/internal/hfl"
 	"middle/internal/mobility"
 	"middle/internal/nn"
+	"middle/internal/obs"
 	"middle/internal/tensor"
 )
 
@@ -295,4 +296,126 @@ func TestDeviceSurvivesEdgeVanishing(t *testing.T) {
 		t.Fatal("Disconnect hung after edge vanished")
 	}
 	ln.Close()
+}
+
+// --- causal round tracing -----------------------------------------------------
+
+// TestClusterTraceTree runs a full deployment with a shared trace and
+// checks the device→edge→cloud spans of every round form one valid,
+// correctly parented, monotonically ordered tree.
+func TestClusterTraceTree(t *testing.T) {
+	const rounds, cloudInterval = 6, 3
+	mob := mobility.NewMarkovRing(3, 9, 0.4, 7)
+	prof := data.FastImageProfile(4)
+	train := data.GenerateImagesSplit(prof, 400, 5, 5)
+	part := data.PartitionMajorClass(train, mob.NumDevices(), 30, 0.85, 6)
+	factory := func(rng *tensor.RNG) *nn.Network {
+		return nn.NewNetwork(
+			nn.NewFlatten(),
+			nn.NewLinear(train.SampleSize(), 16, rng),
+			nn.NewReLU(),
+			nn.NewLinear(16, train.Classes, rng),
+		)
+	}
+	trace := obs.NewTrace(0)
+	c, err := StartCluster(ClusterConfig{
+		Rounds: rounds, K: 2, LocalSteps: 2, BatchSize: 8, CloudInterval: cloudInterval,
+		Strategy: core.NewMiddle(), Partition: part, Factory: factory,
+		Optimizer: hfl.OptimizerSpec{Kind: hfl.OptSGDMomentum, LR: 0.05, Momentum: 0.9},
+		Mobility:  mob, Seed: 1, Trace: trace,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	events := trace.Events()
+	if err := obs.ValidateTraceEvents(events); err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+
+	// Round-trip through the JSON exporter: same validation must hold on
+	// what a Perfetto user would actually load.
+	var buf bytes.Buffer
+	if err := trace.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := obs.ReadTraceJSON(&buf)
+	if err != nil {
+		t.Fatalf("exported trace does not parse: %v", err)
+	}
+	if err := obs.ValidateTraceEvents(decoded); err != nil {
+		t.Fatalf("exported trace invalid: %v", err)
+	}
+
+	span := func(e obs.TraceEvent) string { p, _ := e.Args["span"].(string); return p }
+	parent := func(e obs.TraceEvent) string { p, _ := e.Args["parent"].(string); return p }
+	byName := map[string][]obs.TraceEvent{}
+	byID := map[string]obs.TraceEvent{}
+	for _, e := range events {
+		if e.Ph != "X" {
+			continue
+		}
+		byName[e.Name] = append(byName[e.Name], e)
+		if id := span(e); id != "" {
+			byID[id] = e
+		}
+	}
+
+	cloudRounds := byName["cloud_round"]
+	if len(cloudRounds) != rounds {
+		t.Fatalf("cloud_round spans = %d, want %d", len(cloudRounds), rounds)
+	}
+	var lastEnd int64 = -1
+	for i, e := range cloudRounds {
+		if want := cloudRoundSpan(i + 1); span(e) != want {
+			t.Fatalf("cloud_round[%d] span %q, want %q", i, span(e), want)
+		}
+		if parent(e) != "" {
+			t.Fatalf("cloud_round[%d] has parent %q, want root", i, parent(e))
+		}
+		if e.Ts < lastEnd {
+			t.Fatalf("cloud_round[%d] starts at %d before previous round ended at %d", i, e.Ts, lastEnd)
+		}
+		lastEnd = e.Ts + e.Dur
+	}
+
+	if got, want := len(byName["cloud_sync"]), rounds/cloudInterval; got != want {
+		t.Fatalf("cloud_sync spans = %d, want %d", got, want)
+	}
+	for _, e := range byName["cloud_sync"] {
+		if p := byID[parent(e)]; p.Name != "cloud_round" {
+			t.Fatalf("cloud_sync %q parented on %q, want a cloud_round", span(e), parent(e))
+		}
+	}
+
+	if got, want := len(byName["edge_round"]), rounds*mob.NumEdges(); got != want {
+		t.Fatalf("edge_round spans = %d, want %d", got, want)
+	}
+	for _, e := range byName["edge_round"] {
+		if p := byID[parent(e)]; p.Name != "cloud_round" {
+			t.Fatalf("edge_round %q parented on %q, want a cloud_round", span(e), parent(e))
+		}
+	}
+
+	rpcs := byName["train_rpc"]
+	if len(rpcs) == 0 {
+		t.Fatal("no train_rpc spans recorded")
+	}
+	for _, e := range rpcs {
+		if p := byID[parent(e)]; p.Name != "edge_round" {
+			t.Fatalf("train_rpc %q parented on %q, want an edge_round", span(e), parent(e))
+		}
+	}
+	trains := byName["device_train"]
+	if len(trains) != len(rpcs) {
+		t.Fatalf("device_train spans = %d, train_rpc spans = %d, want equal", len(trains), len(rpcs))
+	}
+	for _, e := range trains {
+		if p := byID[parent(e)]; p.Name != "train_rpc" {
+			t.Fatalf("device_train %q parented on %q, want a train_rpc", span(e), parent(e))
+		}
+	}
 }

@@ -75,6 +75,10 @@ type RoundStart struct {
 	// Sync marks a T_c boundary: the edge must report its model and
 	// will receive the new global model.
 	Sync bool `json:"sync"`
+	// Span is the cloud's trace span id for this round ("" when tracing
+	// is off); the edge parents its own round span on it so the
+	// device→edge→cloud spans of one round form a single trace tree.
+	Span string `json:"span,omitempty"`
 }
 
 // RoundDone acknowledges a completed round to the cloud.
@@ -99,6 +103,9 @@ type TrainRequest struct {
 	// first (issued on the round after a cloud sync, Algorithm 1
 	// lines 14–15).
 	ResetLocal bool `json:"reset_local"`
+	// Span is the edge's trace span id for this train RPC ("" when
+	// tracing is off); the device parents its training span on it.
+	Span string `json:"span,omitempty"`
 }
 
 // TrainReply returns the device's updated model and bookkeeping.

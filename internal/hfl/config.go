@@ -99,10 +99,27 @@ type Config struct {
 
 	// Obs, when set, receives run metrics: per-phase wall time
 	// (sim_phase_seconds{phase=...}), step/selection/straggler/mobility
-	// counters and cloud-sync counts. Nil (the default) disables metrics
-	// at near-zero cost; the always-on PhaseTimes breakdown remains
-	// available from Sim.PhaseSeconds either way.
+	// counters, cloud-sync counts, and the learning-dynamics series
+	// (hfl_selection_utility, hfl_update_norm, hfl_blend_utility,
+	// hfl_edge_divergence{edge}, hfl_selection_fairness_jain,
+	// hfl_mobility_flow_total{from,to}). Nil (the default) disables
+	// metrics at near-zero cost; the always-on PhaseTimes breakdown and
+	// History telemetry columns remain available either way.
 	Obs *obs.Registry
+
+	// Events, when set, receives the per-run telemetry JSONL stream: one
+	// "round" event per time step with that round's selection-utility /
+	// update-norm / blend-utility means, and one "eval" event per
+	// evaluation with accuracy, per-edge divergence, fairness and the
+	// cumulative edge→edge mobility flow matrix. Nil disables the stream
+	// with zero steady-state cost.
+	Events *obs.Emitter
+
+	// Trace, when set, records each time step as a Chrome trace-event
+	// span tree (round → select/train/edge_agg/cloud_sync/eval) for
+	// /debug/trace and -trace-out. Nil disables tracing with zero
+	// steady-state cost.
+	Trace *obs.Trace
 }
 
 // withDefaults fills unset fields with safe values and validates.

@@ -139,9 +139,22 @@ func (s *Sim) recordEval(t int) {
 			edgeAcc[n], _ = s.EvaluateVector(s.edges[n], s.cfg.EvalSamples, false)
 		}
 	}
+	divs, divMean, divMax := s.tel.evalDivergence(s.cloud, s.edges)
+	fair := s.tel.fairnessJain()
 	s.history.AppendPoint(EvalPoint{
 		Step: t, GlobalAcc: acc, PerClassAcc: classAcc, EdgeAcc: edgeAcc,
 		CommDeviceEdge: s.commDeviceEdge, CommEdgeCloud: s.commEdgeCloud,
 		Stragglers: s.stragglers, Phases: s.phases,
+		SelUtilMean: s.tel.selUtilMean(), UpdNormMean: s.tel.updNormMean(),
+		BlendUtilMean: s.tel.blendUtilMean(),
+		EdgeDivMean:   divMean, EdgeDivMax: divMax, FairnessJain: fair,
 	})
+	if em := s.cfg.Events; em != nil {
+		em.Emit("eval",
+			"step", t,
+			"global_acc", acc,
+			"edge_divergence", append([]float64(nil), divs...),
+			"fairness_jain", fair,
+			"mobility_flow", s.tel.flowMatrix())
+	}
 }

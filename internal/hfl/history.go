@@ -34,6 +34,18 @@ type History struct {
 	PhaseEdgeAgg   []float64
 	PhaseCloudSync []float64
 	PhaseEval      []float64
+	// Learning-dynamics telemetry at each evaluation event: running
+	// means of the Eq. 12 selection utility, accumulated-update norm
+	// ‖Δw_m‖ and Eq. 9 blend utility since the start of the run, the
+	// per-edge divergence ‖w_n − w_c‖ (mean and max across edges at the
+	// eval instant) and Jain's fairness index over per-device training
+	// counts.
+	SelUtilMean   []float64
+	UpdNormMean   []float64
+	BlendUtilMean []float64
+	EdgeDivMean   []float64
+	EdgeDivMax    []float64
+	FairnessJain  []float64
 }
 
 // EvalPoint is one evaluation event's full record.
@@ -47,6 +59,13 @@ type EvalPoint struct {
 	CommEdgeCloud  int64
 	Stragglers     int
 	Phases         PhaseTimes
+	// Learning-dynamics telemetry (see the History field docs).
+	SelUtilMean   float64
+	UpdNormMean   float64
+	BlendUtilMean float64
+	EdgeDivMean   float64
+	EdgeDivMax    float64
+	FairnessJain  float64
 }
 
 // Append records one evaluation event.
@@ -76,6 +95,12 @@ func (h *History) AppendPoint(p EvalPoint) {
 	h.PhaseEdgeAgg = append(h.PhaseEdgeAgg, p.Phases.EdgeAgg)
 	h.PhaseCloudSync = append(h.PhaseCloudSync, p.Phases.CloudSync)
 	h.PhaseEval = append(h.PhaseEval, p.Phases.Eval)
+	h.SelUtilMean = append(h.SelUtilMean, p.SelUtilMean)
+	h.UpdNormMean = append(h.UpdNormMean, p.UpdNormMean)
+	h.BlendUtilMean = append(h.BlendUtilMean, p.BlendUtilMean)
+	h.EdgeDivMean = append(h.EdgeDivMean, p.EdgeDivMean)
+	h.EdgeDivMax = append(h.EdgeDivMax, p.EdgeDivMax)
+	h.FairnessJain = append(h.FairnessJain, p.FairnessJain)
 }
 
 // CommToAccuracy returns the cumulative model transfers (device–edge,
@@ -146,7 +171,9 @@ func (h *History) WriteCSV(w io.Writer) error {
 	header = append(header,
 		"comm_device_edge", "comm_edge_cloud", "stragglers",
 		"phase_select_s", "phase_train_s", "phase_edge_agg_s",
-		"phase_cloud_sync_s", "phase_eval_s")
+		"phase_cloud_sync_s", "phase_eval_s",
+		"sel_util_mean", "upd_norm_mean", "blend_util_mean",
+		"edge_div_mean", "edge_div_max", "fairness_jain")
 	if err := cw.Write(header); err != nil {
 		return err
 	}
@@ -166,7 +193,13 @@ func (h *History) WriteCSV(w io.Writer) error {
 			formatF(h.floatAt(h.PhaseTrain, i)),
 			formatF(h.floatAt(h.PhaseEdgeAgg, i)),
 			formatF(h.floatAt(h.PhaseCloudSync, i)),
-			formatF(h.floatAt(h.PhaseEval, i)))
+			formatF(h.floatAt(h.PhaseEval, i)),
+			formatF(h.floatAt(h.SelUtilMean, i)),
+			formatF(h.floatAt(h.UpdNormMean, i)),
+			formatF(h.floatAt(h.BlendUtilMean, i)),
+			formatF(h.floatAt(h.EdgeDivMean, i)),
+			formatF(h.floatAt(h.EdgeDivMax, i)),
+			formatF(h.floatAt(h.FairnessJain, i)))
 		if err := cw.Write(row); err != nil {
 			return err
 		}
@@ -248,6 +281,12 @@ func ReadHistoryCSV(r io.Reader) (*History, error) {
 			{"phase_edge_agg_s", &p.Phases.EdgeAgg},
 			{"phase_cloud_sync_s", &p.Phases.CloudSync},
 			{"phase_eval_s", &p.Phases.Eval},
+			{"sel_util_mean", &p.SelUtilMean},
+			{"upd_norm_mean", &p.UpdNormMean},
+			{"blend_util_mean", &p.BlendUtilMean},
+			{"edge_div_mean", &p.EdgeDivMean},
+			{"edge_div_max", &p.EdgeDivMax},
+			{"fairness_jain", &p.FairnessJain},
 		}
 		for _, f := range fields {
 			if *f.dst, err = getF(row, f.name); err != nil {

@@ -13,14 +13,18 @@ func TestHistoryCSVRoundTrip(t *testing.T) {
 		PerClassAcc:    []float64{0.5, 0.125},
 		EdgeAcc:        []float64{0.25, 0.375, 0.5},
 		CommDeviceEdge: 20, CommEdgeCloud: 0, Stragglers: 1,
-		Phases: PhaseTimes{Select: 0.125, Train: 1.5, EdgeAgg: 0.0625, CloudSync: 0, Eval: 0},
+		Phases:      PhaseTimes{Select: 0.125, Train: 1.5, EdgeAgg: 0.0625, CloudSync: 0, Eval: 0},
+		SelUtilMean: 0.25, UpdNormMean: 1.5, BlendUtilMean: 0.125,
+		EdgeDivMean: 0.5, EdgeDivMax: 0.75, FairnessJain: 0.875,
 	})
 	h.AppendPoint(EvalPoint{
 		Step: 10, GlobalAcc: 0.625,
 		PerClassAcc:    []float64{0.75, 0.5},
 		EdgeAcc:        []float64{0.625, 0.5, 0.75},
 		CommDeviceEdge: 40, CommEdgeCloud: 6, Stragglers: 3,
-		Phases: PhaseTimes{Select: 0.25, Train: 3, EdgeAgg: 0.125, CloudSync: 0.5, Eval: 0.0625},
+		Phases:      PhaseTimes{Select: 0.25, Train: 3, EdgeAgg: 0.125, CloudSync: 0.5, Eval: 0.0625},
+		SelUtilMean: 0.5, UpdNormMean: 2.25, BlendUtilMean: 0.25,
+		EdgeDivMean: 0.25, EdgeDivMax: 0.375, FairnessJain: 0.9375,
 	})
 
 	var buf bytes.Buffer
@@ -32,6 +36,8 @@ func TestHistoryCSVRoundTrip(t *testing.T) {
 		"comm_device_edge", "comm_edge_cloud", "stragglers",
 		"phase_select_s", "phase_train_s", "phase_edge_agg_s",
 		"phase_cloud_sync_s", "phase_eval_s",
+		"sel_util_mean", "upd_norm_mean", "blend_util_mean",
+		"edge_div_mean", "edge_div_max", "fairness_jain",
 	} {
 		if !strings.Contains(header, want) {
 			t.Fatalf("header missing %q: %s", want, header)
@@ -61,6 +67,12 @@ func TestHistoryCSVRoundTrip(t *testing.T) {
 			{got.PhaseEdgeAgg, h.PhaseEdgeAgg},
 			{got.PhaseCloudSync, h.PhaseCloudSync},
 			{got.PhaseEval, h.PhaseEval},
+			{got.SelUtilMean, h.SelUtilMean},
+			{got.UpdNormMean, h.UpdNormMean},
+			{got.BlendUtilMean, h.BlendUtilMean},
+			{got.EdgeDivMean, h.EdgeDivMean},
+			{got.EdgeDivMax, h.EdgeDivMax},
+			{got.FairnessJain, h.FairnessJain},
 		} {
 			if pair[0][i] != pair[1][i] {
 				t.Fatalf("row %d phase column: %v, want %v", i, pair[0][i], pair[1][i])

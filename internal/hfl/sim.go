@@ -3,6 +3,7 @@ package hfl
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -54,9 +55,12 @@ type Sim struct {
 	history *History
 
 	// phases accumulates the always-on per-phase wall-clock breakdown;
-	// metrics mirrors it (plus counters) into cfg.Obs when set.
+	// metrics mirrors it (plus counters) into cfg.Obs when set. tel does
+	// the same for the learning-dynamics quantities (Eq. 12 utilities,
+	// update norms, blend utilities, participation, mobility flow).
 	phases  PhaseTimes
 	metrics simMetrics
+	tel     *telemetry
 
 	// Per-step scratch, reused across StepOnce calls so the steady-state
 	// loop performs no per-step slice allocations of its own. The model
@@ -126,6 +130,8 @@ func New(cfg Config, factory ModelFactory, part *data.Partition, test *data.Data
 	s.evalNet = factory(tensor.Split(cfg.Seed, 99))
 	s.history = &History{Strategy: strat.Name()}
 	s.metrics = newSimMetrics(cfg.Obs)
+	s.tel = newTelemetry(cfg.Obs, s.numEdges, s.numDevices)
+	cfg.Trace.SetProcessName(0, "sim")
 	return s
 }
 
@@ -182,7 +188,9 @@ func (s *Sim) StepOnce() int {
 	s.step++
 	t := s.step
 	clock := time.Now()
+	roundStart := clock
 	movesBefore, stragglersBefore := s.moves, s.stragglers
+	s.tel.beginRound()
 
 	prev := s.membership
 	s.membership = s.mob.Step()
@@ -194,6 +202,7 @@ func (s *Sim) StepOnce() int {
 		moved[m] = s.membership[m] != prev[m]
 		if moved[m] {
 			s.moves++
+			s.tel.recordMove(prev[m], s.membership[m])
 		}
 		s.moveTotal++
 	}
@@ -240,6 +249,15 @@ func (s *Sim) StepOnce() int {
 		selectedByEdge[n] = sel
 		s.commDeviceEdge += 2 * int64(len(sel))
 		for _, m := range sel {
+			// Learning-dynamics telemetry reads the pre-training carried
+			// model: the Eq. 12 utility and ‖Δw_m‖ against the cloud, and
+			// on a mobility event the Eq. 9 blend utility against the
+			// entered edge. Pure reads — results are unaffected.
+			u, dn := simil.SelectionUtilityNorm(s.cloud, s.locals[m])
+			s.tel.recordSelection(m, u, dn)
+			if moved[m] {
+				s.tel.recordBlend(simil.Utility(s.locals[m], s.edges[n]))
+			}
 			// Lines 4–7: on-device model initialisation. The job writes
 			// the trained model straight into the device's carried vector
 			// (each device appears in at most one job per step, and
@@ -248,7 +266,9 @@ func (s *Sim) StepOnce() int {
 			s.jobs = append(s.jobs, trainJob{device: m, init: init, out: s.locals[m]})
 		}
 	}
+	phaseStart := clock
 	clock = phase(&s.phases.Select, s.metrics.selectSpan, clock)
+	s.tracePhase("select", t, phaseStart, clock)
 
 	// Line 8: parallel local training across the worker pool.
 	jobs := s.jobs
@@ -258,7 +278,9 @@ func (s *Sim) StepOnce() int {
 		s.statUtil[j.device] = j.util
 		s.lastTrain[j.device] = t
 	}
+	phaseStart = clock
 	clock = phase(&s.phases.Train, s.metrics.trainSpan, clock)
+	s.tracePhase("train", t, phaseStart, clock)
 
 	// Line 9: edge aggregation (Eq. 6), weighted by data sizes. The edge
 	// vector is overwritten in place (it never aliases a device vector).
@@ -277,7 +299,9 @@ func (s *Sim) StepOnce() int {
 		simil.WeightedAverageInto(s.edges[n], vecs, weights)
 		s.aggVecs, s.aggWeights = vecs, weights
 	}
+	phaseStart = clock
 	clock = phase(&s.phases.EdgeAgg, s.metrics.edgeAggSpan, clock)
+	s.tracePhase("edge_agg", t, phaseStart, clock)
 
 	// Lines 10–15: cloud aggregation (Eq. 7) every T_c steps, then push
 	// the new global model down to all edges and devices (copy into the
@@ -304,13 +328,17 @@ func (s *Sim) StepOnce() int {
 		}
 		s.aggVecs, s.aggWeights = vecs, weights
 		s.metrics.cloudSyncs.Inc()
+		phaseStart = clock
 		clock = phase(&s.phases.CloudSync, s.metrics.cloudSyncSpan, clock)
+		s.tracePhase("cloud_sync", t, phaseStart, clock)
 	}
 
 	if s.cfg.EvalEvery > 0 && (t%s.cfg.EvalEvery == 0 || t == s.cfg.Steps) {
 		s.recordEval(t)
 		s.metrics.evals.Inc()
-		phase(&s.phases.Eval, s.metrics.evalSpan, clock)
+		phaseStart = clock
+		clock = phase(&s.phases.Eval, s.metrics.evalSpan, clock)
+		s.tracePhase("eval", t, phaseStart, clock)
 	}
 
 	s.metrics.steps.Inc()
@@ -318,7 +346,38 @@ func (s *Sim) StepOnce() int {
 	s.metrics.stragglers.Add(int64(s.stragglers - stragglersBefore))
 	s.metrics.moves.Add(int64(s.moves - movesBefore))
 	s.metrics.moveOpp.Add(int64(s.numDevices))
+	s.tel.participants.Set(float64(len(s.jobs)))
+	if s.tel.fairness != nil {
+		s.tel.fairness.Set(s.tel.fairnessJain())
+	}
+	if tr := s.cfg.Trace; tr != nil {
+		end := time.Now()
+		tr.Complete("round", "hfl", 0, 0, roundStart, end.Sub(roundStart),
+			"r"+strconv.Itoa(t), "", map[string]any{"step": t, "selected": len(s.jobs)})
+	}
+	if em := s.cfg.Events; em != nil {
+		em.Emit("round",
+			"step", t,
+			"selected", len(s.jobs),
+			"sel_util_mean", meanOf(s.tel.roundSelUtilSum, s.tel.roundSelUtilN),
+			"upd_norm_mean", meanOf(s.tel.roundUpdNormSum, s.tel.roundSelUtilN),
+			"blend_util_mean", meanOf(s.tel.roundBlendUtilSum, s.tel.roundBlendUtilN),
+			"blend_events", s.tel.roundBlendUtilN,
+			"moves", s.moves-movesBefore,
+			"stragglers", s.stragglers-stragglersBefore)
+	}
 	return t
+}
+
+// tracePhase records one StepOnce phase as a child span of the round's
+// trace span. No-op (and allocation-free) when tracing is disabled.
+func (s *Sim) tracePhase(name string, t int, start, end time.Time) {
+	tr := s.cfg.Trace
+	if tr == nil {
+		return
+	}
+	rid := "r" + strconv.Itoa(t)
+	tr.Complete(name, "hfl", 0, 0, start, end.Sub(start), rid+"."+name, rid, nil)
 }
 
 // runJobs fans the training jobs out over the worker pool. Each job's

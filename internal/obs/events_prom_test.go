@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// failAfterWriter fails every write after the first n, exercising the
+// emitter's first-error latch under contention.
+type failAfterWriter struct {
+	mu sync.Mutex
+	n  int
+	ok int
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.ok >= w.n {
+		return 0, errors.New("disk full")
+	}
+	w.ok++
+	return len(p), nil
+}
+
+func TestEmitterConcurrentErrorLatch(t *testing.T) {
+	w := &failAfterWriter{n: 5}
+	em := NewEmitter(w)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				em.Emit("tick", "i", i)
+			}
+		}()
+	}
+	wg.Wait()
+	if em.Err() == nil {
+		t.Fatal("write errors not surfaced")
+	}
+	if w.ok != 5 {
+		t.Fatalf("%d writes landed, want 5", w.ok)
+	}
+}
+
+func TestEmitterConcurrentDistinctFields(t *testing.T) {
+	// Beyond interleaving (covered by TestEmitterConcurrent), check no
+	// emit loses or cross-contaminates its fields under contention.
+	var buf bytes.Buffer
+	em := NewEmitter(&buf)
+	const workers, per = 8, 25
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				em.Emit("sample", "worker", g, "seq", i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if em.Err() != nil {
+		t.Fatal(em.Err())
+	}
+	seen := map[[2]int]bool{}
+	for _, l := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var obj struct {
+			Event  string `json:"event"`
+			Worker int    `json:"worker"`
+			Seq    int    `json:"seq"`
+		}
+		if err := json.Unmarshal([]byte(l), &obj); err != nil {
+			t.Fatalf("line %q: %v", l, err)
+		}
+		if obj.Event != "sample" {
+			t.Fatalf("event %q", obj.Event)
+		}
+		key := [2]int{obj.Worker, obj.Seq}
+		if seen[key] {
+			t.Fatalf("duplicate emit %v", key)
+		}
+		seen[key] = true
+	}
+	if len(seen) != workers*per {
+		t.Fatalf("%d distinct emits, want %d", len(seen), workers*per)
+	}
+}
+
+func TestLabelEscapingAllSpecials(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("escn_total", "path", "line1\nline2").Inc()
+	reg.Counter("escm_total", "path", `q"uote`, "dir", `back\slash`).Inc()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`escn_total{path="line1\nline2"} 1`,
+		`escm_total{path="q\"uote",dir="back\\slash"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in exposition:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "line1\nline2") {
+		t.Fatalf("raw newline leaked into exposition:\n%q", out)
+	}
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -55,6 +56,8 @@ type ServerConfig struct {
 	Registry *Registry
 	// Status, when set, backs the "status" object of /status.
 	Status *Status
+	// Trace, when set, backs /debug/trace (Chrome trace-event JSON).
+	Trace *Trace
 }
 
 // Server serves /metrics (Prometheus text), /status (JSON) and
@@ -79,7 +82,7 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprint(w, "middle observability\n\n/metrics\n/status\n/debug/pprof/\n")
+		fmt.Fprint(w, "middle observability\n\n/metrics\n/status\n/debug/trace\n/debug/pprof/\n")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -97,6 +100,10 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 			"metrics":        cfg.Registry.Snapshot(),
 		})
 	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = cfg.Trace.WriteJSON(w)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -111,8 +118,20 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 // Addr returns the resolved listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the listener and in-flight handlers.
+// Close stops the listener and in-flight handlers immediately. Prefer
+// Shutdown, which lets in-flight scrapes finish.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown stops accepting new requests and waits for in-flight
+// handlers (a scrape mid-response, a pprof profile) to complete, up to
+// ctx's deadline; past the deadline it falls back to a hard Close.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if err := s.srv.Shutdown(ctx); err != nil {
+		_ = s.srv.Close()
+		return err
+	}
+	return nil
+}
 
 // RegisterProcessMetrics adds live process-level gauges (goroutines,
 // heap bytes, GC cycles, CPU count) to the registry, evaluated at

@@ -1,11 +1,13 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -83,6 +85,117 @@ func TestServerEndpoints(t *testing.T) {
 	resp, _ = getBody(t, base+"/nope")
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("/nope status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestServerDebugTrace(t *testing.T) {
+	tr := NewTrace(0)
+	tr.SetProcessName(0, "sim")
+	tr.Complete("round", "hfl", 0, 0, tr.Now(), time.Millisecond, "r1", "", nil)
+
+	srv, err := StartServer(ServerConfig{Addr: "127.0.0.1:0", Registry: NewRegistry(), Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, body := getBody(t, "http://"+srv.Addr()+"/debug/trace")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/trace status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/debug/trace content type %q", ct)
+	}
+	events, err := ReadTraceJSON(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("/debug/trace not trace JSON: %v\n%s", err, body)
+	}
+	if len(events) != 2 || events[0].Ph != "M" || events[1].Name != "round" {
+		t.Fatalf("/debug/trace events %+v", events)
+	}
+
+	// Without a Trace configured the endpoint still serves a valid
+	// (empty) document.
+	bare, err := StartServer(ServerConfig{Addr: "127.0.0.1:0", Registry: NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bare.Close()
+	resp, body = getBody(t, "http://"+bare.Addr()+"/debug/trace")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bare /debug/trace status %d", resp.StatusCode)
+	}
+	if events, err := ReadTraceJSON(strings.NewReader(body)); err != nil || len(events) != 0 {
+		t.Fatalf("bare /debug/trace: %v %v", events, err)
+	}
+}
+
+func TestServerGracefulShutdown(t *testing.T) {
+	// A GaugeFunc that blocks mid-scrape until released lets us start a
+	// request, call Shutdown concurrently, and check the scrape still
+	// completes with a full body.
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	var once sync.Once
+	reg := NewRegistry()
+	reg.Counter("shut_marker_total").Inc()
+	reg.GaugeFunc("shut_slow_value", func() float64 {
+		once.Do(func() { close(entered) })
+		<-release
+		return 1
+	})
+
+	srv, err := StartServer(ServerConfig{Addr: "127.0.0.1:0", Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		body string
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		done <- result{body: string(b), err: err}
+	}()
+
+	<-entered // scrape is in-flight
+	shutDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutDone <- srv.Shutdown(ctx)
+	}()
+
+	// Shutdown must wait for the handler, not kill it.
+	select {
+	case err := <-shutDone:
+		t.Fatalf("Shutdown returned (%v) while a scrape was in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release)
+	if err := <-shutDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("in-flight scrape failed: %v", r.err)
+	}
+	if !strings.Contains(r.body, "shut_marker_total 1") || !strings.Contains(r.body, "shut_slow_value 1") {
+		t.Fatalf("in-flight scrape body truncated:\n%s", r.body)
+	}
+
+	// New connections are refused after shutdown.
+	if _, err := http.Get("http://" + srv.Addr() + "/metrics"); err == nil {
+		t.Fatal("post-shutdown request succeeded")
 	}
 }
 

@@ -149,15 +149,14 @@ func Delta(w, wRef []float64) []float64 {
 	return out
 }
 
-// SelectionScore is the in-edge device-selection criterion (Eq. 12
-// operand): −U(w_c, Δw_m) where Δw_m = w_m − w_c. Devices whose
-// accumulated update points *away* from the cloud model (low similarity)
-// score highest — they carry data the global model has not learned yet.
-// The Δw vector is never materialised: the dot product and both norms are
-// accumulated in one fused sweep over the two inputs.
-func SelectionScore(wCloud, wLocal []float64) float64 {
+// SelectionUtilityNorm returns the Eq. 12 similarity utility
+// U(w_c, Δw_m) together with ‖Δw_m‖₂, where Δw_m = w_m − w_c (Eq. 10).
+// Both come out of the one fused sweep SelectionScore already performs —
+// the Δw vector is never materialised — so telemetry gets the update
+// norm for free when it asks for the utility.
+func SelectionUtilityNorm(wCloud, wLocal []float64) (utility, deltaNorm float64) {
 	if len(wCloud) != len(wLocal) {
-		panic(fmt.Sprintf("simil: SelectionScore length mismatch %d vs %d", len(wCloud), len(wLocal)))
+		panic(fmt.Sprintf("simil: SelectionUtilityNorm length mismatch %d vs %d", len(wCloud), len(wLocal)))
 	}
 	var dot, sc, sd float64
 	for i, cv := range wCloud {
@@ -166,7 +165,31 @@ func SelectionScore(wCloud, wLocal []float64) float64 {
 		sc += cv * cv
 		sd += dv * dv
 	}
-	return -math.Max(cosineFrom(dot, math.Sqrt(sc), math.Sqrt(sd)), 0)
+	deltaNorm = math.Sqrt(sd)
+	return math.Max(cosineFrom(dot, math.Sqrt(sc), deltaNorm), 0), deltaNorm
+}
+
+// SelectionScore is the in-edge device-selection criterion (Eq. 12
+// operand): −U(w_c, Δw_m) where Δw_m = w_m − w_c. Devices whose
+// accumulated update points *away* from the cloud model (low similarity)
+// score highest — they carry data the global model has not learned yet.
+func SelectionScore(wCloud, wLocal []float64) float64 {
+	u, _ := SelectionUtilityNorm(wCloud, wLocal)
+	return -u
+}
+
+// DeltaNorm returns ‖w − wRef‖₂ without materialising the difference —
+// the per-edge divergence ‖w_n − w_c‖ telemetry reduction.
+func DeltaNorm(w, wRef []float64) float64 {
+	if len(w) != len(wRef) {
+		panic(fmt.Sprintf("simil: DeltaNorm length mismatch %d vs %d", len(w), len(wRef)))
+	}
+	s := 0.0
+	for i, wv := range w {
+		d := wv - wRef[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
 }
 
 // WeightedAverageInto computes dst = Σ wᵢ·vecᵢ / Σ wᵢ over the given

@@ -414,3 +414,7 @@ func WriteSeriesCSV(w io.Writer, series []Series) error { return eval.WriteSerie
 
 // ReadSeriesCSV parses WriteSeriesCSV output.
 func ReadSeriesCSV(r io.Reader) ([]Series, error) { return eval.ReadSeriesCSV(r) }
+
+// ReadHistoryCSV parses History.WriteCSV output (step, accuracy,
+// communication, phase-time and learning-dynamics telemetry columns).
+func ReadHistoryCSV(r io.Reader) (*History, error) { return hfl.ReadHistoryCSV(r) }

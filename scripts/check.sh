@@ -60,6 +60,72 @@ curl -fsS "http://$maddr/status" | grep -q '"role": "cloud"' || {
     echo "/status did not report role=cloud"
     exit 1
 }
+curl -fsS "http://$maddr/debug/trace" | grep -q '"traceEvents"' || {
+    echo "/debug/trace did not serve a trace document"
+    exit 1
+}
+echo ok
+
+echo "== middlesim telemetry + trace smoke test =="
+go build -o "$tmpdir/middlesim" ./cmd/middlesim
+# 200 steps keeps the run alive a couple of seconds so the live
+# /metrics poll below has a real window to observe the hfl_* series.
+"$tmpdir/middlesim" -exp run -task mnist -steps 200 \
+    -metrics-addr 127.0.0.1:0 \
+    -trace-out "$tmpdir/run.trace.json" \
+    -telemetry-out "$tmpdir/run.telemetry.jsonl" \
+    > "$tmpdir/middlesim.log" 2>&1 &
+spid=$!
+saddr=""
+i=0
+while [ $i -lt 100 ]; do
+    saddr=$(sed -n 's/.*metrics listening on \(.*\)$/\1/p' "$tmpdir/middlesim.log")
+    [ -n "$saddr" ] && break
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$saddr" ]; then
+    echo "middlesim never announced its metrics listener:"
+    cat "$tmpdir/middlesim.log"
+    exit 1
+fi
+# Poll /metrics while the run is live for the learning-dynamics series.
+found=""
+i=0
+while [ $i -lt 100 ]; do
+    live=$(curl -fsS "http://$saddr/metrics" 2>/dev/null || true)
+    if printf '%s\n' "$live" | grep -q hfl_selection_utility &&
+        printf '%s\n' "$live" | grep -q hfl_edge_divergence; then
+        found=yes
+        break
+    fi
+    if ! kill -0 "$spid" 2>/dev/null; then
+        break
+    fi
+    sleep 0.05
+    i=$((i + 1))
+done
+wait "$spid" || {
+    echo "middlesim run failed:"
+    cat "$tmpdir/middlesim.log"
+    exit 1
+}
+if [ -z "$found" ]; then
+    echo "/metrics never exposed hfl_selection_utility + hfl_edge_divergence"
+    exit 1
+fi
+grep -q '"traceEvents"' "$tmpdir/run.trace.json" || {
+    echo "-trace-out wrote no trace document"
+    exit 1
+}
+grep -q '"event":"round"' "$tmpdir/run.telemetry.jsonl" || {
+    echo "-telemetry-out wrote no round events"
+    exit 1
+}
+grep -q '"event":"eval"' "$tmpdir/run.telemetry.jsonl" || {
+    echo "-telemetry-out wrote no eval events"
+    exit 1
+}
 echo ok
 
 echo "All checks passed."
