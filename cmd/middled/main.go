@@ -53,6 +53,17 @@ func main() {
 		metrics  = flag.String("metrics-addr", "", "serve /metrics, /status and /debug/pprof on this address (empty = disabled)")
 		results  = flag.String("results", "", "directory for the run summary JSON (empty = disabled)")
 		traceOut = flag.String("trace-out", "", "write this process's Chrome trace-event JSON here on exit (merge per-role files in Perfetto)")
+
+		// Robustness knobs (see DESIGN.md "Fault model").
+		ckptDir   = flag.String("checkpoint-dir", "", "cloud role: persist global model + round here and resume from the latest valid checkpoint")
+		ckptEvery = flag.Int("checkpoint-every", 1, "cloud role: checkpoint every Nth cloud sync")
+		minEdges  = flag.Int("min-edges", 0, "cloud role: degrade gracefully down to this many live edges (0 = any edge loss is fatal)")
+		quorum    = flag.Int("quorum", 0, "edge role: minimum responders per round before aggregating (0 = 1)")
+		roundDL   = flag.Duration("round-deadline", 0, "edge role: per-round training deadline; stragglers past it are excluded (0 = network timeout)")
+		faultSeed = flag.Int64("fault-seed", 0, "devices role: seed for deterministic fault injection")
+		dropRate  = flag.Float64("drop-rate", 0, "devices role: per-message drop probability on device→edge writes")
+		delayRate = flag.Float64("delay-rate", 0, "devices role: per-message delay probability on device→edge writes")
+		corrRate  = flag.Float64("corrupt-rate", 0, "devices role: per-message corruption probability on device→edge writes (CRC-detected)")
 	)
 	flag.Parse()
 
@@ -79,11 +90,16 @@ func main() {
 	setup.Obs = m.Registry()
 	switch *role {
 	case "cloud":
-		runCloud(setup, m, trace, *results, *addr, *edgesN, *rounds, *tc, *seed)
+		runCloud(setup, m, trace, *results, *addr, *edgesN, *rounds, *tc, *seed, *ckptDir, *ckptEvery, *minEdges)
 	case "edge":
-		runEdge(setup, m, trace, *id, *cloud, *addr, *strategy, *k, *seed)
+		runEdge(setup, m, trace, *id, *cloud, *addr, *strategy, *k, *seed, *quorum, *roundDL)
 	case "devices":
-		runDevices(setup, m, trace, *edgeList, *from, *to, *p, *moveMs, *seed)
+		faults := fednet.NewFaultInjector(fednet.FaultConfig{
+			Seed:       *faultSeed,
+			DeviceEdge: fednet.FaultRates{Drop: *dropRate, Delay: *delayRate, Corrupt: *corrRate},
+			Obs:        m.Registry(),
+		})
+		runDevices(setup, m, trace, *edgeList, *from, *to, *p, *moveMs, *seed, faults)
 	default:
 		fmt.Fprintln(os.Stderr, "middled: -role must be cloud, edge or devices")
 		flag.Usage()
@@ -124,11 +140,13 @@ func writeSummary(m *experiments.Metrics, dir, name string) {
 	}
 }
 
-func runCloud(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs.Trace, results, addr string, edges, rounds, tc int, seed int64) {
+func runCloud(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs.Trace, results, addr string, edges, rounds, tc int, seed int64, ckptDir string, ckptEvery, minEdges int) {
 	init := setup.Factory(tensor.Split(seed, 0)).ParamVector()
 	c, err := fednet.NewCloud(fednet.CloudConfig{
 		Addr: addr, Edges: edges, Rounds: rounds, CloudInterval: tc,
-		InitModel: init, Logf: log.Printf, Obs: m.Registry(), Trace: trace,
+		InitModel: init, MinEdges: minEdges,
+		CheckpointDir: ckptDir, CheckpointEvery: ckptEvery,
+		Logf: log.Printf, Obs: m.Registry(), Trace: trace,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -141,7 +159,7 @@ func runCloud(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs.T
 	writeSummary(m, results, "middled-cloud")
 }
 
-func runEdge(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs.Trace, id int, cloudAddr, addr, strategy string, k int, seed int64) {
+func runEdge(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs.Trace, id int, cloudAddr, addr, strategy string, k int, seed int64, quorum int, roundDL time.Duration) {
 	if cloudAddr == "" {
 		log.Fatal("middled: edge role requires -cloud")
 	}
@@ -152,6 +170,7 @@ func runEdge(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs.Tr
 	e, err := fednet.NewEdge(fednet.EdgeConfig{
 		EdgeID: id, CloudAddr: cloudAddr, Addr: addr,
 		K: k, Strategy: strat, Seed: seed, Logf: log.Printf,
+		Quorum: quorum, RoundDeadline: roundDL,
 		Obs: m.Registry(), Trace: trace,
 	})
 	if err != nil {
@@ -163,7 +182,7 @@ func runEdge(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs.Tr
 	}
 }
 
-func runDevices(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs.Trace, edgeList string, from, to int, p float64, moveMs int, seed int64) {
+func runDevices(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs.Trace, edgeList string, from, to int, p float64, moveMs int, seed int64, faults *fednet.FaultInjector) {
 	addrs := strings.Split(edgeList, ",")
 	if len(addrs) == 0 || addrs[0] == "" {
 		log.Fatal("middled: devices role requires -edgeaddrs")
@@ -184,7 +203,8 @@ func runDevices(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs
 			Factory:    setup.Factory,
 			Optimizer:  setup.Optimizer.New(),
 			LocalSteps: setup.I, BatchSize: setup.BatchSize,
-			Mode: mode, Seed: seed, Obs: m.Registry(), Trace: trace,
+			Mode: mode, Seed: seed, Faults: faults,
+			Obs: m.Registry(), Trace: trace,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -45,6 +45,12 @@ func main() {
 		results    = flag.String("results", "", "directory for the run summary JSON (empty = disabled)")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON of every round's phase spans here (load in Perfetto)")
 		telemOut   = flag.String("telemetry-out", "", "write the per-round/per-eval learning-dynamics JSONL stream here")
+
+		// Simulated robustness knobs (-exp run only; defaults keep runs
+		// bit-identical to the fault-free engine).
+		quorum    = flag.Int("quorum", 0, "-exp run: minimum surviving responders per edge-step before Eq. 6 applies (0 = off)")
+		dropRate  = flag.Float64("drop-rate", 0, "-exp run: probability a selected device's round-trip is lost")
+		faultSeed = flag.Int64("fault-seed", 0, "-exp run: seed for the deterministic simulated drops")
 	)
 	flag.Parse()
 
@@ -108,7 +114,10 @@ func main() {
 	case "theory":
 		runTheory(scale, *seed)
 	case "run":
-		forTasks(*task, func(t middle.TaskName) { runSingle(t, scale, *strategy, *p, *seed, *steps, *saveModel, *csvDir) })
+		faults := simFaults{quorum: *quorum, dropRate: *dropRate, faultSeed: *faultSeed}
+		forTasks(*task, func(t middle.TaskName) {
+			runSingle(t, scale, *strategy, *p, *seed, *steps, *saveModel, *csvDir, faults)
+		})
 	case "all":
 		runFig1(scale, *seed, *steps, *csvDir)
 		runFig2(scale, *seed, *csvDir)
@@ -381,7 +390,14 @@ func header(alphas []float64) string {
 	return strings.Join(parts, " ")
 }
 
-func runSingle(task middle.TaskName, scale middle.Scale, strategy string, p float64, seed int64, steps int, saveModel, csvDir string) {
+// simFaults carries the -exp run robustness flags into the hfl config.
+type simFaults struct {
+	quorum    int
+	dropRate  float64
+	faultSeed int64
+}
+
+func runSingle(task middle.TaskName, scale middle.Scale, strategy string, p float64, seed int64, steps int, saveModel, csvDir string, faults simFaults) {
 	strat, err := middle.StrategyByName(strategy)
 	if err != nil {
 		fatalf("%v", err)
@@ -389,7 +405,11 @@ func runSingle(task middle.TaskName, scale middle.Scale, strategy string, p floa
 	setup := newSetup(task, scale, seed)
 	part := setup.Partition(seed)
 	mob := middle.NewMarkovMobility(setup.Edges, setup.Devices, p, seed+11)
-	sim := middle.NewSimulation(setup.Config(seed, steps), setup.Factory, part, setup.Test, mob, strat)
+	cfg := setup.Config(seed, steps)
+	cfg.Quorum = faults.quorum
+	cfg.DropRate = faults.dropRate
+	cfg.FaultSeed = faults.faultSeed
+	sim := middle.NewSimulation(cfg, setup.Factory, part, setup.Test, mob, strat)
 	fmt.Printf("=== %s on %s (scale=%s, P=%.2f) ===\n", strategy, task, scale, p)
 	h := sim.Run()
 	fmt.Print(middle.LineChart("global accuracy", []middle.Series{{Name: strategy, X: h.Steps, Y: h.GlobalAcc}}, 70, 14))
@@ -399,6 +419,9 @@ func runSingle(task middle.TaskName, scale middle.Scale, strategy string, p floa
 		fmt.Printf("target %.2f not reached; final accuracy %.4f\n", setup.TargetAcc, h.FinalAcc())
 	}
 	fmt.Printf("empirical mobility: %.3f\n\n", h.EmpiricalMobility)
+	if faults.dropRate > 0 || faults.quorum > 0 {
+		fmt.Printf("injected drops: %d, quorum misses: %d\n\n", sim.FaultDrops(), sim.QuorumMisses())
+	}
 	if csvDir != "" {
 		// The full per-run history (accuracy, communication, phase-time
 		// and telemetry columns) — middleplot renders every column group.

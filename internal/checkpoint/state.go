@@ -1,0 +1,288 @@
+package checkpoint
+
+// Versioned multi-section coordinator state (format version 2): the
+// cloud's crash-recovery record — global model, round counter and the
+// per-edge weight accumulators of the last synchronisation. Version 1
+// files written by SaveModel remain loadable through LoadModel (the
+// magic byte distinguishes them); LoadState also accepts v1 files,
+// mapping them to a State with Round 0 and no edge weights.
+//
+// Format (little-endian):
+//
+//	magic   "MIDL" + version byte 2
+//	nameLen uint16, name bytes (UTF-8)
+//	round   uint64
+//	count   uint64, then count float64 values (the model)
+//	edges   uint32, then per edge: id uint32, weight float64
+//	crc     uint32 IEEE over everything above
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+var magicV2 = [5]byte{'M', 'I', 'D', 'L', 2}
+
+// State is a cloud coordinator snapshot.
+type State struct {
+	Name  string
+	Round int
+	Model []float64
+	// EdgeWeights holds the d̂_n accumulators reported by each edge at
+	// the sync round this state was taken (diagnostics on resume).
+	EdgeWeights map[int]float64
+}
+
+// SaveState writes a v2 coordinator snapshot to w.
+func SaveState(w io.Writer, st State) error {
+	if len(st.Name) > maxName {
+		return fmt.Errorf("checkpoint: name too long (%d bytes)", len(st.Name))
+	}
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriter(io.MultiWriter(w, crc))
+	if _, err := bw.Write(magicV2[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(len(st.Name))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(st.Name); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(st.Round)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(st.Model))); err != nil {
+		return err
+	}
+	buf := make([]byte, 8)
+	for _, v := range st.Model {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	// Serialise edge weights in sorted id order so identical states
+	// produce identical bytes.
+	ids := make([]int, 0, len(st.EdgeWeights))
+	for id := range st.EdgeWeights {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(ids))); err != nil {
+		return err
+	}
+	for _, id := range ids {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(id)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(st.EdgeWeights[id])); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, crc.Sum32())
+}
+
+// LoadState reads a coordinator snapshot, verifying the CRC. Both v2
+// (SaveState) and v1 (SaveModel) records are accepted; v1 records yield
+// Round 0 and nil EdgeWeights.
+func LoadState(r io.Reader) (State, error) {
+	crc := crc32.NewIEEE()
+	tr := io.TeeReader(r, crc)
+	var gotMagic [5]byte
+	if _, err := io.ReadFull(tr, gotMagic[:]); err != nil {
+		return State{}, fmt.Errorf("checkpoint: reading magic: %w", err)
+	}
+	if gotMagic == magic {
+		// v1 model record: delegate the remainder to the v1 reader by
+		// replaying the consumed magic into its checksum.
+		name, vec, err := loadModelBody(r, tr, crc)
+		if err != nil {
+			return State{}, err
+		}
+		return State{Name: name, Model: vec}, nil
+	}
+	if gotMagic != magicV2 {
+		return State{}, fmt.Errorf("checkpoint: bad magic %q", gotMagic[:])
+	}
+	var nameLen uint16
+	if err := binary.Read(tr, binary.LittleEndian, &nameLen); err != nil {
+		return State{}, fmt.Errorf("checkpoint: reading name length: %w", err)
+	}
+	if nameLen > maxName {
+		return State{}, fmt.Errorf("checkpoint: implausible name length %d", nameLen)
+	}
+	nameBytes := make([]byte, nameLen)
+	if _, err := io.ReadFull(tr, nameBytes); err != nil {
+		return State{}, fmt.Errorf("checkpoint: reading name: %w", err)
+	}
+	var round uint64
+	if err := binary.Read(tr, binary.LittleEndian, &round); err != nil {
+		return State{}, fmt.Errorf("checkpoint: reading round: %w", err)
+	}
+	var count uint64
+	if err := binary.Read(tr, binary.LittleEndian, &count); err != nil {
+		return State{}, fmt.Errorf("checkpoint: reading count: %w", err)
+	}
+	const maxParams = 1 << 30
+	if count > maxParams {
+		return State{}, fmt.Errorf("checkpoint: implausible parameter count %d", count)
+	}
+	vec := make([]float64, count)
+	buf := make([]byte, 8)
+	for i := range vec {
+		if _, err := io.ReadFull(tr, buf); err != nil {
+			return State{}, fmt.Errorf("checkpoint: reading value %d: %w", i, err)
+		}
+		vec[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	}
+	var edges uint32
+	if err := binary.Read(tr, binary.LittleEndian, &edges); err != nil {
+		return State{}, fmt.Errorf("checkpoint: reading edge count: %w", err)
+	}
+	const maxEdges = 1 << 20
+	if edges > maxEdges {
+		return State{}, fmt.Errorf("checkpoint: implausible edge count %d", edges)
+	}
+	var weights map[int]float64
+	if edges > 0 {
+		weights = make(map[int]float64, edges)
+	}
+	for i := uint32(0); i < edges; i++ {
+		var id uint32
+		var bits uint64
+		if err := binary.Read(tr, binary.LittleEndian, &id); err != nil {
+			return State{}, fmt.Errorf("checkpoint: reading edge id: %w", err)
+		}
+		if err := binary.Read(tr, binary.LittleEndian, &bits); err != nil {
+			return State{}, fmt.Errorf("checkpoint: reading edge weight: %w", err)
+		}
+		weights[int(id)] = math.Float64frombits(bits)
+	}
+	want := crc.Sum32()
+	var got uint32
+	if err := binary.Read(r, binary.LittleEndian, &got); err != nil {
+		return State{}, fmt.Errorf("checkpoint: reading checksum: %w", err)
+	}
+	if got != want {
+		return State{}, fmt.Errorf("checkpoint: checksum mismatch: file %08x, computed %08x", got, want)
+	}
+	return State{Name: string(nameBytes), Round: int(round), Model: vec, EdgeWeights: weights}, nil
+}
+
+// loadModelBody reads the remainder of a v1 record whose magic was
+// already consumed (and folded into crc via tr).
+func loadModelBody(r io.Reader, tr io.Reader, crc interface{ Sum32() uint32 }) (string, []float64, error) {
+	var nameLen uint16
+	if err := binary.Read(tr, binary.LittleEndian, &nameLen); err != nil {
+		return "", nil, fmt.Errorf("checkpoint: reading name length: %w", err)
+	}
+	if nameLen > maxName {
+		return "", nil, fmt.Errorf("checkpoint: implausible name length %d", nameLen)
+	}
+	nameBytes := make([]byte, nameLen)
+	if _, err := io.ReadFull(tr, nameBytes); err != nil {
+		return "", nil, fmt.Errorf("checkpoint: reading name: %w", err)
+	}
+	var count uint64
+	if err := binary.Read(tr, binary.LittleEndian, &count); err != nil {
+		return "", nil, fmt.Errorf("checkpoint: reading count: %w", err)
+	}
+	const maxParams = 1 << 30
+	if count > maxParams {
+		return "", nil, fmt.Errorf("checkpoint: implausible parameter count %d", count)
+	}
+	vec := make([]float64, count)
+	buf := make([]byte, 8)
+	for i := range vec {
+		if _, err := io.ReadFull(tr, buf); err != nil {
+			return "", nil, fmt.Errorf("checkpoint: reading value %d: %w", i, err)
+		}
+		vec[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	}
+	want := crc.Sum32()
+	var got uint32
+	if err := binary.Read(r, binary.LittleEndian, &got); err != nil {
+		return "", nil, fmt.Errorf("checkpoint: reading checksum: %w", err)
+	}
+	if got != want {
+		return "", nil, fmt.Errorf("checkpoint: checksum mismatch: file %08x, computed %08x", got, want)
+	}
+	return string(nameBytes), vec, nil
+}
+
+// SaveStateFile atomically persists st under dir as round-stamped
+// "<name>-r<round>.ckpt": the record is written to a temp file, fsynced
+// and renamed into place, so a crash mid-write leaves at most a torn
+// temp file that LoadLatest ignores. Returns the final path.
+func SaveStateFile(dir string, st State) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("checkpoint: creating dir: %w", err)
+	}
+	final := filepath.Join(dir, fmt.Sprintf("%s-r%06d.ckpt", st.Name, st.Round))
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return "", fmt.Errorf("checkpoint: temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if err := SaveState(tmp, st); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return "", fmt.Errorf("checkpoint: sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return "", fmt.Errorf("checkpoint: close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return "", fmt.Errorf("checkpoint: rename: %w", err)
+	}
+	return final, nil
+}
+
+// LoadLatest scans dir for ".ckpt" files and returns the valid state
+// with the highest round (ties broken by file name), skipping torn or
+// corrupt files. ok is false when no valid checkpoint exists.
+func LoadLatest(dir string) (st State, ok bool, err error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return State{}, false, nil
+	}
+	if err != nil {
+		return State{}, false, fmt.Errorf("checkpoint: reading dir: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".ckpt" {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, ferr := os.Open(filepath.Join(dir, name))
+		if ferr != nil {
+			continue
+		}
+		cand, lerr := LoadState(f)
+		f.Close()
+		if lerr != nil {
+			continue // torn or corrupt: skip
+		}
+		if !ok || cand.Round >= st.Round {
+			st, ok = cand, true
+		}
+	}
+	return st, ok, nil
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"middle/internal/checkpoint"
 	"middle/internal/obs"
 	"middle/internal/simil"
 )
@@ -27,6 +28,18 @@ type CloudConfig struct {
 	InitModel []float64
 	// Timeout bounds every network read/write (default 30 s).
 	Timeout time.Duration
+	// MinEdges, when > 0, enables graceful degradation: an edge whose
+	// connection fails is dropped and the run continues as long as at
+	// least MinEdges remain. At 0 (default) any edge failure aborts the
+	// run, the strict pre-fault behaviour.
+	MinEdges int
+	// CheckpointDir, when set, makes the cloud persist its state (global
+	// model + round + per-edge weights) after sync rounds, and NewCloud
+	// resume from the latest valid checkpoint found there. Torn or
+	// corrupt files are rejected by CRC and skipped.
+	CheckpointDir string
+	// CheckpointEvery persists every Nth sync round (default 1).
+	CheckpointEvery int
 	// Logf, when set, receives progress lines (default: discarded).
 	Logf func(format string, args ...any)
 	// OnRound, when set, is invoked after each round fully completes
@@ -52,6 +65,9 @@ type Cloud struct {
 
 	mu     sync.Mutex
 	global []float64
+
+	startRound  int             // rounds ≤ startRound were already completed (resume)
+	edgeWeights map[int]float64 // last sync's per-edge weights (checkpointed)
 }
 
 // NewCloud builds a cloud server and starts listening (so the address is
@@ -63,6 +79,9 @@ func NewCloud(cfg CloudConfig) (*Cloud, error) {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 30 * time.Second
 	}
+	if cfg.CheckpointEvery < 1 {
+		cfg.CheckpointEvery = 1
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
@@ -71,12 +90,29 @@ func NewCloud(cfg CloudConfig) (*Cloud, error) {
 		return nil, fmt.Errorf("fednet: cloud listen: %w", err)
 	}
 	cfg.Trace.SetProcessName(tracePidCloud, "cloud")
-	return &Cloud{
-		cfg:    cfg,
-		ln:     ln,
-		m:      newCloudMetrics(cfg.Obs),
-		global: append([]float64(nil), cfg.InitModel...),
-	}, nil
+	c := &Cloud{
+		cfg:         cfg,
+		ln:          ln,
+		m:           newCloudMetrics(cfg.Obs),
+		global:      append([]float64(nil), cfg.InitModel...),
+		edgeWeights: map[int]float64{},
+	}
+	if cfg.CheckpointDir != "" {
+		st, ok, err := checkpoint.LoadLatest(cfg.CheckpointDir)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		if ok {
+			c.global = st.Model
+			c.startRound = st.Round
+			for id, w := range st.EdgeWeights {
+				c.edgeWeights[id] = w
+			}
+			cfg.Logf("cloud: resuming from checkpoint (round %d)", st.Round)
+		}
+	}
+	return c, nil
 }
 
 // Addr returns the cloud's listen address.
@@ -88,6 +124,10 @@ func (c *Cloud) GlobalModel() []float64 {
 	defer c.mu.Unlock()
 	return append([]float64(nil), c.global...)
 }
+
+// StartRound reports the round the cloud resumes from (0 on a fresh
+// start; > 0 when NewCloud restored a checkpoint).
+func (c *Cloud) StartRound() int { return c.startRound }
 
 type edgeConn struct {
 	id   int
@@ -132,7 +172,8 @@ func (c *Cloud) Run() error {
 		}
 	}
 
-	for r := 1; r <= c.cfg.Rounds; r++ {
+	syncCount := 0
+	for r := c.startRound + 1; r <= c.cfg.Rounds; r++ {
 		roundTok := c.m.roundSpan.Begin()
 		tr := c.cfg.Trace
 		traceStart := tr.Now()
@@ -141,30 +182,61 @@ func (c *Cloud) Run() error {
 			span = cloudRoundSpan(r)
 		}
 		sync := r%c.cfg.CloudInterval == 0
+		alive := edges[:0]
 		for _, e := range edges {
 			e.conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
 			if err := c.m.link.writeMsg(e.conn, MsgRoundStart, RoundStart{Round: r, Sync: sync, Span: span}, nil); err != nil {
 				countTimeout(c.m.timeouts, err)
-				return fmt.Errorf("fednet: cloud starting round %d on edge %d: %w", r, e.id, err)
+				if derr := c.dropEdge(e, r, err); derr != nil {
+					return derr
+				}
+				continue
 			}
+			alive = append(alive, e)
+		}
+		edges = alive
+		if err := c.checkQuorum(len(edges), r); err != nil {
+			return err
 		}
 		var vecs [][]float64
 		var weights []float64
+		if sync {
+			c.mu.Lock()
+			c.edgeWeights = map[int]float64{}
+			c.mu.Unlock()
+		}
+		alive = edges[:0]
 		for _, e := range edges {
 			e.conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
 			var done RoundDone
 			t, vec, err := c.m.link.readMsg(e.conn, &done)
 			if err != nil || t != MsgRoundDone {
 				countTimeout(c.m.timeouts, err)
-				return fmt.Errorf("fednet: cloud waiting for edge %d round %d: type %d, %v", e.id, r, t, err)
+				if err == nil {
+					err = fmt.Errorf("unexpected message type %d", t)
+				}
+				if derr := c.dropEdge(e, r, err); derr != nil {
+					return derr
+				}
+				continue
 			}
 			if done.Round != r {
 				return fmt.Errorf("fednet: edge %d acked round %d during round %d", e.id, done.Round, r)
+			}
+			alive = append(alive, e)
+			if sync {
+				c.mu.Lock()
+				c.edgeWeights[e.id] = done.Weight
+				c.mu.Unlock()
 			}
 			if sync && done.Weight > 0 && len(vec) > 0 {
 				vecs = append(vecs, vec)
 				weights = append(weights, done.Weight)
 			}
+		}
+		edges = alive
+		if err := c.checkQuorum(len(edges), r); err != nil {
+			return err
 		}
 		if sync {
 			syncStart := tr.Now()
@@ -181,6 +253,23 @@ func (c *Cloud) Run() error {
 				}
 			}
 			c.m.syncs.Inc()
+			syncCount++
+			if c.cfg.CheckpointDir != "" && syncCount%c.cfg.CheckpointEvery == 0 {
+				c.mu.Lock()
+				st := checkpoint.State{
+					Name:        "global",
+					Round:       r,
+					Model:       append([]float64(nil), c.global...),
+					EdgeWeights: c.edgeWeights,
+				}
+				c.mu.Unlock()
+				if _, err := checkpoint.SaveStateFile(c.cfg.CheckpointDir, st); err != nil {
+					c.cfg.Logf("cloud: checkpoint at round %d failed: %v", r, err)
+				} else {
+					c.m.checkpoints.Inc()
+					c.cfg.Logf("cloud: checkpointed round %d", r)
+				}
+			}
 			if tr != nil {
 				tr.Complete("cloud_sync", "fednet", tracePidCloud, 0,
 					syncStart, tr.Now().Sub(syncStart), span+".sync", span,
@@ -198,6 +287,28 @@ func (c *Cloud) Run() error {
 		if c.cfg.OnRound != nil {
 			c.cfg.OnRound(r)
 		}
+	}
+	return nil
+}
+
+// dropEdge handles a failed edge connection. In strict mode (MinEdges
+// == 0) the failure is fatal, matching the pre-degradation behaviour;
+// otherwise the edge is closed, counted and the run continues (subject
+// to checkQuorum).
+func (c *Cloud) dropEdge(e *edgeConn, round int, err error) error {
+	if c.cfg.MinEdges <= 0 {
+		return fmt.Errorf("fednet: cloud lost edge %d in round %d: %w", e.id, round, err)
+	}
+	e.conn.Close()
+	c.m.edgeDrops.Inc()
+	c.cfg.Logf("cloud: dropped edge %d in round %d: %v", e.id, round, err)
+	return nil
+}
+
+// checkQuorum aborts the run once fewer than MinEdges edges survive.
+func (c *Cloud) checkQuorum(aliveEdges, round int) error {
+	if c.cfg.MinEdges > 0 && aliveEdges < c.cfg.MinEdges {
+		return fmt.Errorf("fednet: only %d edges remain in round %d (min %d)", aliveEdges, round, c.cfg.MinEdges)
 	}
 	return nil
 }

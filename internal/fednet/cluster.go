@@ -1,8 +1,10 @@
 package fednet
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"middle/internal/data"
 	"middle/internal/hfl"
@@ -28,6 +30,21 @@ type ClusterConfig struct {
 	Mobility      mobility.Model
 	Seed          int64
 	Logf          func(format string, args ...any)
+	// Timeout bounds every component's network operations (default 30 s;
+	// chaos tests lower it so failures resolve quickly).
+	Timeout time.Duration
+	// Quorum and RoundDeadline configure the edges' graceful
+	// degradation (see EdgeConfig).
+	Quorum        int
+	RoundDeadline time.Duration
+	// CheckpointDir/CheckpointEvery configure cloud crash recovery (see
+	// CloudConfig).
+	CheckpointDir   string
+	CheckpointEvery int
+	// Faults, when non-nil, builds one shared fault injector for the
+	// whole deployment; its errors are tolerated by Wait. Enabling
+	// faults also switches the cloud to degraded mode (MinEdges 1).
+	Faults *FaultConfig
 	// Obs, when set, is threaded into every component so one registry
 	// reports the whole deployment's fednet_* series.
 	Obs *obs.Registry
@@ -38,14 +55,17 @@ type ClusterConfig struct {
 
 // Cluster is a running deployment.
 type Cluster struct {
-	cloud   *Cloud
-	edges   []*Edge
-	devices []*Device
+	cloud    *Cloud
+	edges    []*Edge
+	devices  []*Device
+	injector *FaultInjector
+	faulty   bool // fault injection enabled: edge failures are expected
 
-	wg       sync.WaitGroup
-	mu       sync.Mutex
-	errs     []error
-	moveErrs int
+	wg        sync.WaitGroup
+	mu        sync.Mutex
+	errs      []error
+	tolerated []error
+	moveErrs  int
 }
 
 // StartCluster builds and starts the deployment. The mobility model's
@@ -62,6 +82,14 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	numEdges := cfg.Mobility.NumEdges()
 	numDevices := cfg.Mobility.NumDevices()
 	c := &Cluster{}
+	if cfg.Faults != nil {
+		fc := *cfg.Faults
+		if fc.Obs == nil {
+			fc.Obs = cfg.Obs
+		}
+		c.injector = NewFaultInjector(fc)
+		c.faulty = true
+	}
 
 	init := cfg.Factory(tensor.Split(cfg.Seed, 0)).ParamVector()
 	cfg.Mobility.Reset()
@@ -85,9 +113,17 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		membership = next
 	}
 
+	minEdges := 0
+	if c.faulty {
+		// Under injected faults an edge may legitimately die mid-run;
+		// degrade gracefully as long as one edge survives.
+		minEdges = 1
+	}
 	cloud, err := NewCloud(CloudConfig{
 		Addr: "127.0.0.1:0", Edges: numEdges, Rounds: cfg.Rounds,
 		CloudInterval: cfg.CloudInterval, InitModel: init,
+		Timeout: cfg.Timeout, MinEdges: minEdges,
+		CheckpointDir: cfg.CheckpointDir, CheckpointEvery: cfg.CheckpointEvery,
 		Logf: cfg.Logf, OnRound: onRound, Obs: cfg.Obs, Trace: cfg.Trace,
 	})
 	if err != nil {
@@ -99,7 +135,8 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		edge, err := NewEdge(EdgeConfig{
 			EdgeID: e, CloudAddr: cloud.Addr(), Addr: "127.0.0.1:0",
 			K: cfg.K, Strategy: cfg.Strategy, Seed: cfg.Seed, Logf: cfg.Logf,
-			Obs: cfg.Obs, Trace: cfg.Trace,
+			Timeout: cfg.Timeout, Quorum: cfg.Quorum, RoundDeadline: cfg.RoundDeadline,
+			Faults: c.injector, Obs: cfg.Obs, Trace: cfg.Trace,
 		})
 		if err != nil {
 			return nil, err
@@ -115,7 +152,8 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 			Factory:    cfg.Factory,
 			Optimizer:  cfg.Optimizer.New(),
 			LocalSteps: cfg.LocalSteps, BatchSize: cfg.BatchSize,
-			Mode: mode, Seed: cfg.Seed, Obs: cfg.Obs, Trace: cfg.Trace,
+			Mode: mode, Seed: cfg.Seed, Timeout: cfg.Timeout,
+			Faults: c.injector, Obs: cfg.Obs, Trace: cfg.Trace,
 		})
 		if err != nil {
 			return nil, err
@@ -128,14 +166,21 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	go func() {
 		defer c.wg.Done()
 		if err := cloud.Run(); err != nil {
-			c.recordErr(fmt.Errorf("cloud: %w", err))
+			// Cloud errors are always real: they mean the run itself
+			// failed (even under injection, losing the coordinator or
+			// dropping below MinEdges is not graceful degradation).
+			c.recordErr(fmt.Errorf("cloud: %w", err), false)
 		}
 	}()
 	for _, e := range c.edges {
 		go func(e *Edge) {
 			defer c.wg.Done()
 			if err := e.Run(); err != nil {
-				c.recordErr(fmt.Errorf("edge %d: %w", e.cfg.EdgeID, err))
+				// Edge failures are expected casualties when faults are
+				// being injected (the cloud degrades around them);
+				// explicitly injected errors are tolerated regardless.
+				tolerated := c.faulty || errors.Is(err, ErrInjected)
+				c.recordErr(fmt.Errorf("edge %d: %w", e.cfg.EdgeID, err), tolerated)
 			}
 		}(e)
 	}
@@ -149,14 +194,20 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	return c, nil
 }
 
-func (c *Cluster) recordErr(err error) {
+func (c *Cluster) recordErr(err error, tolerated bool) {
 	c.mu.Lock()
-	c.errs = append(c.errs, err)
+	if tolerated {
+		c.tolerated = append(c.tolerated, err)
+	} else {
+		c.errs = append(c.errs, err)
+	}
 	c.mu.Unlock()
 }
 
 // Wait blocks until the cloud and all edges terminate, disconnects the
-// devices, and returns the first component error (nil on success).
+// devices, and returns the first real component error (nil on success).
+// Injected/expected fault casualties are not surfaced as errors — they
+// are counted and available through ToleratedFaults.
 func (c *Cluster) Wait() error {
 	c.wg.Wait()
 	for _, d := range c.devices {
@@ -168,6 +219,14 @@ func (c *Cluster) Wait() error {
 		return c.errs[0]
 	}
 	return nil
+}
+
+// ToleratedFaults reports how many component failures were classified
+// as injected/expected and absorbed rather than surfaced by Wait.
+func (c *Cluster) ToleratedFaults() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.tolerated)
 }
 
 // GlobalModel returns the cloud's current global model.

@@ -1,7 +1,6 @@
 package fednet
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"net"
@@ -65,6 +64,15 @@ type DeviceConfig struct {
 	Seed int64
 	// Timeout bounds network operations (default 30 s).
 	Timeout time.Duration
+	// MaxRetries is how many times Connect (and the automatic reconnect
+	// after a non-deliberate connection loss) retries the dial+register
+	// handshake (default 3).
+	MaxRetries int
+	// RetryBase is the base retry backoff, grown exponentially with
+	// deterministic jitter (default 50 ms).
+	RetryBase time.Duration
+	// Faults, when set, injects faults on the device→edge link.
+	Faults *FaultInjector
 	// Obs, when set, receives per-message byte/latency metrics
 	// (fednet_* series). Nil disables metrics at near-zero cost.
 	Obs *obs.Registry
@@ -87,6 +95,15 @@ type Device struct {
 	local    []float64 // carried local model (nil until first training)
 	rounds   int       // training rounds served (diagnostics)
 	done     chan struct{}
+	// gen is bumped by every deliberate attachment change (Connect,
+	// Disconnect, accepted reconnect). A serve loop whose generation is
+	// stale knows its connection was replaced on purpose and must not
+	// auto-reconnect; a reconnect attempt whose generation is stale
+	// discards its dialed connection instead of installing it.
+	gen int
+	// edgeSync is the edge round counter from the last registration ack
+	// (resync diagnostics).
+	edgeSync int
 }
 
 // NewDevice builds a device client.
@@ -103,6 +120,14 @@ func NewDevice(cfg DeviceConfig) (*Device, error) {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 30 * time.Second
 	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	} else if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = defaultMaxRetries
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = defaultRetryBase
+	}
 	if cfg.Mode == "" {
 		cfg.Mode = AggEdge
 	}
@@ -117,27 +142,69 @@ func NewDevice(cfg DeviceConfig) (*Device, error) {
 
 // Connect attaches the device to the edge at addr (identified by edgeID
 // for the moved predicate), detaching from any previous edge first. The
-// device then serves training requests in a background goroutine.
+// dial+register handshake — now acknowledged by the edge, so a
+// registration lost to a fault is detected — is retried with capped
+// backoff. The device then serves training requests in a background
+// goroutine and reconnects by itself if the connection later fails for
+// any reason other than Disconnect or a newer Connect.
 func (d *Device) Connect(edgeID int, addr string) error {
 	d.Disconnect()
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return fmt.Errorf("fednet: device %d dialing edge %d: %w", d.cfg.DeviceID, edgeID, err)
-	}
-	conn.SetDeadline(time.Now().Add(d.cfg.Timeout))
-	reg := RegisterDevice{DeviceID: d.cfg.DeviceID, DataSize: len(d.cfg.Indices), PrevEdge: d.prevEdge}
-	if err := d.m.link.writeMsg(conn, MsgRegisterDevice, reg, nil); err != nil {
-		conn.Close()
-		return fmt.Errorf("fednet: device %d registering at edge %d: %w", d.cfg.DeviceID, edgeID, err)
-	}
-	conn.SetDeadline(time.Time{})
 	d.mu.Lock()
-	d.conn = conn
-	d.done = make(chan struct{})
-	done := d.done
+	d.gen++
+	gen := d.gen
 	d.mu.Unlock()
-	go d.serve(conn, edgeID, done)
-	return nil
+	return d.dialAndServe(edgeID, addr, gen)
+}
+
+// dialAndServe performs the dial+register+ack handshake with retries
+// and, on success, installs the connection (unless gen went stale — a
+// Connect/Disconnect superseded this attempt) and starts the serve loop.
+func (d *Device) dialAndServe(edgeID int, addr string, gen int) error {
+	var lastErr error
+	for attempt := 0; attempt <= d.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			d.m.retries.Inc()
+			time.Sleep(retryBackoff(d.cfg.RetryBase, attempt, d.cfg.Seed,
+				int64(d.cfg.DeviceID)*1_000_003+int64(edgeID)))
+		}
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			lastErr = fmt.Errorf("fednet: device %d dialing edge %d: %w", d.cfg.DeviceID, edgeID, err)
+			continue
+		}
+		conn = d.cfg.Faults.WrapDeviceLink(conn, d.cfg.DeviceID)
+		conn.SetDeadline(time.Now().Add(d.cfg.Timeout))
+		d.mu.Lock()
+		reg := RegisterDevice{DeviceID: d.cfg.DeviceID, DataSize: len(d.cfg.Indices), PrevEdge: d.prevEdge}
+		d.mu.Unlock()
+		if err := d.m.link.writeMsg(conn, MsgRegisterDevice, reg, nil); err != nil {
+			conn.Close()
+			lastErr = fmt.Errorf("fednet: device %d registering at edge %d: %w", d.cfg.DeviceID, edgeID, err)
+			continue
+		}
+		var ack RegisterAck
+		t, _, err := d.m.link.readMsg(conn, &ack)
+		if err != nil || t != MsgRegisterAck {
+			conn.Close()
+			lastErr = fmt.Errorf("fednet: device %d awaiting register ack from edge %d: type %d, %v", d.cfg.DeviceID, edgeID, t, err)
+			continue
+		}
+		conn.SetDeadline(time.Time{})
+		d.mu.Lock()
+		if d.gen != gen {
+			d.mu.Unlock()
+			conn.Close()
+			return nil // superseded by a newer Connect/Disconnect
+		}
+		d.conn = conn
+		d.done = make(chan struct{})
+		d.edgeSync = ack.Round
+		done := d.done
+		d.mu.Unlock()
+		go d.serve(conn, edgeID, addr, done, gen)
+		return nil
+	}
+	return lastErr
 }
 
 // Disconnect detaches from the current edge (a "move away"); it is safe
@@ -146,11 +213,29 @@ func (d *Device) Disconnect() {
 	d.mu.Lock()
 	conn, done := d.conn, d.done
 	d.conn, d.done = nil, nil
+	d.gen++ // invalidate any in-flight reconnect attempt
 	d.mu.Unlock()
 	if conn != nil {
 		conn.Close()
 		<-done // wait for the serve loop to exit
 	}
+}
+
+// maybeReconnect is called by a serve loop whose connection failed. If
+// the failure was deliberate (Disconnect or a newer Connect already
+// replaced the attachment) it does nothing; otherwise it takes over the
+// teardown and re-attaches to the same edge in the background.
+func (d *Device) maybeReconnect(conn net.Conn, edgeID int, addr string, gen int) {
+	d.mu.Lock()
+	if d.gen != gen || d.conn != conn {
+		d.mu.Unlock()
+		return
+	}
+	d.conn, d.done = nil, nil
+	d.gen++
+	newGen := d.gen
+	d.mu.Unlock()
+	go func() { _ = d.dialAndServe(edgeID, addr, newGen) }()
 }
 
 // Rounds returns how many training rounds the device has served.
@@ -171,18 +256,19 @@ func (d *Device) LocalModel() []float64 {
 	return append([]float64(nil), d.local...)
 }
 
-// serve handles requests on one connection until it closes.
-func (d *Device) serve(conn net.Conn, edgeID int, done chan struct{}) {
+// serve handles requests on one connection until it closes. A failure
+// that was not a deliberate detach (Disconnect / newer Connect) triggers
+// an automatic reconnect to the same edge, resyncing state through the
+// registration ack — a corrupted stream (ErrCorruptFrame) lands here
+// too, so poisoned payloads are re-requested rather than aggregated.
+func (d *Device) serve(conn net.Conn, edgeID int, addr string, done chan struct{}, gen int) {
 	defer close(done)
 	defer conn.Close()
 	for {
 		var req TrainRequest
 		t, edgeModel, err := d.m.link.readMsg(conn, &req)
 		if err != nil {
-			if !errors.Is(err, net.ErrClosed) {
-				// Connection dropped (edge gone or we moved): just stop.
-				return
-			}
+			d.maybeReconnect(conn, edgeID, addr, gen)
 			return
 		}
 		switch t {
@@ -190,6 +276,7 @@ func (d *Device) serve(conn net.Conn, edgeID int, done chan struct{}) {
 			return
 		case MsgTrainRequest:
 		default:
+			d.maybeReconnect(conn, edgeID, addr, gen)
 			return
 		}
 		tr := d.cfg.Trace
@@ -208,6 +295,7 @@ func (d *Device) serve(conn net.Conn, edgeID int, done chan struct{}) {
 		}
 		conn.SetDeadline(time.Now().Add(d.cfg.Timeout))
 		if err := d.m.link.writeMsg(conn, MsgTrainReply, reply, vec); err != nil {
+			d.maybeReconnect(conn, edgeID, addr, gen)
 			return
 		}
 		conn.SetDeadline(time.Time{})

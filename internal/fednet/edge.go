@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
@@ -28,6 +29,24 @@ type EdgeConfig struct {
 	Seed int64
 	// Timeout bounds network operations (default 30 s).
 	Timeout time.Duration
+	// Quorum is the minimum number of responders a round needs before
+	// the edge aggregates Eq. 6 (default 1, clamped to ≤ K). Below
+	// quorum the edge carries its previous model forward and reports
+	// zero weight to the cloud.
+	Quorum int
+	// RoundDeadline bounds one round's device training; stragglers past
+	// it are excluded from aggregation and their connections closed
+	// (default Timeout).
+	RoundDeadline time.Duration
+	// MaxRetries is how many times a failed train RPC is retried against
+	// a (possibly reconnected) device before the round gives up on it
+	// (default 3).
+	MaxRetries int
+	// RetryBase is the base retry backoff; successive attempts grow it
+	// exponentially, capped, with deterministic jitter (default 50 ms).
+	RetryBase time.Duration
+	// Faults, when set, injects faults on the edge→cloud link.
+	Faults *FaultInjector
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...any)
 	// Obs, when set, receives per-message byte/latency metrics
@@ -64,10 +83,13 @@ type Edge struct {
 	mu      sync.Mutex
 	devices map[int]*deviceState
 
+	// The fields below are guarded by mu: the Run loop writes them while
+	// acceptLoop goroutines read them to build registration acks.
 	edgeModel []float64
 	cloudSeen []float64 // last global model received (w_c for Eq. 12)
 	weight    float64   // d̂ accumulator since last sync
 	lastSync  int       // round of the last cloud sync
+	curRound  int       // round currently (or last) executed
 }
 
 // NewEdge builds an edge server and starts its device listener.
@@ -77,6 +99,23 @@ func NewEdge(cfg EdgeConfig) (*Edge, error) {
 	}
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.Quorum < 1 {
+		cfg.Quorum = 1
+	}
+	if cfg.Quorum > cfg.K {
+		cfg.Quorum = cfg.K
+	}
+	if cfg.RoundDeadline <= 0 {
+		cfg.RoundDeadline = cfg.Timeout
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	} else if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = defaultMaxRetries
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = defaultRetryBase
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
@@ -107,7 +146,6 @@ func (e *Edge) acceptLoop() {
 				conn.Close()
 				return
 			}
-			conn.SetDeadline(time.Time{})
 			e.mu.Lock()
 			if old, ok := e.devices[reg.DeviceID]; ok {
 				old.conn.Close()
@@ -121,7 +159,18 @@ func (e *Edge) acceptLoop() {
 				statUtil:    math.NaN(),
 				lastTrained: -1,
 			}
+			ack := RegisterAck{EdgeID: e.cfg.EdgeID, Round: e.curRound, LastSync: e.lastSync}
+			model := e.edgeModel
 			e.mu.Unlock()
+			// Ack with the current edge model so a reconnecting device
+			// resyncs state (model + round counter) before its next
+			// TrainRequest; without the ack a registration lost to a
+			// fault would strand the device silently.
+			if err := e.m.deviceLink.writeMsg(conn, MsgRegisterAck, ack, model); err != nil {
+				e.dropDevice(reg.DeviceID, conn)
+				return
+			}
+			conn.SetDeadline(time.Time{})
 			e.cfg.Logf("edge %d: device %d joined (from edge %d)", e.cfg.EdgeID, reg.DeviceID, reg.PrevEdge)
 		}(conn)
 	}
@@ -142,10 +191,20 @@ func (e *Edge) dropDevice(id int, conn net.Conn) {
 // Run connects to the cloud and participates until shutdown.
 func (e *Edge) Run() error {
 	defer e.ln.Close()
-	cloud, err := net.Dial("tcp", e.cfg.CloudAddr)
-	if err != nil {
-		return fmt.Errorf("fednet: edge %d dialing cloud: %w", e.cfg.EdgeID, err)
+	var cloud net.Conn
+	var err error
+	for attempt := 0; ; attempt++ {
+		cloud, err = net.Dial("tcp", e.cfg.CloudAddr)
+		if err == nil {
+			break
+		}
+		if attempt >= e.cfg.MaxRetries {
+			return fmt.Errorf("fednet: edge %d dialing cloud: %w", e.cfg.EdgeID, err)
+		}
+		e.m.retries.Inc()
+		time.Sleep(retryBackoff(e.cfg.RetryBase, attempt+1, e.cfg.Seed, int64(e.cfg.EdgeID)))
 	}
+	cloud = e.cfg.Faults.WrapEdgeLink(cloud, e.cfg.EdgeID)
 	defer cloud.Close()
 	cloud.SetDeadline(time.Now().Add(e.cfg.Timeout))
 	if err := e.m.cloudLink.writeMsg(cloud, MsgRegisterEdge, RegisterEdge{EdgeID: e.cfg.EdgeID}, nil); err != nil {
@@ -155,8 +214,10 @@ func (e *Edge) Run() error {
 	if err != nil || t != MsgGlobalModel {
 		return fmt.Errorf("fednet: edge %d waiting for init model: type %d, %v", e.cfg.EdgeID, t, err)
 	}
+	e.mu.Lock()
 	e.edgeModel = vec
 	e.cloudSeen = append([]float64(nil), vec...)
+	e.mu.Unlock()
 
 	go e.acceptLoop()
 
@@ -183,22 +244,27 @@ func (e *Edge) Run() error {
 			eSpan = edgeRoundSpan(e.cfg.EdgeID, rs.Round)
 		}
 		roundTok := e.m.roundSpan.Begin()
-		trained, weight := e.runRound(rs.Round, eSpan)
+		st := e.runRound(rs.Round, eSpan)
 		roundTok.End()
 		if tr != nil {
 			tr.Complete("edge_round", "fednet", tracePidEdgeBase+e.cfg.EdgeID, 0,
 				traceStart, tr.Now().Sub(traceStart), eSpan, rs.Span,
-				map[string]any{"round": rs.Round, "trained": trained})
+				map[string]any{"round": rs.Round, "trained": st.trained,
+					"excluded": st.excluded, "quorum_miss": st.quorumMiss})
 		}
-		e.weight += weight
+		e.mu.Lock()
+		e.weight += st.weight
+		curWeight := e.weight
+		model := e.edgeModel
+		e.mu.Unlock()
 
 		cloud.SetDeadline(time.Now().Add(e.cfg.Timeout))
-		done := RoundDone{EdgeID: e.cfg.EdgeID, Round: rs.Round, Trained: trained}
+		done := RoundDone{EdgeID: e.cfg.EdgeID, Round: rs.Round, Trained: st.trained}
 		var payload []float64
 		if rs.Sync {
-			done.Weight = e.weight
-			if e.weight > 0 {
-				payload = e.edgeModel
+			done.Weight = curWeight
+			if curWeight > 0 {
+				payload = model
 			}
 		}
 		if err := e.m.cloudLink.writeMsg(cloud, MsgRoundDone, done, payload); err != nil {
@@ -210,28 +276,50 @@ func (e *Edge) Run() error {
 			if err != nil || t != MsgGlobalModel {
 				return fmt.Errorf("fednet: edge %d waiting for global model: type %d, %v", e.cfg.EdgeID, t, err)
 			}
+			e.mu.Lock()
 			e.edgeModel = vec
 			e.cloudSeen = append([]float64(nil), vec...)
 			e.weight = 0
 			e.lastSync = rs.Round
+			e.mu.Unlock()
 		}
 	}
 }
 
+// roundStats reports one round's outcome, including the degradation
+// decisions (stragglers excluded, quorum met or missed).
+type roundStats struct {
+	trained    int
+	excluded   int
+	weight     float64
+	quorumMiss bool
+}
+
+// trainResult is one device's contribution to a round.
+type trainResult struct {
+	id    int
+	vec   []float64
+	reply TrainReply
+	err   error
+}
+
 // runRound executes one Algorithm 1 time step: selection, parallel
-// training on the selected devices, Eq. 6 aggregation. span is the
-// edge's round trace span id ("" when tracing is off); each train RPC
-// records a child span and forwards its id to the device.
-func (e *Edge) runRound(round int, span string) (trained int, weight float64) {
+// training on the selected devices with per-RPC retry, Eq. 6
+// aggregation over the devices that answered before the round deadline.
+// span is the edge's round trace span id ("" when tracing is off); each
+// train RPC records a child span and forwards its id to the device.
+func (e *Edge) runRound(round int, span string) roundStats {
 	e.mu.Lock()
+	e.curRound = round
 	candidates := make([]int, 0, len(e.devices))
 	for id := range e.devices {
 		candidates = append(candidates, id)
 	}
 	view := &edgeView{edge: e, round: round}
+	model := e.edgeModel
 	e.mu.Unlock()
 	if len(candidates) == 0 {
-		return 0, 0
+		return roundStats{}
 	}
 
 	rng := tensor.Split(e.cfg.Seed, int64(round)*1_000_003+int64(e.cfg.EdgeID)*7+1)
@@ -241,16 +329,122 @@ func (e *Edge) runRound(round int, span string) (trained int, weight float64) {
 	if len(sel) > e.cfg.K {
 		sel = sel[:e.cfg.K]
 	}
-
-	type result struct {
-		id    int
-		conn  net.Conn
-		vec   []float64
-		reply TrainReply
-		err   error
+	if len(sel) == 0 {
+		return roundStats{}
 	}
-	results := make(chan result, len(sel))
+
+	// abort tells straggler goroutines the round has moved on, so a
+	// retry loop never sends a stale-round request after the deadline.
+	abort := make(chan struct{})
+	defer close(abort)
+	results := make(chan trainResult, len(sel))
 	for _, id := range sel {
+		go e.trainDevice(id, round, span, model, results, abort)
+	}
+
+	var st roundStats
+	var vecs [][]float64
+	var ws []float64
+	pending := make(map[int]bool, len(sel))
+	for _, id := range sel {
+		pending[id] = true
+	}
+	deadline := time.NewTimer(e.cfg.RoundDeadline)
+	defer deadline.Stop()
+collect:
+	for len(pending) > 0 {
+		select {
+		case res := <-results:
+			delete(pending, res.id)
+			if res.err != nil {
+				e.cfg.Logf("edge %d: device %d failed round %d: %v", e.cfg.EdgeID, res.id, round, res.err)
+				e.m.drops.Inc()
+				continue
+			}
+			e.mu.Lock()
+			if d, ok := e.devices[res.id]; ok {
+				d.lastModel = res.vec
+				d.statUtil = res.reply.Utility
+				d.lastTrained = round
+				d.trainedHere = true
+			}
+			e.mu.Unlock()
+			vecs = append(vecs, res.vec)
+			ws = append(ws, float64(res.reply.DataSize))
+			st.weight += float64(res.reply.DataSize)
+			st.trained++
+		case <-deadline.C:
+			break collect
+		}
+	}
+
+	// Exclude stragglers past the deadline: close their connections (so
+	// they do not leak in the device map) and leave them out of Eq. 6.
+	// The device reconnects and resyncs via the registration ack.
+	tr := e.cfg.Trace
+	for id := range pending {
+		st.excluded++
+		e.m.stragglers.Inc()
+		e.mu.Lock()
+		if d, ok := e.devices[id]; ok {
+			d.conn.Close()
+			delete(e.devices, id)
+		}
+		e.mu.Unlock()
+		e.cfg.Logf("edge %d: excluded straggler device %d in round %d", e.cfg.EdgeID, id, round)
+		if tr != nil {
+			now := tr.Now()
+			tr.Complete("straggler_excluded", "fednet", tracePidEdgeBase+e.cfg.EdgeID, id,
+				now, 0, span+".x"+strconv.Itoa(id), span,
+				map[string]any{"round": round, "device": id})
+		}
+	}
+
+	if st.trained < e.cfg.Quorum {
+		// Quorum not met: fall back to carrying the previous edge model
+		// forward — the responders' updates are discarded rather than
+		// letting a tiny, biased sample steer Eq. 6, and the edge
+		// reports zero weight so the cloud skips it at the next sync.
+		st.quorumMiss = true
+		st.weight = 0
+		e.m.quorumMisses.Inc()
+		e.cfg.Logf("edge %d: round %d quorum miss (%d/%d responders)", e.cfg.EdgeID, round, st.trained, e.cfg.Quorum)
+		if tr != nil {
+			now := tr.Now()
+			tr.Complete("quorum_miss", "fednet", tracePidEdgeBase+e.cfg.EdgeID, 0,
+				now, 0, span+".qm", span,
+				map[string]any{"round": round, "responders": st.trained, "quorum": e.cfg.Quorum})
+		}
+		return st
+	}
+	if len(vecs) > 0 {
+		agg := simil.WeightedAverage(vecs, ws)
+		e.mu.Lock()
+		e.edgeModel = agg
+		e.mu.Unlock()
+	}
+	return st
+}
+
+// trainDevice runs one device's train RPC with capped-backoff retries.
+// Any transport error closes that device's connection (a poisoned or
+// half-dead stream cannot be reused) and the retry addresses whatever
+// connection the device re-registered with.
+func (e *Edge) trainDevice(id, round int, span string, model []float64, results chan<- trainResult, abort <-chan struct{}) {
+	tr := e.cfg.Trace
+	var lastErr error
+	for attempt := 0; attempt <= e.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			e.m.retries.Inc()
+			time.Sleep(retryBackoff(e.cfg.RetryBase, attempt, e.cfg.Seed,
+				int64(e.cfg.EdgeID)*1_000_003+int64(id)*31+int64(round)))
+		}
+		select {
+		case <-abort:
+			results <- trainResult{id: id, err: lastErr}
+			return
+		default:
+		}
 		e.mu.Lock()
 		d, ok := e.devices[id]
 		var req TrainRequest
@@ -266,63 +460,38 @@ func (e *Edge) runRound(round int, span string) (trained int, weight float64) {
 		}
 		e.mu.Unlock()
 		if !ok {
-			results <- result{id: id, err: fmt.Errorf("device %d vanished", id)}
+			lastErr = fmt.Errorf("device %d not connected", id)
 			continue
 		}
-		go func(d *deviceState, req TrainRequest) {
-			tr := e.cfg.Trace
-			rpcStart := tr.Now()
-			rpcTok := e.m.trainSpan.Begin()
-			d.conn.SetDeadline(time.Now().Add(e.cfg.Timeout))
-			if err := e.m.deviceLink.writeMsg(d.conn, MsgTrainRequest, req, e.edgeModel); err != nil {
-				countTimeout(e.m.timeouts, err)
-				results <- result{id: d.id, conn: d.conn, err: err}
-				return
-			}
-			var reply TrainReply
-			t, vec, err := e.m.deviceLink.readMsg(d.conn, &reply)
-			if err != nil || t != MsgTrainReply {
-				countTimeout(e.m.timeouts, err)
-				results <- result{id: d.id, conn: d.conn, err: fmt.Errorf("type %d, %v", t, err)}
-				return
-			}
-			rpcTok.End()
-			if tr != nil {
-				tr.Complete("train_rpc", "fednet", tracePidEdgeBase+e.cfg.EdgeID, d.id,
-					rpcStart, tr.Now().Sub(rpcStart), req.Span, span,
-					map[string]any{"round": round, "device": d.id})
-			}
-			results <- result{id: d.id, conn: d.conn, vec: vec, reply: reply}
-		}(d, req)
-	}
-
-	var vecs [][]float64
-	var ws []float64
-	for range sel {
-		res := <-results
-		if res.err != nil {
-			e.cfg.Logf("edge %d: device %d failed round %d: %v", e.cfg.EdgeID, res.id, round, res.err)
-			e.m.drops.Inc()
-			e.dropDevice(res.id, res.conn)
+		conn := d.conn
+		rpcStart := tr.Now()
+		rpcTok := e.m.trainSpan.Begin()
+		conn.SetDeadline(time.Now().Add(e.cfg.Timeout))
+		if err := e.m.deviceLink.writeMsg(conn, MsgTrainRequest, req, model); err != nil {
+			countTimeout(e.m.timeouts, err)
+			e.dropDevice(id, conn)
+			lastErr = err
 			continue
 		}
-		e.mu.Lock()
-		if d, ok := e.devices[res.id]; ok {
-			d.lastModel = res.vec
-			d.statUtil = res.reply.Utility
-			d.lastTrained = round
-			d.trainedHere = true
+		var reply TrainReply
+		t, vec, err := e.m.deviceLink.readMsg(conn, &reply)
+		if err != nil || t != MsgTrainReply || reply.Round != round {
+			countTimeout(e.m.timeouts, err)
+			e.dropDevice(id, conn)
+			lastErr = fmt.Errorf("train reply: type %d, round %d, %v", t, reply.Round, err)
+			continue
 		}
-		e.mu.Unlock()
-		vecs = append(vecs, res.vec)
-		ws = append(ws, float64(res.reply.DataSize))
-		weight += float64(res.reply.DataSize)
-		trained++
+		conn.SetDeadline(time.Time{})
+		rpcTok.End()
+		if tr != nil {
+			tr.Complete("train_rpc", "fednet", tracePidEdgeBase+e.cfg.EdgeID, id,
+				rpcStart, tr.Now().Sub(rpcStart), req.Span, span,
+				map[string]any{"round": round, "device": id, "attempt": attempt})
+		}
+		results <- trainResult{id: id, vec: vec, reply: reply}
+		return
 	}
-	if len(vecs) > 0 {
-		e.edgeModel = simil.WeightedAverage(vecs, ws)
-	}
-	return trained, weight
+	results <- trainResult{id: id, err: lastErr}
 }
 
 func (e *Edge) shutdownDevices() {

@@ -1,0 +1,388 @@
+package fednet
+
+// Chaos tests: seeded fault injection against the full cluster, plus
+// focused tests pinning the degradation semantics (straggler exclusion,
+// quorum fallback, checkpoint resume) and the injector's determinism.
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"middle/internal/checkpoint"
+	"middle/internal/core"
+	"middle/internal/data"
+	"middle/internal/hfl"
+	"middle/internal/mobility"
+	"middle/internal/nn"
+	"middle/internal/obs"
+	"middle/internal/tensor"
+)
+
+// TestFaultPlanDeterministic pins the injector's core contract: fault
+// decisions are a pure function of (seed, rates, link, id, msg), so a
+// run's fault pattern is reproducible from its seed alone.
+func TestFaultPlanDeterministic(t *testing.T) {
+	rates := FaultRates{Drop: 0.2, Delay: 0.1, Corrupt: 0.05, Reset: 0.02}
+	a := PlanFaults(7, rates, linkDeviceEdge, 3, 500)
+	b := PlanFaults(7, rates, linkDeviceEdge, 3, 500)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("plan not deterministic at msg %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := PlanFaults(8, rates, linkDeviceEdge, 3, 500)
+	diff := false
+	for i := range a {
+		if a[i] != c[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical 500-message plans")
+	}
+	// Rough rate sanity: ~37% of messages should be faulted at these rates.
+	faults := 0
+	for _, k := range a {
+		if k != FaultNone {
+			faults++
+		}
+	}
+	if faults < 100 || faults > 300 {
+		t.Fatalf("implausible fault count %d/500 for total rate 0.37", faults)
+	}
+}
+
+// TestFaultInjectorDropsMatchPlan drives real frames through a wrapped
+// connection and checks the receiver sees exactly the messages PlanFaults
+// says survive (drop-only rates keep surviving frames intact).
+func TestFaultInjectorDropsMatchPlan(t *testing.T) {
+	const seed, id, n = 42, 5, 60
+	rates := FaultRates{Drop: 0.3}
+	inj := NewFaultInjector(FaultConfig{Seed: seed, DeviceEdge: rates})
+	if inj == nil {
+		t.Fatal("injector unexpectedly nil")
+	}
+	plan := PlanFaults(seed, rates, linkDeviceEdge, id, n)
+	want := 0
+	for _, k := range plan {
+		if k == FaultNone {
+			want++
+		}
+	}
+	if want == 0 || want == n {
+		t.Fatalf("degenerate plan: %d/%d survive", want, n)
+	}
+
+	client, server := net.Pipe()
+	got := make(chan int, 1)
+	go func() {
+		count := 0
+		for {
+			if _, _, err := ReadMsg(server, &TrainReply{}); err != nil {
+				break
+			}
+			count++
+		}
+		got <- count
+	}()
+	conn := inj.WrapDeviceLink(client, id)
+	for i := 0; i < n; i++ {
+		if err := WriteMsg(conn, MsgTrainReply, TrainReply{DeviceID: id, Round: i}, []float64{1, 2, 3}); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	client.Close()
+	if count := <-got; count != want {
+		t.Fatalf("receiver saw %d frames, plan says %d survive", count, want)
+	}
+}
+
+// TestCorruptFrameRejected pins the CRC guard: a bit flipped in transit
+// must surface as ErrCorruptFrame, never as a decoded message.
+func TestCorruptFrameRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMsg(&buf, MsgTrainReply, TrainReply{DeviceID: 1, Round: 2}, []float64{4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	frame[5] ^= 0x01 // same flip the injector's corrupt fault applies
+	var reply TrainReply
+	_, _, err := ReadMsg(bytes.NewReader(frame), &reply)
+	if !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("corrupted frame produced %v, want ErrCorruptFrame", err)
+	}
+}
+
+// TestClusterChaosSoak runs a full deployment under ≥10% per-message
+// drop+delay (plus corruption) on the device–edge links and delays on
+// the edge–cloud links, and checks the run completes, the model stays
+// finite and the degradation machinery actually fired.
+func TestClusterChaosSoak(t *testing.T) {
+	mob := mobility.NewMarkovRing(3, 9, 0.4, 7)
+	prof := data.FastImageProfile(4)
+	train := data.GenerateImagesSplit(prof, 400, 5, 5)
+	part := data.PartitionMajorClass(train, mob.NumDevices(), 30, 0.85, 6)
+	factory := func(rng *tensor.RNG) *nn.Network {
+		return nn.NewNetwork(
+			nn.NewFlatten(),
+			nn.NewLinear(train.SampleSize(), 16, rng),
+			nn.NewReLU(),
+			nn.NewLinear(16, train.Classes, rng),
+		)
+	}
+	reg := obs.NewRegistry()
+	c, err := StartCluster(ClusterConfig{
+		Rounds: 10, K: 2, LocalSteps: 2, BatchSize: 8, CloudInterval: 3,
+		Strategy: core.NewMiddle(), Partition: part, Factory: factory,
+		Optimizer: hfl.OptimizerSpec{Kind: hfl.OptSGDMomentum, LR: 0.05, Momentum: 0.9},
+		Mobility:  mob, Seed: 1,
+		Timeout:       3 * time.Second,
+		RoundDeadline: 2 * time.Second,
+		Quorum:        1,
+		Faults: &FaultConfig{
+			Seed:       99,
+			DeviceEdge: FaultRates{Drop: 0.08, Delay: 0.06, Corrupt: 0.02},
+			EdgeCloud:  FaultRates{Delay: 0.05},
+			MaxDelay:   20 * time.Millisecond,
+		},
+		Obs: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Wait(); err != nil {
+		t.Fatalf("chaos run failed with a real error: %v", err)
+	}
+	model := c.GlobalModel()
+	for i, v := range model {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("global model[%d] = %v after chaos run", i, v)
+		}
+	}
+	injected := int64(0)
+	for _, kind := range []string{"drop", "delay", "corrupt"} {
+		injected += reg.Counter("fednet_injected_faults_total", "kind", kind).Value()
+	}
+	if injected == 0 {
+		t.Fatal("no faults were injected — rates or wiring broken")
+	}
+	// The stack must have noticed: at least one of the recovery paths
+	// (retries, straggler exclusion, quorum fallback, corrupt-frame
+	// rejection) fires under this fault mix and seed.
+	recovered := reg.Counter("fednet_retries_total").Value() +
+		reg.Counter("fednet_excluded_stragglers_total").Value() +
+		reg.Counter("fednet_quorum_misses_total").Value() +
+		reg.Counter("fednet_corrupt_frames_total", "link", linkDeviceEdge).Value()
+	if recovered == 0 {
+		t.Fatalf("faults injected (%d) but no recovery counter moved", injected)
+	}
+	t.Logf("chaos soak: %d faults injected, %d recoveries, %d tolerated component failures",
+		injected, recovered, c.ToleratedFaults())
+}
+
+// TestClusterQuorumFallback pins the quorum semantics end to end: with a
+// single device per run and Quorum clamped to 2 via K, every round falls
+// below quorum, so the edge carries its model and the cloud's global
+// model never changes.
+func TestClusterQuorumFallback(t *testing.T) {
+	mob := mobility.NewStatic(1, 1)
+	prof := data.FastImageProfile(4)
+	train := data.GenerateImagesSplit(prof, 60, 3, 5)
+	part := data.PartitionMajorClass(train, 1, 30, 0.85, 6)
+	factory := func(rng *tensor.RNG) *nn.Network {
+		return nn.NewNetwork(
+			nn.NewFlatten(),
+			nn.NewLinear(train.SampleSize(), 8, rng),
+			nn.NewReLU(),
+			nn.NewLinear(8, train.Classes, rng),
+		)
+	}
+	reg := obs.NewRegistry()
+	c, err := StartCluster(ClusterConfig{
+		Rounds: 4, K: 2, LocalSteps: 1, BatchSize: 8, CloudInterval: 2,
+		Strategy: core.NewGeneral(), Partition: part, Factory: factory,
+		Optimizer: hfl.OptimizerSpec{Kind: hfl.OptSGD, LR: 0.05},
+		Mobility:  mob, Seed: 3,
+		Quorum: 2, // one connected device can never meet it
+		Obs:    reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]float64(nil), c.GlobalModel()...)
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	after := c.GlobalModel()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("global model changed at %d despite permanent quorum miss", i)
+		}
+	}
+	// Every round with the device attached misses quorum. Round 1 may
+	// start before the device finishes registering (an empty candidate
+	// set is not a quorum miss), so at least 3 of the 4 rounds count.
+	if got := reg.Counter("fednet_quorum_misses_total").Value(); got < 3 || got > 4 {
+		t.Fatalf("fednet_quorum_misses_total = %d, want 3 or 4", got)
+	}
+}
+
+// TestEdgeStragglerExclusion registers a silent fake device against a
+// real edge and checks the round deadline excludes it: the round reports
+// zero trained devices, the straggler counter fires and the device's
+// connection is closed rather than leaked in the edge's map.
+func TestEdgeStragglerExclusion(t *testing.T) {
+	cloudLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cloudLn.Close()
+
+	reg := obs.NewRegistry()
+	edge, err := NewEdge(EdgeConfig{
+		EdgeID: 0, CloudAddr: cloudLn.Addr().String(), Addr: "127.0.0.1:0",
+		K: 1, Strategy: core.NewGeneral(), Seed: 1,
+		Timeout:       3 * time.Second,
+		RoundDeadline: 250 * time.Millisecond,
+		MaxRetries:    -1, // single attempt: the deadline, not retries, must exclude
+		Obs:           reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edgeErr := make(chan error, 1)
+	go func() { edgeErr <- edge.Run() }()
+
+	// Fake cloud: init the edge, run one round, then shut it down.
+	cc, err := cloudLn.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	cc.SetDeadline(time.Now().Add(5 * time.Second))
+	var re RegisterEdge
+	if mt, _, err := ReadMsg(cc, &re); err != nil || mt != MsgRegisterEdge {
+		t.Fatalf("edge registration: type %d, %v", mt, err)
+	}
+	if err := WriteMsg(cc, MsgGlobalModel, struct{}{}, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Silent device: registers, consumes the train request, never replies.
+	dev, err := net.Dial("tcp", edge.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	dev.SetDeadline(time.Now().Add(5 * time.Second))
+	if err := WriteMsg(dev, MsgRegisterDevice, RegisterDevice{DeviceID: 0, DataSize: 10, PrevEdge: -1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var ack RegisterAck
+	if mt, _, err := ReadMsg(dev, &ack); err != nil || mt != MsgRegisterAck {
+		t.Fatalf("register ack: type %d, %v", mt, err)
+	}
+
+	if err := WriteMsg(cc, MsgRoundStart, RoundStart{Round: 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var done RoundDone
+	if mt, _, err := ReadMsg(cc, &done); err != nil || mt != MsgRoundDone {
+		t.Fatalf("round done: type %d, %v", mt, err)
+	}
+	if done.Trained != 0 {
+		t.Fatalf("silent device counted as trained: %+v", done)
+	}
+	if got := reg.Counter("fednet_excluded_stragglers_total").Value(); got != 1 {
+		t.Fatalf("fednet_excluded_stragglers_total = %d, want 1", got)
+	}
+	if got := reg.Counter("fednet_quorum_misses_total").Value(); got != 1 {
+		t.Fatalf("fednet_quorum_misses_total = %d, want 1 (0 responders < quorum 1)", got)
+	}
+	edge.mu.Lock()
+	leaked := len(edge.devices)
+	edge.mu.Unlock()
+	if leaked != 0 {
+		t.Fatalf("straggler leaked in device map (%d entries)", leaked)
+	}
+	if err := WriteMsg(cc, MsgShutdown, struct{}{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-edgeErr; err != nil {
+		t.Fatalf("edge exited with %v", err)
+	}
+}
+
+// TestClusterCheckpointResume runs a checkpointing cluster to completion,
+// then builds a fresh Cloud over the same directory and checks it resumes
+// at the checkpointed round with a byte-identical global model.
+func TestClusterCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	mob := mobility.NewStatic(2, 4)
+	prof := data.FastImageProfile(4)
+	train := data.GenerateImagesSplit(prof, 120, 3, 5)
+	part := data.PartitionMajorClass(train, 4, 30, 0.85, 6)
+	factory := func(rng *tensor.RNG) *nn.Network {
+		return nn.NewNetwork(
+			nn.NewFlatten(),
+			nn.NewLinear(train.SampleSize(), 8, rng),
+			nn.NewReLU(),
+			nn.NewLinear(8, train.Classes, rng),
+		)
+	}
+	c, err := StartCluster(ClusterConfig{
+		Rounds: 6, K: 2, LocalSteps: 1, BatchSize: 8, CloudInterval: 2,
+		Strategy: core.NewMiddle(), Partition: part, Factory: factory,
+		Optimizer: hfl.OptimizerSpec{Kind: hfl.OptSGD, LR: 0.05},
+		Mobility:  mob, Seed: 4,
+		CheckpointDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, ok, err := checkpoint.LoadLatest(dir)
+	if err != nil || !ok {
+		t.Fatalf("no checkpoint after run: ok=%v err=%v", ok, err)
+	}
+	if st.Round != 6 {
+		t.Fatalf("latest checkpoint at round %d, want 6", st.Round)
+	}
+
+	// "Restart" the cloud over the same directory.
+	resumed, err := NewCloud(CloudConfig{
+		Addr: "127.0.0.1:0", Edges: 2, Rounds: 12, CloudInterval: 2,
+		InitModel:     make([]float64, len(st.Model)),
+		CheckpointDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.ln.Close()
+	if resumed.StartRound() != st.Round {
+		t.Fatalf("resumed StartRound = %d, want %d", resumed.StartRound(), st.Round)
+	}
+	got := resumed.GlobalModel()
+	if len(got) != len(st.Model) {
+		t.Fatalf("resumed model length %d, want %d", len(got), len(st.Model))
+	}
+	for i := range got {
+		if got[i] != st.Model[i] {
+			t.Fatalf("resumed model differs from checkpoint at %d: %v vs %v", i, got[i], st.Model[i])
+		}
+	}
+	final := c.GlobalModel()
+	for i := range got {
+		if got[i] != final[i] {
+			t.Fatalf("resumed model differs from the run's final model at %d", i)
+		}
+	}
+}

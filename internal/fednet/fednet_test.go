@@ -261,8 +261,9 @@ func TestDeviceSurvivesEdgeVanishing(t *testing.T) {
 	go func() {
 		conn, err := ln.Accept()
 		if err == nil {
-			// Consume the registration, then vanish.
+			// Consume the registration, ack it, then vanish.
 			_, _, _ = ReadMsg(conn, &RegisterDevice{})
+			_ = WriteMsg(conn, MsgRegisterAck, RegisterAck{EdgeID: 0}, nil)
 			conn.Close()
 		}
 		accepted <- conn

@@ -1,6 +1,7 @@
 package fednet
 
 import (
+	"errors"
 	"io"
 	"net"
 
@@ -23,6 +24,7 @@ type linkMetrics struct {
 	recvBytes *obs.Counter
 	sentMsgs  *obs.Counter
 	recvMsgs  *obs.Counter
+	corrupt   *obs.Counter
 }
 
 func newLinkMetrics(r *obs.Registry, link string) linkMetrics {
@@ -31,6 +33,7 @@ func newLinkMetrics(r *obs.Registry, link string) linkMetrics {
 		recvBytes: r.Counter("fednet_recv_bytes_total", "link", link),
 		sentMsgs:  r.Counter("fednet_sent_msgs_total", "link", link),
 		recvMsgs:  r.Counter("fednet_recv_msgs_total", "link", link),
+		corrupt:   r.Counter("fednet_corrupt_frames_total", "link", link),
 	}
 }
 
@@ -51,62 +54,76 @@ func (lm linkMetrics) readMsg(r io.Reader, headerOut any) (MsgType, []float64, e
 	lm.recvBytes.Add(int64(n))
 	if err == nil {
 		lm.recvMsgs.Inc()
+	} else if errors.Is(err, ErrCorruptFrame) {
+		lm.corrupt.Inc()
 	}
 	return t, vec, err
 }
 
 // cloudMetrics instruments the cloud coordinator.
 type cloudMetrics struct {
-	link      linkMetrics
-	rounds    *obs.Counter
-	syncs     *obs.Counter
-	timeouts  *obs.Counter
-	roundSpan *obs.Span
+	link        linkMetrics
+	rounds      *obs.Counter
+	syncs       *obs.Counter
+	timeouts    *obs.Counter
+	edgeDrops   *obs.Counter
+	checkpoints *obs.Counter
+	roundSpan   *obs.Span
 }
 
 func newCloudMetrics(r *obs.Registry) cloudMetrics {
 	return cloudMetrics{
-		link:      newLinkMetrics(r, linkEdgeCloud),
-		rounds:    r.Counter("fednet_rounds_total"),
-		syncs:     r.Counter("fednet_cloud_syncs_total"),
-		timeouts:  r.Counter("fednet_timeouts_total"),
-		roundSpan: r.Span("fednet_rpc_seconds", "op", "cloud_round"),
+		link:        newLinkMetrics(r, linkEdgeCloud),
+		rounds:      r.Counter("fednet_rounds_total"),
+		syncs:       r.Counter("fednet_cloud_syncs_total"),
+		timeouts:    r.Counter("fednet_timeouts_total"),
+		edgeDrops:   r.Counter("fednet_edge_drops_total"),
+		checkpoints: r.Counter("fednet_checkpoints_total"),
+		roundSpan:   r.Span("fednet_rpc_seconds", "op", "cloud_round"),
 	}
 }
 
 // edgeMetrics instruments one edge server (cloud-facing and
 // device-facing traffic separately).
 type edgeMetrics struct {
-	cloudLink  linkMetrics
-	deviceLink linkMetrics
-	drops      *obs.Counter
-	reconnects *obs.Counter
-	timeouts   *obs.Counter
-	roundSpan  *obs.Span
-	trainSpan  *obs.Span
+	cloudLink    linkMetrics
+	deviceLink   linkMetrics
+	drops        *obs.Counter
+	reconnects   *obs.Counter
+	timeouts     *obs.Counter
+	retries      *obs.Counter
+	quorumMisses *obs.Counter
+	stragglers   *obs.Counter
+	roundSpan    *obs.Span
+	trainSpan    *obs.Span
 }
 
 func newEdgeMetrics(r *obs.Registry) edgeMetrics {
 	return edgeMetrics{
-		cloudLink:  newLinkMetrics(r, linkEdgeCloud),
-		deviceLink: newLinkMetrics(r, linkDeviceEdge),
-		drops:      r.Counter("fednet_device_drops_total"),
-		reconnects: r.Counter("fednet_device_reconnects_total"),
-		timeouts:   r.Counter("fednet_timeouts_total"),
-		roundSpan:  r.Span("fednet_rpc_seconds", "op", "edge_round"),
-		trainSpan:  r.Span("fednet_rpc_seconds", "op", "train_rpc"),
+		cloudLink:    newLinkMetrics(r, linkEdgeCloud),
+		deviceLink:   newLinkMetrics(r, linkDeviceEdge),
+		drops:        r.Counter("fednet_device_drops_total"),
+		reconnects:   r.Counter("fednet_device_reconnects_total"),
+		timeouts:     r.Counter("fednet_timeouts_total"),
+		retries:      r.Counter("fednet_retries_total"),
+		quorumMisses: r.Counter("fednet_quorum_misses_total"),
+		stragglers:   r.Counter("fednet_excluded_stragglers_total"),
+		roundSpan:    r.Span("fednet_rpc_seconds", "op", "edge_round"),
+		trainSpan:    r.Span("fednet_rpc_seconds", "op", "train_rpc"),
 	}
 }
 
 // deviceMetrics instruments one device client.
 type deviceMetrics struct {
 	link      linkMetrics
+	retries   *obs.Counter
 	trainSpan *obs.Span
 }
 
 func newDeviceMetrics(r *obs.Registry) deviceMetrics {
 	return deviceMetrics{
 		link:      newLinkMetrics(r, linkDeviceEdge),
+		retries:   r.Counter("fednet_retries_total"),
 		trainSpan: r.Span("fednet_rpc_seconds", "op", "device_train"),
 	}
 }

@@ -12,18 +12,30 @@
 //	type    byte
 //	jsonLen uint32, JSON header bytes
 //	vecLen  uint32, vecLen float64 values (the model payload, may be 0)
+//	crc     uint32 IEEE over everything above
 //
 // Headers are small JSON structs (stdlib encoding/json); model vectors
-// travel as raw float64s to avoid base64 overhead.
+// travel as raw float64s to avoid base64 overhead. The CRC trailer lets
+// a receiver detect payload corruption (a flipped bit in a model vector
+// would otherwise be silently aggregated); a mismatch is reported as
+// ErrCorruptFrame and the stream is considered poisoned — the peer must
+// reconnect and retry rather than resynchronise mid-stream.
 package fednet
 
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 )
+
+// ErrCorruptFrame marks a frame whose CRC trailer did not match its
+// content. The bytes already consumed cannot be trusted to align with
+// frame boundaries, so callers must treat the connection as dead.
+var ErrCorruptFrame = errors.New("fednet: corrupt frame")
 
 // MsgType identifies a protocol message.
 type MsgType byte
@@ -50,6 +62,11 @@ const (
 	MsgTrainReply
 	// MsgShutdown: cloud → edge → device. Ends the session.
 	MsgShutdown
+	// MsgRegisterAck: edge → device, confirming MsgRegisterDevice.
+	// Header: RegisterAck. Carries the edge's current model vector so a
+	// reconnecting device resyncs state (model + round counter) without
+	// waiting for its next TrainRequest.
+	MsgRegisterAck
 )
 
 // maxFrame bounds a frame's payload sizes against corrupt peers.
@@ -67,6 +84,17 @@ type RegisterDevice struct {
 	// PrevEdge is the edge the device last trained under (−1 if none);
 	// the edge uses it to derive the paper's "moved" predicate.
 	PrevEdge int `json:"prev_edge"`
+}
+
+// RegisterAck confirms a device registration and resyncs its state.
+type RegisterAck struct {
+	EdgeID int `json:"edge_id"`
+	// Round is the edge's current round counter (0 before training
+	// starts); a reconnecting device rejoins at this point.
+	Round int `json:"round"`
+	// LastSync is the round of the last cloud synchronisation the edge
+	// has seen (0 if none yet).
+	LastSync int `json:"last_sync"`
 }
 
 // RoundStart instructs an edge to run one Algorithm 1 time step.
@@ -129,7 +157,7 @@ func WriteMsgCount(w io.Writer, t MsgType, header any, vec []float64) (int, erro
 	if err != nil {
 		return 0, fmt.Errorf("fednet: marshal header: %w", err)
 	}
-	buf := make([]byte, 1+4+len(js)+4+8*len(vec))
+	buf := make([]byte, 1+4+len(js)+4+8*len(vec)+4)
 	buf[0] = byte(t)
 	binary.LittleEndian.PutUint32(buf[1:], uint32(len(js)))
 	copy(buf[5:], js)
@@ -140,6 +168,7 @@ func WriteMsgCount(w io.Writer, t MsgType, header any, vec []float64) (int, erro
 		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
 		off += 8
 	}
+	binary.LittleEndian.PutUint32(buf[off:], crc32.ChecksumIEEE(buf[:off]))
 	return w.Write(buf)
 }
 
@@ -154,18 +183,21 @@ func ReadMsg(r io.Reader, headerOut any) (MsgType, []float64, error) {
 // many bytes were consumed from the stream (the partial count on error).
 func ReadMsgCount(r io.Reader, headerOut any) (MsgType, []float64, int, error) {
 	total := 0
+	sum := crc32.NewIEEE()
 	var tb [1]byte
 	n, err := io.ReadFull(r, tb[:])
 	total += n
 	if err != nil {
 		return 0, nil, total, err
 	}
+	sum.Write(tb[:])
 	var lb [4]byte
 	n, err = io.ReadFull(r, lb[:])
 	total += n
 	if err != nil {
 		return 0, nil, total, fmt.Errorf("fednet: reading header length: %w", err)
 	}
+	sum.Write(lb[:])
 	jsonLen := binary.LittleEndian.Uint32(lb[:])
 	if jsonLen > maxFrame {
 		return 0, nil, total, fmt.Errorf("fednet: header length %d too large", jsonLen)
@@ -176,28 +208,44 @@ func ReadMsgCount(r io.Reader, headerOut any) (MsgType, []float64, int, error) {
 	if err != nil {
 		return 0, nil, total, fmt.Errorf("fednet: reading header: %w", err)
 	}
-	if headerOut != nil && jsonLen > 0 {
-		if err := json.Unmarshal(js, headerOut); err != nil {
-			return 0, nil, total, fmt.Errorf("fednet: decoding header: %w", err)
-		}
-	}
+	sum.Write(js)
 	n, err = io.ReadFull(r, lb[:])
 	total += n
 	if err != nil {
 		return 0, nil, total, fmt.Errorf("fednet: reading vector length: %w", err)
 	}
+	sum.Write(lb[:])
 	vecLen := binary.LittleEndian.Uint32(lb[:])
 	if vecLen > maxFrame/8 {
 		return 0, nil, total, fmt.Errorf("fednet: vector length %d too large", vecLen)
 	}
-	var vec []float64
+	var raw []byte
 	if vecLen > 0 {
-		raw := make([]byte, 8*vecLen)
+		raw = make([]byte, 8*vecLen)
 		n, err = io.ReadFull(r, raw)
 		total += n
 		if err != nil {
 			return 0, nil, total, fmt.Errorf("fednet: reading vector: %w", err)
 		}
+		sum.Write(raw)
+	}
+	n, err = io.ReadFull(r, lb[:])
+	total += n
+	if err != nil {
+		return 0, nil, total, fmt.Errorf("fednet: reading checksum: %w", err)
+	}
+	if binary.LittleEndian.Uint32(lb[:]) != sum.Sum32() {
+		return 0, nil, total, fmt.Errorf("fednet: frame checksum mismatch (type %d): %w", tb[0], ErrCorruptFrame)
+	}
+	// Only decode the header once the frame is known intact — a corrupt
+	// but syntactically valid JSON header must never reach the caller.
+	if headerOut != nil && jsonLen > 0 {
+		if err := json.Unmarshal(js, headerOut); err != nil {
+			return 0, nil, total, fmt.Errorf("fednet: decoding header: %w", err)
+		}
+	}
+	var vec []float64
+	if vecLen > 0 {
 		vec = make([]float64, vecLen)
 		for i := range vec {
 			vec[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))

@@ -97,6 +97,19 @@ type Config struct {
 	Latency  func(device int) float64
 	Deadline float64
 
+	// Quorum, DropRate and FaultSeed mirror the fednet robustness layer
+	// inside the simulation, so degradation policies can be studied at
+	// simulation speed. DropRate is the probability a selected device's
+	// round-trip is lost (decided deterministically from FaultSeed, the
+	// step and the device id — same seed, same drops). Quorum, when
+	// > 0, is the minimum number of surviving responders an edge needs
+	// to apply Eq. 6; below it the edge carries its previous model
+	// forward for that step (a quorum miss). All three default to off,
+	// leaving results bit-identical to the fault-free engine.
+	Quorum    int
+	DropRate  float64
+	FaultSeed int64
+
 	// Obs, when set, receives run metrics: per-phase wall time
 	// (sim_phase_seconds{phase=...}), step/selection/straggler/mobility
 	// counters, cloud-sync counts, and the learning-dynamics series

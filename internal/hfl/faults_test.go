@@ -1,0 +1,71 @@
+package hfl
+
+import (
+	"testing"
+
+	"middle/internal/obs"
+)
+
+// faultConfig enables the simulated fault layer on top of smallConfig.
+func faultConfig(faultSeed int64) Config {
+	cfg := smallConfig()
+	cfg.DropRate = 0.3
+	cfg.FaultSeed = faultSeed
+	cfg.Quorum = 2
+	return cfg
+}
+
+func TestSimFaultDropsAndQuorum(t *testing.T) {
+	f := newFixture(t, 0.5)
+	reg := obs.NewRegistry()
+	cfg := faultConfig(5)
+	cfg.Obs = reg
+	s := New(cfg, f.factory(), f.part, f.test, f.mob, &spyStrategy{})
+	s.Run()
+	if s.FaultDrops() == 0 {
+		t.Fatal("DropRate 0.3 over 10 steps injected no drops")
+	}
+	if s.QuorumMisses() == 0 {
+		t.Fatal("quorum 2 with 30% drops never missed quorum")
+	}
+	if got := reg.Counter("hfl_fault_drops_total").Value(); got != int64(s.FaultDrops()) {
+		t.Fatalf("hfl_fault_drops_total = %d, accessor says %d", got, s.FaultDrops())
+	}
+	if got := reg.Counter("hfl_quorum_misses_total").Value(); got != int64(s.QuorumMisses()) {
+		t.Fatalf("hfl_quorum_misses_total = %d, accessor says %d", got, s.QuorumMisses())
+	}
+}
+
+// TestSimFaultsDeterministic pins the simulated faults to FaultSeed: the
+// same seed reproduces the exact run; a different seed diverges.
+func TestSimFaultsDeterministic(t *testing.T) {
+	run := func(faultSeed int64) ([]float64, int, int) {
+		f := newFixture(t, 0.5)
+		s := New(faultConfig(faultSeed), f.factory(), f.part, f.test, f.mob, &spyStrategy{})
+		s.Run()
+		return s.cloud, s.FaultDrops(), s.QuorumMisses()
+	}
+	m1, d1, q1 := run(5)
+	m2, d2, q2 := run(5)
+	if d1 != d2 || q1 != q2 {
+		t.Fatalf("same fault seed diverged: drops %d/%d, misses %d/%d", d1, d2, q1, q2)
+	}
+	for i := range m1 {
+		if m1[i] != m2[i] {
+			t.Fatal("same fault seed produced different cloud models")
+		}
+	}
+	m3, d3, _ := run(6)
+	same := d1 == d3
+	if same {
+		for i := range m1 {
+			if m1[i] != m3[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different fault seeds produced identical runs")
+	}
+}

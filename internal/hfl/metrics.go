@@ -29,13 +29,15 @@ type PhaseTimes struct {
 // registry every instrument is nil and all recording methods no-op, so
 // StepOnce updates them unconditionally.
 type simMetrics struct {
-	steps      *obs.Counter
-	selected   *obs.Counter
-	stragglers *obs.Counter
-	moves      *obs.Counter
-	moveOpp    *obs.Counter
-	cloudSyncs *obs.Counter
-	evals      *obs.Counter
+	steps        *obs.Counter
+	selected     *obs.Counter
+	stragglers   *obs.Counter
+	moves        *obs.Counter
+	moveOpp      *obs.Counter
+	cloudSyncs   *obs.Counter
+	evals        *obs.Counter
+	faultDrops   *obs.Counter
+	quorumMisses *obs.Counter
 
 	selectSpan    *obs.Span
 	trainSpan     *obs.Span
@@ -46,13 +48,15 @@ type simMetrics struct {
 
 func newSimMetrics(r *obs.Registry) simMetrics {
 	return simMetrics{
-		steps:      r.Counter("sim_steps_total"),
-		selected:   r.Counter("sim_selected_total"),
-		stragglers: r.Counter("sim_stragglers_total"),
-		moves:      r.Counter("sim_moves_total"),
-		moveOpp:    r.Counter("sim_move_opportunities_total"),
-		cloudSyncs: r.Counter("sim_cloud_syncs_total"),
-		evals:      r.Counter("sim_evals_total"),
+		steps:        r.Counter("sim_steps_total"),
+		selected:     r.Counter("sim_selected_total"),
+		stragglers:   r.Counter("sim_stragglers_total"),
+		moves:        r.Counter("sim_moves_total"),
+		moveOpp:      r.Counter("sim_move_opportunities_total"),
+		cloudSyncs:   r.Counter("sim_cloud_syncs_total"),
+		evals:        r.Counter("sim_evals_total"),
+		faultDrops:   r.Counter("hfl_fault_drops_total"),
+		quorumMisses: r.Counter("hfl_quorum_misses_total"),
 
 		selectSpan:    r.Span("sim_phase_seconds", "phase", "selection"),
 		trainSpan:     r.Span("sim_phase_seconds", "phase", "local_train"),

@@ -31,17 +31,19 @@ type Sim struct {
 	numDevices int
 	step       int // completed time steps (1-based after first StepOnce)
 
-	cloud      []float64
-	edges      [][]float64
-	locals     [][]float64
-	dataSizes  []int
-	statUtil   []float64
-	lastTrain  []int
-	edgeWeight []float64 // d̂_n accumulators since last cloud sync
-	membership []int
-	moves      int // cross-edge moves observed
-	moveTotal  int
-	stragglers int // selected devices that missed the deadline
+	cloud        []float64
+	edges        [][]float64
+	locals       [][]float64
+	dataSizes    []int
+	statUtil     []float64
+	lastTrain    []int
+	edgeWeight   []float64 // d̂_n accumulators since last cloud sync
+	membership   []int
+	moves        int // cross-edge moves observed
+	moveTotal    int
+	stragglers   int // selected devices that missed the deadline
+	faultDrops   int // selected device-rounds lost to injected drops
+	quorumMisses int // edge-steps that fell below quorum and carried the model
 
 	// Communication accounting: model transfers on each link class.
 	// Every selected device downloads the edge model and uploads its
@@ -245,6 +247,29 @@ func (s *Sim) StepOnce() int {
 				}
 			}
 			sel = kept
+		}
+		// Fault injection: each surviving round-trip is lost with
+		// probability DropRate, decided deterministically from
+		// (FaultSeed, step, device) as in fednet's injector.
+		if s.cfg.DropRate > 0 {
+			kept := sel[:0]
+			for _, m := range sel {
+				if tensor.Split(s.cfg.FaultSeed, int64(t)*1_000_003+int64(m)*13+7).Float64() < s.cfg.DropRate {
+					s.faultDrops++
+					s.metrics.faultDrops.Inc()
+				} else {
+					kept = append(kept, m)
+				}
+			}
+			sel = kept
+		}
+		// Quorum-based degradation: below Quorum responders the edge
+		// carries its previous model forward (Eq. 6 skipped) rather
+		// than letting a tiny, biased sample steer it.
+		if s.cfg.Quorum > 0 && len(sel) < s.cfg.Quorum {
+			s.quorumMisses++
+			s.metrics.quorumMisses.Inc()
+			sel = sel[:0]
 		}
 		selectedByEdge[n] = sel
 		s.commDeviceEdge += 2 * int64(len(sel))
@@ -470,6 +495,14 @@ func (s *Sim) CommCounts() (deviceEdge, edgeCloud int64) {
 // Stragglers returns how many selected device-rounds were lost to the
 // heterogeneity deadline so far.
 func (s *Sim) Stragglers() int { return s.stragglers }
+
+// FaultDrops returns how many selected device-rounds were lost to the
+// injected drop faults (Config.DropRate) so far.
+func (s *Sim) FaultDrops() int { return s.faultDrops }
+
+// QuorumMisses returns how many edge-steps fell below Config.Quorum and
+// carried their previous model forward instead of aggregating.
+func (s *Sim) QuorumMisses() int { return s.quorumMisses }
 
 // PhaseSeconds returns the cumulative wall-clock breakdown of StepOnce
 // across its phases. Maintained unconditionally (see PhaseTimes).

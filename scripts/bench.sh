@@ -2,11 +2,12 @@
 # Runs the kernel + SimulationStep benchmarks and writes BENCH_1.json
 # with the pre-optimisation seed baselines alongside the fresh numbers.
 # Usage: scripts/bench.sh [benchtime]   (default 10x)
+# Set BENCH_OUT to write a different snapshot (e.g. BENCH_4.json).
 set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-10x}"
-OUT="BENCH_1.json"
+OUT="${BENCH_OUT:-BENCH_1.json}"
 PATTERN='^(BenchmarkMatMul128|BenchmarkConv2DForward|BenchmarkLocalTrainingRound|BenchmarkOnDeviceAggregation|BenchmarkOnDeviceAggregationInto|BenchmarkSelectionScoring|BenchmarkSimulationStep)$'
 
 echo "Running benchmarks (benchtime=$BENCHTIME)..."

@@ -25,14 +25,22 @@ go test ./...
 echo "== go test -race (tensor, hfl, fednet, obs) =="
 go test -race ./internal/tensor ./internal/hfl ./internal/fednet ./internal/obs
 
+echo "== chaos smoke (-race) =="
+# Seeded fault injection against the full cluster under the race
+# detector: the run must complete and the degradation counters fire.
+go test -race -count=1 \
+    -run 'TestClusterChaosSoak|TestFaultPlanDeterministic|TestClusterQuorumFallback' \
+    ./internal/fednet
+
 echo "== middled metrics smoke test =="
 tmpdir=$(mktemp -d)
 go build -o "$tmpdir/middled" ./cmd/middled
 "$tmpdir/middled" -role cloud -addr 127.0.0.1:0 -edges 1 -rounds 1 \
     -metrics-addr 127.0.0.1:0 > "$tmpdir/middled.log" 2>&1 &
 mpid=$!
+pids=""
 cleanup() {
-    kill "$mpid" 2>/dev/null || true
+    kill "$mpid" $pids 2>/dev/null || true
     rm -rf "$tmpdir"
 }
 trap cleanup EXIT
@@ -126,6 +134,100 @@ grep -q '"event":"eval"' "$tmpdir/run.telemetry.jsonl" || {
     echo "-telemetry-out wrote no eval events"
     exit 1
 }
+echo ok
+
+echo "== middled checkpoint kill-and-resume smoke =="
+# Run a small cloud+edge+devices deployment with checkpointing, kill the
+# cloud with SIGKILL once a checkpoint lands, then restart everything
+# over the same directory: the new cloud must log that it resumed and
+# finish the remaining rounds.
+ckptdir="$tmpdir/ckpt"
+mkdir -p "$ckptdir"
+
+# scrape_addr LOGFILE PATTERN — poll a log for an announced address.
+scrape_addr() {
+    _addr=""
+    _i=0
+    while [ $_i -lt 100 ]; do
+        _addr=$(sed -n "s/.*$2 \([0-9.:]*\).*/\1/p" "$1" | head -n 1)
+        [ -n "$_addr" ] && break
+        sleep 0.1
+        _i=$((_i + 1))
+    done
+    if [ -z "$_addr" ]; then
+        echo "never found \"$2\" in $1:" >&2
+        cat "$1" >&2
+        exit 1
+    fi
+    printf '%s' "$_addr"
+}
+
+start_fleet() {
+    # $1: cloud log, $2: edge log, $3: devices log
+    "$tmpdir/middled" -role cloud -addr 127.0.0.1:0 -edges 1 -rounds 8 -tc 2 \
+        -checkpoint-dir "$ckptdir" > "$1" 2>&1 &
+    cpid=$!
+    pids="$pids $cpid"
+    caddr=$(scrape_addr "$1" "cloud listening on")
+    "$tmpdir/middled" -role edge -id 0 -cloud "$caddr" -addr 127.0.0.1:0 \
+        -strategy MIDDLE -k 2 > "$2" 2>&1 &
+    epid=$!
+    pids="$pids $epid"
+    eaddr=$(scrape_addr "$2" "serving devices on")
+    "$tmpdir/middled" -role devices -edgeaddrs "$eaddr" -from 0 -to 3 \
+        > "$3" 2>&1 &
+    dpid=$!
+    pids="$pids $dpid"
+}
+
+start_fleet "$tmpdir/cloud1.log" "$tmpdir/edge1.log" "$tmpdir/devices1.log"
+
+# Wait for the first checkpoint, then SIGKILL the cloud mid-run (or
+# just after completion — the resume path below handles both).
+i=0
+while [ $i -lt 300 ]; do
+    if ls "$ckptdir"/*.ckpt > /dev/null 2>&1; then
+        break
+    fi
+    if ! kill -0 "$cpid" 2>/dev/null; then
+        break
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+if ! ls "$ckptdir"/*.ckpt > /dev/null 2>&1; then
+    echo "no checkpoint appeared in $ckptdir:"
+    cat "$tmpdir/cloud1.log"
+    exit 1
+fi
+kill -9 "$cpid" 2>/dev/null || true
+kill "$epid" "$dpid" 2>/dev/null || true
+wait "$cpid" "$epid" "$dpid" 2>/dev/null || true
+
+start_fleet "$tmpdir/cloud2.log" "$tmpdir/edge2.log" "$tmpdir/devices2.log"
+grep -q "resuming from checkpoint" "$tmpdir/cloud2.log" || {
+    echo "restarted cloud did not resume from checkpoint:"
+    cat "$tmpdir/cloud2.log"
+    exit 1
+}
+i=0
+while [ $i -lt 600 ]; do
+    if grep -q "training complete" "$tmpdir/cloud2.log"; then
+        break
+    fi
+    if ! kill -0 "$cpid" 2>/dev/null; then
+        break
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+grep -q "training complete" "$tmpdir/cloud2.log" || {
+    echo "resumed cloud never completed training:"
+    cat "$tmpdir/cloud2.log"
+    tail -n 5 "$tmpdir/edge2.log" "$tmpdir/devices2.log"
+    exit 1
+}
+kill "$cpid" "$epid" "$dpid" 2>/dev/null || true
 echo ok
 
 echo "All checks passed."
