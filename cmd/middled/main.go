@@ -55,8 +55,8 @@ func main() {
 		traceOut = flag.String("trace-out", "", "write this process's Chrome trace-event JSON here on exit (merge per-role files in Perfetto)")
 
 		// Robustness knobs (see DESIGN.md "Fault model").
-		ckptDir   = flag.String("checkpoint-dir", "", "cloud role: persist global model + round here and resume from the latest valid checkpoint")
-		ckptEvery = flag.Int("checkpoint-every", 1, "cloud role: checkpoint every Nth cloud sync")
+		ckptDir   = flag.String("checkpoint-dir", "", "cloud/edge roles: persist model + round state here and resume from the latest valid checkpoint")
+		ckptEvery = flag.Int("checkpoint-every", 1, "cloud/edge roles: checkpoint every Nth sync (cloud) or round (edge)")
 		minEdges  = flag.Int("min-edges", 0, "cloud role: degrade gracefully down to this many live edges (0 = any edge loss is fatal)")
 		quorum    = flag.Int("quorum", 0, "edge role: minimum responders per round before aggregating (0 = 1)")
 		roundDL   = flag.Duration("round-deadline", 0, "edge role: per-round training deadline; stragglers past it are excluded (0 = network timeout)")
@@ -64,6 +64,15 @@ func main() {
 		dropRate  = flag.Float64("drop-rate", 0, "devices role: per-message drop probability on device→edge writes")
 		delayRate = flag.Float64("delay-rate", 0, "devices role: per-message delay probability on device→edge writes")
 		corrRate  = flag.Float64("corrupt-rate", 0, "devices role: per-message corruption probability on device→edge writes (CRC-detected)")
+
+		// Byzantine robustness (see DESIGN.md "Threat model & robust
+		// aggregation").
+		aggName    = flag.String("aggregator", "", "cloud/edge roles: aggregation rule: mean|median|trimmed-mean|norm-clip (default mean)")
+		trimFrac   = flag.Float64("trim-frac", 0, "cloud/edge roles: per-side trim fraction for -aggregator trimmed-mean (0 = default 0.2)")
+		normBound  = flag.Float64("norm-bound", 0, "cloud/edge roles: reject updates with norm > c*median(cohort norms); also rejects NaN/Inf models (0 = off)")
+		selNormCap = flag.Float64("sel-norm-cap", 0, "edge role: exclude devices with update norm above this from Eq. 12 selection (0 = off)")
+		poisonRate = flag.Float64("poison-rate", 0, "devices role: per-message probability the model payload is negated with a valid CRC")
+		nanRate    = flag.Float64("nan-rate", 0, "devices role: per-message probability the model payload is replaced by NaNs with a valid CRC")
 	)
 	flag.Parse()
 
@@ -86,18 +95,31 @@ func main() {
 	}
 	defer writeTrace(trace, *traceOut)
 
+	agg, err := middle.ParseAggregator(*aggName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	validate := middle.ValidatorConfig{}
+	if *normBound > 0 {
+		validate = middle.ValidatorConfig{Enabled: true, NormBound: *normBound}
+	}
+
 	setup := experiments.NewTaskSetup(data.TaskName(*task), experiments.Scale(*scale), *seed)
 	setup.Obs = m.Registry()
 	switch *role {
 	case "cloud":
-		runCloud(setup, m, trace, *results, *addr, *edgesN, *rounds, *tc, *seed, *ckptDir, *ckptEvery, *minEdges)
+		runCloud(setup, m, trace, *results, *addr, *edgesN, *rounds, *tc, *seed, *ckptDir, *ckptEvery, *minEdges, agg, *trimFrac, validate)
 	case "edge":
-		runEdge(setup, m, trace, *id, *cloud, *addr, *strategy, *k, *seed, *quorum, *roundDL)
+		runEdge(setup, m, trace, *id, *cloud, *addr, *strategy, *k, *seed, *quorum, *roundDL,
+			agg, *trimFrac, validate, *selNormCap, *ckptDir, *ckptEvery)
 	case "devices":
 		faults := fednet.NewFaultInjector(fednet.FaultConfig{
-			Seed:       *faultSeed,
-			DeviceEdge: fednet.FaultRates{Drop: *dropRate, Delay: *delayRate, Corrupt: *corrRate},
-			Obs:        m.Registry(),
+			Seed: *faultSeed,
+			DeviceEdge: fednet.FaultRates{
+				Drop: *dropRate, Delay: *delayRate, Corrupt: *corrRate,
+				Poison: *poisonRate, NaNUpdate: *nanRate,
+			},
+			Obs: m.Registry(),
 		})
 		runDevices(setup, m, trace, *edgeList, *from, *to, *p, *moveMs, *seed, faults)
 	default:
@@ -140,12 +162,13 @@ func writeSummary(m *experiments.Metrics, dir, name string) {
 	}
 }
 
-func runCloud(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs.Trace, results, addr string, edges, rounds, tc int, seed int64, ckptDir string, ckptEvery, minEdges int) {
+func runCloud(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs.Trace, results, addr string, edges, rounds, tc int, seed int64, ckptDir string, ckptEvery, minEdges int, agg middle.AggregatorKind, trimFrac float64, validate middle.ValidatorConfig) {
 	init := setup.Factory(tensor.Split(seed, 0)).ParamVector()
 	c, err := fednet.NewCloud(fednet.CloudConfig{
 		Addr: addr, Edges: edges, Rounds: rounds, CloudInterval: tc,
 		InitModel: init, MinEdges: minEdges,
 		CheckpointDir: ckptDir, CheckpointEvery: ckptEvery,
+		Aggregator: agg, TrimFrac: trimFrac, Validate: validate,
 		Logf: log.Printf, Obs: m.Registry(), Trace: trace,
 	})
 	if err != nil {
@@ -159,7 +182,7 @@ func runCloud(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs.T
 	writeSummary(m, results, "middled-cloud")
 }
 
-func runEdge(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs.Trace, id int, cloudAddr, addr, strategy string, k int, seed int64, quorum int, roundDL time.Duration) {
+func runEdge(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs.Trace, id int, cloudAddr, addr, strategy string, k int, seed int64, quorum int, roundDL time.Duration, agg middle.AggregatorKind, trimFrac float64, validate middle.ValidatorConfig, selNormCap float64, ckptDir string, ckptEvery int) {
 	if cloudAddr == "" {
 		log.Fatal("middled: edge role requires -cloud")
 	}
@@ -171,6 +194,9 @@ func runEdge(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs.Tr
 		EdgeID: id, CloudAddr: cloudAddr, Addr: addr,
 		K: k, Strategy: strat, Seed: seed, Logf: log.Printf,
 		Quorum: quorum, RoundDeadline: roundDL,
+		Aggregator: agg, TrimFrac: trimFrac, Validate: validate,
+		SelectionNormCap: selNormCap,
+		CheckpointDir:    ckptDir, CheckpointEvery: ckptEvery,
 		Obs: m.Registry(), Trace: trace,
 	})
 	if err != nil {

@@ -51,6 +51,17 @@ func main() {
 		quorum    = flag.Int("quorum", 0, "-exp run: minimum surviving responders per edge-step before Eq. 6 applies (0 = off)")
 		dropRate  = flag.Float64("drop-rate", 0, "-exp run: probability a selected device's round-trip is lost")
 		faultSeed = flag.Int64("fault-seed", 0, "-exp run: seed for the deterministic simulated drops")
+
+		// Byzantine-robustness knobs (-exp run only; defaults keep runs
+		// bit-identical to the plain weighted-mean engine).
+		aggName    = flag.String("aggregator", "", "-exp run: Eq. 6/Eq. 7 combination rule: mean|median|trimmed-mean|norm-clip (default mean)")
+		trimFrac   = flag.Float64("trim-frac", 0, "-exp run: per-side trim fraction for -aggregator trimmed-mean (0 = default 0.2)")
+		normBound  = flag.Float64("norm-bound", 0, "-exp run: reject updates with norm > c*median(cohort norms); also rejects NaN/Inf models (0 = off)")
+		advFrac    = flag.Float64("adversary-fraction", 0, "-exp run: fraction of devices acting Byzantine (0 = off)")
+		advMode    = flag.String("adversary-mode", "", "-exp run: adversary corruption: sign-flip|noise|same-value (default sign-flip)")
+		advScale   = flag.Float64("adversary-scale", 0, "-exp run: adversary corruption magnitude (0 = 1)")
+		advSeed    = flag.Int64("adversary-seed", 0, "-exp run: seed for deterministic adversary membership and corruption")
+		selNormCap = flag.Float64("sel-norm-cap", 0, "-exp run: exclude devices with update norm above this from Eq. 12 selection (0 = off)")
 	)
 	flag.Parse()
 
@@ -114,7 +125,22 @@ func main() {
 	case "theory":
 		runTheory(scale, *seed)
 	case "run":
-		faults := simFaults{quorum: *quorum, dropRate: *dropRate, faultSeed: *faultSeed}
+		agg, err := middle.ParseAggregator(*aggName)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		mode, err := middle.ParseAdversaryMode(*advMode)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		faults := simFaults{
+			quorum: *quorum, dropRate: *dropRate, faultSeed: *faultSeed,
+			agg: agg, trimFrac: *trimFrac, normBound: *normBound,
+			adv: middle.Adversary{
+				Fraction: *advFrac, Mode: mode, Scale: *advScale, Seed: *advSeed,
+			},
+			selNormCap: *selNormCap,
+		}
 		forTasks(*task, func(t middle.TaskName) {
 			runSingle(t, scale, *strategy, *p, *seed, *steps, *saveModel, *csvDir, faults)
 		})
@@ -395,6 +421,12 @@ type simFaults struct {
 	quorum    int
 	dropRate  float64
 	faultSeed int64
+
+	agg        middle.AggregatorKind
+	trimFrac   float64
+	normBound  float64
+	adv        middle.Adversary
+	selNormCap float64
 }
 
 func runSingle(task middle.TaskName, scale middle.Scale, strategy string, p float64, seed int64, steps int, saveModel, csvDir string, faults simFaults) {
@@ -409,6 +441,13 @@ func runSingle(task middle.TaskName, scale middle.Scale, strategy string, p floa
 	cfg.Quorum = faults.quorum
 	cfg.DropRate = faults.dropRate
 	cfg.FaultSeed = faults.faultSeed
+	cfg.Aggregator = faults.agg
+	cfg.TrimFrac = faults.trimFrac
+	if faults.normBound > 0 {
+		cfg.Validate = middle.ValidatorConfig{Enabled: true, NormBound: faults.normBound}
+	}
+	cfg.Adversary = faults.adv
+	cfg.SelectionNormCap = faults.selNormCap
 	sim := middle.NewSimulation(cfg, setup.Factory, part, setup.Test, mob, strat)
 	fmt.Printf("=== %s on %s (scale=%s, P=%.2f) ===\n", strategy, task, scale, p)
 	h := sim.Run()
@@ -421,6 +460,11 @@ func runSingle(task middle.TaskName, scale middle.Scale, strategy string, p floa
 	fmt.Printf("empirical mobility: %.3f\n\n", h.EmpiricalMobility)
 	if faults.dropRate > 0 || faults.quorum > 0 {
 		fmt.Printf("injected drops: %d, quorum misses: %d\n\n", sim.FaultDrops(), sim.QuorumMisses())
+	}
+	if faults.adv.Fraction > 0 || faults.normBound > 0 {
+		rc := sim.RejectedUpdates()
+		fmt.Printf("adversary corruptions: %d; rejected updates: %d (%d nonfinite, %d norm; rate %.4f)\n\n",
+			sim.AdversaryCorruptions(), rc.Total(), rc.NonFinite, rc.Norm, sim.RejectionRate())
 	}
 	if csvDir != "" {
 		// The full per-run history (accuracy, communication, phase-time

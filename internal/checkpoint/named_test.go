@@ -1,0 +1,55 @@
+package checkpoint
+
+import "testing"
+
+// TestLoadLatestNamed pins the shared-directory contract: the cloud and
+// every edge checkpoint into one directory, distinguished only by
+// State.Name, and each component must recover its own latest record.
+func TestLoadLatestNamed(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, round int, lead float64) {
+		t.Helper()
+		st := State{Name: name, Round: round, Model: []float64{lead, 2}}
+		if _, err := SaveStateFile(dir, st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("global", 10, 1)
+	write("global", 20, 2)
+	write("edge0", 15, 3)
+	write("edge1", 25, 4)
+
+	for _, tc := range []struct {
+		name  string
+		round int
+		lead  float64
+	}{
+		{"global", 20, 2},
+		{"edge0", 15, 3},
+		{"edge1", 25, 4},
+	} {
+		st, ok, err := LoadLatestNamed(dir, tc.name)
+		if err != nil || !ok {
+			t.Fatalf("%s: ok=%v err=%v", tc.name, ok, err)
+		}
+		if st.Name != tc.name || st.Round != tc.round || st.Model[0] != tc.lead {
+			t.Fatalf("%s: got name %q round %d model[0] %v, want round %d model[0] %v",
+				tc.name, st.Name, st.Round, st.Model[0], tc.round, tc.lead)
+		}
+	}
+
+	// A name with no checkpoints reports not-found, even though the
+	// directory holds records for other components.
+	if _, ok, err := LoadLatestNamed(dir, "edge7"); ok || err != nil {
+		t.Fatalf("edge7: ok=%v err=%v, want ok=false", ok, err)
+	}
+
+	// The unfiltered scan still sees the overall newest round.
+	st, ok, err := LoadLatest(dir)
+	if err != nil || !ok {
+		t.Fatalf("LoadLatest: ok=%v err=%v", ok, err)
+	}
+	if st.Name != "edge1" || st.Round != 25 {
+		t.Fatalf("LoadLatest = %q round %d, want edge1 round 25", st.Name, st.Round)
+	}
+}

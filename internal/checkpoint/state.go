@@ -252,10 +252,21 @@ func SaveStateFile(dir string, st State) (string, error) {
 	return final, nil
 }
 
+// LoadLatestNamed is LoadLatest restricted to checkpoints whose
+// State.Name equals name — required when several components (the cloud
+// and one or more edges) share a checkpoint directory.
+func LoadLatestNamed(dir, name string) (st State, ok bool, err error) {
+	return loadLatest(dir, func(s State) bool { return s.Name == name })
+}
+
 // LoadLatest scans dir for ".ckpt" files and returns the valid state
 // with the highest round (ties broken by file name), skipping torn or
 // corrupt files. ok is false when no valid checkpoint exists.
 func LoadLatest(dir string) (st State, ok bool, err error) {
+	return loadLatest(dir, func(State) bool { return true })
+}
+
+func loadLatest(dir string, keep func(State) bool) (st State, ok bool, err error) {
 	entries, err := os.ReadDir(dir)
 	if os.IsNotExist(err) {
 		return State{}, false, nil
@@ -279,6 +290,9 @@ func LoadLatest(dir string) (st State, ok bool, err error) {
 		f.Close()
 		if lerr != nil {
 			continue // torn or corrupt: skip
+		}
+		if !keep(cand) {
+			continue
 		}
 		if !ok || cand.Round >= st.Round {
 			st, ok = cand, true

@@ -30,10 +30,24 @@ func NewMiddle() *Middle { return &Middle{} }
 // Name implements hfl.Strategy.
 func (*Middle) Name() string { return "MIDDLE" }
 
-// Select implements Eq. 12.
+// Select implements Eq. 12. When the view carries a selection norm cap
+// (hfl.NormCapView), devices whose accumulated update exceeds the cap
+// score hfl.CappedScore instead — Eq. 12's preference for divergent
+// updates would otherwise hand adversaries a selection advantage.
 func (*Middle) Select(v hfl.View, edge int, candidates []int, k int, rng *tensor.RNG) []int {
 	cloud := v.CloudModel()
+	normCap := 0.0
+	if nc, ok := v.(hfl.NormCapView); ok {
+		normCap = nc.SelectionNormCap()
+	}
 	return hfl.TopKByScore(candidates, func(m int) float64 {
+		if normCap > 0 {
+			u, dn := simil.SelectionUtilityNorm(cloud, v.LocalModel(m))
+			if dn > normCap {
+				return hfl.CappedScore
+			}
+			return -u
+		}
 		return simil.SelectionScore(cloud, v.LocalModel(m))
 	}, k, rng)
 }

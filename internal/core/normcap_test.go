@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+
+	"middle/internal/hfl"
+	"middle/internal/tensor"
+)
+
+// cappedView wraps fakeView with a SelectionNormCap, making it an
+// hfl.NormCapView the MIDDLE strategy can interrogate.
+type cappedView struct {
+	*fakeView
+	cap float64
+}
+
+func (c *cappedView) SelectionNormCap() float64 { return c.cap }
+
+var _ hfl.NormCapView = (*cappedView)(nil)
+
+// TestMiddleSelectionNormCap pins the Eq. 12 fix: an attacker whose
+// accumulated update is enormous looks maximally "divergent" and is
+// preferentially selected by the uncapped score, but drops to
+// hfl.CappedScore — below every honest device — once the norm cap is on.
+func TestMiddleSelectionNormCap(t *testing.T) {
+	v := newFakeView()
+	v.cloud = []float64{1, 0}
+	v.locals[1] = []float64{2, 0}     // Δw = (1,0): aligned, score −1
+	v.locals[2] = []float64{1, 1}     // Δw = (0,1): honest divergence, score 0
+	v.locals[9] = []float64{1, -1000} // Δw = (0,−1000): attacker-sized update, score 0 uncapped
+
+	// Uncapped, the attacker's orthogonal blow-up ties the best honest
+	// score and wins a selection slot.
+	sel := NewMiddle().Select(v, 0, []int{1, 2, 9}, 2, tensor.NewRNG(4))
+	set := map[int]bool{}
+	for _, m := range sel {
+		set[m] = true
+	}
+	if !set[9] || !set[2] {
+		t.Fatalf("uncapped selection %v, want the two score-0 devices {2, 9}", sel)
+	}
+
+	// Capped, device 9's update norm (1000) exceeds the cap, its score
+	// collapses to CappedScore and the aligned honest device outranks it.
+	cv := &cappedView{fakeView: v, cap: 10}
+	sel = NewMiddle().Select(cv, 0, []int{1, 2, 9}, 2, tensor.NewRNG(4))
+	set = map[int]bool{}
+	for _, m := range sel {
+		set[m] = true
+	}
+	if set[9] {
+		t.Fatalf("norm cap 10 still selected the attacker: %v", sel)
+	}
+	if !set[1] || !set[2] {
+		t.Fatalf("capped selection %v, want honest devices {1, 2}", sel)
+	}
+
+	// A cap of zero means uncapped: identical to the plain score path.
+	zv := &cappedView{fakeView: v, cap: 0}
+	sel = NewMiddle().Select(zv, 0, []int{1, 2, 9}, 2, tensor.NewRNG(4))
+	set = map[int]bool{}
+	for _, m := range sel {
+		set[m] = true
+	}
+	if !set[9] {
+		t.Fatalf("zero cap changed selection: %v", sel)
+	}
+}

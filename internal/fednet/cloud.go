@@ -9,7 +9,7 @@ import (
 
 	"middle/internal/checkpoint"
 	"middle/internal/obs"
-	"middle/internal/simil"
+	"middle/internal/robust"
 )
 
 // CloudConfig configures the coordinating cloud server.
@@ -40,6 +40,14 @@ type CloudConfig struct {
 	CheckpointDir string
 	// CheckpointEvery persists every Nth sync round (default 1).
 	CheckpointEvery int
+	// Aggregator selects the Eq. 7 combiner: "" or "mean" (default),
+	// "median", "trimmed-mean" or "norm-clip" (see internal/robust).
+	Aggregator robust.AggregatorKind
+	// TrimFrac is the trimmed mean's β (0 = robust.DefaultTrimFrac).
+	TrimFrac float64
+	// Validate screens received edge models before Eq. 7, mirroring the
+	// edge-side update validation.
+	Validate robust.ValidatorConfig
 	// Logf, when set, receives progress lines (default: discarded).
 	Logf func(format string, args ...any)
 	// OnRound, when set, is invoked after each round fully completes
@@ -59,9 +67,11 @@ type CloudConfig struct {
 // Cloud coordinates rounds across edge servers. It is the lockstep
 // driver: edges act only on RoundStart messages.
 type Cloud struct {
-	cfg CloudConfig
-	ln  net.Listener
-	m   cloudMetrics
+	cfg       CloudConfig
+	ln        net.Listener
+	m         cloudMetrics
+	validator *robust.Validator
+	agg       robust.Aggregator
 
 	mu     sync.Mutex
 	global []float64
@@ -94,11 +104,14 @@ func NewCloud(cfg CloudConfig) (*Cloud, error) {
 		cfg:         cfg,
 		ln:          ln,
 		m:           newCloudMetrics(cfg.Obs),
+		validator:   robust.NewValidator(cfg.Validate),
+		agg:         robust.Aggregator{Kind: cfg.Aggregator, TrimFrac: cfg.TrimFrac},
 		global:      append([]float64(nil), cfg.InitModel...),
 		edgeWeights: map[int]float64{},
 	}
 	if cfg.CheckpointDir != "" {
-		st, ok, err := checkpoint.LoadLatest(cfg.CheckpointDir)
+		// Named load: edges may checkpoint into the same directory.
+		st, ok, err := checkpoint.LoadLatestNamed(cfg.CheckpointDir, "global")
 		if err != nil {
 			ln.Close()
 			return nil, err
@@ -240,10 +253,30 @@ func (c *Cloud) Run() error {
 		}
 		if sync {
 			syncStart := tr.Now()
+			// Validate received edge models against the current global
+			// and combine the survivors with the configured aggregator.
+			if c.validator != nil && len(vecs) > 0 {
+				kept, keptW, rc := c.validator.Filter(c.GlobalModel(), vecs, weights)
+				if rc.Total() > 0 {
+					c.m.rejNonFinite.Add(int64(rc.NonFinite))
+					c.m.rejNorm.Add(int64(rc.Norm))
+					c.cfg.Logf("cloud: round %d rejected %d edge models (%d nonfinite, %d norm)",
+						r, rc.Total(), rc.NonFinite, rc.Norm)
+				}
+				vecs, weights = kept, keptW
+			}
 			if len(vecs) > 0 {
+				next := make([]float64, len(vecs[0]))
 				c.mu.Lock()
-				c.global = simil.WeightedAverage(vecs, weights)
+				aggStats := c.agg.AggregateInto(next, vecs, weights, c.global)
+				c.global = next
 				c.mu.Unlock()
+				if aggStats.TrimmedValues > 0 {
+					c.m.trimmedCoords.Add(int64(aggStats.TrimmedValues))
+				}
+				if aggStats.ClippedUpdates > 0 {
+					c.m.clippedUpdates.Add(int64(aggStats.ClippedUpdates))
+				}
 			}
 			for _, e := range edges {
 				e.conn.SetDeadline(time.Now().Add(c.cfg.Timeout))

@@ -11,6 +11,7 @@ import (
 	"middle/internal/mobility"
 	"middle/internal/nn"
 	"middle/internal/obs"
+	"middle/internal/robust"
 	"middle/internal/tensor"
 )
 
@@ -38,9 +39,23 @@ type ClusterConfig struct {
 	Quorum        int
 	RoundDeadline time.Duration
 	// CheckpointDir/CheckpointEvery configure cloud crash recovery (see
-	// CloudConfig).
+	// CloudConfig). EdgeCheckpoints additionally makes every edge
+	// checkpoint its round state into the same directory (distinguished
+	// by State.Name), enabling edge crash recovery.
 	CheckpointDir   string
 	CheckpointEvery int
+	EdgeCheckpoints bool
+	// Aggregator/TrimFrac select the robust combination rule used at
+	// both the edges (Eq. 6) and the cloud (Eq. 7); zero values mean the
+	// bit-identical weighted mean.
+	Aggregator robust.AggregatorKind
+	TrimFrac   float64
+	// Validate screens received models (NaN/Inf, optional norm bound) at
+	// both tiers before aggregation; the zero value disables validation.
+	Validate robust.ValidatorConfig
+	// SelectionNormCap caps the update norm admitted into Eq. 12
+	// selection scores (0 = uncapped; see EdgeConfig).
+	SelectionNormCap float64
 	// Faults, when non-nil, builds one shared fault injector for the
 	// whole deployment; its errors are tolerated by Wait. Enabling
 	// faults also switches the cloud to degraded mode (MinEdges 1).
@@ -124,6 +139,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		CloudInterval: cfg.CloudInterval, InitModel: init,
 		Timeout: cfg.Timeout, MinEdges: minEdges,
 		CheckpointDir: cfg.CheckpointDir, CheckpointEvery: cfg.CheckpointEvery,
+		Aggregator: cfg.Aggregator, TrimFrac: cfg.TrimFrac, Validate: cfg.Validate,
 		Logf: cfg.Logf, OnRound: onRound, Obs: cfg.Obs, Trace: cfg.Trace,
 	})
 	if err != nil {
@@ -132,10 +148,17 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	c.cloud = cloud
 
 	for e := 0; e < numEdges; e++ {
+		edgeCkptDir := ""
+		if cfg.EdgeCheckpoints {
+			edgeCkptDir = cfg.CheckpointDir
+		}
 		edge, err := NewEdge(EdgeConfig{
 			EdgeID: e, CloudAddr: cloud.Addr(), Addr: "127.0.0.1:0",
 			K: cfg.K, Strategy: cfg.Strategy, Seed: cfg.Seed, Logf: cfg.Logf,
 			Timeout: cfg.Timeout, Quorum: cfg.Quorum, RoundDeadline: cfg.RoundDeadline,
+			Aggregator: cfg.Aggregator, TrimFrac: cfg.TrimFrac, Validate: cfg.Validate,
+			SelectionNormCap: cfg.SelectionNormCap,
+			CheckpointDir:    edgeCkptDir, CheckpointEvery: cfg.CheckpointEvery,
 			Faults: c.injector, Obs: cfg.Obs, Trace: cfg.Trace,
 		})
 		if err != nil {

@@ -338,7 +338,12 @@ func (d *Device) train(req TrainRequest, edgeModel []float64, edgeID int) ([]flo
 		x, y := d.cfg.Dataset.Batch(idx)
 		d.net.ZeroGrad()
 		logits := d.net.Forward(x, true)
-		_, g, perSample := nn.SoftmaxCrossEntropyPerSample(logits, y)
+		loss, g, perSample := nn.SoftmaxCrossEntropyPerSample(logits, y)
+		if math.IsNaN(loss) || math.IsInf(loss, 0) {
+			// Diverged step: skip the update, keep the current parameters.
+			d.m.nonfinite.Inc()
+			continue
+		}
 		d.net.Backward(g)
 		d.cfg.Optimizer.Step(d.net.Params())
 		for _, l := range perSample {
@@ -354,7 +359,10 @@ func (d *Device) train(req TrainRequest, edgeModel []float64, edgeID int) ([]flo
 	d.rounds++
 	d.mu.Unlock()
 
-	util := float64(len(d.cfg.Indices)) * math.Sqrt(sumSq/float64(samples))
+	util := 0.0
+	if samples > 0 {
+		util = float64(len(d.cfg.Indices)) * math.Sqrt(sumSq/float64(samples))
+	}
 	return vec, TrainReply{
 		DeviceID: d.cfg.DeviceID,
 		Round:    req.Round,

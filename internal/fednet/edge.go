@@ -8,9 +8,10 @@ import (
 	"sync"
 	"time"
 
+	"middle/internal/checkpoint"
 	"middle/internal/hfl"
 	"middle/internal/obs"
-	"middle/internal/simil"
+	"middle/internal/robust"
 	"middle/internal/tensor"
 )
 
@@ -47,6 +48,26 @@ type EdgeConfig struct {
 	RetryBase time.Duration
 	// Faults, when set, injects faults on the edge→cloud link.
 	Faults *FaultInjector
+	// Aggregator selects the Eq. 6 combiner: "" or "mean" (the default
+	// weighted mean), "median", "trimmed-mean" or "norm-clip" (see
+	// internal/robust).
+	Aggregator robust.AggregatorKind
+	// TrimFrac is the trimmed mean's β (0 = robust.DefaultTrimFrac).
+	TrimFrac float64
+	// Validate screens received device models before Eq. 6: non-finite
+	// models are rejected when enabled, and NormBound > 0 additionally
+	// rejects updates beyond NormBound·median(norms) for the round.
+	// Rejected updates are excluded exactly like stragglers.
+	Validate robust.ValidatorConfig
+	// SelectionNormCap, when > 0, caps the Eq. 12 selection score of
+	// devices whose cached update norm exceeds it (see hfl.NormCapView).
+	SelectionNormCap float64
+	// CheckpointDir, when set, makes the edge persist its state (edge
+	// model + round + Eq. 6 weight accumulator) after rounds, and
+	// NewEdge resume from the latest valid checkpoint found there.
+	CheckpointDir string
+	// CheckpointEvery persists every Nth round (default 1).
+	CheckpointEvery int
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...any)
 	// Obs, when set, receives per-message byte/latency metrics
@@ -76,9 +97,12 @@ type deviceState struct {
 // device connections, selects K of them each round, ships them the edge
 // model, aggregates their replies (Eq. 6) and reports to the cloud.
 type Edge struct {
-	cfg EdgeConfig
-	ln  net.Listener
-	m   edgeMetrics
+	cfg       EdgeConfig
+	ln        net.Listener
+	m         edgeMetrics
+	validator *robust.Validator
+	agg       robust.Aggregator
+	resumed   bool // state restored from a checkpoint by NewEdge
 
 	mu      sync.Mutex
 	devices map[int]*deviceState
@@ -117,6 +141,9 @@ func NewEdge(cfg EdgeConfig) (*Edge, error) {
 	if cfg.RetryBase <= 0 {
 		cfg.RetryBase = defaultRetryBase
 	}
+	if cfg.CheckpointEvery < 1 {
+		cfg.CheckpointEvery = 1
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
@@ -125,7 +152,57 @@ func NewEdge(cfg EdgeConfig) (*Edge, error) {
 		return nil, fmt.Errorf("fednet: edge %d listen: %w", cfg.EdgeID, err)
 	}
 	cfg.Trace.SetProcessName(tracePidEdgeBase+cfg.EdgeID, fmt.Sprintf("edge%d", cfg.EdgeID))
-	return &Edge{cfg: cfg, ln: ln, m: newEdgeMetrics(cfg.Obs), devices: map[int]*deviceState{}}, nil
+	e := &Edge{
+		cfg:       cfg,
+		ln:        ln,
+		m:         newEdgeMetrics(cfg.Obs),
+		validator: robust.NewValidator(cfg.Validate),
+		agg:       robust.Aggregator{Kind: cfg.Aggregator, TrimFrac: cfg.TrimFrac},
+		devices:   map[int]*deviceState{},
+	}
+	if cfg.CheckpointDir != "" {
+		st, ok, err := checkpoint.LoadLatestNamed(cfg.CheckpointDir, edgeCheckpointName(cfg.EdgeID))
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		if ok {
+			e.edgeModel = st.Model
+			e.weight = st.EdgeWeights[cfg.EdgeID]
+			e.curRound = st.Round
+			// Conservative resume: treat the checkpointed round as the
+			// last sync so reconnecting devices reset their carried local
+			// models against the fresh state.
+			e.lastSync = st.Round
+			e.resumed = true
+			cfg.Logf("edge %d: resuming from checkpoint (round %d, weight %.0f)", cfg.EdgeID, st.Round, e.weight)
+		}
+	}
+	return e, nil
+}
+
+// edgeCheckpointName names edge checkpoints so several edges (and the
+// cloud's "global" records) can share one directory.
+func edgeCheckpointName(id int) string { return fmt.Sprintf("edge%d", id) }
+
+// saveCheckpoint persists the edge's recovery state: model, round and
+// the Eq. 6 weight accumulator (keyed by the edge's own id in the v2
+// record's weight map).
+func (e *Edge) saveCheckpoint(round int) {
+	e.mu.Lock()
+	st := checkpoint.State{
+		Name:        edgeCheckpointName(e.cfg.EdgeID),
+		Round:       round,
+		Model:       append([]float64(nil), e.edgeModel...),
+		EdgeWeights: map[int]float64{e.cfg.EdgeID: e.weight},
+	}
+	e.mu.Unlock()
+	if _, err := checkpoint.SaveStateFile(e.cfg.CheckpointDir, st); err != nil {
+		e.cfg.Logf("edge %d: checkpoint at round %d failed: %v", e.cfg.EdgeID, round, err)
+		return
+	}
+	e.m.checkpoints.Inc()
+	e.cfg.Logf("edge %d: checkpointed round %d", e.cfg.EdgeID, round)
 }
 
 // Addr returns the edge's device-facing listen address.
@@ -215,8 +292,16 @@ func (e *Edge) Run() error {
 		return fmt.Errorf("fednet: edge %d waiting for init model: type %d, %v", e.cfg.EdgeID, t, err)
 	}
 	e.mu.Lock()
-	e.edgeModel = vec
-	e.cloudSeen = append([]float64(nil), vec...)
+	if e.resumed && len(e.edgeModel) == len(vec) {
+		// Crash recovery: keep the checkpointed edge model — it carries
+		// Eq. 6 progress accumulated since the last cloud sync that the
+		// broadcast global model does not — and only adopt the received
+		// model as the cloud reference for Eq. 12.
+		e.cloudSeen = append([]float64(nil), vec...)
+	} else {
+		e.edgeModel = vec
+		e.cloudSeen = append([]float64(nil), vec...)
+	}
 	e.mu.Unlock()
 
 	go e.acceptLoop()
@@ -250,7 +335,8 @@ func (e *Edge) Run() error {
 			tr.Complete("edge_round", "fednet", tracePidEdgeBase+e.cfg.EdgeID, 0,
 				traceStart, tr.Now().Sub(traceStart), eSpan, rs.Span,
 				map[string]any{"round": rs.Round, "trained": st.trained,
-					"excluded": st.excluded, "quorum_miss": st.quorumMiss})
+					"excluded": st.excluded, "rejected": st.rejected,
+					"quorum_miss": st.quorumMiss})
 		}
 		e.mu.Lock()
 		e.weight += st.weight
@@ -283,6 +369,9 @@ func (e *Edge) Run() error {
 			e.lastSync = rs.Round
 			e.mu.Unlock()
 		}
+		if e.cfg.CheckpointDir != "" && rs.Round%e.cfg.CheckpointEvery == 0 {
+			e.saveCheckpoint(rs.Round)
+		}
 	}
 }
 
@@ -291,6 +380,7 @@ func (e *Edge) Run() error {
 type roundStats struct {
 	trained    int
 	excluded   int
+	rejected   int // updates the validator refused
 	weight     float64
 	quorumMiss bool
 }
@@ -343,6 +433,7 @@ func (e *Edge) runRound(round int, span string) roundStats {
 	}
 
 	var st roundStats
+	var rc robust.RejectCounts
 	var vecs [][]float64
 	var ws []float64
 	pending := make(map[int]bool, len(sel))
@@ -361,6 +452,15 @@ collect:
 				e.m.drops.Inc()
 				continue
 			}
+			// Validation pass 1: a non-finite model is rejected on
+			// receipt — it is neither cached for selection (a NaN
+			// lastModel would poison the Eq. 12 scores) nor aggregated.
+			if e.validator != nil && !robust.IsFinite(res.vec) {
+				rc.NonFinite++
+				e.m.rejNonFinite.Inc()
+				e.cfg.Logf("edge %d: rejected non-finite update from device %d in round %d", e.cfg.EdgeID, res.id, round)
+				continue
+			}
 			e.mu.Lock()
 			if d, ok := e.devices[res.id]; ok {
 				d.lastModel = res.vec
@@ -371,7 +471,6 @@ collect:
 			e.mu.Unlock()
 			vecs = append(vecs, res.vec)
 			ws = append(ws, float64(res.reply.DataSize))
-			st.weight += float64(res.reply.DataSize)
 			st.trained++
 		case <-deadline.C:
 			break collect
@@ -400,6 +499,30 @@ collect:
 		}
 	}
 
+	// Validation pass 2: per-round adaptive norm bound over the
+	// surviving updates, measured against the pre-round edge model.
+	if e.validator != nil && len(vecs) > 0 {
+		kept, keptW, rc2 := e.validator.Filter(model, vecs, ws)
+		rc.Norm += rc2.Norm
+		e.m.rejNorm.Add(int64(rc2.Norm))
+		vecs, ws = kept, keptW
+		st.trained = len(vecs)
+	}
+	st.rejected = rc.Total()
+	if st.rejected > 0 {
+		e.cfg.Logf("edge %d: round %d rejected %d updates (%d nonfinite, %d norm)",
+			e.cfg.EdgeID, round, st.rejected, rc.NonFinite, rc.Norm)
+		if tr != nil {
+			now := tr.Now()
+			tr.Complete("robust_reject", "fednet", tracePidEdgeBase+e.cfg.EdgeID, 0,
+				now, 0, span+".rej", span,
+				map[string]any{"round": round, "nonfinite": rc.NonFinite, "norm": rc.Norm})
+		}
+	}
+	for _, w := range ws {
+		st.weight += w
+	}
+
 	if st.trained < e.cfg.Quorum {
 		// Quorum not met: fall back to carrying the previous edge model
 		// forward — the responders' updates are discarded rather than
@@ -418,7 +541,14 @@ collect:
 		return st
 	}
 	if len(vecs) > 0 {
-		agg := simil.WeightedAverage(vecs, ws)
+		agg := make([]float64, len(vecs[0]))
+		aggStats := e.agg.AggregateInto(agg, vecs, ws, model)
+		if aggStats.TrimmedValues > 0 {
+			e.m.trimmedCoords.Add(int64(aggStats.TrimmedValues))
+		}
+		if aggStats.ClippedUpdates > 0 {
+			e.m.clippedUpdates.Add(int64(aggStats.ClippedUpdates))
+		}
 		e.mu.Lock()
 		e.edgeModel = agg
 		e.mu.Unlock()
@@ -549,4 +679,9 @@ func (v *edgeView) LastTrained(device int) int {
 	return -1
 }
 
+// SelectionNormCap implements hfl.NormCapView so norm-aware strategies
+// stop preferring devices whose cached update exceeds the cap.
+func (v *edgeView) SelectionNormCap() float64 { return v.edge.cfg.SelectionNormCap }
+
 var _ hfl.View = (*edgeView)(nil)
+var _ hfl.NormCapView = (*edgeView)(nil)

@@ -16,7 +16,10 @@ package fednet
 // tests to pin that property.
 
 import (
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
+	"math"
 	"net"
 	"sync"
 	"time"
@@ -32,7 +35,11 @@ var ErrInjected = errors.New("fednet: injected fault")
 // FaultKind classifies one injected fault decision.
 type FaultKind int
 
-// Fault decisions, in cumulative-probability order.
+// Fault decisions, in cumulative-probability order. The last two model
+// Byzantine senders rather than a lossy wire: the frame is rewritten
+// with a corrupted payload and a recomputed CRC, so it decodes cleanly
+// at the receiver and must be caught by model validation, not by the
+// transport.
 const (
 	FaultNone FaultKind = iota
 	FaultDrop
@@ -40,6 +47,8 @@ const (
 	FaultCorrupt
 	FaultReset
 	FaultPartition
+	FaultPoisonUpdate
+	FaultNaNUpdate
 )
 
 // String names the fault kind for metric labels and test output.
@@ -55,6 +64,10 @@ func (k FaultKind) String() string {
 		return "reset"
 	case FaultPartition:
 		return "partition"
+	case FaultPoisonUpdate:
+		return "poison"
+	case FaultNaNUpdate:
+		return "nan"
 	default:
 		return "none"
 	}
@@ -62,17 +75,20 @@ func (k FaultKind) String() string {
 
 // FaultRates holds per-message fault probabilities for one link class.
 // The probabilities are cumulative-exclusive: a message suffers at most
-// one fault, and Drop+Delay+Corrupt+Reset+Partition must be ≤ 1.
+// one fault, and the sum of all rates must be ≤ 1.
 type FaultRates struct {
 	Drop      float64 // message silently lost
 	Delay     float64 // message held back up to MaxDelay before sending
 	Corrupt   float64 // one payload byte flipped (CRC catches it)
 	Reset     float64 // connection closed mid-conversation
 	Partition float64 // one-way partition: this and the next PartitionMsgs writes vanish
+	Poison    float64 // model payload negated, CRC recomputed (decodes cleanly)
+	NaNUpdate float64 // model payload set to NaN, CRC recomputed (decodes cleanly)
 }
 
 func (fr FaultRates) zero() bool {
-	return fr.Drop == 0 && fr.Delay == 0 && fr.Corrupt == 0 && fr.Reset == 0 && fr.Partition == 0
+	return fr.Drop == 0 && fr.Delay == 0 && fr.Corrupt == 0 && fr.Reset == 0 &&
+		fr.Partition == 0 && fr.Poison == 0 && fr.NaNUpdate == 0
 }
 
 // FaultConfig configures a FaultInjector.
@@ -99,7 +115,7 @@ type FaultInjector struct {
 	mu    sync.Mutex
 	state map[linkKey]*linkFaultState
 
-	counters [FaultPartition + 1]*obs.Counter
+	counters [FaultNaNUpdate + 1]*obs.Counter
 }
 
 type linkKey struct {
@@ -125,7 +141,7 @@ func NewFaultInjector(cfg FaultConfig) *FaultInjector {
 		cfg.PartitionMsgs = 4
 	}
 	f := &FaultInjector{cfg: cfg, state: make(map[linkKey]*linkFaultState)}
-	for k := FaultDrop; k <= FaultPartition; k++ {
+	for k := FaultDrop; k <= FaultNaNUpdate; k++ {
 		f.counters[k] = cfg.Obs.Counter("fednet_injected_faults_total", "kind", k.String())
 	}
 	return f
@@ -227,6 +243,10 @@ func decideFault(seed int64, rates FaultRates, link string, id, msg int) (FaultK
 		return FaultReset, frac
 	case u < rates.Drop+rates.Delay+rates.Corrupt+rates.Reset+rates.Partition:
 		return FaultPartition, frac
+	case u < rates.Drop+rates.Delay+rates.Corrupt+rates.Reset+rates.Partition+rates.Poison:
+		return FaultPoisonUpdate, frac
+	case u < rates.Drop+rates.Delay+rates.Corrupt+rates.Reset+rates.Partition+rates.Poison+rates.NaNUpdate:
+		return FaultNaNUpdate, frac
 	default:
 		return FaultNone, frac
 	}
@@ -270,11 +290,46 @@ func (c *faultConn) Write(b []byte) (int, error) {
 			mb[5] ^= 0x01
 			b = mb
 		}
+	case FaultPoisonUpdate:
+		b = rewriteVector(b, func(v float64) float64 { return -v })
+	case FaultNaNUpdate:
+		b = rewriteVector(b, func(float64) float64 { return math.NaN() })
 	case FaultReset:
 		c.Conn.Close()
 		return 0, &injectedErr{op: "write", kind: FaultReset}
 	}
 	return c.Conn.Write(b)
+}
+
+// rewriteVector returns a copy of frame b with every float of its
+// vector payload transformed by fn and the CRC trailer recomputed, so
+// the frame decodes cleanly at the receiver: a Byzantine sender signs
+// its own lies. Frames without a vector (or that don't parse as exactly
+// one frame) pass through unchanged.
+func rewriteVector(b []byte, fn func(float64) float64) []byte {
+	if len(b) < 1+4+4+4 {
+		return b
+	}
+	jsonLen := int(binary.LittleEndian.Uint32(b[1:5]))
+	off := 5 + jsonLen
+	if jsonLen < 0 || off+4 > len(b)-4 {
+		return b
+	}
+	vecLen := int(binary.LittleEndian.Uint32(b[off:]))
+	off += 4
+	end := off + 8*vecLen
+	if vecLen <= 0 || end+4 != len(b) {
+		return b
+	}
+	mb := make([]byte, len(b))
+	copy(mb, b)
+	for i := 0; i < vecLen; i++ {
+		p := off + 8*i
+		v := math.Float64frombits(binary.LittleEndian.Uint64(mb[p:]))
+		binary.LittleEndian.PutUint64(mb[p:], math.Float64bits(fn(v)))
+	}
+	binary.LittleEndian.PutUint32(mb[end:], crc32.ChecksumIEEE(mb[:end]))
+	return mb
 }
 
 // injectedErr is returned by injected resets; errors.Is(err, ErrInjected)

@@ -62,54 +62,72 @@ func (lm linkMetrics) readMsg(r io.Reader, headerOut any) (MsgType, []float64, e
 
 // cloudMetrics instruments the cloud coordinator.
 type cloudMetrics struct {
-	link        linkMetrics
-	rounds      *obs.Counter
-	syncs       *obs.Counter
-	timeouts    *obs.Counter
-	edgeDrops   *obs.Counter
-	checkpoints *obs.Counter
-	roundSpan   *obs.Span
+	link           linkMetrics
+	rounds         *obs.Counter
+	syncs          *obs.Counter
+	timeouts       *obs.Counter
+	edgeDrops      *obs.Counter
+	checkpoints    *obs.Counter
+	rejNonFinite   *obs.Counter
+	rejNorm        *obs.Counter
+	trimmedCoords  *obs.Counter
+	clippedUpdates *obs.Counter
+	roundSpan      *obs.Span
 }
 
 func newCloudMetrics(r *obs.Registry) cloudMetrics {
 	return cloudMetrics{
-		link:        newLinkMetrics(r, linkEdgeCloud),
-		rounds:      r.Counter("fednet_rounds_total"),
-		syncs:       r.Counter("fednet_cloud_syncs_total"),
-		timeouts:    r.Counter("fednet_timeouts_total"),
-		edgeDrops:   r.Counter("fednet_edge_drops_total"),
-		checkpoints: r.Counter("fednet_checkpoints_total"),
-		roundSpan:   r.Span("fednet_rpc_seconds", "op", "cloud_round"),
+		link:           newLinkMetrics(r, linkEdgeCloud),
+		rounds:         r.Counter("fednet_rounds_total"),
+		syncs:          r.Counter("fednet_cloud_syncs_total"),
+		timeouts:       r.Counter("fednet_timeouts_total"),
+		edgeDrops:      r.Counter("fednet_edge_drops_total"),
+		checkpoints:    r.Counter("fednet_checkpoints_total"),
+		rejNonFinite:   r.Counter("robust_rejected_updates_total", "reason", "nonfinite"),
+		rejNorm:        r.Counter("robust_rejected_updates_total", "reason", "norm"),
+		trimmedCoords:  r.Counter("robust_trimmed_coords_total"),
+		clippedUpdates: r.Counter("robust_clipped_updates_total"),
+		roundSpan:      r.Span("fednet_rpc_seconds", "op", "cloud_round"),
 	}
 }
 
 // edgeMetrics instruments one edge server (cloud-facing and
 // device-facing traffic separately).
 type edgeMetrics struct {
-	cloudLink    linkMetrics
-	deviceLink   linkMetrics
-	drops        *obs.Counter
-	reconnects   *obs.Counter
-	timeouts     *obs.Counter
-	retries      *obs.Counter
-	quorumMisses *obs.Counter
-	stragglers   *obs.Counter
-	roundSpan    *obs.Span
-	trainSpan    *obs.Span
+	cloudLink      linkMetrics
+	deviceLink     linkMetrics
+	drops          *obs.Counter
+	reconnects     *obs.Counter
+	timeouts       *obs.Counter
+	retries        *obs.Counter
+	quorumMisses   *obs.Counter
+	stragglers     *obs.Counter
+	rejNonFinite   *obs.Counter
+	rejNorm        *obs.Counter
+	trimmedCoords  *obs.Counter
+	clippedUpdates *obs.Counter
+	checkpoints    *obs.Counter
+	roundSpan      *obs.Span
+	trainSpan      *obs.Span
 }
 
 func newEdgeMetrics(r *obs.Registry) edgeMetrics {
 	return edgeMetrics{
-		cloudLink:    newLinkMetrics(r, linkEdgeCloud),
-		deviceLink:   newLinkMetrics(r, linkDeviceEdge),
-		drops:        r.Counter("fednet_device_drops_total"),
-		reconnects:   r.Counter("fednet_device_reconnects_total"),
-		timeouts:     r.Counter("fednet_timeouts_total"),
-		retries:      r.Counter("fednet_retries_total"),
-		quorumMisses: r.Counter("fednet_quorum_misses_total"),
-		stragglers:   r.Counter("fednet_excluded_stragglers_total"),
-		roundSpan:    r.Span("fednet_rpc_seconds", "op", "edge_round"),
-		trainSpan:    r.Span("fednet_rpc_seconds", "op", "train_rpc"),
+		cloudLink:      newLinkMetrics(r, linkEdgeCloud),
+		deviceLink:     newLinkMetrics(r, linkDeviceEdge),
+		drops:          r.Counter("fednet_device_drops_total"),
+		reconnects:     r.Counter("fednet_device_reconnects_total"),
+		timeouts:       r.Counter("fednet_timeouts_total"),
+		retries:        r.Counter("fednet_retries_total"),
+		quorumMisses:   r.Counter("fednet_quorum_misses_total"),
+		stragglers:     r.Counter("fednet_excluded_stragglers_total"),
+		rejNonFinite:   r.Counter("robust_rejected_updates_total", "reason", "nonfinite"),
+		rejNorm:        r.Counter("robust_rejected_updates_total", "reason", "norm"),
+		trimmedCoords:  r.Counter("robust_trimmed_coords_total"),
+		clippedUpdates: r.Counter("robust_clipped_updates_total"),
+		checkpoints:    r.Counter("fednet_checkpoints_total"),
+		roundSpan:      r.Span("fednet_rpc_seconds", "op", "edge_round"),
+		trainSpan:      r.Span("fednet_rpc_seconds", "op", "train_rpc"),
 	}
 }
 
@@ -117,6 +135,7 @@ func newEdgeMetrics(r *obs.Registry) edgeMetrics {
 type deviceMetrics struct {
 	link      linkMetrics
 	retries   *obs.Counter
+	nonfinite *obs.Counter
 	trainSpan *obs.Span
 }
 
@@ -124,6 +143,7 @@ func newDeviceMetrics(r *obs.Registry) deviceMetrics {
 	return deviceMetrics{
 		link:      newLinkMetrics(r, linkDeviceEdge),
 		retries:   r.Counter("fednet_retries_total"),
+		nonfinite: r.Counter("hfl_nonfinite_steps_total"),
 		trainSpan: r.Span("fednet_rpc_seconds", "op", "device_train"),
 	}
 }

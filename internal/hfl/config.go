@@ -14,6 +14,7 @@ import (
 	"middle/internal/nn"
 	"middle/internal/obs"
 	"middle/internal/optim"
+	"middle/internal/robust"
 	"middle/internal/tensor"
 )
 
@@ -109,6 +110,31 @@ type Config struct {
 	Quorum    int
 	DropRate  float64
 	FaultSeed int64
+
+	// Aggregator selects the Eq. 6/Eq. 7 combiner: "" or "mean" (the
+	// paper's weighted mean, bit-identical to previous releases),
+	// "median", "trimmed-mean" or "norm-clip" (see internal/robust for
+	// what each tolerates).
+	Aggregator robust.AggregatorKind
+	// TrimFrac is the trimmed mean's β (0 = robust.DefaultTrimFrac).
+	TrimFrac float64
+	// Validate screens received updates before aggregation: non-finite
+	// models are always rejected when enabled, and NormBound > 0
+	// additionally rejects updates whose norm exceeds
+	// NormBound·median(norms) that round. Rejected updates are excluded
+	// from Eq. 6/Eq. 7 exactly like stragglers. Off by default.
+	Validate robust.ValidatorConfig
+	// Adversary, when Fraction > 0, marks a seeded subset of devices as
+	// Byzantine: after local training their upload is corrupted
+	// (sign-flip / noise / same-value collusion) as a pure function of
+	// (Seed, device, round). Off by default.
+	Adversary robust.Adversary
+	// SelectionNormCap, when > 0, caps the Eq. 12 selection score of
+	// devices whose accumulated-update norm ‖w_m − w_c‖ exceeds it:
+	// such devices rank strictly below every in-bound device. This
+	// counters the selector's attacker affinity — Eq. 12 otherwise
+	// prefers exactly the divergent updates adversaries produce.
+	SelectionNormCap float64
 
 	// Obs, when set, receives run metrics: per-phase wall time
 	// (sim_phase_seconds{phase=...}), step/selection/straggler/mobility

@@ -148,6 +148,7 @@ func (s *Sim) recordEval(t int) {
 		SelUtilMean: s.tel.selUtilMean(), UpdNormMean: s.tel.updNormMean(),
 		BlendUtilMean: s.tel.blendUtilMean(),
 		EdgeDivMean:   divMean, EdgeDivMax: divMax, FairnessJain: fair,
+		RejectRate: s.RejectionRate(),
 	})
 	if em := s.cfg.Events; em != nil {
 		em.Emit("eval",

@@ -46,6 +46,10 @@ type History struct {
 	EdgeDivMean   []float64
 	EdgeDivMax    []float64
 	FairnessJain  []float64
+	// RejectRate is the cumulative fraction of updates offered to
+	// Eq. 6/Eq. 7 that validation rejected, at each evaluation event
+	// (always 0 with validation off).
+	RejectRate []float64
 }
 
 // EvalPoint is one evaluation event's full record.
@@ -66,6 +70,7 @@ type EvalPoint struct {
 	EdgeDivMean   float64
 	EdgeDivMax    float64
 	FairnessJain  float64
+	RejectRate    float64
 }
 
 // Append records one evaluation event.
@@ -101,6 +106,7 @@ func (h *History) AppendPoint(p EvalPoint) {
 	h.EdgeDivMean = append(h.EdgeDivMean, p.EdgeDivMean)
 	h.EdgeDivMax = append(h.EdgeDivMax, p.EdgeDivMax)
 	h.FairnessJain = append(h.FairnessJain, p.FairnessJain)
+	h.RejectRate = append(h.RejectRate, p.RejectRate)
 }
 
 // CommToAccuracy returns the cumulative model transfers (device–edge,
@@ -173,7 +179,7 @@ func (h *History) WriteCSV(w io.Writer) error {
 		"phase_select_s", "phase_train_s", "phase_edge_agg_s",
 		"phase_cloud_sync_s", "phase_eval_s",
 		"sel_util_mean", "upd_norm_mean", "blend_util_mean",
-		"edge_div_mean", "edge_div_max", "fairness_jain")
+		"edge_div_mean", "edge_div_max", "fairness_jain", "reject_rate")
 	if err := cw.Write(header); err != nil {
 		return err
 	}
@@ -199,7 +205,8 @@ func (h *History) WriteCSV(w io.Writer) error {
 			formatF(h.floatAt(h.BlendUtilMean, i)),
 			formatF(h.floatAt(h.EdgeDivMean, i)),
 			formatF(h.floatAt(h.EdgeDivMax, i)),
-			formatF(h.floatAt(h.FairnessJain, i)))
+			formatF(h.floatAt(h.FairnessJain, i)),
+			formatF(h.floatAt(h.RejectRate, i)))
 		if err := cw.Write(row); err != nil {
 			return err
 		}
@@ -287,6 +294,7 @@ func ReadHistoryCSV(r io.Reader) (*History, error) {
 			{"edge_div_mean", &p.EdgeDivMean},
 			{"edge_div_max", &p.EdgeDivMax},
 			{"fairness_jain", &p.FairnessJain},
+			{"reject_rate", &p.RejectRate},
 		}
 		for _, f := range fields {
 			if *f.dst, err = getF(row, f.name); err != nil {

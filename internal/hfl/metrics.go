@@ -39,6 +39,15 @@ type simMetrics struct {
 	faultDrops   *obs.Counter
 	quorumMisses *obs.Counter
 
+	// Robustness layer: validation rejections by reason, aggregator
+	// decisions, adversary corruptions and skipped non-finite SGD steps.
+	rejNonFinite   *obs.Counter
+	rejNorm        *obs.Counter
+	trimmedCoords  *obs.Counter
+	clippedUpdates *obs.Counter
+	advCorruptions *obs.Counter
+	nonfiniteSteps *obs.Counter
+
 	selectSpan    *obs.Span
 	trainSpan     *obs.Span
 	edgeAggSpan   *obs.Span
@@ -57,6 +66,13 @@ func newSimMetrics(r *obs.Registry) simMetrics {
 		evals:        r.Counter("sim_evals_total"),
 		faultDrops:   r.Counter("hfl_fault_drops_total"),
 		quorumMisses: r.Counter("hfl_quorum_misses_total"),
+
+		rejNonFinite:   r.Counter("robust_rejected_updates_total", "reason", "nonfinite"),
+		rejNorm:        r.Counter("robust_rejected_updates_total", "reason", "norm"),
+		trimmedCoords:  r.Counter("robust_trimmed_coords_total"),
+		clippedUpdates: r.Counter("robust_clipped_updates_total"),
+		advCorruptions: r.Counter("hfl_adversary_corruptions_total"),
+		nonfiniteSteps: r.Counter("hfl_nonfinite_steps_total"),
 
 		selectSpan:    r.Span("sim_phase_seconds", "phase", "selection"),
 		trainSpan:     r.Span("sim_phase_seconds", "phase", "local_train"),

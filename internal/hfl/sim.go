@@ -12,6 +12,7 @@ import (
 	"middle/internal/mobility"
 	"middle/internal/nn"
 	"middle/internal/optim"
+	"middle/internal/robust"
 	"middle/internal/simil"
 	"middle/internal/tensor"
 )
@@ -44,6 +45,16 @@ type Sim struct {
 	stragglers   int // selected devices that missed the deadline
 	faultDrops   int // selected device-rounds lost to injected drops
 	quorumMisses int // edge-steps that fell below quorum and carried the model
+
+	// Robustness layer (PR 5). validator is nil when Config.Validate is
+	// off; agg is the pluggable Eq. 6/Eq. 7 combiner (zero value: the
+	// bit-identical weighted mean).
+	validator   *robust.Validator
+	agg         robust.Aggregator
+	rejects     robust.RejectCounts // cumulative validation rejections
+	updatesSeen int                 // updates offered to Eq. 6/Eq. 7
+	corruptions int                 // adversary-corrupted uploads
+	nonfinite   atomic.Int64        // SGD steps skipped on non-finite loss
 
 	// Communication accounting: model transfers on each link class.
 	// Every selected device downloads the edge model and uploads its
@@ -130,6 +141,8 @@ func New(cfg Config, factory ModelFactory, part *data.Partition, test *data.Data
 		}
 	}
 	s.evalNet = factory(tensor.Split(cfg.Seed, 99))
+	s.validator = robust.NewValidator(cfg.Validate)
+	s.agg = robust.Aggregator{Kind: cfg.Aggregator, TrimFrac: cfg.TrimFrac}
 	s.history = &History{Strategy: strat.Name()}
 	s.metrics = newSimMetrics(cfg.Obs)
 	s.tel = newTelemetry(cfg.Obs, s.numEdges, s.numDevices)
@@ -303,12 +316,30 @@ func (s *Sim) StepOnce() int {
 		s.statUtil[j.device] = j.util
 		s.lastTrain[j.device] = t
 	}
+	// Adversary harness: a seeded subset of devices corrupts its upload
+	// after training, as a pure function of (Adversary.Seed, device, t).
+	// The reference is the cloud model so same-value colluders agree and
+	// sign-flip inverts the accumulated update Δw_m = w_m − w_c.
+	if s.cfg.Adversary.Enabled() {
+		for i := range jobs {
+			m := jobs[i].device
+			if s.cfg.Adversary.IsAdversary(m) {
+				s.cfg.Adversary.Corrupt(s.locals[m], s.cloud, m, t)
+				s.corruptions++
+				s.metrics.advCorruptions.Inc()
+			}
+		}
+	}
 	phaseStart = clock
 	clock = phase(&s.phases.Train, s.metrics.trainSpan, clock)
 	s.tracePhase("train", t, phaseStart, clock)
 
 	// Line 9: edge aggregation (Eq. 6), weighted by data sizes. The edge
 	// vector is overwritten in place (it never aliases a device vector).
+	// Received updates pass through the validator first — rejected ones
+	// are excluded exactly like stragglers — and the surviving set is
+	// combined by the configured aggregator (default: the weighted mean,
+	// bit-identical to the pre-robustness engine).
 	for n := 0; n < s.numEdges; n++ {
 		sel := selectedByEdge[n]
 		if len(sel) == 0 {
@@ -319,10 +350,16 @@ func (s *Sim) StepOnce() int {
 		for _, m := range sel {
 			vecs = append(vecs, s.locals[m])
 			weights = append(weights, float64(s.dataSizes[m]))
-			s.edgeWeight[n] += float64(s.dataSizes[m])
 		}
-		simil.WeightedAverageInto(s.edges[n], vecs, weights)
+		vecs, weights = s.screen(t, vecs, weights, s.edges[n])
 		s.aggVecs, s.aggWeights = vecs, weights
+		if len(vecs) == 0 {
+			continue // every update rejected: carry the previous model
+		}
+		for _, w := range weights {
+			s.edgeWeight[n] += w
+		}
+		s.recordAgg(s.agg.AggregateInto(s.edges[n], vecs, weights, s.edges[n]))
 	}
 	phaseStart = clock
 	clock = phase(&s.phases.EdgeAgg, s.metrics.edgeAggSpan, clock)
@@ -340,10 +377,11 @@ func (s *Sim) StepOnce() int {
 				weights = append(weights, s.edgeWeight[n])
 			}
 		}
-		if len(vecs) > 0 {
-			simil.WeightedAverageInto(s.cloud, vecs, weights)
-		}
 		s.commEdgeCloud += 2 * int64(len(vecs))
+		vecs, weights = s.screen(t, vecs, weights, s.cloud)
+		if len(vecs) > 0 {
+			s.recordAgg(s.agg.AggregateInto(s.cloud, vecs, weights, s.cloud))
+		}
 		for n := range s.edges {
 			copy(s.edges[n], s.cloud)
 			s.edgeWeight[n] = 0
@@ -405,6 +443,44 @@ func (s *Sim) tracePhase(name string, t int, start, end time.Time) {
 	tr.Complete(name, "hfl", 0, 0, start, end.Sub(start), rid+"."+name, rid, nil)
 }
 
+// screen passes one aggregation point's received updates through the
+// validator against ref (the point's pre-round model), tallying
+// rejections into the run counters, metrics and a robust_reject trace
+// span. With validation off (the default) it only counts the offered
+// updates and returns the inputs untouched.
+func (s *Sim) screen(t int, vecs [][]float64, weights []float64, ref []float64) ([][]float64, []float64) {
+	s.updatesSeen += len(vecs)
+	if s.validator == nil {
+		return vecs, weights
+	}
+	kept, keptW, rc := s.validator.Filter(ref, vecs, weights)
+	if rc.Total() > 0 {
+		s.rejects.NonFinite += rc.NonFinite
+		s.rejects.Norm += rc.Norm
+		s.metrics.rejNonFinite.Add(int64(rc.NonFinite))
+		s.metrics.rejNorm.Add(int64(rc.Norm))
+		if tr := s.cfg.Trace; tr != nil {
+			rid := "r" + strconv.Itoa(t)
+			now := time.Now()
+			tr.Complete("robust_reject", "hfl", 0, 0, now, 0,
+				rid+".robust_reject", rid,
+				map[string]any{"nonfinite": rc.NonFinite, "norm": rc.Norm})
+		}
+	}
+	return kept, keptW
+}
+
+// recordAgg mirrors one aggregation's robust-combiner decisions into the
+// obs counters. No-ops for the plain mean.
+func (s *Sim) recordAgg(st robust.AggStats) {
+	if st.TrimmedValues > 0 {
+		s.metrics.trimmedCoords.Add(int64(st.TrimmedValues))
+	}
+	if st.ClippedUpdates > 0 {
+		s.metrics.clippedUpdates.Add(int64(st.ClippedUpdates))
+	}
+}
+
 // runJobs fans the training jobs out over the worker pool. Each job's
 // randomness derives from (seed, step, device) only, so results do not
 // depend on scheduling.
@@ -462,7 +538,16 @@ func (s *Sim) trainDevice(tw *trainWorker, job *trainJob, t int) {
 		x, y := s.part.Dataset.Batch(idx)
 		tw.net.ZeroGrad()
 		logits := tw.net.Forward(x, true)
-		_, g, perSample := nn.SoftmaxCrossEntropyPerSample(logits, y)
+		loss, g, perSample := nn.SoftmaxCrossEntropyPerSample(logits, y)
+		// Non-finite loss guard: a diverged step would write NaN/Inf
+		// into the params and poison every aggregation downstream. Skip
+		// the update (params keep their pre-step values) and leave the
+		// batch out of the utility statistics.
+		if math.IsNaN(loss) || math.IsInf(loss, 0) {
+			s.nonfinite.Add(1)
+			s.metrics.nonfiniteSteps.Inc()
+			continue
+		}
 		tw.net.Backward(g)
 		tw.opt.Step(tw.net.Params())
 		for _, l := range perSample {
@@ -472,7 +557,12 @@ func (s *Sim) trainDevice(tw *trainWorker, job *trainJob, t int) {
 	}
 	tw.net.ParamVectorInto(job.out)
 	// Oort's statistical utility: |B|·sqrt(mean per-sample loss²), with
-	// |B| the device's data size d_m.
+	// |B| the device's data size d_m. When every step hit the non-finite
+	// guard there is no loss evidence; report zero rather than NaN.
+	if samples == 0 {
+		job.util = 0
+		return
+	}
 	job.util = float64(len(shard)) * math.Sqrt(sumSq/float64(samples))
 }
 
@@ -503,6 +593,32 @@ func (s *Sim) FaultDrops() int { return s.faultDrops }
 // QuorumMisses returns how many edge-steps fell below Config.Quorum and
 // carried their previous model forward instead of aggregating.
 func (s *Sim) QuorumMisses() int { return s.quorumMisses }
+
+// RejectedUpdates returns the cumulative validation rejections by
+// reason (zero with Config.Validate off).
+func (s *Sim) RejectedUpdates() robust.RejectCounts { return s.rejects }
+
+// RejectionRate returns the fraction of updates offered to Eq. 6/Eq. 7
+// that validation rejected so far.
+func (s *Sim) RejectionRate() float64 {
+	if s.updatesSeen == 0 {
+		return 0
+	}
+	return float64(s.rejects.Total()) / float64(s.updatesSeen)
+}
+
+// AdversaryCorruptions returns how many uploads the adversary harness
+// corrupted so far.
+func (s *Sim) AdversaryCorruptions() int { return s.corruptions }
+
+// NonFiniteSteps returns how many local SGD steps were skipped by the
+// non-finite loss guard so far.
+func (s *Sim) NonFiniteSteps() int64 { return s.nonfinite.Load() }
+
+// SelectionNormCap exposes Config.SelectionNormCap through the View so
+// strategies can cap the Eq. 12 score of over-norm devices (see
+// NormCapView).
+func (s *Sim) SelectionNormCap() float64 { return s.cfg.SelectionNormCap }
 
 // PhaseSeconds returns the cumulative wall-clock breakdown of StepOnce
 // across its phases. Maintained unconditionally (see PhaseTimes).

@@ -27,6 +27,22 @@ type View interface {
 	LastTrained(device int) int
 }
 
+// NormCapView is optionally implemented by views whose configuration
+// bounds the Eq. 12 selection score (Config.SelectionNormCap). When the
+// cap is positive, norm-aware strategies assign devices with
+// ‖w_m − w_c‖ above it the CappedScore, ranking them strictly below
+// every in-bound device. This closes the selector's attacker affinity:
+// Eq. 12 prefers the most divergent updates, which is exactly what
+// Byzantine devices produce.
+type NormCapView interface {
+	// SelectionNormCap returns the ‖Δw_m‖ bound, or 0 for no cap.
+	SelectionNormCap() float64
+}
+
+// CappedScore is the Eq. 12 score assigned to devices over the
+// selection norm cap — strictly below the honest score range [−1, 0].
+const CappedScore = -2
+
 // Strategy is the policy slot of Algorithm 1: which devices each edge
 // selects (line 2) and what starting model a selected device uses for
 // local training (lines 4–7).

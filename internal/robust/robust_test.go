@@ -1,0 +1,268 @@
+package robust
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEq(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestParseAggregator(t *testing.T) {
+	for _, s := range []string{"", "mean", "median", "trimmed-mean", "norm-clip"} {
+		if _, err := ParseAggregator(s); err != nil {
+			t.Errorf("ParseAggregator(%q): %v", s, err)
+		}
+	}
+	if _, err := ParseAggregator("krum"); err == nil {
+		t.Error("ParseAggregator accepted unknown kind")
+	}
+}
+
+func TestParseAdversaryMode(t *testing.T) {
+	for _, s := range []string{"", "sign-flip", "noise", "same-value"} {
+		if _, err := ParseAdversaryMode(s); err != nil {
+			t.Errorf("ParseAdversaryMode(%q): %v", s, err)
+		}
+	}
+	if _, err := ParseAdversaryMode("label-flip"); err == nil {
+		t.Error("ParseAdversaryMode accepted unknown mode")
+	}
+}
+
+// Hand-computed aggregation tables, including a poisoned column.
+func TestAggregatorsHandComputed(t *testing.T) {
+	vecs := [][]float64{
+		{1, 10, -1},
+		{2, 20, 0},
+		{3, 30, 1},
+		{4, 40, 2},
+		{100, -500, 3}, // outlier
+	}
+	weights := []float64{1, 1, 1, 1, 1}
+	ref := []float64{2, 20, 0}
+
+	cases := []struct {
+		name string
+		agg  Aggregator
+		want []float64
+	}{
+		{"mean", Aggregator{Kind: AggMean}, []float64{22, -80, 1}},
+		// col 2 sorted: -500 10 20 30 40 → median 20.
+		{"median", Aggregator{Kind: AggMedian}, []float64{3, 20, 1}},
+		// β=0.2, n=5 → trim 1 from each end: mean of middle three.
+		{"trimmed", Aggregator{Kind: AggTrimmedMean, TrimFrac: 0.2}, []float64{3, 20, 1}},
+	}
+	for _, tc := range cases {
+		dst := make([]float64, 3)
+		tc.agg.AggregateInto(dst, vecs, weights, ref)
+		if !almostEq(dst, tc.want, 1e-12) {
+			t.Errorf("%s: got %v want %v", tc.name, dst, tc.want)
+		}
+	}
+}
+
+func TestTrimmedMeanStats(t *testing.T) {
+	a := Aggregator{Kind: AggTrimmedMean, TrimFrac: 0.2}
+	vecs := [][]float64{{1}, {2}, {3}, {4}, {5}}
+	dst := make([]float64, 1)
+	st := a.AggregateInto(dst, vecs, []float64{1, 1, 1, 1, 1}, nil)
+	if st.TrimmedValues != 2 {
+		t.Errorf("TrimmedValues = %d, want 2", st.TrimmedValues)
+	}
+	if dst[0] != 3 {
+		t.Errorf("trimmed mean = %v, want 3", dst[0])
+	}
+	// Too few vectors to trim a full β share on each side: degrade, not
+	// empty.
+	st = a.AggregateInto(dst, [][]float64{{1}, {9}}, []float64{1, 1}, nil)
+	if dst[0] != 5 {
+		t.Errorf("degraded trimmed mean = %v, want 5", dst[0])
+	}
+	if st.TrimmedValues != 0 {
+		t.Errorf("degraded TrimmedValues = %d, want 0", st.TrimmedValues)
+	}
+}
+
+func TestNormClipBoundsOutlier(t *testing.T) {
+	ref := []float64{0, 0}
+	vecs := [][]float64{
+		{1, 0},
+		{0, 1},
+		{1000, 0}, // exploding update
+	}
+	w := []float64{1, 1, 1}
+	a := Aggregator{Kind: AggNormClip}
+	dst := make([]float64, 2)
+	st := a.AggregateInto(dst, vecs, w, ref)
+	if st.ClippedUpdates != 1 {
+		t.Errorf("ClippedUpdates = %d, want 1", st.ClippedUpdates)
+	}
+	// τ = median(1, 1, 1000) = 1; clipped outlier contributes (1, 0).
+	want := []float64{2.0 / 3, 1.0 / 3}
+	if !almostEq(dst, want, 1e-12) {
+		t.Errorf("norm-clip = %v, want %v", dst, want)
+	}
+}
+
+// norm-clip supports dst aliasing ref (the sim aggregates into the
+// model it validates against).
+func TestNormClipAliasRef(t *testing.T) {
+	model := []float64{1, 2}
+	vecs := [][]float64{{2, 2}, {1, 3}, {0, 2}}
+	w := []float64{1, 1, 1}
+	a := Aggregator{Kind: AggNormClip}
+	a.AggregateInto(model, vecs, w, model)
+	if !almostEq(model, []float64{1, 7.0 / 3}, 1e-12) {
+		t.Errorf("aliased norm-clip = %v", model)
+	}
+}
+
+func TestMeanMatchesSimilBitwise(t *testing.T) {
+	vecs := [][]float64{{0.1, 0.7, -3}, {2.5, 1e-9, 4}}
+	w := []float64{3, 7}
+	var a Aggregator // zero value: mean
+	got := make([]float64, 3)
+	a.AggregateInto(got, vecs, w, nil)
+	want := make([]float64, 3)
+	// Reference computation identical to simil.WeightedAverageInto.
+	tw := w[0] + w[1]
+	for j := range want {
+		want[j] = w[0]/tw*vecs[0][j] + w[1]/tw*vecs[1][j]
+	}
+	for j := range got {
+		if got[j] != want[j] {
+			t.Fatalf("coord %d: %v != %v (must be bit-identical)", j, got[j], want[j])
+		}
+	}
+}
+
+func TestValidatorRejectsNonFinite(t *testing.T) {
+	v := NewValidator(ValidatorConfig{Enabled: true})
+	ref := []float64{0, 0}
+	vecs := [][]float64{
+		{1, 2},
+		{math.NaN(), 0},
+		{3, 4},
+		{0, math.Inf(1)},
+	}
+	w := []float64{1, 2, 3, 4}
+	kept, keptW, rc := v.Filter(ref, vecs, w)
+	if rc.NonFinite != 2 || rc.Norm != 0 {
+		t.Fatalf("RejectCounts = %+v", rc)
+	}
+	if len(kept) != 2 || kept[0][0] != 1 || kept[1][0] != 3 {
+		t.Fatalf("kept = %v", kept)
+	}
+	if keptW[0] != 1 || keptW[1] != 3 {
+		t.Fatalf("keptW = %v", keptW)
+	}
+}
+
+func TestValidatorNormBound(t *testing.T) {
+	v := NewValidator(ValidatorConfig{Enabled: true, NormBound: 3})
+	ref := []float64{0}
+	vecs := [][]float64{{1}, {1.5}, {2}, {-100}}
+	w := []float64{1, 1, 1, 1}
+	// norms 1, 1.5, 2, 100; median 1.75; bound 5.25 → reject the 100.
+	kept, _, rc := v.Filter(ref, vecs, w)
+	if rc.Norm != 1 || rc.NonFinite != 0 {
+		t.Fatalf("RejectCounts = %+v", rc)
+	}
+	if len(kept) != 3 {
+		t.Fatalf("kept %d updates, want 3", len(kept))
+	}
+}
+
+func TestValidatorSkipsNormWithFewUpdates(t *testing.T) {
+	v := NewValidator(ValidatorConfig{Enabled: true, NormBound: 1})
+	kept, _, rc := v.Filter([]float64{0}, [][]float64{{1}, {100}}, []float64{1, 1})
+	if len(kept) != 2 || rc.Total() != 0 {
+		t.Fatalf("norm check should be skipped below 3 survivors: kept=%d rc=%+v", len(kept), rc)
+	}
+}
+
+func TestNilValidatorKeepsAll(t *testing.T) {
+	var v *Validator
+	vecs := [][]float64{{math.NaN()}}
+	kept, _, rc := v.Filter([]float64{0}, vecs, []float64{1})
+	if len(kept) != 1 || rc.Total() != 0 {
+		t.Fatal("nil validator must keep everything")
+	}
+	if NewValidator(ValidatorConfig{}) != nil {
+		t.Fatal("disabled config must yield nil validator")
+	}
+}
+
+func TestAdversaryMembershipDeterministic(t *testing.T) {
+	a := Adversary{Fraction: 0.3, Seed: 42}
+	b := Adversary{Fraction: 0.3, Seed: 42}
+	c := Adversary{Fraction: 0.3, Seed: 43}
+	same, diff := true, false
+	nA := 0
+	for m := 0; m < 200; m++ {
+		if a.IsAdversary(m) != b.IsAdversary(m) {
+			same = false
+		}
+		if a.IsAdversary(m) != c.IsAdversary(m) {
+			diff = true
+		}
+		if a.IsAdversary(m) {
+			nA++
+		}
+	}
+	if !same {
+		t.Error("same seed must mark the same devices")
+	}
+	if !diff {
+		t.Error("different seeds should mark different devices")
+	}
+	if nA < 30 || nA > 90 {
+		t.Errorf("fraction 0.3 marked %d/200 devices", nA)
+	}
+}
+
+func TestCorruptModes(t *testing.T) {
+	ref := []float64{1, 1}
+	w := []float64{2, 0}
+	a := Adversary{Fraction: 1, Seed: 9, Mode: AdvSignFlip, Scale: 1}
+	got := append([]float64(nil), w...)
+	a.Corrupt(got, ref, 0, 0)
+	if !almostEq(got, []float64{0, 2}, 0) {
+		t.Errorf("sign-flip = %v, want [0 2]", got)
+	}
+
+	// Corruption is deterministic in (seed, device, round).
+	a.Mode = AdvNoise
+	x := append([]float64(nil), w...)
+	y := append([]float64(nil), w...)
+	a.Corrupt(x, ref, 3, 7)
+	a.Corrupt(y, ref, 3, 7)
+	if !almostEq(x, y, 0) {
+		t.Error("noise corruption must be deterministic")
+	}
+	z := append([]float64(nil), w...)
+	a.Corrupt(z, ref, 3, 8)
+	if almostEq(x, z, 0) {
+		t.Error("different rounds must draw different noise")
+	}
+
+	// Collusion: different devices, same round, identical upload.
+	a.Mode = AdvSameValue
+	p := append([]float64(nil), w...)
+	q := []float64{-5, 40}
+	a.Corrupt(p, ref, 1, 4)
+	a.Corrupt(q, ref, 2, 4)
+	if !almostEq(p, q, 0) {
+		t.Errorf("same-value adversaries disagree: %v vs %v", p, q)
+	}
+}

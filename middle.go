@@ -31,6 +31,7 @@ import (
 	"middle/internal/mobility"
 	"middle/internal/nn"
 	"middle/internal/optim"
+	"middle/internal/robust"
 	"middle/internal/simil"
 	"middle/internal/tensor"
 	"middle/internal/theory"
@@ -375,6 +376,41 @@ func TheoremBound(p theory.BoundParams) float64 { return theory.Bound(p) }
 
 // BoundParams carries the Theorem 1 constants.
 type BoundParams = theory.BoundParams
+
+// --- robustness -----------------------------------------------------------
+
+// Robustness types for Config.Aggregator / Config.Validate /
+// Config.Adversary (see internal/robust).
+type (
+	// AggregatorKind selects the Eq. 6 / Eq. 7 combination rule.
+	AggregatorKind = robust.AggregatorKind
+	// ValidatorConfig screens received model updates before aggregation.
+	ValidatorConfig = robust.ValidatorConfig
+	// Adversary is the seeded Byzantine-device harness.
+	Adversary = robust.Adversary
+	// AdversaryMode picks the corruption adversarial devices apply.
+	AdversaryMode = robust.AdversaryMode
+)
+
+// Aggregator kinds and adversary modes.
+const (
+	AggMean        = robust.AggMean
+	AggMedian      = robust.AggMedian
+	AggTrimmedMean = robust.AggTrimmedMean
+	AggNormClip    = robust.AggNormClip
+
+	AdvSignFlip  = robust.AdvSignFlip
+	AdvNoise     = robust.AdvNoise
+	AdvSameValue = robust.AdvSameValue
+)
+
+// ParseAggregator resolves an aggregator name ("mean", "median",
+// "trimmed-mean", "norm-clip"); the empty string means mean.
+func ParseAggregator(s string) (AggregatorKind, error) { return robust.ParseAggregator(s) }
+
+// ParseAdversaryMode resolves an adversary mode name ("sign-flip",
+// "noise", "same-value"); the empty string means sign-flip.
+func ParseAdversaryMode(s string) (AdversaryMode, error) { return robust.ParseAdversaryMode(s) }
 
 // --- checkpoints ------------------------------------------------------------
 
