@@ -257,3 +257,34 @@ func BenchmarkSimulationStep(b *testing.B) {
 		sim.StepOnce()
 	}
 }
+
+// BenchmarkPopulationScaling measures one Algorithm 1 time step at a
+// fixed cohort (100 edges × K=1) across growing populations under the
+// lazy device store. The tentpole claim of the scale-out work is that
+// per-step cost tracks the cohort, not the fleet: the three sizes
+// should stay within the same order of magnitude, with only the O(1)
+// -per-device selection scoring and mobility walk growing linearly.
+func BenchmarkPopulationScaling(b *testing.B) {
+	for _, sz := range []struct {
+		name string
+		n    int
+	}{
+		{"10k", 10_000},
+		{"100k", 100_000},
+		{"1M", 1_000_000},
+	} {
+		b.Run(sz.name, func(b *testing.B) {
+			setup := middle.NewScaleSetup(data.TaskMNIST, 1, sz.n, 100, 1, 10)
+			part := setup.Partition(1)
+			mob := middle.NewMarkovMobility(setup.Edges, setup.Devices, 0.5, 11)
+			cfg := setup.Config(1, 1<<30)
+			cfg.EvalEvery = 0
+			cfg.LazyStore = true
+			sim := middle.NewSimulation(cfg, setup.Factory, part, setup.Test, mob, middle.MIDDLE())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sim.StepOnce()
+			}
+		})
+	}
+}

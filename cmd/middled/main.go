@@ -11,7 +11,9 @@
 //
 // The -role devices process hosts a contiguous range of device ids and
 // migrates them between the listed edges with a ring-Markov mobility of
-// probability -p at a fixed cadence.
+// probability -p at a fixed cadence. For scale-out, -shards (cloud)
+// streams per-shard partial sums instead of gathering every edge model,
+// and -mux N (devices) serves N virtual devices per client connection.
 package main
 
 import (
@@ -73,6 +75,10 @@ func main() {
 		selNormCap = flag.Float64("sel-norm-cap", 0, "edge role: exclude devices with update norm above this from Eq. 12 selection (0 = off)")
 		poisonRate = flag.Float64("poison-rate", 0, "devices role: per-message probability the model payload is negated with a valid CRC")
 		nanRate    = flag.Float64("nan-rate", 0, "devices role: per-message probability the model payload is replaced by NaNs with a valid CRC")
+
+		// Scale-out knobs (see DESIGN.md "Scale architecture").
+		shards = flag.Int("shards", 1, "cloud role: partition edges across this many aggregator shards with streamed partial sums (mean aggregation only)")
+		mux    = flag.Int("mux", 1, "devices role: virtual devices per multiplexed client connection (1 = one dedicated client per device)")
 	)
 	flag.Parse()
 
@@ -108,7 +114,7 @@ func main() {
 	setup.Obs = m.Registry()
 	switch *role {
 	case "cloud":
-		runCloud(setup, m, trace, *results, *addr, *edgesN, *rounds, *tc, *seed, *ckptDir, *ckptEvery, *minEdges, agg, *trimFrac, validate)
+		runCloud(setup, m, trace, *results, *addr, *edgesN, *rounds, *tc, *seed, *ckptDir, *ckptEvery, *minEdges, *shards, agg, *trimFrac, validate)
 	case "edge":
 		runEdge(setup, m, trace, *id, *cloud, *addr, *strategy, *k, *seed, *quorum, *roundDL,
 			agg, *trimFrac, validate, *selNormCap, *ckptDir, *ckptEvery)
@@ -121,7 +127,7 @@ func main() {
 			},
 			Obs: m.Registry(),
 		})
-		runDevices(setup, m, trace, *edgeList, *from, *to, *p, *moveMs, *seed, faults)
+		runDevices(setup, m, trace, *edgeList, *from, *to, *p, *moveMs, *seed, *mux, faults)
 	default:
 		fmt.Fprintln(os.Stderr, "middled: -role must be cloud, edge or devices")
 		flag.Usage()
@@ -162,11 +168,11 @@ func writeSummary(m *experiments.Metrics, dir, name string) {
 	}
 }
 
-func runCloud(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs.Trace, results, addr string, edges, rounds, tc int, seed int64, ckptDir string, ckptEvery, minEdges int, agg middle.AggregatorKind, trimFrac float64, validate middle.ValidatorConfig) {
+func runCloud(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs.Trace, results, addr string, edges, rounds, tc int, seed int64, ckptDir string, ckptEvery, minEdges, shards int, agg middle.AggregatorKind, trimFrac float64, validate middle.ValidatorConfig) {
 	init := setup.Factory(tensor.Split(seed, 0)).ParamVector()
 	c, err := fednet.NewCloud(fednet.CloudConfig{
 		Addr: addr, Edges: edges, Rounds: rounds, CloudInterval: tc,
-		InitModel: init, MinEdges: minEdges,
+		InitModel: init, MinEdges: minEdges, Shards: shards,
 		CheckpointDir: ckptDir, CheckpointEvery: ckptEvery,
 		Aggregator: agg, TrimFrac: trimFrac, Validate: validate,
 		Logf: log.Printf, Obs: m.Registry(), Trace: trace,
@@ -174,7 +180,7 @@ func runCloud(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs.T
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("middled: cloud listening on %s (%d edges, %d rounds, Tc=%d)", c.Addr(), edges, rounds, tc)
+	log.Printf("middled: cloud listening on %s (%d edges, %d rounds, Tc=%d, shards=%d)", c.Addr(), edges, rounds, tc, shards)
 	if err := c.Run(); err != nil {
 		log.Fatal(err)
 	}
@@ -208,10 +214,13 @@ func runEdge(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs.Tr
 	}
 }
 
-func runDevices(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs.Trace, edgeList string, from, to int, p float64, moveMs int, seed int64, faults *fednet.FaultInjector) {
+func runDevices(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs.Trace, edgeList string, from, to int, p float64, moveMs int, seed int64, mux int, faults *fednet.FaultInjector) {
 	addrs := strings.Split(edgeList, ",")
 	if len(addrs) == 0 || addrs[0] == "" {
 		log.Fatal("middled: devices role requires -edgeaddrs")
+	}
+	if mux < 1 {
+		log.Fatalf("middled: -mux must be ≥ 1, got %d", mux)
 	}
 	part := setup.Partition(seed)
 	if to >= part.NumDevices() || from < 0 || from > to {
@@ -219,28 +228,60 @@ func runDevices(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs
 	}
 	mode := fednet.AggModeForStrategy("MIDDLE")
 	n := to - from + 1
-	devices := make([]*fednet.Device, n)
-	for i := 0; i < n; i++ {
-		id := from + i
-		dev, err := fednet.NewDevice(fednet.DeviceConfig{
-			DeviceID:   id,
-			Dataset:    part.Dataset,
-			Indices:    part.Indices[id],
-			Factory:    setup.Factory,
-			Optimizer:  setup.Optimizer.New(),
-			LocalSteps: setup.I, BatchSize: setup.BatchSize,
-			Mode: mode, Seed: seed, Faults: faults,
-			Obs: m.Registry(), Trace: trace,
-		})
-		if err != nil {
-			log.Fatal(err)
+	// connect[i] moves device from+i to an edge: either a dedicated
+	// Device client's Connect, or the virtual-device move of the
+	// multiplexer hosting it (one socket per edge per -mux group).
+	connect := make([]func(edgeID int, addr string) error, n)
+	if mux > 1 {
+		for start := 0; start < n; start += mux {
+			end := start + mux
+			if end > n {
+				end = n
+			}
+			group := make([]fednet.MuxDevice, 0, end-start)
+			for i := start; i < end; i++ {
+				id := from + i
+				group = append(group, fednet.MuxDevice{DeviceID: id, Indices: part.Indices[id]})
+			}
+			mx, err := fednet.NewDeviceMux(fednet.DeviceMuxConfig{
+				Devices: group, Dataset: part.Dataset, Factory: setup.Factory,
+				Optimizer:  setup.Optimizer.New(),
+				LocalSteps: setup.I, BatchSize: setup.BatchSize,
+				Mode: mode, Seed: seed, Faults: faults, Obs: m.Registry(),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			for i := start; i < end; i++ {
+				id := from + i
+				connect[i] = func(edgeID int, addr string) error { return mx.Connect(id, edgeID, addr) }
+			}
 		}
-		devices[i] = dev
+		log.Printf("middled: hosting devices %d..%d on %d multiplexers (%d virtual devices each)",
+			from, to, (n+mux-1)/mux, mux)
+	} else {
+		for i := 0; i < n; i++ {
+			id := from + i
+			dev, err := fednet.NewDevice(fednet.DeviceConfig{
+				DeviceID:   id,
+				Dataset:    part.Dataset,
+				Indices:    part.Indices[id],
+				Factory:    setup.Factory,
+				Optimizer:  setup.Optimizer.New(),
+				LocalSteps: setup.I, BatchSize: setup.BatchSize,
+				Mode: mode, Seed: seed, Faults: faults,
+				Obs: m.Registry(), Trace: trace,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			connect[i] = dev.Connect
+		}
 	}
 	mob := mobility.NewMarkovRing(len(addrs), n, p, seed+int64(from))
 	membership := mob.Step()
-	for i, dev := range devices {
-		if err := dev.Connect(membership[i], addrs[membership[i]]); err != nil {
+	for i := range connect {
+		if err := connect[i](membership[i], addrs[membership[i]]); err != nil {
 			log.Fatal(err)
 		}
 		log.Printf("middled: device %d attached to edge %d", from+i, membership[i])
@@ -249,11 +290,11 @@ func runDevices(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs
 	defer ticker.Stop()
 	for range ticker.C {
 		next := mob.Step()
-		for i, dev := range devices {
+		for i := range connect {
 			if next[i] == membership[i] {
 				continue
 			}
-			if err := dev.Connect(next[i], addrs[next[i]]); err != nil {
+			if err := connect[i](next[i], addrs[next[i]]); err != nil {
 				log.Printf("middled: device %d failed to move: %v", from+i, err)
 				continue
 			}

@@ -8,6 +8,8 @@
 //	middlesim -exp fig8 -task mnist     # §6.2.3 edge-cloud interval sweep
 //	middlesim -exp theory               # §5 Theorem 1 / Remark 1 validation
 //	middlesim -exp run -task mnist -strategy MIDDLE   # one ad-hoc run
+//	middlesim -exp scale -devices 1000000 -edges 1000 -resident-cap 4096
+//	                                    # population-scale run, cohort-bounded memory
 //
 // -scale fast (default) finishes in seconds to minutes; -scale paper uses
 // the paper's §6.1.2 topology and horizons. -csv DIR additionally writes
@@ -29,7 +31,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "fig6", "experiment: fig1|fig2|fig6|fig7|fig8|ablation|mobmodels|theory|run|all")
+		exp        = flag.String("exp", "fig6", "experiment: fig1|fig2|fig6|fig7|fig8|ablation|mobmodels|theory|run|scale|all")
 		task       = flag.String("task", "mnist", "task: mnist|emnist|cifar10|speech|all")
 		scaleFlag  = flag.String("scale", "fast", "scale: fast|paper")
 		seed       = flag.Int64("seed", 1, "root random seed")
@@ -62,6 +64,18 @@ func main() {
 		advScale   = flag.Float64("adversary-scale", 0, "-exp run: adversary corruption magnitude (0 = 1)")
 		advSeed    = flag.Int64("adversary-seed", 0, "-exp run: seed for deterministic adversary membership and corruption")
 		selNormCap = flag.Float64("sel-norm-cap", 0, "-exp run: exclude devices with update norm above this from Eq. 12 selection (0 = off)")
+
+		// Population-scale knobs (-exp scale only). The simulator path
+		// (default) uses the lazy device store, so memory is bounded by
+		// the cohort and the resident cap rather than -devices; -shards
+		// and -mux instead run the in-process networked deployment.
+		devicesN = flag.Int("devices", 0, "-exp scale: device population size (0 = task default)")
+		edgesN   = flag.Int("edges", 0, "-exp scale: edge server count (0 = task default)")
+		kSel     = flag.Int("k", 0, "-exp scale: devices selected per edge per step (0 = task default)")
+		tcN      = flag.Int("tc", 0, "-exp scale: cloud aggregation interval T_c in steps (0 = task default)")
+		resCap   = flag.Int("resident-cap", 0, "-exp scale: bound on materialized device models in the lazy store; must fit the full cohort k×edges (0 = unbounded)")
+		shardsN  = flag.Int("shards", 1, "-exp scale: cloud aggregator shards; >1 runs the in-process fednet deployment with streamed partial sums (mean aggregation only)")
+		muxN     = flag.Int("mux", 1, "-exp scale: virtual devices per multiplexed client; >1 runs the in-process fednet deployment")
 	)
 	flag.Parse()
 
@@ -144,6 +158,14 @@ func main() {
 		forTasks(*task, func(t middle.TaskName) {
 			runSingle(t, scale, *strategy, *p, *seed, *steps, *saveModel, *csvDir, faults)
 		})
+	case "scale":
+		forTasks(*task, func(t middle.TaskName) {
+			runScale(t, scaleOpts{
+				devices: *devicesN, edges: *edgesN, k: *kSel, tc: *tcN,
+				residentCap: *resCap, shards: *shardsN, mux: *muxN,
+				steps: *steps, p: *p, seed: *seed, strategy: *strategy,
+			})
+		})
 	case "all":
 		runFig1(scale, *seed, *steps, *csvDir)
 		runFig2(scale, *seed, *csvDir)
@@ -158,7 +180,8 @@ func main() {
 	}
 
 	if path, err := metrics.WriteSummary(*results, "middlesim-"+*exp, os.Args,
-		map[string]any{"task": *task, "scale": *scaleFlag, "seed": *seed}); err != nil {
+		map[string]any{"task": *task, "scale": *scaleFlag, "seed": *seed,
+			"peak_rss_bytes": obs.PeakRSSBytes()}); err != nil {
 		fatalf("writing summary: %v", err)
 	} else if path != "" {
 		fmt.Printf("middlesim: wrote summary %s\n", path)

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"fmt"
+
+	"middle"
+	"middle/internal/experiments"
+	"middle/internal/fednet"
+	"middle/internal/obs"
+)
+
+// maxClusterDevices bounds the -exp scale deployment path: -shards/-mux
+// spawn real loopback sockets and goroutines, so population-scale runs
+// belong to the simulator path (lazy store), not the cluster path.
+const maxClusterDevices = 4096
+
+// scaleOpts carries the resolved -exp scale topology. Zero devices /
+// edges / k / tc mean "task default" until runScale resolves them.
+type scaleOpts struct {
+	devices, edges, k, tc int
+	residentCap           int
+	shards, mux           int
+	steps                 int
+	p                     float64
+	seed                  int64
+	strategy              string
+}
+
+// deployment reports whether the options select the in-process fednet
+// cluster (sharded cloud and/or multiplexed devices) instead of the
+// lazy-store simulator.
+func (o scaleOpts) deployment() bool { return o.shards > 1 || o.mux > 1 }
+
+// validateScale rejects nonsensical flag combinations with an
+// actionable message. It expects resolved (non-zero) topology values.
+func validateScale(o scaleOpts) error {
+	if o.devices < 1 || o.edges < 1 || o.k < 1 || o.tc < 1 {
+		return fmt.Errorf("scale topology must be positive: devices=%d edges=%d k=%d tc=%d", o.devices, o.edges, o.k, o.tc)
+	}
+	if o.edges > o.devices {
+		return fmt.Errorf("%d edges exceed %d devices", o.edges, o.devices)
+	}
+	if o.shards < 1 || o.mux < 1 {
+		return fmt.Errorf("-shards and -mux must be ≥ 1, got %d and %d", o.shards, o.mux)
+	}
+	if o.residentCap < 0 {
+		return fmt.Errorf("-resident-cap must be ≥ 0, got %d", o.residentCap)
+	}
+	if cohort := o.k * o.edges; o.residentCap > 0 && o.residentCap < cohort {
+		return fmt.Errorf("-resident-cap %d is smaller than the cohort k×edges = %d; a full cohort must stay materialized", o.residentCap, cohort)
+	}
+	if o.shards > o.edges {
+		return fmt.Errorf("-shards %d exceeds %d edges; shards partition edges", o.shards, o.edges)
+	}
+	if o.deployment() {
+		if o.devices > maxClusterDevices {
+			return fmt.Errorf("-shards/-mux run a real in-process deployment; cap -devices at %d (got %d) or drop them to use the lazy-store simulator", maxClusterDevices, o.devices)
+		}
+		if o.residentCap > 0 {
+			return fmt.Errorf("-resident-cap applies to the simulator path and cannot combine with -shards/-mux")
+		}
+	}
+	return nil
+}
+
+// runScale is the -exp scale entry point: a population-scale run whose
+// per-round cost is bounded by the cohort, not the fleet. Without
+// -shards/-mux it runs the hfl simulator with the lazy device store;
+// with them it runs the in-process fednet deployment (sharded cloud,
+// multiplexed device clients). Either way it reports the process's peak
+// RSS so scripts can assert the memory ceiling.
+func runScale(task middle.TaskName, o scaleOpts) {
+	setup := experiments.NewScaleSetup(task, o.seed, o.devices, o.edges, o.k, o.tc)
+	setup.Obs = metrics.Registry()
+	setup.Events = events
+	setup.Trace = trace
+	o.devices, o.edges, o.k, o.tc = setup.Devices, setup.Edges, setup.K, setup.Tc
+	if err := validateScale(o); err != nil {
+		fatalf("%v", err)
+	}
+	if o.steps <= 0 {
+		o.steps = 2 * o.tc // two cloud syncs by default
+	}
+	if o.deployment() {
+		runScaleDeployment(setup, o)
+		return
+	}
+
+	strat, err := middle.StrategyByName(o.strategy)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("=== Scale-out (%s): %d devices / %d edges, K=%d, Tc=%d, resident-cap=%d ===\n",
+		task, o.devices, o.edges, o.k, o.tc, o.residentCap)
+	cfg := setup.Config(o.seed, o.steps)
+	cfg.LazyStore = true
+	cfg.ResidentCap = o.residentCap
+	part := setup.Partition(o.seed)
+	mob := setup.Mobility(o.p, o.seed+11)
+	sim := middle.NewSimulation(cfg, setup.Factory, part, setup.Test, mob, strat)
+	h := sim.Run()
+	fmt.Printf("final accuracy %.4f after %d steps (empirical mobility %.3f)\n",
+		h.FinalAcc(), o.steps, h.EmpiricalMobility)
+	fmt.Printf("middlesim: peak_rss_mib=%d peak_resident_models=%d\n",
+		obs.PeakRSSBytes()>>20, h.PeakResidentModels)
+}
+
+// runScaleDeployment runs the fednet cluster variant of -exp scale:
+// real loopback sockets, a K-sharded cloud and N-virtual-device
+// multiplexers, at a necessarily smaller population.
+func runScaleDeployment(setup *experiments.TaskSetup, o scaleOpts) {
+	strat, err := middle.StrategyByName(o.strategy)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("=== Scale-out deployment (%s): %d devices / %d edges, shards=%d, mux=%d ===\n",
+		setup.Task, o.devices, o.edges, o.shards, o.mux)
+	part := setup.Partition(o.seed)
+	mob := setup.Mobility(o.p, o.seed+11)
+	c, err := fednet.StartCluster(fednet.ClusterConfig{
+		Rounds: o.steps, K: o.k, LocalSteps: setup.I, BatchSize: setup.BatchSize,
+		CloudInterval: o.tc, Strategy: strat, Partition: part,
+		Factory: setup.Factory, Optimizer: setup.Optimizer, Mobility: mob,
+		Seed: o.seed, Shards: o.shards, Mux: o.mux,
+		Obs: metrics.Registry(), Trace: trace,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := c.Wait(); err != nil {
+		fatalf("deployment: %v", err)
+	}
+	rounds := 0
+	for _, r := range c.DeviceRounds() {
+		rounds += r
+	}
+	fmt.Printf("deployment complete: %d rounds, %d device trainings, %d failed moves\n",
+		o.steps, rounds, c.MoveErrors())
+	fmt.Printf("middlesim: peak_rss_mib=%d peak_resident_models=0\n", obs.PeakRSSBytes()>>20)
+}

@@ -21,11 +21,11 @@ func NewMiddleSelOnly() *MiddleSelOnly { return &MiddleSelOnly{} }
 // Name implements hfl.Strategy.
 func (*MiddleSelOnly) Name() string { return "MIDDLE-Sel" }
 
-// Select implements Eq. 12.
+// Select implements Eq. 12, via the hfl.SelectionInfo fast path.
 func (*MiddleSelOnly) Select(v hfl.View, edge int, candidates []int, k int, rng *tensor.RNG) []int {
-	cloud := v.CloudModel()
 	return hfl.TopKByScore(candidates, func(m int) float64 {
-		return simil.SelectionScore(cloud, v.LocalModel(m))
+		u, _ := hfl.SelectionInfo(v, m)
+		return -u
 	}, k, rng)
 }
 

@@ -34,21 +34,19 @@ func (*Middle) Name() string { return "MIDDLE" }
 // (hfl.NormCapView), devices whose accumulated update exceeds the cap
 // score hfl.CappedScore instead — Eq. 12's preference for divergent
 // updates would otherwise hand adversaries a selection advantage.
+// Scoring goes through hfl.SelectionInfo, so lazily-stored populations
+// answer for untrained candidates without an O(dim) sweep.
 func (*Middle) Select(v hfl.View, edge int, candidates []int, k int, rng *tensor.RNG) []int {
-	cloud := v.CloudModel()
 	normCap := 0.0
 	if nc, ok := v.(hfl.NormCapView); ok {
 		normCap = nc.SelectionNormCap()
 	}
 	return hfl.TopKByScore(candidates, func(m int) float64 {
-		if normCap > 0 {
-			u, dn := simil.SelectionUtilityNorm(cloud, v.LocalModel(m))
-			if dn > normCap {
-				return hfl.CappedScore
-			}
-			return -u
+		u, dn := hfl.SelectionInfo(v, m)
+		if normCap > 0 && dn > normCap {
+			return hfl.CappedScore
 		}
-		return simil.SelectionScore(cloud, v.LocalModel(m))
+		return -u
 	}, k, rng)
 }
 

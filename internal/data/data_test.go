@@ -315,3 +315,73 @@ func TestPartitionMajorClassClusteredPanics(t *testing.T) {
 		}()
 	}
 }
+
+func TestPartitionShared(t *testing.T) {
+	d := GenerateImages(FastImageProfile(4), 100, 1)
+	const devices, perDevice = 1000, 40
+	p := PartitionShared(d, devices, perDevice, 7)
+	if p.NumDevices() != devices {
+		t.Fatalf("devices = %d", p.NumDevices())
+	}
+	seen := make([]bool, d.Len())
+	for m, idx := range p.Indices {
+		if len(idx) != perDevice {
+			t.Fatalf("device %d shard size %d", m, len(idx))
+		}
+		for _, i := range idx {
+			if i < 0 || i >= d.Len() {
+				t.Fatalf("device %d holds out-of-range index %d", m, i)
+			}
+			seen[i] = true
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("sample %d unused despite full wraparound coverage", i)
+		}
+	}
+	// The whole point: windows alias one backing array. Device 0 and the
+	// device whose window recycles to offset 0 share storage, and the
+	// index footprint is O(corpus), not O(devices × perDevice).
+	recycled := 0
+	for m := 1; m < devices; m++ {
+		if (m*perDevice)%d.Len() == 0 { // window start wraps to offset 0
+			recycled = m
+			break
+		}
+	}
+	if recycled == 0 {
+		t.Fatal("no recycled window in range — pick parameters that wrap")
+	}
+	if &p.Indices[0][0] != &p.Indices[recycled][0] {
+		t.Fatal("recycled window does not alias the shared permutation")
+	}
+	// Deterministic per seed, different across seeds.
+	q := PartitionShared(d, devices, perDevice, 7)
+	r := PartitionShared(d, devices, perDevice, 8)
+	samePQ, samePR := true, true
+	for i := range p.Indices[3] {
+		if p.Indices[3][i] != q.Indices[3][i] {
+			samePQ = false
+		}
+		if p.Indices[3][i] != r.Indices[3][i] {
+			samePR = false
+		}
+	}
+	if !samePQ {
+		t.Fatal("same seed produced different shards")
+	}
+	if samePR {
+		t.Fatal("different seeds produced identical shards")
+	}
+}
+
+func TestPartitionSharedPanics(t *testing.T) {
+	d := GenerateImages(FastImageProfile(4), 20, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero devices did not panic")
+		}
+	}()
+	PartitionShared(d, 0, 5, 1)
+}

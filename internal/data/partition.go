@@ -127,6 +127,42 @@ func PartitionMajorClassClustered(d *Dataset, numDevices, perDevice int, majorFr
 	return &Partition{Dataset: d, Indices: indices}
 }
 
+// PartitionShared builds a population-scale partition whose per-device
+// shards are windows into ONE shared shuffled permutation of the parent
+// dataset. A materialized partition costs O(devices × perDevice) ints —
+// at a million devices that is gigabytes of index storage before a
+// single model is allocated — while the shared form costs
+// O(datasetLen + perDevice) ints plus one slice header per device,
+// because every window aliases the same backing array. Windows stride
+// through the permutation and wrap, so devices share samples once the
+// corpus is exhausted: acceptable in simulation, and the price of
+// bounding memory by the corpus instead of the population. Unlike
+// PartitionMajorClass the shards are IID; the scale path trades the
+// Non-IID structure for a memory footprint independent of the fleet.
+func PartitionShared(d *Dataset, numDevices, perDevice int, seed int64) *Partition {
+	if numDevices < 1 || perDevice < 1 {
+		panic(fmt.Sprintf("data: shared partition needs ≥1 device and ≥1 sample, got %d/%d", numDevices, perDevice))
+	}
+	n := d.Len()
+	if n < 1 {
+		panic("data: shared partition over an empty dataset")
+	}
+	rng := tensor.Split(seed, 0x5AAD)
+	perm := rng.Perm(n)
+	// Extend by repetition so every window starting below n fits without
+	// a per-device copy; windows that cross the end wrap into the repeat.
+	ext := perm
+	for len(ext) < n+perDevice {
+		ext = append(ext, perm...)
+	}
+	indices := make([][]int, numDevices)
+	for m := range indices {
+		start := (m * perDevice) % n
+		indices[m] = ext[start : start+perDevice : start+perDevice]
+	}
+	return &Partition{Dataset: d, Indices: indices}
+}
+
 // PartitionSingleClass assigns each device samples of exactly one class
 // (device m gets class m mod Classes), the setting of the paper's
 // Figure 2 motivation experiment.

@@ -282,3 +282,33 @@ func TestPaperScaleTopology(t *testing.T) {
 		t.Fatalf("paper partition %d devices × %d", part.NumDevices(), len(part.Indices[0]))
 	}
 }
+
+// TestNewScaleSetup pins the population-scale contract: the corpus stays
+// at the Fast size regardless of the device count, and the partition is
+// the shared-window form whose index memory is O(corpus).
+func TestNewScaleSetup(t *testing.T) {
+	s := NewScaleSetup(data.TaskMNIST, 1, 50_000, 100, 2, 5)
+	if s.Devices != 50_000 || s.Edges != 100 || s.K != 2 || s.Tc != 5 {
+		t.Fatalf("topology overrides not applied: %+v", s)
+	}
+	base := NewTaskSetup(data.TaskMNIST, Fast, 1)
+	if s.Train.Len() != base.Train.Len() {
+		t.Fatalf("scale corpus %d != fast corpus %d — dataset must not grow with the population", s.Train.Len(), base.Train.Len())
+	}
+	p := s.Partition(1)
+	if p.NumDevices() != 50_000 {
+		t.Fatalf("partition devices = %d", p.NumDevices())
+	}
+	// Shared windows: two devices with the same wrapped offset alias the
+	// same backing array entry.
+	n := s.Train.Len()
+	for m := 1; m < p.NumDevices(); m++ {
+		if (m*s.PerDevice)%n == 0 {
+			if &p.Indices[0][0] != &p.Indices[m][0] {
+				t.Fatal("scale partition is not the shared-window form")
+			}
+			return
+		}
+	}
+	t.Fatal("no wrapped window found")
+}

@@ -59,6 +59,13 @@ type TaskSetup struct {
 	// loss-based selection is only competitive against noise-free data).
 	NoisyDeviceFrac float64
 	NoisyLabelFrac  float64
+	// SharedPartition switches Partition to data.PartitionShared:
+	// per-device shards become windows into one shared permutation, so
+	// index memory is bounded by the corpus instead of Devices×PerDevice.
+	// This is the population-scale path (see NewScaleSetup); it trades
+	// the Non-IID major-class structure for a footprint independent of
+	// the fleet size.
+	SharedPartition bool
 	// Obs, when set, is threaded into every simulation Config this setup
 	// produces, so one registry collects the whole experiment's metrics.
 	Obs *obs.Registry
@@ -176,6 +183,32 @@ func (s *TaskSetup) configureSequences(scale Scale, seed int64) {
 	}
 }
 
+// NewScaleSetup builds a population-scale setup: the Fast corpus and
+// model family (so dataset and network memory stay bounded by the
+// corpus, not the population) with the topology overridden to the given
+// device/edge counts and the shared-window partition enabled. Zero
+// overrides keep the Fast defaults. Pair the resulting Config with
+// hfl.Config.LazyStore/ResidentCap so per-round cost scales with the
+// cohort — this is the middlesim -exp scale path and the million-device
+// smoke in scripts/check.sh.
+func NewScaleSetup(task data.TaskName, seed int64, devices, edges, k, tc int) *TaskSetup {
+	s := NewTaskSetup(task, Fast, seed)
+	if devices > 0 {
+		s.Devices = devices
+	}
+	if edges > 0 {
+		s.Edges = edges
+	}
+	if k > 0 {
+		s.K = k
+	}
+	if tc > 0 {
+		s.Tc = tc
+	}
+	s.SharedPartition = true
+	return s
+}
+
 // Config assembles the hfl.Config for this setup with the given horizon
 // override (0 = the setup's default Steps).
 func (s *TaskSetup) Config(seed int64, steps int) hfl.Config {
@@ -203,6 +236,9 @@ func (s *TaskSetup) Config(seed int64, steps int) hfl.Config {
 // distribution correlates with geography (the setting in which Non-IID
 // across edges persists under realistic, locality-preserving mobility).
 func (s *TaskSetup) Partition(seed int64) *data.Partition {
+	if s.SharedPartition {
+		return data.PartitionShared(s.Train, s.Devices, s.PerDevice, seed)
+	}
 	p := data.PartitionMajorClassClustered(s.Train, s.Devices, s.PerDevice, s.MajorFrac, s.Edges, seed)
 	if s.NoisyDeviceFrac > 0 && s.NoisyLabelFrac > 0 {
 		p = p.WithLabelNoise(s.NoisyDeviceFrac, s.NoisyLabelFrac, seed+77)

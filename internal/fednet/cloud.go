@@ -40,6 +40,16 @@ type CloudConfig struct {
 	CheckpointDir string
 	// CheckpointEvery persists every Nth sync round (default 1).
 	CheckpointEvery int
+	// Shards, when > 1, partitions edges across that many aggregator
+	// shards (edgeID mod Shards). Each shard streams a running partial
+	// weighted sum as RoundDone frames arrive — edge payloads are
+	// released immediately instead of being gathered — and the shards
+	// are merged by one final BLAS-1 sweep. Sharded aggregation is
+	// epsilon-equivalent to the gathered weighted mean (the reduction is
+	// reassociated) and composes only with the mean aggregator and no
+	// validator; NewCloud rejects other combinations. ≤ 1 keeps the
+	// original gather path, bit-identical to previous behaviour.
+	Shards int
 	// Aggregator selects the Eq. 7 combiner: "" or "mean" (default),
 	// "median", "trimmed-mean" or "norm-clip" (see internal/robust).
 	Aggregator robust.AggregatorKind
@@ -86,6 +96,18 @@ func NewCloud(cfg CloudConfig) (*Cloud, error) {
 	if cfg.Edges < 1 || cfg.Rounds < 1 || cfg.CloudInterval < 1 {
 		return nil, fmt.Errorf("fednet: implausible cloud config %+v", cfg)
 	}
+	if cfg.Shards > 1 {
+		// Partial weighted sums cannot express coordinate-wise medians,
+		// trimming, clipping or per-update screening — those need every
+		// edge model materialized at once, which is what sharding exists
+		// to avoid.
+		if agg := (robust.Aggregator{Kind: cfg.Aggregator}); !agg.IsMean() {
+			return nil, fmt.Errorf("fednet: %d-shard cloud requires the mean aggregator, got %q", cfg.Shards, cfg.Aggregator)
+		}
+		if robust.NewValidator(cfg.Validate) != nil {
+			return nil, fmt.Errorf("fednet: %d-shard cloud cannot screen edge models; disable validation", cfg.Shards)
+		}
+	}
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 30 * time.Second
 	}
@@ -121,6 +143,18 @@ func NewCloud(cfg CloudConfig) (*Cloud, error) {
 			c.startRound = st.Round
 			for id, w := range st.EdgeWeights {
 				c.edgeWeights[id] = w
+			}
+			// Compose per-shard weight books recorded at the same round
+			// (the sharded cloud writes one record per shard alongside
+			// the global one; each overlays its own edges' weights).
+			for sh := 0; sh < cfg.Shards; sh++ {
+				shSt, shOk, err := checkpoint.LoadLatestNamed(cfg.CheckpointDir, shardCheckpointName(sh))
+				if err != nil || !shOk || shSt.Round != st.Round {
+					continue
+				}
+				for id, w := range shSt.EdgeWeights {
+					c.edgeWeights[id] = w
+				}
 			}
 			cfg.Logf("cloud: resuming from checkpoint (round %d)", st.Round)
 		}
@@ -213,10 +247,14 @@ func (c *Cloud) Run() error {
 		}
 		var vecs [][]float64
 		var weights []float64
+		var sagg *shardAgg
 		if sync {
 			c.mu.Lock()
 			c.edgeWeights = map[int]float64{}
 			c.mu.Unlock()
+			if c.cfg.Shards > 1 {
+				sagg = newShardAgg(c.cfg.Shards, len(c.global))
+			}
 		}
 		alive = edges[:0]
 		for _, e := range edges {
@@ -243,8 +281,17 @@ func (c *Cloud) Run() error {
 				c.mu.Unlock()
 			}
 			if sync && done.Weight > 0 && len(vec) > 0 {
-				vecs = append(vecs, vec)
-				weights = append(weights, done.Weight)
+				if sagg != nil {
+					// Streaming: fold the payload into its shard's partial
+					// sum now and let it go — the cloud never holds more
+					// than Shards model vectors regardless of edge count.
+					if err := sagg.add(e.id, vec, done.Weight); err != nil {
+						return err
+					}
+				} else {
+					vecs = append(vecs, vec)
+					weights = append(weights, done.Weight)
+				}
 			}
 		}
 		edges = alive
@@ -265,7 +312,17 @@ func (c *Cloud) Run() error {
 				}
 				vecs, weights = kept, keptW
 			}
-			if len(vecs) > 0 {
+			synced := len(vecs)
+			if sagg != nil {
+				synced = sagg.edges
+				next := make([]float64, len(c.global))
+				if sagg.mergeInto(next) {
+					c.mu.Lock()
+					c.global = next
+					c.mu.Unlock()
+					c.m.shardMerges.Inc()
+				}
+			} else if len(vecs) > 0 {
 				next := make([]float64, len(vecs[0]))
 				c.mu.Lock()
 				aggStats := c.agg.AggregateInto(next, vecs, weights, c.global)
@@ -302,13 +359,28 @@ func (c *Cloud) Run() error {
 					c.m.checkpoints.Inc()
 					c.cfg.Logf("cloud: checkpointed round %d", r)
 				}
+				if sagg != nil {
+					// Per-shard records (weight book only, no model) compose
+					// with the "global" record in the shared directory, so a
+					// future per-shard aggregator process can recover its
+					// own edges' weights without parsing the global state.
+					for sh, w := range sagg.shardWeights(st.EdgeWeights) {
+						if w == nil {
+							continue
+						}
+						shSt := checkpoint.State{Name: shardCheckpointName(sh), Round: r, EdgeWeights: w}
+						if _, err := checkpoint.SaveStateFile(c.cfg.CheckpointDir, shSt); err != nil {
+							c.cfg.Logf("cloud: shard %d checkpoint at round %d failed: %v", sh, r, err)
+						}
+					}
+				}
 			}
 			if tr != nil {
 				tr.Complete("cloud_sync", "fednet", tracePidCloud, 0,
 					syncStart, tr.Now().Sub(syncStart), span+".sync", span,
-					map[string]any{"round": r, "edges": len(vecs)})
+					map[string]any{"round": r, "edges": synced})
 			}
-			c.cfg.Logf("cloud: round %d synced %d edge models", r, len(vecs))
+			c.cfg.Logf("cloud: round %d synced %d edge models", r, synced)
 		}
 		c.m.rounds.Inc()
 		roundTok.End()

@@ -45,6 +45,16 @@ type ClusterConfig struct {
 	CheckpointDir   string
 	CheckpointEvery int
 	EdgeCheckpoints bool
+	// Shards partitions edges across that many cloud aggregator shards
+	// with streamed partial weighted sums (see CloudConfig.Shards); ≤ 1
+	// keeps the original gather path. Requires the mean aggregator and
+	// no validator.
+	Shards int
+	// Mux, when > 1, serves devices through multiplexers hosting that
+	// many virtual devices each (one connection and goroutine per edge
+	// per multiplexer, one shared model instance) instead of a dedicated
+	// client per device. ≤ 1 keeps dedicated Device clients.
+	Mux int
 	// Aggregator/TrimFrac select the robust combination rule used at
 	// both the edges (Eq. 6) and the cloud (Eq. 7); zero values mean the
 	// bit-identical weighted mean.
@@ -68,11 +78,31 @@ type ClusterConfig struct {
 	Trace *obs.Trace
 }
 
+// deviceHandle is a cluster-side handle on one (possibly virtual)
+// device: dedicated Device clients implement it directly, virtual
+// devices through their DeviceMux.
+type deviceHandle interface {
+	Connect(edgeID int, addr string) error
+	Disconnect()
+	Rounds() int
+}
+
+// muxHandle adapts one virtual device of a DeviceMux to deviceHandle.
+type muxHandle struct {
+	mx *DeviceMux
+	id int
+}
+
+func (h muxHandle) Connect(edgeID int, addr string) error { return h.mx.Connect(h.id, edgeID, addr) }
+func (h muxHandle) Disconnect()                           {} // the mux tears its shared connections down once
+func (h muxHandle) Rounds() int                           { return h.mx.DeviceRounds(h.id) }
+
 // Cluster is a running deployment.
 type Cluster struct {
 	cloud    *Cloud
 	edges    []*Edge
-	devices  []*Device
+	devices  []deviceHandle
+	muxes    []*DeviceMux
 	injector *FaultInjector
 	faulty   bool // fault injection enabled: edge failures are expected
 
@@ -137,7 +167,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	cloud, err := NewCloud(CloudConfig{
 		Addr: "127.0.0.1:0", Edges: numEdges, Rounds: cfg.Rounds,
 		CloudInterval: cfg.CloudInterval, InitModel: init,
-		Timeout: cfg.Timeout, MinEdges: minEdges,
+		Timeout: cfg.Timeout, MinEdges: minEdges, Shards: cfg.Shards,
 		CheckpointDir: cfg.CheckpointDir, CheckpointEvery: cfg.CheckpointEvery,
 		Aggregator: cfg.Aggregator, TrimFrac: cfg.TrimFrac, Validate: cfg.Validate,
 		Logf: cfg.Logf, OnRound: onRound, Obs: cfg.Obs, Trace: cfg.Trace,
@@ -167,21 +197,50 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		c.edges = append(c.edges, edge)
 	}
 	mode := AggModeForStrategy(cfg.Strategy.Name())
-	for m := 0; m < numDevices; m++ {
-		dev, err := NewDevice(DeviceConfig{
-			DeviceID:   m,
-			Dataset:    cfg.Partition.Dataset,
-			Indices:    cfg.Partition.Indices[m],
-			Factory:    cfg.Factory,
-			Optimizer:  cfg.Optimizer.New(),
-			LocalSteps: cfg.LocalSteps, BatchSize: cfg.BatchSize,
-			Mode: mode, Seed: cfg.Seed, Timeout: cfg.Timeout,
-			Faults: c.injector, Obs: cfg.Obs, Trace: cfg.Trace,
-		})
-		if err != nil {
-			return nil, err
+	if cfg.Mux > 1 {
+		// Virtual-device multiplexing: one client process per Mux-sized
+		// group instead of one per device.
+		for lo := 0; lo < numDevices; lo += cfg.Mux {
+			hi := lo + cfg.Mux
+			if hi > numDevices {
+				hi = numDevices
+			}
+			group := make([]MuxDevice, 0, hi-lo)
+			for m := lo; m < hi; m++ {
+				group = append(group, MuxDevice{DeviceID: m, Indices: cfg.Partition.Indices[m]})
+			}
+			mx, err := NewDeviceMux(DeviceMuxConfig{
+				Devices: group, Dataset: cfg.Partition.Dataset,
+				Factory: cfg.Factory, Optimizer: cfg.Optimizer.New(),
+				LocalSteps: cfg.LocalSteps, BatchSize: cfg.BatchSize,
+				Mode: mode, Seed: cfg.Seed, Timeout: cfg.Timeout,
+				Faults: c.injector, Obs: cfg.Obs,
+			})
+			if err != nil {
+				return nil, err
+			}
+			c.muxes = append(c.muxes, mx)
+			for m := lo; m < hi; m++ {
+				c.devices = append(c.devices, muxHandle{mx: mx, id: m})
+			}
 		}
-		c.devices = append(c.devices, dev)
+	} else {
+		for m := 0; m < numDevices; m++ {
+			dev, err := NewDevice(DeviceConfig{
+				DeviceID:   m,
+				Dataset:    cfg.Partition.Dataset,
+				Indices:    cfg.Partition.Indices[m],
+				Factory:    cfg.Factory,
+				Optimizer:  cfg.Optimizer.New(),
+				LocalSteps: cfg.LocalSteps, BatchSize: cfg.BatchSize,
+				Mode: mode, Seed: cfg.Seed, Timeout: cfg.Timeout,
+				Faults: c.injector, Obs: cfg.Obs, Trace: cfg.Trace,
+			})
+			if err != nil {
+				return nil, err
+			}
+			c.devices = append(c.devices, dev)
+		}
 	}
 
 	// Launch servers.
@@ -235,6 +294,9 @@ func (c *Cluster) Wait() error {
 	c.wg.Wait()
 	for _, d := range c.devices {
 		d.Disconnect()
+	}
+	for _, mx := range c.muxes {
+		mx.Disconnect()
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()

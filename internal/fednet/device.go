@@ -322,36 +322,9 @@ func (d *Device) train(req TrainRequest, edgeModel []float64, edgeID int) ([]flo
 	}
 	d.mu.Unlock()
 
-	d.net.SetParamVector(start)
-	d.cfg.Optimizer.Reset()
-	rng := tensor.Split(d.cfg.Seed, int64(req.Round)*100_003+int64(d.cfg.DeviceID)*13+5)
-	batch := d.cfg.BatchSize
-	if batch > len(d.cfg.Indices) {
-		batch = len(d.cfg.Indices)
-	}
-	idx := make([]int, batch)
-	sumSq, samples := 0.0, 0
-	for i := 0; i < d.cfg.LocalSteps; i++ {
-		for b := range idx {
-			idx[b] = d.cfg.Indices[rng.Intn(len(d.cfg.Indices))]
-		}
-		x, y := d.cfg.Dataset.Batch(idx)
-		d.net.ZeroGrad()
-		logits := d.net.Forward(x, true)
-		loss, g, perSample := nn.SoftmaxCrossEntropyPerSample(logits, y)
-		if math.IsNaN(loss) || math.IsInf(loss, 0) {
-			// Diverged step: skip the update, keep the current parameters.
-			d.m.nonfinite.Inc()
-			continue
-		}
-		d.net.Backward(g)
-		d.cfg.Optimizer.Step(d.net.Params())
-		for _, l := range perSample {
-			sumSq += l * l
-		}
-		samples += len(perSample)
-	}
-	vec := d.net.ParamVector()
+	vec, util := runLocalSGD(d.net, d.cfg.Optimizer, d.cfg.Dataset, d.cfg.Indices,
+		d.cfg.LocalSteps, d.cfg.BatchSize, d.cfg.Seed, d.cfg.DeviceID, req.Round,
+		start, d.m.nonfinite)
 
 	d.mu.Lock()
 	d.local = append([]float64(nil), vec...)
@@ -359,14 +332,56 @@ func (d *Device) train(req TrainRequest, edgeModel []float64, edgeID int) ([]flo
 	d.rounds++
 	d.mu.Unlock()
 
-	util := 0.0
-	if samples > 0 {
-		util = float64(len(d.cfg.Indices)) * math.Sqrt(sumSq/float64(samples))
-	}
 	return vec, TrainReply{
 		DeviceID: d.cfg.DeviceID,
 		Round:    req.Round,
 		DataSize: len(d.cfg.Indices),
 		Utility:  util,
 	}
+}
+
+// runLocalSGD executes I local SGD steps from start over the given
+// shard, returning the updated parameter vector and the device's Oort
+// statistical utility. Shared by dedicated devices and the device
+// multiplexer; the batch-sampling stream depends only on (seed, round,
+// deviceID), so a virtual device trains bit-identically to a dedicated
+// one given the same start model.
+func runLocalSGD(netw *nn.Network, opt optim.Optimizer, ds *data.Dataset, indices []int,
+	localSteps, batchSize int, seed int64, deviceID, round int,
+	start []float64, nonfinite *obs.Counter) ([]float64, float64) {
+	netw.SetParamVector(start)
+	opt.Reset()
+	rng := tensor.Split(seed, int64(round)*100_003+int64(deviceID)*13+5)
+	batch := batchSize
+	if batch > len(indices) {
+		batch = len(indices)
+	}
+	idx := make([]int, batch)
+	sumSq, samples := 0.0, 0
+	for i := 0; i < localSteps; i++ {
+		for b := range idx {
+			idx[b] = indices[rng.Intn(len(indices))]
+		}
+		x, y := ds.Batch(idx)
+		netw.ZeroGrad()
+		logits := netw.Forward(x, true)
+		loss, g, perSample := nn.SoftmaxCrossEntropyPerSample(logits, y)
+		if math.IsNaN(loss) || math.IsInf(loss, 0) {
+			// Diverged step: skip the update, keep the current parameters.
+			nonfinite.Inc()
+			continue
+		}
+		netw.Backward(g)
+		opt.Step(netw.Params())
+		for _, l := range perSample {
+			sumSq += l * l
+		}
+		samples += len(perSample)
+	}
+	vec := netw.ParamVector()
+	util := 0.0
+	if samples > 0 {
+		util = float64(len(indices)) * math.Sqrt(sumSq/float64(samples))
+	}
+	return vec, util
 }

@@ -83,7 +83,11 @@ type EdgeConfig struct {
 // exactly the information the paper allows selection to use (model
 // vectors and participation history, never raw data).
 type deviceState struct {
-	conn        net.Conn
+	conn net.Conn
+	// mux is set when the device is virtual — attached through a shared
+	// multiplexed connection (conn is then the mux's connection and all
+	// I/O goes through the mux's write lock and demux reader).
+	mux         *edgeMux
 	id          int
 	dataSize    int
 	arrivedFrom int  // edge the device trained under before connecting here
@@ -217,10 +221,17 @@ func (e *Edge) acceptLoop() {
 		}
 		go func(conn net.Conn) {
 			conn.SetDeadline(time.Now().Add(e.cfg.Timeout))
-			var reg RegisterDevice
+			var reg struct {
+				RegisterDevice
+				Devices []RegisterDevice `json:"devices"`
+			}
 			t, _, err := e.m.deviceLink.readMsg(conn, &reg)
-			if err != nil || t != MsgRegisterDevice {
+			if err != nil || (t != MsgRegisterDevice && t != MsgRegisterMux) {
 				conn.Close()
+				return
+			}
+			if t == MsgRegisterMux {
+				e.acceptMux(conn, reg.Devices)
 				return
 			}
 			e.mu.Lock()
@@ -486,8 +497,15 @@ collect:
 		e.m.stragglers.Inc()
 		e.mu.Lock()
 		if d, ok := e.devices[id]; ok {
-			d.conn.Close()
-			delete(e.devices, id)
+			if d.mux != nil {
+				// A virtual straggler stays registered: its shared
+				// connection is healthy (the multiplexer trains its
+				// devices sequentially, so only this round-trip is late)
+				// and closing it would take the siblings down with it.
+			} else {
+				d.conn.Close()
+				delete(e.devices, id)
+			}
 		}
 		e.mu.Unlock()
 		e.cfg.Logf("edge %d: excluded straggler device %d in round %d", e.cfg.EdgeID, id, round)
@@ -578,20 +596,46 @@ func (e *Edge) trainDevice(id, round int, span string, model []float64, results 
 		e.mu.Lock()
 		d, ok := e.devices[id]
 		var req TrainRequest
+		var mx *edgeMux
 		if ok {
 			req = TrainRequest{
 				Round:      round,
+				DeviceID:   id,
 				Moved:      !d.trainedHere && d.arrivedFrom >= 0 && d.arrivedFrom != e.cfg.EdgeID,
 				ResetLocal: d.lastTrained < e.lastSync,
 			}
 			if span != "" {
 				req.Span = trainRPCSpan(span, id)
 			}
+			mx = d.mux
 		}
 		e.mu.Unlock()
 		if !ok {
 			lastErr = fmt.Errorf("device %d not connected", id)
 			continue
+		}
+		if mx != nil {
+			// Multiplexed device: the round-trip rides the shared
+			// connection; the demux reader matches the reply by device id.
+			rpcStart := tr.Now()
+			rpcTok := e.m.trainSpan.Begin()
+			vec, reply, err := mx.roundTrip(id, req, model, e.cfg.Timeout)
+			if err == nil && (reply.Round != round || len(vec) == 0) {
+				err = fmt.Errorf("mux train reply: round %d, %d values", reply.Round, len(vec))
+			}
+			if err != nil {
+				countTimeout(e.m.timeouts, err)
+				lastErr = err
+				continue
+			}
+			rpcTok.End()
+			if tr != nil {
+				tr.Complete("train_rpc", "fednet", tracePidEdgeBase+e.cfg.EdgeID, id,
+					rpcStart, tr.Now().Sub(rpcStart), req.Span, span,
+					map[string]any{"round": round, "device": id, "attempt": attempt, "mux": true})
+			}
+			results <- trainResult{id: id, vec: vec, reply: reply}
+			return
 		}
 		conn := d.conn
 		rpcStart := tr.Now()
@@ -627,12 +671,18 @@ func (e *Edge) trainDevice(id, round int, span string, model []float64, results 
 func (e *Edge) shutdownDevices() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	// Multiplexed devices share connections: shut each one down once.
+	seen := map[net.Conn]bool{}
 	for id, d := range e.devices {
-		d.conn.SetDeadline(time.Now().Add(e.cfg.Timeout))
-		_ = e.m.deviceLink.writeMsg(d.conn, MsgShutdown, struct{}{}, nil)
-		d.conn.Close()
+		if !seen[d.conn] {
+			seen[d.conn] = true
+			d.conn.SetDeadline(time.Now().Add(e.cfg.Timeout))
+			_ = e.m.deviceLink.writeMsg(d.conn, MsgShutdown, struct{}{}, nil)
+			d.conn.Close()
+		}
 		delete(e.devices, id)
 	}
+	e.setVirtualGaugeLocked()
 }
 
 // edgeView adapts the edge's device cache to hfl.View so the simulation

@@ -68,6 +68,7 @@ type cloudMetrics struct {
 	timeouts       *obs.Counter
 	edgeDrops      *obs.Counter
 	checkpoints    *obs.Counter
+	shardMerges    *obs.Counter
 	rejNonFinite   *obs.Counter
 	rejNorm        *obs.Counter
 	trimmedCoords  *obs.Counter
@@ -83,6 +84,7 @@ func newCloudMetrics(r *obs.Registry) cloudMetrics {
 		timeouts:       r.Counter("fednet_timeouts_total"),
 		edgeDrops:      r.Counter("fednet_edge_drops_total"),
 		checkpoints:    r.Counter("fednet_checkpoints_total"),
+		shardMerges:    r.Counter("fednet_shard_merges_total"),
 		rejNonFinite:   r.Counter("robust_rejected_updates_total", "reason", "nonfinite"),
 		rejNorm:        r.Counter("robust_rejected_updates_total", "reason", "norm"),
 		trimmedCoords:  r.Counter("robust_trimmed_coords_total"),
@@ -107,6 +109,10 @@ type edgeMetrics struct {
 	trimmedCoords  *obs.Counter
 	clippedUpdates *obs.Counter
 	checkpoints    *obs.Counter
+	// virtualDevices gauges how many devices are attached through
+	// multiplexed connections (fednet_virtual_devices) — the density
+	// signal of the device-multiplexing scale-out.
+	virtualDevices *obs.Gauge
 	roundSpan      *obs.Span
 	trainSpan      *obs.Span
 }
@@ -126,6 +132,7 @@ func newEdgeMetrics(r *obs.Registry) edgeMetrics {
 		trimmedCoords:  r.Counter("robust_trimmed_coords_total"),
 		clippedUpdates: r.Counter("robust_clipped_updates_total"),
 		checkpoints:    r.Counter("fednet_checkpoints_total"),
+		virtualDevices: r.Gauge("fednet_virtual_devices"),
 		roundSpan:      r.Span("fednet_rpc_seconds", "op", "edge_round"),
 		trainSpan:      r.Span("fednet_rpc_seconds", "op", "train_rpc"),
 	}

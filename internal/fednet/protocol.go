@@ -67,6 +67,15 @@ const (
 	// reconnecting device resyncs state (model + round counter) without
 	// waiting for its next TrainRequest.
 	MsgRegisterAck
+	// MsgRegisterMux: device multiplexer → edge. Header: RegisterMux.
+	// One connection announces a batch of virtual devices; the edge
+	// answers with a single MsgRegisterAck (carrying its model) and
+	// addresses subsequent train requests by TrainRequest.DeviceID.
+	MsgRegisterMux
+	// MsgDeviceLeave: device multiplexer → edge. Header: DeviceLeave.
+	// Withdraws one virtual device from a multiplexed connection (it
+	// moved to another edge) without tearing the connection down.
+	MsgDeviceLeave
 )
 
 // maxFrame bounds a frame's payload sizes against corrupt peers.
@@ -84,6 +93,21 @@ type RegisterDevice struct {
 	// PrevEdge is the edge the device last trained under (−1 if none);
 	// the edge uses it to derive the paper's "moved" predicate.
 	PrevEdge int `json:"prev_edge"`
+}
+
+// RegisterMux announces a batch of virtual devices sharing one
+// connection (see DeviceMux). Sent as the first message of a mux
+// connection and again whenever a virtual device migrates onto an edge
+// the multiplexer is already attached to.
+type RegisterMux struct {
+	Devices []RegisterDevice `json:"devices"`
+}
+
+// DeviceLeave withdraws one virtual device from a multiplexed
+// connection: it moved to another edge and must no longer be selected
+// here. The connection itself stays up for its remaining devices.
+type DeviceLeave struct {
+	DeviceID int `json:"device_id"`
 }
 
 // RegisterAck confirms a device registration and resyncs its state.
@@ -124,6 +148,9 @@ type RoundDone struct {
 // model (already blended by the device according to its AggMode).
 type TrainRequest struct {
 	Round int `json:"round"`
+	// DeviceID addresses one virtual device on a multiplexed connection
+	// (zero-valued and ignored on dedicated per-device connections).
+	DeviceID int `json:"device_id,omitempty"`
 	// Moved tells the device whether the edge considers it newly
 	// arrived (m ∉ M^{t−1}_n), enabling on-device aggregation.
 	Moved bool `json:"moved"`

@@ -136,6 +136,23 @@ type Config struct {
 	// prefers exactly the divergent updates adversaries produce.
 	SelectionNormCap float64
 
+	// LazyStore selects the population-scale device store: carried
+	// models are materialized only for devices that train between cloud
+	// syncs (the selected cohorts); everyone else shares the cloud
+	// vector. Because every cloud sync overwrites every carried model
+	// with the global model, runs with LazyStore on (and ResidentCap
+	// 0) are bit-identical to the dense engine while per-round memory
+	// scales with cohort size instead of the device count.
+	LazyStore bool
+	// ResidentCap, when > 0, bounds how many materialized device
+	// vectors the lazy store keeps (implies LazyStore). At step end the
+	// least-recently-trained residents beyond the cap are evicted to a
+	// compact drift record (their Eq. 12 utility and ‖Δw_m‖ at eviction
+	// time), which selection keeps using; an evicted mover re-blends
+	// against the cloud model instead of its carried one. The cap must
+	// hold at least one full cohort (K × edges) — New panics otherwise.
+	ResidentCap int
+
 	// Obs, when set, receives run metrics: per-phase wall time
 	// (sim_phase_seconds{phase=...}), step/selection/straggler/mobility
 	// counters, cloud-sync counts, and the learning-dynamics series
@@ -183,6 +200,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Optimizer.LR <= 0 {
 		c.Optimizer = OptimizerSpec{Kind: OptSGDMomentum, LR: 0.01, Momentum: 0.9}
+	}
+	if c.ResidentCap < 0 {
+		panic(fmt.Sprintf("hfl: negative ResidentCap %d", c.ResidentCap))
+	}
+	if c.ResidentCap > 0 {
+		c.LazyStore = true
 	}
 	return c
 }

@@ -14,6 +14,10 @@ import (
 type History struct {
 	Strategy          string
 	EmpiricalMobility float64
+	// PeakResidentModels is the run's high-water mark of materialized
+	// device model vectors (the device count under the dense store; the
+	// cohort-scale figure the lazy store bounds). Filled by Run.
+	PeakResidentModels int
 
 	Steps       []int
 	GlobalAcc   []float64

@@ -38,6 +38,10 @@ type simMetrics struct {
 	evals        *obs.Counter
 	faultDrops   *obs.Counter
 	quorumMisses *obs.Counter
+	// residentModels tracks how many device model vectors are
+	// materialized (hfl_resident_models) — the memory-boundedness
+	// signal of the lazy store.
+	residentModels *obs.Gauge
 
 	// Robustness layer: validation rejections by reason, aggregator
 	// decisions, adversary corruptions and skipped non-finite SGD steps.
@@ -57,15 +61,16 @@ type simMetrics struct {
 
 func newSimMetrics(r *obs.Registry) simMetrics {
 	return simMetrics{
-		steps:        r.Counter("sim_steps_total"),
-		selected:     r.Counter("sim_selected_total"),
-		stragglers:   r.Counter("sim_stragglers_total"),
-		moves:        r.Counter("sim_moves_total"),
-		moveOpp:      r.Counter("sim_move_opportunities_total"),
-		cloudSyncs:   r.Counter("sim_cloud_syncs_total"),
-		evals:        r.Counter("sim_evals_total"),
-		faultDrops:   r.Counter("hfl_fault_drops_total"),
-		quorumMisses: r.Counter("hfl_quorum_misses_total"),
+		steps:          r.Counter("sim_steps_total"),
+		selected:       r.Counter("sim_selected_total"),
+		stragglers:     r.Counter("sim_stragglers_total"),
+		moves:          r.Counter("sim_moves_total"),
+		moveOpp:        r.Counter("sim_move_opportunities_total"),
+		cloudSyncs:     r.Counter("sim_cloud_syncs_total"),
+		evals:          r.Counter("sim_evals_total"),
+		faultDrops:     r.Counter("hfl_fault_drops_total"),
+		quorumMisses:   r.Counter("hfl_quorum_misses_total"),
+		residentModels: r.Gauge("hfl_resident_models"),
 
 		rejNonFinite:   r.Counter("robust_rejected_updates_total", "reason", "nonfinite"),
 		rejNorm:        r.Counter("robust_rejected_updates_total", "reason", "norm"),

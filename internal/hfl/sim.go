@@ -34,7 +34,7 @@ type Sim struct {
 
 	cloud        []float64
 	edges        [][]float64
-	locals       [][]float64
+	store        deviceStore
 	dataSizes    []int
 	statUtil     []float64
 	lastTrain    []int
@@ -85,6 +85,11 @@ type Sim struct {
 	jobs       []trainJob
 	aggVecs    [][]float64
 	aggWeights []float64
+	// Streaming Eq. 6/Eq. 7 accumulators (the default mean path): each
+	// aggregation folds one vector at a time into its destination, so a
+	// round never gathers more than the resident cohort.
+	edgeAcc  simil.Accumulator
+	cloudAcc simil.Accumulator
 }
 
 // trainWorker owns one reusable network + optimizer pair plus its batch
@@ -121,11 +126,18 @@ func New(cfg Config, factory ModelFactory, part *data.Partition, test *data.Data
 	for n := range s.edges {
 		s.edges[n] = cloneVec(init)
 	}
-	s.locals = make([][]float64, s.numDevices)
+	if cfg.ResidentCap > 0 && cfg.ResidentCap < cfg.K*s.numEdges {
+		panic(fmt.Sprintf("hfl: ResidentCap %d cannot hold one full cohort (K=%d × %d edges = %d); raise the cap or lower K",
+			cfg.ResidentCap, cfg.K, s.numEdges, cfg.K*s.numEdges))
+	}
+	if cfg.LazyStore {
+		s.store = newLazyStore(s.cloud, cfg.ResidentCap)
+	} else {
+		s.store = newDenseStore(s.cloud, s.numDevices)
+	}
 	s.statUtil = make([]float64, s.numDevices)
 	s.lastTrain = make([]int, s.numDevices)
-	for m := range s.locals {
-		s.locals[m] = cloneVec(init)
+	for m := 0; m < s.numDevices; m++ {
 		s.statUtil[m] = math.NaN()
 		s.lastTrain[m] = -1
 	}
@@ -164,7 +176,24 @@ func (s *Sim) CloudModel() []float64 { return s.cloud }
 func (s *Sim) EdgeModel(edge int) []float64 { return s.edges[edge] }
 
 // LocalModel returns device m's carried local model vector (read-only).
-func (s *Sim) LocalModel(device int) []float64 { return s.locals[device] }
+// Under the lazy store a device that has not trained since the last
+// cloud sync returns the shared cloud vector itself.
+func (s *Sim) LocalModel(device int) []float64 { return s.store.model(device) }
+
+// DriftInfo implements ResidentView: the Eq. 12 fast path for devices
+// the store can answer for without touching a full vector.
+func (s *Sim) DriftInfo(device int) (utility, deltaNorm float64, known bool) {
+	return s.store.drift(device)
+}
+
+// ResidentModels returns how many materialized device vectors the
+// engine currently holds (always the device count with the dense
+// store).
+func (s *Sim) ResidentModels() int { return s.store.residentCount() }
+
+// PeakResidentModels returns the run's high-water mark of
+// ResidentModels — the number the 1M-device smoke run bounds.
+func (s *Sim) PeakResidentModels() int { return s.store.peakResident() }
 
 // DataSize returns d_m.
 func (s *Sim) DataSize(device int) int { return s.dataSizes[device] }
@@ -193,7 +222,7 @@ func (s *Sim) History() *History { return s.history }
 type trainJob struct {
 	device int
 	init   []float64
-	out    []float64 // preset to s.locals[device]; overwritten by the worker
+	out    []float64 // the device's materialized vector; overwritten by the worker
 	util   float64
 }
 
@@ -290,18 +319,24 @@ func (s *Sim) StepOnce() int {
 			// Learning-dynamics telemetry reads the pre-training carried
 			// model: the Eq. 12 utility and ‖Δw_m‖ against the cloud, and
 			// on a mobility event the Eq. 9 blend utility against the
-			// entered edge. Pure reads — results are unaffected.
-			u, dn := simil.SelectionUtilityNorm(s.cloud, s.locals[m])
+			// entered edge. Pure reads — results are unaffected. The store
+			// fast path answers for non-resident devices without a sweep
+			// (exactly 0/0: their carried model IS the cloud vector).
+			u, dn, known := s.store.drift(m)
+			if !known {
+				u, dn = simil.SelectionUtilityNorm(s.cloud, s.store.model(m))
+			}
 			s.tel.recordSelection(m, u, dn)
 			if moved[m] {
-				s.tel.recordBlend(simil.Utility(s.locals[m], s.edges[n]))
+				s.tel.recordBlend(simil.Utility(s.store.model(m), s.edges[n]))
 			}
 			// Lines 4–7: on-device model initialisation. The job writes
-			// the trained model straight into the device's carried vector
-			// (each device appears in at most one job per step, and
-			// SetParamVector copies init before the overwrite).
+			// the trained model straight into the device's carried vector,
+			// materialized here for lazily-stored devices (each device
+			// appears in at most one job per step, and SetParamVector
+			// copies init before the overwrite).
 			init := s.strat.InitLocal(s, m, n, moved[m])
-			s.jobs = append(s.jobs, trainJob{device: m, init: init, out: s.locals[m]})
+			s.jobs = append(s.jobs, trainJob{device: m, init: init, out: s.store.materialize(m)})
 		}
 	}
 	phaseStart := clock
@@ -315,6 +350,7 @@ func (s *Sim) StepOnce() int {
 		j := &jobs[i]
 		s.statUtil[j.device] = j.util
 		s.lastTrain[j.device] = t
+		s.store.noteTrained(j.device, t)
 	}
 	// Adversary harness: a seeded subset of devices corrupts its upload
 	// after training, as a pure function of (Adversary.Seed, device, t).
@@ -324,7 +360,7 @@ func (s *Sim) StepOnce() int {
 		for i := range jobs {
 			m := jobs[i].device
 			if s.cfg.Adversary.IsAdversary(m) {
-				s.cfg.Adversary.Corrupt(s.locals[m], s.cloud, m, t)
+				s.cfg.Adversary.Corrupt(jobs[i].out, s.cloud, m, t)
 				s.corruptions++
 				s.metrics.advCorruptions.Inc()
 			}
@@ -345,10 +381,31 @@ func (s *Sim) StepOnce() int {
 		if len(sel) == 0 {
 			continue
 		}
+		// Streaming Eq. 6: with the default mean and no validator the
+		// cohort's weights are known up front (data sizes), so the edge
+		// folds one update at a time into a running weighted sum —
+		// bit-identical to the materialized WeightedAverageInto call
+		// (see simil.Accumulator) and never gathering the cohort.
+		if s.agg.IsMean() && s.validator == nil {
+			s.updatesSeen += len(sel)
+			totalW := 0.0
+			for _, m := range sel {
+				w := float64(s.dataSizes[m])
+				s.edgeWeight[n] += w
+				totalW += w
+			}
+			s.edgeAcc.Begin(s.edges[n], totalW)
+			for _, m := range sel {
+				s.edgeAcc.Add(s.store.model(m), float64(s.dataSizes[m]))
+			}
+			continue
+		}
+		// Robust aggregators and the validator need the whole cohort at
+		// once (medians, trims and norm screens are order statistics).
 		vecs := s.aggVecs[:0]
 		weights := s.aggWeights[:0]
 		for _, m := range sel {
-			vecs = append(vecs, s.locals[m])
+			vecs = append(vecs, s.store.model(m))
 			weights = append(weights, float64(s.dataSizes[m]))
 		}
 		vecs, weights = s.screen(t, vecs, weights, s.edges[n])
@@ -369,27 +426,50 @@ func (s *Sim) StepOnce() int {
 	// the new global model down to all edges and devices (copy into the
 	// existing vectors; their backing arrays are stable for the run).
 	if t%s.cfg.CloudInterval == 0 {
-		vecs := s.aggVecs[:0]
-		weights := s.aggWeights[:0]
-		for n := 0; n < s.numEdges; n++ {
-			if s.edgeWeight[n] > 0 {
-				vecs = append(vecs, s.edges[n])
-				weights = append(weights, s.edgeWeight[n])
+		// Streaming Eq. 7 mirrors the Eq. 6 fast path: the participating
+		// edges' accumulated weights d̂_n are known before any vector is
+		// touched, so the cloud folds edge models into a running weighted
+		// sum one at a time — the same bits as the gathered call.
+		if s.agg.IsMean() && s.validator == nil {
+			participants := 0
+			totalW := 0.0
+			for n := 0; n < s.numEdges; n++ {
+				if s.edgeWeight[n] > 0 {
+					participants++
+					totalW += s.edgeWeight[n]
+				}
 			}
-		}
-		s.commEdgeCloud += 2 * int64(len(vecs))
-		vecs, weights = s.screen(t, vecs, weights, s.cloud)
-		if len(vecs) > 0 {
-			s.recordAgg(s.agg.AggregateInto(s.cloud, vecs, weights, s.cloud))
+			s.commEdgeCloud += 2 * int64(participants)
+			s.updatesSeen += participants
+			if participants > 0 {
+				s.cloudAcc.Begin(s.cloud, totalW)
+				for n := 0; n < s.numEdges; n++ {
+					if s.edgeWeight[n] > 0 {
+						s.cloudAcc.Add(s.edges[n], s.edgeWeight[n])
+					}
+				}
+			}
+		} else {
+			vecs := s.aggVecs[:0]
+			weights := s.aggWeights[:0]
+			for n := 0; n < s.numEdges; n++ {
+				if s.edgeWeight[n] > 0 {
+					vecs = append(vecs, s.edges[n])
+					weights = append(weights, s.edgeWeight[n])
+				}
+			}
+			s.commEdgeCloud += 2 * int64(len(vecs))
+			vecs, weights = s.screen(t, vecs, weights, s.cloud)
+			if len(vecs) > 0 {
+				s.recordAgg(s.agg.AggregateInto(s.cloud, vecs, weights, s.cloud))
+			}
+			s.aggVecs, s.aggWeights = vecs, weights
 		}
 		for n := range s.edges {
 			copy(s.edges[n], s.cloud)
 			s.edgeWeight[n] = 0
 		}
-		for m := range s.locals {
-			copy(s.locals[m], s.cloud)
-		}
-		s.aggVecs, s.aggWeights = vecs, weights
+		s.store.cloudSynced()
 		s.metrics.cloudSyncs.Inc()
 		phaseStart = clock
 		clock = phase(&s.phases.CloudSync, s.metrics.cloudSyncSpan, clock)
@@ -404,6 +484,8 @@ func (s *Sim) StepOnce() int {
 		s.tracePhase("eval", t, phaseStart, clock)
 	}
 
+	s.store.endStep(t)
+	s.metrics.residentModels.Set(float64(s.store.residentCount()))
 	s.metrics.steps.Inc()
 	s.metrics.selected.Add(int64(len(s.jobs)))
 	s.metrics.stragglers.Add(int64(s.stragglers - stragglersBefore))
@@ -573,6 +655,7 @@ func (s *Sim) Run() *History {
 		s.StepOnce()
 	}
 	s.history.EmpiricalMobility = s.ObservedMobility()
+	s.history.PeakResidentModels = s.PeakResidentModels()
 	return s.history
 }
 

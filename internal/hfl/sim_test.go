@@ -138,7 +138,7 @@ func TestCloudSyncResetsEdgesAndLocals(t *testing.T) {
 	}
 	for m := 0; m < s.NumDevices(); m++ {
 		for i := range s.cloud {
-			if s.locals[m][i] != s.cloud[i] {
+			if s.LocalModel(m)[i] != s.cloud[i] {
 				t.Fatalf("device %d not synced to cloud after T_c", m)
 			}
 		}

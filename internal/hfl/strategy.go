@@ -1,6 +1,9 @@
 package hfl
 
-import "middle/internal/tensor"
+import (
+	"middle/internal/simil"
+	"middle/internal/tensor"
+)
 
 // View is the read-only window a Strategy gets into the simulation state.
 // It exposes exactly the information the paper's policies need: model
@@ -42,6 +45,32 @@ type NormCapView interface {
 // CappedScore is the Eq. 12 score assigned to devices over the
 // selection norm cap — strictly below the honest score range [−1, 0].
 const CappedScore = -2
+
+// ResidentView is optionally implemented by views backed by a lazy
+// device store (Config.LazyStore). DriftInfo short-circuits the Eq. 12
+// reduction for devices whose accumulated update is knowable without an
+// O(dim) sweep: a device that has not trained since the last cloud sync
+// carries exactly the cloud model, so its utility and ‖Δw_m‖ are
+// exactly 0 — the same bits simil.SelectionUtilityNorm returns on the
+// full vectors — and an evicted device answers from its compact drift
+// record. known=false means the caller must compute from the vectors.
+type ResidentView interface {
+	DriftInfo(device int) (utility, deltaNorm float64, known bool)
+}
+
+// SelectionInfo returns the Eq. 12 similarity utility U(w_c, Δw_m) and
+// update norm ‖Δw_m‖ for one device, using the view's ResidentView fast
+// path when it has one and the fused full-vector reduction otherwise.
+// Selection strategies score thousands of candidates per step at
+// population scale; this is what keeps that sweep cohort-bounded.
+func SelectionInfo(v View, device int) (utility, deltaNorm float64) {
+	if rv, ok := v.(ResidentView); ok {
+		if u, dn, known := rv.DriftInfo(device); known {
+			return u, dn
+		}
+	}
+	return simil.SelectionUtilityNorm(v.CloudModel(), v.LocalModel(device))
+}
 
 // Strategy is the policy slot of Algorithm 1: which devices each edge
 // selects (line 2) and what starting model a selected device uses for

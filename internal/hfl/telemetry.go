@@ -61,6 +61,14 @@ type telemetry struct {
 	flow         []*obs.Counter
 }
 
+// maxPerEdgeSeries bounds the per-edge obs series families. The flow
+// counter matrix is numEdges² series and the divergence gauges numEdges
+// more; at population scale (1k+ edges) registering millions of series
+// would dominate memory, so beyond this edge count the telemetry keeps
+// its in-memory counters (flowCounts, History columns) but registers no
+// per-edge instruments — nil instruments no-op.
+const maxPerEdgeSeries = 128
+
 func newTelemetry(r *obs.Registry, numEdges, numDevices int) *telemetry {
 	tel := &telemetry{
 		numEdges:     numEdges,
@@ -75,10 +83,12 @@ func newTelemetry(r *obs.Registry, numEdges, numDevices int) *telemetry {
 		participants: r.Gauge("hfl_participating_devices"),
 		flow:         make([]*obs.Counter, numEdges*numEdges),
 	}
-	for n := 0; n < numEdges; n++ {
-		tel.edgeDiv[n] = r.Gauge("hfl_edge_divergence", "edge", strconv.Itoa(n))
-		for to := 0; to < numEdges; to++ {
-			tel.flow[n*numEdges+to] = r.Counter("hfl_mobility_flow_total", "from", strconv.Itoa(n), "to", strconv.Itoa(to))
+	if numEdges <= maxPerEdgeSeries {
+		for n := 0; n < numEdges; n++ {
+			tel.edgeDiv[n] = r.Gauge("hfl_edge_divergence", "edge", strconv.Itoa(n))
+			for to := 0; to < numEdges; to++ {
+				tel.flow[n*numEdges+to] = r.Counter("hfl_mobility_flow_total", "from", strconv.Itoa(n), "to", strconv.Itoa(to))
+			}
 		}
 	}
 	return tel

@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"bufio"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// PeakRSSBytes returns the process's peak resident set size in bytes,
+// read from the VmHWM line of /proc/self/status. It is the number the
+// scale-out acceptance gate asserts on: a million-device run must keep
+// this bounded by the cohort, not the population. On platforms without
+// procfs it returns 0, which callers should treat as "unknown" rather
+// than "zero memory".
+func PeakRSSBytes() uint64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		// Format: "VmHWM:     123456 kB".
+		fields := strings.Fields(strings.TrimPrefix(line, "VmHWM:"))
+		if len(fields) < 1 {
+			return 0
+		}
+		kb, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
+}

@@ -1,0 +1,26 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestPeakRSSBytes(t *testing.T) {
+	got := PeakRSSBytes()
+	if runtime.GOOS != "linux" {
+		t.Skipf("no procfs on %s; got %d", runtime.GOOS, got)
+	}
+	// Any live Go process has paged in at least a megabyte.
+	if got < 1<<20 {
+		t.Fatalf("peak RSS %d bytes implausibly small", got)
+	}
+}
+
+func TestProcessMetricsIncludePeakRSS(t *testing.T) {
+	r := NewRegistry()
+	RegisterProcessMetrics(r)
+	snap := r.Snapshot()
+	if _, ok := snap["process_peak_rss_bytes"]; !ok {
+		t.Fatalf("process_peak_rss_bytes missing from snapshot %v", snap)
+	}
+}

@@ -156,4 +156,7 @@ func RegisterProcessMetrics(r *Registry) {
 	r.GaugeFunc("process_cpu_count", func() float64 {
 		return float64(runtime.GOMAXPROCS(0))
 	})
+	r.GaugeFunc("process_peak_rss_bytes", func() float64 {
+		return float64(PeakRSSBytes())
+	})
 }

@@ -246,3 +246,85 @@ func WeightedAverage(vecs [][]float64, weights []float64) []float64 {
 	WeightedAverageInto(out, vecs, weights)
 	return out
 }
+
+// Accumulator streams the Eq. 6/Eq. 7 weighted mean one vector at a
+// time: Begin(dst, Σwᵢ) then Add(vᵢ, wᵢ) for each update, in order.
+// The floating-point operations are exactly those of
+// WeightedAverageInto — per vector, dst[j] += (wᵢ/Σw)·vᵢ[j] with
+// zero-weight vectors skipped — so a streamed aggregation is
+// bit-identical to the materialized call, while the caller never has
+// to hold more than one source vector at a time.
+//
+// The total weight must be known up front (every aggregation point in
+// this codebase knows its cohort's weights before it sees the first
+// model vector). The zero value is ready for Begin; an Accumulator may
+// be reused across rounds.
+type Accumulator struct {
+	dst    []float64
+	totalW float64
+	added  int
+}
+
+// Begin starts a new aggregation into dst with the given total weight.
+// dst is cleared (the mean overwrites it completely) and must stay
+// untouched by the caller until the final Add. It panics when totalW
+// is not positive, mirroring WeightedAverageInto's all-zero-weights
+// panic.
+func (a *Accumulator) Begin(dst []float64, totalW float64) {
+	if totalW <= 0 {
+		panic(fmt.Sprintf("simil: Accumulator.Begin with non-positive total weight %v", totalW))
+	}
+	clear(dst)
+	a.dst = dst
+	a.totalW = totalW
+	a.added = 0
+}
+
+// Add folds one model vector with weight w into the running mean.
+// Same panics as WeightedAverageInto: length mismatch, destination
+// aliasing and negative weights.
+func (a *Accumulator) Add(v []float64, w float64) {
+	if a.dst == nil {
+		panic("simil: Accumulator.Add before Begin")
+	}
+	if len(v) != len(a.dst) {
+		panic(fmt.Sprintf("simil: Accumulator.Add vector has length %d, want %d", len(v), len(a.dst)))
+	}
+	if len(v) > 0 && &v[0] == &a.dst[0] {
+		panic("simil: Accumulator.Add vector aliases destination")
+	}
+	if w < 0 {
+		panic(fmt.Sprintf("simil: negative weight %v", w))
+	}
+	a.added++
+	wn := w / a.totalW
+	if wn == 0 {
+		return
+	}
+	dst := a.dst
+	for j, vj := range v {
+		dst[j] += wn * vj
+	}
+}
+
+// Added returns how many vectors have been folded in since Begin.
+func (a *Accumulator) Added() int { return a.added }
+
+// AxpyInto computes dst[j] += alpha·v[j] — the BLAS-1 primitive behind
+// the sharded cloud's partial weighted sums and their final merge.
+func AxpyInto(dst, v []float64, alpha float64) {
+	if len(dst) != len(v) {
+		panic(fmt.Sprintf("simil: AxpyInto length mismatch dst=%d v=%d", len(dst), len(v)))
+	}
+	for j, vj := range v {
+		dst[j] += alpha * vj
+	}
+}
+
+// ScaleInto computes dst[j] *= alpha in place — the normalisation sweep
+// that turns a merged Σ wᵢ·vᵢ into the weighted mean.
+func ScaleInto(dst []float64, alpha float64) {
+	for j := range dst {
+		dst[j] *= alpha
+	}
+}

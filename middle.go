@@ -319,6 +319,13 @@ func NewTaskSetup(task TaskName, scale Scale, seed int64) *TaskSetup {
 	return experiments.NewTaskSetup(task, scale, seed)
 }
 
+// NewScaleSetup builds a population-scale setup: the Fast corpus with
+// the topology overridden and shared-window shards, for million-device
+// runs whose memory is bounded by the cohort (see hfl.Config.LazyStore).
+func NewScaleSetup(task TaskName, seed int64, devices, edges, k, tc int) *TaskSetup {
+	return experiments.NewScaleSetup(task, seed, devices, edges, k, tc)
+}
+
 // RunFig1 reproduces the paper's Figure 1 motivation experiment.
 func RunFig1(cfg experiments.Fig1Config) Fig1Result { return experiments.RunFig1(cfg) }
 

@@ -8,7 +8,7 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-10x}"
 OUT="${BENCH_OUT:-BENCH_1.json}"
-PATTERN='^(BenchmarkMatMul128|BenchmarkConv2DForward|BenchmarkLocalTrainingRound|BenchmarkOnDeviceAggregation|BenchmarkOnDeviceAggregationInto|BenchmarkSelectionScoring|BenchmarkSimulationStep)$'
+PATTERN='^(BenchmarkMatMul128|BenchmarkConv2DForward|BenchmarkLocalTrainingRound|BenchmarkOnDeviceAggregation|BenchmarkOnDeviceAggregationInto|BenchmarkSelectionScoring|BenchmarkSimulationStep|BenchmarkPopulationScaling)$'
 
 echo "Running benchmarks (benchtime=$BENCHTIME)..."
 RAW=$(go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" .)

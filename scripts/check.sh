@@ -308,4 +308,43 @@ grep -q "training complete" "$tmpdir/cloud2.log" || {
 kill "$cpid" "$epid" "$dpid" 2>/dev/null || true
 echo ok
 
+echo "== million-device scale-out smoke =="
+# The tentpole acceptance gate: a 1M-device / 1k-edge lazy-store run
+# must finish and keep peak RSS bounded by the cohort (ceiling 2 GiB;
+# the run sits around ~300 MiB) with at most -resident-cap models
+# materialized.
+"$tmpdir/middlesim" -exp scale -devices 1000000 -edges 1000 \
+    -k 1 -tc 2 -steps 2 -resident-cap 4096 > "$tmpdir/scale.log" 2>&1 || {
+    echo "million-device scale run failed:"
+    cat "$tmpdir/scale.log"
+    exit 1
+}
+cat "$tmpdir/scale.log"
+rss=$(sed -n 's/.*peak_rss_mib=\([0-9]*\).*/\1/p' "$tmpdir/scale.log")
+if [ -z "$rss" ]; then
+    echo "scale run never reported peak_rss_mib"
+    exit 1
+fi
+if [ "$rss" -ge 2048 ]; then
+    echo "peak RSS ${rss} MiB breaches the 2 GiB scale ceiling"
+    exit 1
+fi
+resident=$(sed -n 's/.*peak_resident_models=\([0-9]*\).*/\1/p' "$tmpdir/scale.log")
+if [ -z "$resident" ] || [ "$resident" -gt 4096 ]; then
+    echo "peak resident models ${resident:-unreported} exceeds the 4096 cap"
+    exit 1
+fi
+# Nonsensical combination must be rejected with a clear message.
+if "$tmpdir/middlesim" -exp scale -devices 1000 -edges 10 -k 5 \
+    -resident-cap 49 > "$tmpdir/scale_bad.log" 2>&1; then
+    echo "cohort > resident-cap was not rejected"
+    exit 1
+fi
+grep -q "cohort" "$tmpdir/scale_bad.log" || {
+    echo "rejection message does not explain the cohort constraint:"
+    cat "$tmpdir/scale_bad.log"
+    exit 1
+}
+echo ok
+
 echo "All checks passed."
