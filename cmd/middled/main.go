@@ -52,9 +52,11 @@ func main() {
 		to       = flag.Int("to", 9, "last device id inclusive (devices role)")
 		p        = flag.Float64("p", 0.5, "device mobility probability (devices role)")
 		moveMs   = flag.Int("movems", 2000, "milliseconds between mobility steps (devices role)")
-		metrics  = flag.String("metrics-addr", "", "serve /metrics, /status and /debug/pprof on this address (empty = disabled)")
+		metrics  = flag.String("metrics-addr", "", "serve /metrics, /status, /dashboard, /api/query and /debug/pprof on this address (empty = disabled)")
 		results  = flag.String("results", "", "directory for the run summary JSON (empty = disabled)")
 		traceOut = flag.String("trace-out", "", "write this process's Chrome trace-event JSON here on exit (merge per-role files in Perfetto)")
+		tsdbIntv = flag.Duration("tsdb-interval", 0, "embedded time-series store scrape interval (0 = 1s when -metrics-addr or -slo is set, else disabled)")
+		sloRules = flag.String("slo", "", "SLO rules to gate the run on (\"default\" or rule list); cloud role exits non-zero after Run if any rule ever fired")
 
 		// Robustness knobs (see DESIGN.md "Fault model").
 		ckptDir   = flag.String("checkpoint-dir", "", "cloud/edge roles: persist model + round state here and resume from the latest valid checkpoint")
@@ -82,12 +84,23 @@ func main() {
 	)
 	flag.Parse()
 
-	m, err := experiments.StartMetrics(*metrics)
+	interval := *tsdbIntv
+	if interval <= 0 && (*metrics != "" || *sloRules != "") {
+		interval = time.Second
+	}
+	m, err := experiments.StartMetricsConfig(experiments.MetricsConfig{
+		Addr:         *metrics,
+		TSDBInterval: interval,
+		SLORules:     *sloRules,
+		Events:       obs.NewEmitter(os.Stderr),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	if m != nil {
-		log.Printf("middled: metrics listening on %s", m.Addr())
+		if addr := m.Addr(); addr != "" {
+			log.Printf("middled: metrics listening on %s", addr)
+		}
 		m.SetStatus("role", *role)
 		m.SetStatus("task", *task)
 		m.SetStatus("scale", *scale)
@@ -132,6 +145,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "middled: -role must be cloud, edge or devices")
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	// The coordinating role gates its exit code on the run's SLOs: any
+	// rule that fired at any point fails the process even if it later
+	// recovered, so CI catches transient regressions.
+	if *role == "cloud" {
+		if breached := m.FinalizeSLO(); len(breached) > 0 {
+			writeTrace(trace, *traceOut)
+			m.Close()
+			log.Fatalf("middled: SLO breach: %s", strings.Join(breached, ", "))
+		}
 	}
 }
 

@@ -1,11 +1,14 @@
-// Command middleplot renders experiment CSV files as ASCII line charts
-// in the terminal. It reads both formats the toolchain writes: series
-// CSVs (middlesim -csv) and per-run history CSVs (History.WriteCSV),
-// auto-detected from the header. History files additionally get
-// phase-time, communication and learning-dynamics telemetry charts.
+// Command middleplot renders experiment data files as ASCII line charts
+// in the terminal. It reads every format the toolchain writes: series
+// CSVs (middlesim -csv), per-run history CSVs (History.WriteCSV), and
+// tsdb dumps (middlesim -tsdb-out), auto-detected from the leading
+// bytes. History files additionally get phase-time, communication and
+// learning-dynamics telemetry charts; tsdb dumps chart a default set of
+// metric groups, or exactly the series matching -series globs.
 //
 //	middleplot -in results/fig6_mnist.csv -smooth 5
 //	middleplot -in results/run_mnist.history.csv
+//	middleplot -in results/run.tsdb.json -series 'hfl_*'
 package main
 
 import (
@@ -19,11 +22,12 @@ import (
 
 func main() {
 	var (
-		in     = flag.String("in", "", "series or history CSV file (required)")
-		width  = flag.Int("width", 78, "chart width")
-		height = flag.Int("height", 18, "chart height")
-		smooth = flag.Int("smooth", 1, "smoothing window")
-		title  = flag.String("title", "", "chart title (default: file name)")
+		in       = flag.String("in", "", "series CSV, history CSV, or tsdb dump file (required)")
+		width    = flag.Int("width", 78, "chart width")
+		height   = flag.Int("height", 18, "chart height")
+		smooth   = flag.Int("smooth", 1, "smoothing window")
+		title    = flag.String("title", "", "chart title (default: file name)")
+		selGlobs = flag.String("series", "", "tsdb dumps: comma-separated series name globs to chart (default: standard groups)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -39,6 +43,10 @@ func main() {
 	t := *title
 	if t == "" {
 		t = *in
+	}
+	if isTSDBDump(raw) {
+		plotTSDB(raw, *in, t, *selGlobs, *width, *height, *smooth)
+		return
 	}
 	if isHistoryCSV(raw) {
 		plotHistory(raw, *in, t, *width, *height, *smooth)

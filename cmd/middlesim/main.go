@@ -22,6 +22,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"middle"
 	"middle/internal/data"
@@ -43,10 +44,13 @@ func main() {
 		smooth     = flag.Int("smooth", 1, "smoothing window for printed curves")
 		seeds      = flag.Int("seeds", 1, "number of seeds to average (fig6 only)")
 		saveModel  = flag.String("savemodel", "", "write the final global model checkpoint here (-exp run only)")
-		maddr      = flag.String("metrics-addr", "", "serve /metrics, /status and /debug/pprof on this address (empty = disabled)")
+		maddr      = flag.String("metrics-addr", "", "serve /metrics, /status, /dashboard, /api/query and /debug/pprof on this address (empty = disabled)")
 		results    = flag.String("results", "", "directory for the run summary JSON (empty = disabled)")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON of every round's phase spans here (load in Perfetto)")
 		telemOut   = flag.String("telemetry-out", "", "write the per-round/per-eval learning-dynamics JSONL stream here")
+		tsdbIntv   = flag.Duration("tsdb-interval", 0, "embedded time-series store scrape interval (0 = 1s when -metrics-addr or -slo is set, else disabled)")
+		tsdbOut    = flag.String("tsdb-out", "", "write the tsdb's full history as JSON at exit (middleplot renders it)")
+		sloRules   = flag.String("slo", "", "SLO rules to gate the run on (\"default\" or \"name: reducer(series[,window]) op threshold; ...\"); any breach exits non-zero")
 
 		// Simulated robustness knobs (-exp run only; defaults keep runs
 		// bit-identical to the fault-free engine).
@@ -88,12 +92,37 @@ func main() {
 		fatalf("%v", err)
 	}
 
-	metrics, err = experiments.StartMetrics(*maddr)
+	// The emitter is created before the metrics bundle so SLO breach
+	// events land in the same JSONL stream as rounds and evals.
+	var telemetryFile *os.File
+	if *telemOut != "" {
+		f, err := os.Create(*telemOut)
+		if err != nil {
+			fatalf("creating %s: %v", *telemOut, err)
+		}
+		telemetryFile = f
+		events = obs.NewEmitter(f)
+	}
+
+	// The tsdb rides along whenever any observability is on: -slo needs
+	// it, and with -metrics-addr it backs /api/query and /dashboard.
+	interval := *tsdbIntv
+	if interval <= 0 && (*maddr != "" || *sloRules != "" || *tsdbOut != "") {
+		interval = time.Second
+	}
+	metrics, err = experiments.StartMetricsConfig(experiments.MetricsConfig{
+		Addr:         *maddr,
+		TSDBInterval: interval,
+		SLORules:     *sloRules,
+		Events:       events,
+	})
 	if err != nil {
 		fatalf("%v", err)
 	}
 	if metrics != nil {
-		fmt.Printf("middlesim: metrics listening on %s\n", metrics.Addr())
+		if addr := metrics.Addr(); addr != "" {
+			fmt.Printf("middlesim: metrics listening on %s\n", addr)
+		}
 		metrics.SetStatus("experiment", *exp)
 		metrics.SetStatus("task", *task)
 		metrics.SetStatus("scale", *scaleFlag)
@@ -104,15 +133,6 @@ func main() {
 	trace = metrics.Trace()
 	if *traceOut != "" && trace == nil {
 		trace = obs.NewTrace(0)
-	}
-	var telemetryFile *os.File
-	if *telemOut != "" {
-		f, err := os.Create(*telemOut)
-		if err != nil {
-			fatalf("creating %s: %v", *telemOut, err)
-		}
-		telemetryFile = f
-		events = obs.NewEmitter(f)
 	}
 
 	switch *exp {
@@ -179,6 +199,16 @@ func main() {
 		fatalf("unknown experiment %q", *exp)
 	}
 
+	// The SLO gate finalizes first (final scrape + eval) so any breach
+	// event reaches the telemetry stream before it is closed below.
+	breached := metrics.FinalizeSLO()
+	if *tsdbOut != "" {
+		if err := metrics.DumpTSDB(*tsdbOut); err != nil {
+			fatalf("writing %s: %v", *tsdbOut, err)
+		}
+		fmt.Printf("middlesim: wrote tsdb dump %s\n", *tsdbOut)
+	}
+
 	if path, err := metrics.WriteSummary(*results, "middlesim-"+*exp, os.Args,
 		map[string]any{"task": *task, "scale": *scaleFlag, "seed": *seed,
 			"peak_rss_bytes": obs.PeakRSSBytes()}); err != nil {
@@ -207,6 +237,10 @@ func main() {
 			fatalf("writing %s: %v", *telemOut, err)
 		}
 		fmt.Printf("middlesim: wrote telemetry %s\n", *telemOut)
+	}
+	if len(breached) > 0 {
+		fmt.Fprintf(os.Stderr, "middlesim: SLO breach: %s\n", strings.Join(breached, ", "))
+		os.Exit(3)
 	}
 }
 

@@ -2,9 +2,12 @@ package experiments
 
 import (
 	"context"
+	"net/http"
 	"time"
 
 	"middle/internal/obs"
+	"middle/internal/obs/slo"
+	"middle/internal/obs/tsdb"
 	"middle/internal/tensor"
 )
 
@@ -20,7 +23,31 @@ type Metrics struct {
 	status  *obs.Status
 	server  *obs.Server
 	trace   *obs.Trace
+	store   *tsdb.Store
+	engine  *slo.Engine
 	started time.Time
+}
+
+// MetricsConfig configures the full observability bundle. The zero
+// value (all fields empty) disables everything.
+type MetricsConfig struct {
+	// Addr is the introspection listen address; "" starts no HTTP
+	// server (the registry/tsdb/slo can still run headless when
+	// TSDBInterval or SLORules ask for them).
+	Addr string
+	// TSDBInterval enables the embedded time-series store at this
+	// scrape cadence (0 disables it unless SLORules forces it on, in
+	// which case it defaults to 1s).
+	TSDBInterval time.Duration
+	// TSDBCapacity overrides the per-series point budget (0 = 720).
+	TSDBCapacity int
+	// SLORules, when non-empty, is parsed by slo.ParseRules ("default"
+	// selects the standing rule set) and evaluated continuously; it
+	// implies the tsdb.
+	SLORules string
+	// Events receives slo_breach/slo_resolve events alongside the
+	// run's other telemetry.
+	Events *obs.Emitter
 }
 
 // StartMetrics starts the introspection listener on addr. An empty
@@ -29,19 +56,76 @@ type Metrics struct {
 // collection in the tensor package is switched on so the
 // tensor_kernel_* gauges report live counts.
 func StartMetrics(addr string) (*Metrics, error) {
-	if addr == "" {
+	return StartMetricsConfig(MetricsConfig{Addr: addr})
+}
+
+// StartMetricsConfig starts the observability bundle: registry +
+// status + trace always; HTTP server when Addr is set; tsdb store when
+// TSDBInterval > 0 or SLORules non-empty; SLO engine when SLORules
+// non-empty. Fully disabled config returns (nil, nil).
+func StartMetricsConfig(cfg MetricsConfig) (*Metrics, error) {
+	if cfg.Addr == "" && cfg.TSDBInterval <= 0 && cfg.SLORules == "" {
 		return nil, nil
 	}
 	r := obs.NewRegistry()
 	obs.RegisterProcessMetrics(r)
 	registerTensorMetrics(r)
-	status := obs.NewStatus()
-	trace := obs.NewTrace(0)
-	srv, err := obs.StartServer(obs.ServerConfig{Addr: addr, Registry: r, Status: status, Trace: trace})
-	if err != nil {
-		return nil, err
+	m := &Metrics{reg: r, status: obs.NewStatus(), trace: obs.NewTrace(0), started: time.Now()}
+
+	interval := cfg.TSDBInterval
+	if interval <= 0 && cfg.SLORules != "" {
+		interval = time.Second
 	}
-	return &Metrics{reg: r, status: status, server: srv, trace: trace, started: time.Now()}, nil
+	if interval > 0 {
+		store, err := tsdb.New(tsdb.Config{
+			Registry: r,
+			Interval: interval,
+			Capacity: cfg.TSDBCapacity,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m.store = store
+	}
+	if cfg.SLORules != "" {
+		rules, err := slo.ParseRules(cfg.SLORules)
+		if err != nil {
+			return nil, err
+		}
+		engine, err := slo.New(slo.Config{
+			Store:    m.store,
+			Rules:    rules,
+			Events:   cfg.Events,
+			Registry: r,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m.engine = engine
+	}
+
+	if cfg.Addr != "" {
+		handlers := map[string]http.Handler{}
+		if m.store != nil {
+			handlers["/api/query"] = m.store.QueryHandler()
+			handlers["/api/series"] = m.store.SeriesHandler()
+			handlers["/dashboard"] = m.store.DashboardHandler()
+		}
+		if m.engine != nil {
+			handlers["/api/alerts"] = m.engine.Handler()
+		}
+		srv, err := obs.StartServer(obs.ServerConfig{
+			Addr: cfg.Addr, Registry: r, Status: m.status, Trace: m.trace,
+			Handlers: handlers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m.server = srv
+	}
+	m.store.Start()
+	m.engine.Start()
+	return m, nil
 }
 
 // registerTensorMetrics bridges the tensor package's dependency-free
@@ -90,12 +174,51 @@ func (m *Metrics) Trace() *obs.Trace {
 	return m.trace
 }
 
-// Addr returns the resolved listen address ("" when disabled).
+// Addr returns the resolved listen address ("" when disabled or
+// running headless).
 func (m *Metrics) Addr() string {
-	if m == nil {
+	if m == nil || m.server == nil {
 		return ""
 	}
 	return m.server.Addr()
+}
+
+// TSDB returns the embedded time-series store (nil when disabled).
+func (m *Metrics) TSDB() *tsdb.Store {
+	if m == nil {
+		return nil
+	}
+	return m.store
+}
+
+// SLO returns the SLO engine (nil when disabled).
+func (m *Metrics) SLO() *slo.Engine {
+	if m == nil {
+		return nil
+	}
+	return m.engine
+}
+
+// FinalizeSLO stops the tsdb and SLO loops, takes one final
+// scrape-and-evaluate pass, and returns the names of every rule that
+// breached at any point in the run. Empty means the gate passes.
+// Nil-safe; idempotent.
+func (m *Metrics) FinalizeSLO() []string {
+	if m == nil {
+		return nil
+	}
+	m.store.Close()  // stops loop + final scrape
+	m.engine.Close() // stops loop + final eval
+	return m.engine.Breached()
+}
+
+// DumpTSDB writes the store's full history to path ("" or disabled
+// tsdb writes nothing).
+func (m *Metrics) DumpTSDB(path string) error {
+	if m == nil || m.store == nil || path == "" {
+		return nil
+	}
+	return m.store.DumpToFile(path)
 }
 
 // SetStatus publishes a key on the /status board.
@@ -106,10 +229,16 @@ func (m *Metrics) SetStatus(key string, value any) {
 	m.status.Set(key, value)
 }
 
-// Close stops the HTTP listener gracefully: in-flight scrapes get up to
-// two seconds to drain before the listener is torn down.
+// Close stops the tsdb/SLO loops and the HTTP listener gracefully:
+// in-flight scrapes get up to two seconds to drain before the
+// listener is torn down.
 func (m *Metrics) Close() {
-	if m != nil {
+	if m == nil {
+		return
+	}
+	m.store.Close()
+	m.engine.Close()
+	if m.server != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		defer cancel()
 		_ = m.server.Shutdown(ctx)

@@ -141,6 +141,7 @@ func (s *Sim) recordEval(t int) {
 	}
 	divs, divMean, divMax := s.tel.evalDivergence(s.cloud, s.edges)
 	fair := s.tel.fairnessJain()
+	s.metrics.globalAcc.Set(acc)
 	s.history.AppendPoint(EvalPoint{
 		Step: t, GlobalAcc: acc, PerClassAcc: classAcc, EdgeAcc: edgeAcc,
 		CommDeviceEdge: s.commDeviceEdge, CommEdgeCloud: s.commEdgeCloud,

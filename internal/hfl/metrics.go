@@ -57,6 +57,15 @@ type simMetrics struct {
 	edgeAggSpan   *obs.Span
 	cloudSyncSpan *obs.Span
 	evalSpan      *obs.Span
+
+	// roundSpan times whole StepOnce rounds (sim_round_seconds): the
+	// tsdb synthesizes sim_round_seconds_p99 from it, which the default
+	// SLO latency rule gates on.
+	roundSpan *obs.Span
+	// globalAcc mirrors the latest global evaluation
+	// (hfl_global_accuracy) so dashboards and the accuracy-stall SLO
+	// see learning progress as an ordinary series.
+	globalAcc *obs.Gauge
 }
 
 func newSimMetrics(r *obs.Registry) simMetrics {
@@ -84,6 +93,9 @@ func newSimMetrics(r *obs.Registry) simMetrics {
 		edgeAggSpan:   r.Span("sim_phase_seconds", "phase", "edge_agg"),
 		cloudSyncSpan: r.Span("sim_phase_seconds", "phase", "cloud_sync"),
 		evalSpan:      r.Span("sim_phase_seconds", "phase", "eval"),
+
+		roundSpan: r.Span("sim_round_seconds"),
+		globalAcc: r.Gauge("hfl_global_accuracy"),
 	}
 }
 

@@ -485,6 +485,7 @@ func (s *Sim) StepOnce() int {
 	}
 
 	s.store.endStep(t)
+	s.metrics.roundSpan.Observe(time.Since(roundStart))
 	s.metrics.residentModels.Set(float64(s.store.residentCount()))
 	s.metrics.steps.Inc()
 	s.metrics.selected.Add(int64(len(s.jobs)))

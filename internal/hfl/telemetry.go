@@ -83,9 +83,20 @@ func newTelemetry(r *obs.Registry, numEdges, numDevices int) *telemetry {
 		participants: r.Gauge("hfl_participating_devices"),
 		flow:         make([]*obs.Counter, numEdges*numEdges),
 	}
+	// Divergence gauges go through the registry's cardinality budget:
+	// every edge registers, the first maxPerEdgeSeries label sets get
+	// real series, and the tail folds into hfl_edge_divergence{edge=
+	// "other"} with obs_dropped_series_total accounting for the folds —
+	// so a 10k-edge run still exposes a bounded, honest family.
+	r.EnsureFamilyBudget("hfl_edge_divergence", maxPerEdgeSeries)
+	for n := 0; n < numEdges; n++ {
+		tel.edgeDiv[n] = r.Gauge("hfl_edge_divergence", "edge", strconv.Itoa(n))
+	}
+	// The flow matrix is numEdges² series; folding cannot make that
+	// registration loop cheap, so past the budget it is skipped outright
+	// (nil counters no-op) and only the in-memory flowCounts remain.
 	if numEdges <= maxPerEdgeSeries {
 		for n := 0; n < numEdges; n++ {
-			tel.edgeDiv[n] = r.Gauge("hfl_edge_divergence", "edge", strconv.Itoa(n))
 			for to := 0; to < numEdges; to++ {
 				tel.flow[n*numEdges+to] = r.Counter("hfl_mobility_flow_total", "from", strconv.Itoa(n), "to", strconv.Itoa(to))
 			}

@@ -1,0 +1,229 @@
+package obs
+
+import "sort"
+
+// Cardinality governance bounds the label-set fan-out of a metric
+// family. Per-link, per-edge and per-device families grow with the
+// population — O(1M) series at ROADMAP scale — so a governed family
+// keeps only the first `budget` distinct label sets as real series and
+// folds every later one into a shared `other` series (same label keys,
+// every value "other"). Folded registrations are counted in
+// obs_dropped_series_total{family=...} and tracked in a fixed-capacity
+// space-saving summary, so the heaviest folded label sets remain
+// identifiable without unbounded memory.
+//
+// Governance is a registration-time mechanism: instrument pointers are
+// never re-bound, so hot-path Inc/Observe stay lock-free and
+// allocation-free, and a caller that registered before the budget was
+// exhausted keeps its dedicated series forever.
+
+// DroppedSeriesFamily is the control-plane counter family recording
+// folded registrations per governed family. Control-plane families are
+// never themselves governed.
+const DroppedSeriesFamily = "obs_dropped_series_total"
+
+// SeriesHits is one folded label set and how many registration touches
+// it received (a space-saving estimate: overcounts by at most the
+// entry's inherited error, never undercounts).
+type SeriesHits struct {
+	Labels string `json:"labels"`
+	Hits   int64  `json:"hits"`
+	Err    int64  `json:"err"`
+}
+
+// FamilyCardinality reports one governed family's state.
+type FamilyCardinality struct {
+	Family  string       `json:"family"`
+	Budget  int          `json:"budget"`
+	Kept    int          `json:"kept"`
+	Dropped int64        `json:"dropped"`
+	Top     []SeriesHits `json:"top,omitempty"`
+}
+
+// ssEntry is one tracked label set in a space-saving summary.
+type ssEntry struct {
+	key   string
+	count int64
+	err   int64 // count inherited from the evicted predecessor
+}
+
+// spaceSaving is the classic deterministic heavy-hitters summary: at
+// most cap entries; an untracked key evicts the minimum-count entry and
+// inherits its count. Ties evict the lexicographically greatest key so
+// the outcome is independent of map iteration order.
+type spaceSaving struct {
+	cap     int
+	entries map[string]*ssEntry
+}
+
+func newSpaceSaving(cap int) *spaceSaving {
+	if cap < 1 {
+		cap = 1
+	}
+	return &spaceSaving{cap: cap, entries: make(map[string]*ssEntry, cap)}
+}
+
+func (ss *spaceSaving) touch(key string) {
+	if e, ok := ss.entries[key]; ok {
+		e.count++
+		return
+	}
+	if len(ss.entries) < ss.cap {
+		ss.entries[key] = &ssEntry{key: key, count: 1}
+		return
+	}
+	var victim *ssEntry
+	for _, e := range ss.entries {
+		if victim == nil || e.count < victim.count ||
+			(e.count == victim.count && e.key > victim.key) {
+			victim = e
+		}
+	}
+	delete(ss.entries, victim.key)
+	ss.entries[key] = &ssEntry{key: key, count: victim.count + 1, err: victim.count}
+}
+
+// top returns up to k entries sorted by count descending, key ascending.
+func (ss *spaceSaving) top(k int) []SeriesHits {
+	out := make([]SeriesHits, 0, len(ss.entries))
+	for _, e := range ss.entries {
+		out = append(out, SeriesHits{Labels: e.key, Hits: e.count, Err: e.err})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Hits != out[j].Hits {
+			return out[i].Hits > out[j].Hits
+		}
+		return out[i].Labels < out[j].Labels
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// SetFamilyBudget caps family at max distinct label sets; later label
+// sets fold into the `other` series. max <= 0 removes the budget.
+// Budgets apply to future registrations only — series already created
+// are kept. Nil-safe.
+func (r *Registry) SetFamilyBudget(family string, max int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if max <= 0 {
+		delete(r.budgets, family)
+		return
+	}
+	r.budgets[family] = max
+}
+
+// EnsureFamilyBudget sets a budget only if the family has none yet, so
+// library defaults never override an operator's explicit choice.
+// Nil-safe.
+func (r *Registry) EnsureFamilyBudget(family string, max int) {
+	if r == nil || max <= 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.budgets[family]; !ok {
+		r.budgets[family] = max
+	}
+}
+
+// NumSeries returns the number of registered series (0 for nil). The
+// control-plane series (dropped counters, `other` folds) are included —
+// they are real, bounded series.
+func (r *Registry) NumSeries() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.byKey)
+}
+
+// CardinalityReport returns the state of every governed family that has
+// folded at least one registration, sorted by family, with the top 10
+// folded label sets each. Nil-safe (returns nil).
+func (r *Registry) CardinalityReport() []FamilyCardinality {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]FamilyCardinality, 0, len(r.foldTrack))
+	for family, ss := range r.foldTrack {
+		fc := FamilyCardinality{
+			Family: family,
+			Budget: r.budgets[family],
+			Kept:   r.famCount[family],
+			Top:    ss.top(10),
+		}
+		if c := r.dropped[family]; c != nil {
+			fc.Dropped = c.Value()
+		}
+		out = append(out, fc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Family < out[j].Family })
+	return out
+}
+
+// overBudgetLocked reports whether registering one more distinct label
+// set for family would exceed its budget. Callers hold r.mu.
+func (r *Registry) overBudgetLocked(family string) bool {
+	budget, ok := r.budgets[family]
+	return ok && r.famCount[family] >= budget
+}
+
+// foldLocked resolves a registration beyond the family budget: it
+// counts the touch, tracks the label set in the family's space-saving
+// summary, and returns the family's shared `other` series (created on
+// first fold with the request's label keys and every value "other").
+// Callers hold r.mu.
+func (r *Registry) foldLocked(family string, k kind, labels []string, mk func() *series) *series {
+	ss := r.foldTrack[family]
+	if ss == nil {
+		cap := r.budgets[family]
+		if cap < 8 {
+			cap = 8
+		}
+		ss = newSpaceSaving(cap)
+		r.foldTrack[family] = ss
+	}
+	ss.touch(renderLabels(labels))
+	r.droppedLocked(family).Inc()
+
+	otherLabels := make([]string, len(labels))
+	for i := 0; i < len(labels)-1; i += 2 {
+		otherLabels[i] = labels[i]
+		otherLabels[i+1] = "other"
+	}
+	s := &series{family: family, labels: renderLabels(otherLabels), kind: k}
+	if existing, ok := r.byKey[s.key()]; ok {
+		return existing
+	}
+	made := mk()
+	made.family, made.labels, made.kind = s.family, s.labels, s.kind
+	r.byKey[s.key()] = made
+	return made
+}
+
+// droppedLocked fetches (or creates) obs_dropped_series_total{family=F}
+// without re-entering register. Callers hold r.mu.
+func (r *Registry) droppedLocked(family string) *Counter {
+	if c, ok := r.dropped[family]; ok {
+		return c
+	}
+	s := &series{
+		family: DroppedSeriesFamily,
+		labels: renderLabels([]string{"family", family}),
+		kind:   kindCounter,
+		c:      &Counter{},
+	}
+	r.byKey[s.key()] = s
+	r.kinds[DroppedSeriesFamily] = kindCounter
+	r.dropped[family] = s.c
+	return s.c
+}

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFamilyBudgetFoldsTail(t *testing.T) {
+	r := NewRegistry()
+	r.SetFamilyBudget("fam_total", 3)
+	var kept []*Counter
+	for i := 0; i < 10; i++ {
+		kept = append(kept, r.Counter("fam_total", "edge", strconv.Itoa(i)))
+	}
+	// First 3 label sets get dedicated series; the other 7 share one fold.
+	for i := 1; i < 3; i++ {
+		if kept[i] == kept[0] {
+			t.Fatalf("series %d folded inside the budget", i)
+		}
+	}
+	for i := 4; i < 10; i++ {
+		if kept[i] != kept[3] {
+			t.Fatalf("series %d did not fold into the shared other series", i)
+		}
+	}
+	// 3 real + 1 other + 1 dropped counter.
+	if n := r.NumSeries(); n != 5 {
+		t.Fatalf("NumSeries = %d, want 5", n)
+	}
+
+	kept[5].Add(7) // lands on the other series
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `fam_total{edge="other"} 7`) {
+		t.Fatalf("missing folded other series:\n%s", out)
+	}
+	if !strings.Contains(out, `obs_dropped_series_total{family="fam_total"} 7`) {
+		t.Fatalf("missing dropped counter (want 7 folded touches):\n%s", out)
+	}
+}
+
+func TestFamilyBudgetRepeatRegistrationsKeepIdentity(t *testing.T) {
+	r := NewRegistry()
+	r.SetFamilyBudget("fam_total", 1)
+	a := r.Counter("fam_total", "edge", "0")
+	b := r.Counter("fam_total", "edge", "1") // folds
+	// Re-registering an in-budget label set returns the same pointer and
+	// never counts as a fold.
+	if r.Counter("fam_total", "edge", "0") != a {
+		t.Fatal("re-registration re-bound an in-budget series")
+	}
+	if r.Counter("fam_total", "edge", "1") != b {
+		t.Fatal("re-registration re-bound the folded series")
+	}
+	rep := r.CardinalityReport()
+	if len(rep) != 1 || rep[0].Family != "fam_total" {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep[0].Kept != 1 || rep[0].Dropped != 2 {
+		t.Fatalf("kept=%d dropped=%d, want 1/2", rep[0].Kept, rep[0].Dropped)
+	}
+}
+
+func TestEnsureFamilyBudgetDoesNotOverride(t *testing.T) {
+	r := NewRegistry()
+	r.SetFamilyBudget("fam_total", 5)
+	r.EnsureFamilyBudget("fam_total", 1)
+	for i := 0; i < 5; i++ {
+		r.Counter("fam_total", "edge", strconv.Itoa(i))
+	}
+	if rep := r.CardinalityReport(); len(rep) != 0 {
+		t.Fatalf("folds happened under the wider explicit budget: %+v", rep)
+	}
+}
+
+func TestSpaceSavingDeterministicEviction(t *testing.T) {
+	// Capacity 2: "a" and "b" fill it; touching "c" must evict the
+	// minimum-count entry, ties broken toward the lexicographically
+	// greatest key ("b"), regardless of map iteration order.
+	for trial := 0; trial < 20; trial++ {
+		ss := newSpaceSaving(2)
+		ss.touch("a")
+		ss.touch("b")
+		ss.touch("c")
+		top := ss.top(0)
+		if len(top) != 2 {
+			t.Fatalf("len(top) = %d", len(top))
+		}
+		// c inherited b's count (1) + 1 = 2, err 1; a stays at 1.
+		if top[0].Labels != "c" || top[0].Hits != 2 || top[0].Err != 1 {
+			t.Fatalf("trial %d: top[0] = %+v, want c/2/1", trial, top[0])
+		}
+		if top[1].Labels != "a" || top[1].Hits != 1 {
+			t.Fatalf("trial %d: top[1] = %+v, want a/1", trial, top[1])
+		}
+	}
+}
+
+func TestSpaceSavingNeverUndercounts(t *testing.T) {
+	ss := newSpaceSaving(3)
+	truth := map[string]int64{}
+	keys := []string{"k0", "k1", "k2", "k3", "k4"}
+	for i := 0; i < 200; i++ {
+		k := keys[i%len(keys)]
+		if i%7 == 0 {
+			k = "k0" // skew
+		}
+		ss.touch(k)
+		truth[k]++
+	}
+	for _, e := range ss.top(0) {
+		if e.Hits < truth[e.Labels] {
+			t.Fatalf("%s undercounted: est %d < true %d", e.Labels, e.Hits, truth[e.Labels])
+		}
+		if e.Hits-e.Err > truth[e.Labels] {
+			t.Fatalf("%s guaranteed count %d exceeds truth %d", e.Labels, e.Hits-e.Err, truth[e.Labels])
+		}
+	}
+}
+
+func TestGovernedHistogramAndGaugeFold(t *testing.T) {
+	r := NewRegistry()
+	r.SetFamilyBudget("lat_seconds", 1)
+	r.SetFamilyBudget("depth", 1)
+	h0 := r.Histogram("lat_seconds", []float64{1, 2}, "shard", "0")
+	h1 := r.Histogram("lat_seconds", []float64{1, 2}, "shard", "1")
+	if h0 == h1 {
+		t.Fatal("first histogram folded")
+	}
+	if h2 := r.Histogram("lat_seconds", []float64{1, 2}, "shard", "2"); h2 != h1 {
+		t.Fatal("folded histograms must share the other series")
+	}
+	g0 := r.Gauge("depth", "shard", "0")
+	g1 := r.Gauge("depth", "shard", "1")
+	g1.Set(3)
+	if g0.Value() == 3 {
+		t.Fatal("fold leaked into the in-budget gauge")
+	}
+	if g2 := r.Gauge("depth", "shard", "2"); g2.Value() != 3 {
+		t.Fatal("folded gauges must share state")
+	}
+}
+
+// TestConcurrentGovernedRegisterAndScrape races governed registrations
+// against continuous scrapes; under -race this pins that the budget
+// bookkeeping, the space-saving summary and Collect share the mutex
+// correctly.
+func TestConcurrentGovernedRegisterAndScrape(t *testing.T) {
+	r := NewRegistry()
+	r.SetFamilyBudget("conc_total", 4)
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 200; i++ {
+			_ = r.Collect()
+			_ = r.CardinalityReport()
+			_ = r.NumSeries()
+		}
+		close(done)
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Counter("conc_total", "id", strconv.Itoa(w*100+i)).Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	<-done
+	// 4 kept + 1 other + 1 dropped counter, regardless of interleaving.
+	if n := r.NumSeries(); n != 6 {
+		t.Fatalf("NumSeries = %d, want 6", n)
+	}
+	var total int64
+	for _, sv := range r.Collect() {
+		if sv.Family == "conc_total" {
+			total += int64(sv.Value)
+		}
+	}
+	if total != 400 {
+		t.Fatalf("total increments = %d, want 400", total)
+	}
+}

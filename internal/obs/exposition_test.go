@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusRoundTrip renders a registry with every exposition edge
+// case — escaped label values, +Inf/NaN gauges — and re-parses the text
+// the way a reference scraper does (name{labels} value per line,
+// backslash-escape rules from the 0.0.4 text format), checking the
+// values survive the trip.
+func TestPrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("plain_total").Add(42)
+	r.Counter("esc_total", "path", `C:\dir`+"\n"+`"quoted"`).Add(7)
+	r.Gauge("inf_gauge").Set(math.Inf(1))
+	r.Gauge("neginf_gauge").Set(math.Inf(-1))
+	r.Gauge("nan_gauge").Set(math.NaN())
+	r.Gauge("neg_gauge").Set(-2.5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	parsed := scrapeText(t, sb.String())
+
+	if v := parsed["plain_total"]; v != 42 {
+		t.Errorf("plain_total = %g", v)
+	}
+	// The escaped label value must round-trip to the original bytes.
+	wantKey := `esc_total{path="C:\\dir\n\"quoted\""}`
+	if v, ok := parsed[wantKey]; !ok || v != 7 {
+		t.Errorf("escaped series missing or wrong: %v (keys: %v)", v, keysOf(parsed))
+	}
+	if unescapeLabelValue(`C:\\dir\n\"quoted\"`) != `C:\dir`+"\n"+`"quoted"` {
+		t.Error("unescape does not invert the writer's escaping")
+	}
+	if !math.IsInf(parsed["inf_gauge"], 1) {
+		t.Errorf("inf_gauge = %g", parsed["inf_gauge"])
+	}
+	if !math.IsInf(parsed["neginf_gauge"], -1) {
+		t.Errorf("neginf_gauge = %g", parsed["neginf_gauge"])
+	}
+	if !math.IsNaN(parsed["nan_gauge"]) {
+		t.Errorf("nan_gauge = %g", parsed["nan_gauge"])
+	}
+	if parsed["neg_gauge"] != -2.5 {
+		t.Errorf("neg_gauge = %g", parsed["neg_gauge"])
+	}
+}
+
+// scrapeText parses Prometheus text exposition the way a scraper does:
+// strconv.ParseFloat accepts "+Inf"/"NaN" exactly as the format
+// specifies.
+func scrapeText(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	out := map[string]float64{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+// unescapeLabelValue inverts the text-format label escaping.
+func unescapeLabelValue(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+			case 'n':
+				b.WriteByte('\n')
+			case '"':
+				b.WriteByte('"')
+			default:
+				b.WriteByte(s[i+1])
+			}
+			i++
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+func keysOf(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestSnapshotNonFiniteJSON pins that /status survives non-finite gauge
+// values: encoding/json rejects raw Inf/NaN, so Snapshot must stringify
+// them.
+func TestSnapshotNonFiniteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("inf_gauge").Set(math.Inf(1))
+	r.Gauge("nan_gauge").Set(math.NaN())
+	h := r.Histogram("h_seconds", []float64{1})
+	h.Observe(math.Inf(1)) // sum becomes +Inf
+
+	raw, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatalf("snapshot is not JSON-encodable: %v", err)
+	}
+	s := string(raw)
+	if !strings.Contains(s, `"inf_gauge":"+Inf"`) {
+		t.Errorf("missing stringified +Inf: %s", s)
+	}
+	if !strings.Contains(s, `"nan_gauge":"NaN"`) {
+		t.Errorf("missing stringified NaN: %s", s)
+	}
+}
+
+func TestCollectShapes(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "op", "x").Add(3)
+	r.Gauge("g").Set(1.5)
+	r.GaugeFunc("gf", func() float64 { return 9 })
+	h := r.Histogram("h_seconds", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+
+	byName := map[string]SeriesValue{}
+	for _, sv := range r.Collect() {
+		byName[sv.Name] = sv
+	}
+	if sv := byName[`c_total{op="x"}`]; sv.Kind != "counter" || sv.Value != 3 {
+		t.Fatalf("counter = %+v", sv)
+	}
+	if sv := byName["g"]; sv.Kind != "gauge" || sv.Value != 1.5 {
+		t.Fatalf("gauge = %+v", sv)
+	}
+	if sv := byName["gf"]; sv.Value != 9 {
+		t.Fatalf("gaugefunc = %+v", sv)
+	}
+	sv := byName["h_seconds"]
+	if sv.Kind != "histogram" || sv.Hist == nil {
+		t.Fatalf("histogram = %+v", sv)
+	}
+	if got := sv.Hist.Cum; len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 2 {
+		t.Fatalf("cum = %v", got)
+	}
+	if sv.Hist.Count != 2 || sv.Hist.Sum != 2 {
+		t.Fatalf("count/sum = %d/%g", sv.Hist.Count, sv.Hist.Sum)
+	}
+}

@@ -88,6 +88,62 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sum.Load())
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of everything observed
+// so far, interpolating linearly inside the winning bucket. The first
+// bucket's lower edge is 0 (every histogram here observes non-negative
+// values) and observations in the +Inf bucket report the highest finite
+// bound — the estimate is clamped, never invented. Returns 0 with no
+// observations. Nil-safe.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	return QuantileFromBuckets(h.bounds, h.snapshotBuckets(), q)
+}
+
+// QuantileFromBuckets estimates a quantile from Prometheus-style
+// cumulative bucket counts: bounds are the finite upper bounds and cum
+// has len(bounds)+1 entries, the last being the +Inf bucket (== total
+// count). Shared by Histogram.Quantile and the tsdb's windowed
+// quantiles over bucket deltas.
+func QuantileFromBuckets(bounds []float64, cum []int64, q float64) float64 {
+	if len(cum) == 0 || len(cum) != len(bounds)+1 {
+		return 0
+	}
+	total := cum[len(cum)-1]
+	if total <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	for i, bound := range bounds {
+		if float64(cum[i]) >= rank {
+			lower := 0.0
+			prev := int64(0)
+			if i > 0 {
+				lower = bounds[i-1]
+				prev = cum[i-1]
+			}
+			in := cum[i] - prev
+			if in <= 0 {
+				return bound
+			}
+			frac := (rank - float64(prev)) / float64(in)
+			return lower + (bound-lower)*frac
+		}
+	}
+	// Rank landed in the +Inf bucket: clamp to the highest finite bound.
+	return bounds[len(bounds)-1]
+}
+
 // snapshotBuckets returns cumulative counts per upper bound (the +Inf
 // bucket last). Concurrent observes may land between bucket reads; the
 // result is still a valid histogram, just a momentary one.

@@ -77,14 +77,26 @@ type Registry struct {
 	byKey  map[string]*series
 	kinds  map[string]kind // family -> kind, guards cross-type reuse
 	bounds map[string]string
+
+	// Cardinality governance (see cardinality.go): per-family label-set
+	// budgets, distinct-series counts, the space-saving summaries of
+	// folded label sets, and the per-family dropped counters.
+	budgets   map[string]int
+	famCount  map[string]int
+	foldTrack map[string]*spaceSaving
+	dropped   map[string]*Counter
 }
 
 // NewRegistry returns an empty, enabled registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		byKey:  map[string]*series{},
-		kinds:  map[string]kind{},
-		bounds: map[string]string{},
+		byKey:     map[string]*series{},
+		kinds:     map[string]kind{},
+		bounds:    map[string]string{},
+		budgets:   map[string]int{},
+		famCount:  map[string]int{},
+		foldTrack: map[string]*spaceSaving{},
+		dropped:   map[string]*Counter{},
 	}
 }
 
@@ -115,7 +127,9 @@ func renderLabels(labels []string) string {
 }
 
 // register resolves (family, labels) to its series, creating it with
-// mk on first use and panicking on a kind mismatch with prior use.
+// mk on first use and panicking on a kind mismatch with prior use. A
+// family at its label budget resolves new label sets to the shared
+// `other` series instead (see cardinality.go).
 func (r *Registry) register(family string, k kind, labels []string, mk func() *series) *series {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -126,10 +140,15 @@ func (r *Registry) register(family string, k kind, labels []string, mk func() *s
 	if existing, ok := r.byKey[s.key()]; ok {
 		return existing
 	}
+	if len(labels) > 0 && r.overBudgetLocked(family) {
+		r.kinds[family] = k
+		return r.foldLocked(family, k, labels, mk)
+	}
 	made := mk()
 	made.family, made.labels, made.kind = s.family, s.labels, s.kind
 	r.byKey[s.key()] = made
 	r.kinds[family] = k
+	r.famCount[family]++
 	return made
 }
 

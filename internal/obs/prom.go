@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 )
@@ -57,6 +58,17 @@ func (r *Registry) sortedFamilies() []familyView {
 }
 
 func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// jsonValue makes a float safe for encoding/json, which rejects
+// non-finite numbers: +Inf, -Inf and NaN become their exposition-format
+// strings. The Prometheus text path needs no such guard (formatFloat
+// already renders "+Inf"/"NaN" per the format).
+func jsonValue(v float64) any {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return formatFloat(v)
+	}
+	return v
+}
 
 // seriesName renders family{labels} (or bare family).
 func seriesName(family, labels string) string {
@@ -129,9 +141,9 @@ func (r *Registry) Snapshot() map[string]any {
 			case s.c != nil:
 				out[key] = s.c.Value()
 			case s.gf != nil:
-				out[key] = s.gf()
+				out[key] = jsonValue(s.gf())
 			case s.g != nil:
-				out[key] = s.g.Value()
+				out[key] = jsonValue(s.g.Value())
 			case s.h != nil:
 				cum := s.h.snapshotBuckets()
 				buckets := map[string]int64{}
@@ -141,7 +153,7 @@ func (r *Registry) Snapshot() map[string]any {
 				buckets["+Inf"] = cum[len(cum)-1]
 				out[key] = map[string]any{
 					"count":   s.h.Count(),
-					"sum":     s.h.Sum(),
+					"sum":     jsonValue(s.h.Sum()),
 					"buckets": buckets,
 				}
 			}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQuantileBucketBoundaries(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+	// 10 observations in (1,2], none elsewhere: cum = [0,10,10,10].
+	cum := []int64{0, 10, 10, 10}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1.1},   // rank clamps to 1 → 10% into the (1,2] bucket
+		{0.1, 1.1}, // rank 1 exactly at the first observation
+		{0.5, 1.5}, // midpoint interpolation
+		{1, 2},     // upper boundary of the winning bucket, exactly
+		{0.999, 1.999},
+	}
+	for _, c := range cases {
+		got := QuantileFromBuckets(bounds, cum, c.q)
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("q=%g: got %g, want %g", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileFirstBucketInterpolatesFromZero(t *testing.T) {
+	bounds := []float64{10, 20}
+	cum := []int64{4, 4, 4} // all mass in (0,10]
+	if got := QuantileFromBuckets(bounds, cum, 0.5); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("median of first bucket = %g, want 5 (lower edge 0)", got)
+	}
+	if got := QuantileFromBuckets(bounds, cum, 1); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("q=1 = %g, want the bucket's upper bound 10", got)
+	}
+}
+
+func TestQuantileInfBucketClamps(t *testing.T) {
+	bounds := []float64{1, 2}
+	cum := []int64{0, 0, 5} // everything beyond the finite bounds
+	if got := QuantileFromBuckets(bounds, cum, 0.99); got != 2 {
+		t.Fatalf("+Inf-bucket quantile = %g, want clamp to 2", got)
+	}
+}
+
+func TestQuantileDegenerateInputs(t *testing.T) {
+	if got := QuantileFromBuckets(nil, nil, 0.5); got != 0 {
+		t.Fatalf("empty = %g, want 0", got)
+	}
+	if got := QuantileFromBuckets([]float64{1}, []int64{0, 0}, 0.5); got != 0 {
+		t.Fatalf("no observations = %g, want 0", got)
+	}
+	// Mismatched lengths are rejected, not misread.
+	if got := QuantileFromBuckets([]float64{1, 2}, []int64{1, 1}, 0.5); got != 0 {
+		t.Fatalf("mismatched = %g, want 0", got)
+	}
+}
+
+func TestHistogramQuantileMatchesBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", []float64{1, 2, 4})
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(3)
+	}
+	// 20 obs: ranks ≤10 land in (1,2], above in (2,4].
+	if got := h.Quantile(0.5); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("p50 = %g, want 2 (boundary of the two buckets)", got)
+	}
+	if got := h.Quantile(0.75); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("p75 = %g, want 3 (midpoint of (2,4])", got)
+	}
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram quantile must be 0")
+	}
+}
+
+// TestScrapeNeverBlocksHotPath pins the lock discipline the tsdb relies
+// on: Collect/WritePrometheus hold the registry mutex only to copy the
+// series list, so hot-path Inc/Observe proceed even while a scrape's
+// GaugeFunc is stuck. A GaugeFunc that blocks forever would deadlock
+// this test within the timeout if scraping held the lock throughout.
+func TestScrapeNeverBlocksHotPath(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hot_total")
+	h := r.Histogram("hot_seconds", []float64{1})
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	r.GaugeFunc("slow_gauge", func() float64 {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-gate
+		return 1
+	})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = r.Collect()
+	}()
+	<-entered // scrape is now inside the (stuck) GaugeFunc
+
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 1000; i++ {
+			c.Inc()
+			h.Observe(0.5)
+			// New registrations must also proceed: the registry mutex is
+			// free while the GaugeFunc runs.
+			r.Counter("concurrent_total", "i", "x")
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("hot path blocked behind an in-flight scrape")
+	}
+	close(gate)
+	wg.Wait()
+	if c.Value() != 1000 {
+		t.Fatalf("counter = %d, want 1000", c.Value())
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 )
@@ -58,6 +59,10 @@ type ServerConfig struct {
 	Status *Status
 	// Trace, when set, backs /debug/trace (Chrome trace-event JSON).
 	Trace *Trace
+	// Handlers mounts extra endpoints by path — the tsdb's /api/query,
+	// /api/series and /dashboard, the SLO engine's /api/alerts. They are
+	// listed on the index page alongside the built-ins.
+	Handlers map[string]http.Handler
 }
 
 // Server serves /metrics (Prometheus text), /status (JSON) and
@@ -69,21 +74,36 @@ type Server struct {
 }
 
 // StartServer listens on cfg.Addr and serves in a background goroutine.
+// Process-level runtime gauges (goroutines, heap, GC, peak RSS) are
+// registered on cfg.Registry as a side effect, so every server-carrying
+// process reports them without extra wiring.
 func StartServer(cfg ServerConfig) (*Server, error) {
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", cfg.Addr, err)
 	}
+	RegisterProcessMetrics(cfg.Registry)
 	s := &Server{ln: ln, start: time.Now()}
 
+	paths := []string{"/metrics", "/status", "/debug/trace", "/debug/pprof/"}
+	for p := range cfg.Handlers {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprint(w, "middle observability\n\n/metrics\n/status\n/debug/trace\n/debug/pprof/\n")
+		fmt.Fprint(w, "middle observability\n\n")
+		for _, p := range paths {
+			fmt.Fprintln(w, p)
+		}
 	})
+	for p, h := range cfg.Handlers {
+		mux.Handle(p, h)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = cfg.Registry.WritePrometheus(w)
@@ -98,6 +118,7 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 			"goroutines":     runtime.NumGoroutine(),
 			"status":         cfg.Status.Snapshot(),
 			"metrics":        cfg.Registry.Snapshot(),
+			"cardinality":    cfg.Registry.CardinalityReport(),
 		})
 	})
 	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, req *http.Request) {
@@ -133,9 +154,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return nil
 }
 
-// RegisterProcessMetrics adds live process-level gauges (goroutines,
-// heap bytes, GC cycles, CPU count) to the registry, evaluated at
-// scrape time. Nil-safe.
+// RegisterProcessMetrics adds live Go-runtime and process gauges
+// (goroutines, heap allocated and in-use bytes, GC cycles and total GC
+// pause, CPU count, peak RSS, registered-series count) to the registry,
+// evaluated at scrape time. Idempotent (re-registration replaces the
+// function with an equivalent one) and nil-safe; StartServer calls it,
+// so any process serving /metrics gets the runtime family for free.
 func RegisterProcessMetrics(r *Registry) {
 	if r == nil {
 		return
@@ -148,15 +172,28 @@ func RegisterProcessMetrics(r *Registry) {
 		runtime.ReadMemStats(&ms)
 		return float64(ms.HeapAlloc)
 	})
+	r.GaugeFunc("process_heap_inuse_bytes", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapInuse)
+	})
 	r.GaugeFunc("process_gc_cycles_total", func() float64 {
 		var ms runtime.MemStats
 		runtime.ReadMemStats(&ms)
 		return float64(ms.NumGC)
+	})
+	r.GaugeFunc("process_gc_pause_seconds_total", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.PauseTotalNs) / 1e9
 	})
 	r.GaugeFunc("process_cpu_count", func() float64 {
 		return float64(runtime.GOMAXPROCS(0))
 	})
 	r.GaugeFunc("process_peak_rss_bytes", func() float64 {
 		return float64(PeakRSSBytes())
+	})
+	r.GaugeFunc("obs_series", func() float64 {
+		return float64(r.NumSeries())
 	})
 }

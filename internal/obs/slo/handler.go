@@ -1,0 +1,41 @@
+package slo
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves the live alert board as JSON:
+//
+//	{"alerts":[{"name":...,"state":"ok|pending|firing",...}],
+//	 "firing": N, "breached": ["rule", ...]}
+//
+// "breached" lists rules that fired at ANY point in the run (the exit
+// gate's view); "firing" counts rules failing right now. Nil-safe
+// (serves an empty board).
+func (e *Engine) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		alerts := e.Alerts()
+		firing := 0
+		for _, a := range alerts {
+			if a.State == "firing" {
+				firing++
+			}
+		}
+		if alerts == nil {
+			alerts = []Alert{}
+		}
+		breached := e.Breached()
+		if breached == nil {
+			breached = []string{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(map[string]any{
+			"alerts":   alerts,
+			"firing":   firing,
+			"breached": breached,
+		})
+	})
+}

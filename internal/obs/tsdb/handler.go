@@ -1,0 +1,137 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// jsonPoint renders one sample as [t, v] with non-finite values as
+// null, so the payload is valid JSON for any browser.
+type jsonPoint Point
+
+func (p jsonPoint) MarshalJSON() ([]byte, error) {
+	b := make([]byte, 0, 32)
+	b = append(b, '[')
+	b = strconv.AppendInt(b, p.T, 10)
+	b = append(b, ',')
+	if math.IsInf(p.V, 0) || math.IsNaN(p.V) {
+		b = append(b, "null"...)
+	} else {
+		b = strconv.AppendFloat(b, p.V, 'g', -1, 64)
+	}
+	return append(b, ']'), nil
+}
+
+type jsonSeries struct {
+	Name   string      `json:"name"`
+	Points []jsonPoint `json:"points"`
+}
+
+func toJSONSeries(in []SeriesData) []jsonSeries {
+	out := make([]jsonSeries, len(in))
+	for i, sd := range in {
+		js := jsonSeries{Name: sd.Name, Points: make([]jsonPoint, len(sd.Points))}
+		for j, p := range sd.Points {
+			js.Points[j] = jsonPoint(p)
+		}
+		out[i] = js
+	}
+	return out
+}
+
+// QueryHandler serves range queries as JSON:
+//
+//	GET /api/query?series=<pattern>[&series=...][&from=ms][&to=ms][&last=duration]
+//
+// series patterns may use '*' globs; 'last' is a relative shorthand
+// ("5m") overriding 'from'. The response is
+// {"now": <ms>, "series": [{"name":..., "points": [[t,v],...]}]}.
+func (s *Store) QueryHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query()
+		patterns := q["series"]
+		if len(patterns) == 0 {
+			http.Error(w, "missing series parameter", http.StatusBadRequest)
+			return
+		}
+		// Comma-splitting lets one parameter carry several patterns.
+		var flat []string
+		for _, p := range patterns {
+			for _, part := range strings.Split(p, ",") {
+				if part = strings.TrimSpace(part); part != "" {
+					flat = append(flat, part)
+				}
+			}
+		}
+		now := time.Now().UnixMilli()
+		from, _ := strconv.ParseInt(q.Get("from"), 10, 64)
+		to, _ := strconv.ParseInt(q.Get("to"), 10, 64)
+		if last := q.Get("last"); last != "" {
+			if d, err := time.ParseDuration(last); err == nil && d > 0 {
+				from = now - d.Milliseconds()
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"now":    now,
+			"series": toJSONSeries(s.Query(flat, from, to)),
+		})
+	})
+}
+
+// SeriesHandler serves the stored series inventory as JSON:
+// {"count": N, "series": ["..."]} — check.sh asserts the count stays
+// under budget at the million-device scale.
+func (s *Store) SeriesHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		names := s.SeriesNames()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"count":  len(names),
+			"series": names,
+		})
+	})
+}
+
+// WriteDump writes the whole store as one JSON document:
+//
+//	{"tsdb":1,"interval_ms":...,"series":[{"name":...,"points":[[t,v],...]}]}
+//
+// The leading "tsdb" key doubles as the sniff tag middleplot uses to
+// recognize a dump file. Nil-safe (writes nothing).
+func (s *Store) WriteDump(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	all := s.Query([]string{"*"}, 0, 0)
+	doc := struct {
+		TSDB       int          `json:"tsdb"`
+		IntervalMS int64        `json:"interval_ms"`
+		Series     []jsonSeries `json:"series"`
+	}{TSDB: 1, IntervalMS: s.cfg.Interval.Milliseconds(), Series: toJSONSeries(all)}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// DumpToFile scrapes once more and writes the dump to path. Nil-safe.
+func (s *Store) DumpToFile(path string) error {
+	if s == nil {
+		return nil
+	}
+	s.ScrapeOnce()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteDump(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

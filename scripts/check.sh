@@ -87,10 +87,15 @@ echo ok
 
 echo "== middlesim telemetry + trace smoke test =="
 go build -o "$tmpdir/middlesim" ./cmd/middlesim
+go build -o "$tmpdir/middleplot" ./cmd/middleplot
 # 200 steps keeps the run alive a couple of seconds so the live
 # /metrics poll below has a real window to observe the hfl_* series.
+# The run also arms the embedded tsdb + default SLO gate: fault-free it
+# must exit 0 and leave a renderable dump behind.
 "$tmpdir/middlesim" -exp run -task mnist -steps 200 \
     -metrics-addr 127.0.0.1:0 \
+    -slo default -tsdb-interval 100ms \
+    -tsdb-out "$tmpdir/run.tsdb.json" \
     -trace-out "$tmpdir/run.trace.json" \
     -telemetry-out "$tmpdir/run.telemetry.jsonl" \
     > "$tmpdir/middlesim.log" 2>&1 &
@@ -143,6 +148,43 @@ grep -q '"event":"round"' "$tmpdir/run.telemetry.jsonl" || {
 }
 grep -q '"event":"eval"' "$tmpdir/run.telemetry.jsonl" || {
     echo "-telemetry-out wrote no eval events"
+    exit 1
+}
+head -c 16 "$tmpdir/run.tsdb.json" | grep -q '{"tsdb":1' || {
+    echo "-tsdb-out wrote no tsdb dump"
+    exit 1
+}
+"$tmpdir/middleplot" -in "$tmpdir/run.tsdb.json" > "$tmpdir/run.tsdb.txt" || {
+    echo "middleplot could not render the tsdb dump"
+    exit 1
+}
+grep -q 'hfl_global_accuracy' "$tmpdir/run.tsdb.txt" || {
+    echo "tsdb dump chart is missing the accuracy series:"
+    cat "$tmpdir/run.tsdb.txt"
+    exit 1
+}
+echo ok
+
+echo "== SLO breach gate smoke test =="
+# Seeded chaos: 50% round-trip drops against a quorum of 3 must trip
+# the tight quorum SLO — the gate exits non-zero and the breach event
+# reaches the telemetry stream.
+if "$tmpdir/middlesim" -exp run -task mnist -steps 100 \
+    -drop-rate 0.5 -quorum 3 -fault-seed 7 -tsdb-interval 50ms \
+    -telemetry-out "$tmpdir/chaos.telemetry.jsonl" \
+    -slo 'quorum_misses: delta(hfl_quorum_misses_total) <= 0' \
+    > "$tmpdir/chaos.log" 2>&1; then
+    echo "seeded-chaos run passed the SLO gate (a breach exit was expected):"
+    cat "$tmpdir/chaos.log"
+    exit 1
+fi
+grep -q "SLO breach: quorum_misses" "$tmpdir/chaos.log" || {
+    echo "breach exit did not name the quorum rule:"
+    cat "$tmpdir/chaos.log"
+    exit 1
+}
+grep -q '"event":"slo_breach"' "$tmpdir/chaos.telemetry.jsonl" || {
+    echo "no slo_breach event in the chaos telemetry stream"
     exit 1
 }
 echo ok
@@ -309,16 +351,55 @@ kill "$cpid" "$epid" "$dpid" 2>/dev/null || true
 echo ok
 
 echo "== million-device scale-out smoke =="
-# The tentpole acceptance gate: a 1M-device / 1k-edge lazy-store run
-# must finish and keep peak RSS bounded by the cohort (ceiling 2 GiB;
-# the run sits around ~300 MiB) with at most -resident-cap models
-# materialized.
+# The scale acceptance gate: a 1M-device / 1k-edge lazy-store run must
+# finish and keep peak RSS bounded by the cohort (ceiling 2 GiB; the
+# run sits around ~300 MiB) with at most -resident-cap models
+# materialized. The run also arms the full observability stack — while
+# it is live, the dashboard and query/alert APIs must serve, the series
+# count must stay under the tsdb budget, cardinality governance must
+# fold the 1k-edge divergence family (dropped counter > 0), and no SLO
+# may fire on a fault-free run.
 "$tmpdir/middlesim" -exp scale -devices 1000000 -edges 1000 \
-    -k 1 -tc 2 -steps 2 -resident-cap 4096 > "$tmpdir/scale.log" 2>&1 || {
-    echo "million-device scale run failed:"
+    -k 1 -tc 2 -steps 2 -resident-cap 4096 \
+    -metrics-addr 127.0.0.1:0 -slo default > "$tmpdir/scale.log" 2>&1 &
+scpid=$!
+pids="$pids $scpid"
+scaddr=$(scrape_addr "$tmpdir/scale.log" "metrics listening on")
+obsok=""
+i=0
+while [ $i -lt 600 ]; do
+    count=$(curl -fsS "http://$scaddr/api/series" 2>/dev/null |
+        sed -n 's/.*"count":\([0-9]*\).*/\1/p')
+    if [ -n "$count" ] && [ "$count" -gt 0 ] && [ "$count" -le 4096 ] &&
+        curl -fsS "http://$scaddr/dashboard" 2>/dev/null |
+        grep -q 'middle dashboard' &&
+        curl -fsS "http://$scaddr/api/query?series=obs_series" 2>/dev/null |
+        grep -q '"points":\[\[' &&
+        curl -fsS "http://$scaddr/metrics" 2>/dev/null |
+        grep 'obs_dropped_series_total{family="hfl_edge_divergence"}' |
+        grep -qv ' 0$' &&
+        curl -fsS "http://$scaddr/api/alerts" 2>/dev/null |
+        grep -q '"firing": 0'; then
+        obsok=yes
+        break
+    fi
+    if ! kill -0 "$scpid" 2>/dev/null; then
+        break
+    fi
+    sleep 0.2
+    i=$((i + 1))
+done
+wait "$scpid" || {
+    echo "million-device scale run failed (or an SLO fired fault-free):"
     cat "$tmpdir/scale.log"
     exit 1
 }
+if [ -z "$obsok" ]; then
+    echo "observability endpoints never satisfied the scale gate" \
+        "(series count bounded, divergence family folded, zero firing SLOs)"
+    cat "$tmpdir/scale.log"
+    exit 1
+fi
 cat "$tmpdir/scale.log"
 rss=$(sed -n 's/.*peak_rss_mib=\([0-9]*\).*/\1/p' "$tmpdir/scale.log")
 if [ -z "$rss" ]; then
