@@ -30,33 +30,36 @@ import (
 	"middle/internal/fednet"
 	"middle/internal/mobility"
 	"middle/internal/obs"
+	"middle/internal/obs/flight"
 	"middle/internal/tensor"
 )
 
 func main() {
 	var (
-		role     = flag.String("role", "", "cloud|edge|devices")
-		task     = flag.String("task", "mnist", "task: mnist|emnist|cifar10|speech")
-		scale    = flag.String("scale", "fast", "fast|paper")
-		seed     = flag.Int64("seed", 1, "shared root seed")
-		addr     = flag.String("addr", "127.0.0.1:0", "listen address (cloud, edge)")
-		edgesN   = flag.Int("edges", 2, "edge count (cloud role)")
-		rounds   = flag.Int("rounds", 50, "rounds to coordinate (cloud role)")
-		tc       = flag.Int("tc", 10, "cloud interval T_c (cloud role)")
-		id       = flag.Int("id", 0, "edge id (edge role)")
-		cloud    = flag.String("cloud", "", "cloud address (edge role)")
-		strategy = flag.String("strategy", "MIDDLE", "strategy (edge role)")
-		k        = flag.Int("k", 5, "devices selected per round (edge role)")
-		edgeList = flag.String("edgeaddrs", "", "comma-separated edge addresses (devices role)")
-		from     = flag.Int("from", 0, "first device id (devices role)")
-		to       = flag.Int("to", 9, "last device id inclusive (devices role)")
-		p        = flag.Float64("p", 0.5, "device mobility probability (devices role)")
-		moveMs   = flag.Int("movems", 2000, "milliseconds between mobility steps (devices role)")
-		metrics  = flag.String("metrics-addr", "", "serve /metrics, /status, /dashboard, /api/query and /debug/pprof on this address (empty = disabled)")
-		results  = flag.String("results", "", "directory for the run summary JSON (empty = disabled)")
-		traceOut = flag.String("trace-out", "", "write this process's Chrome trace-event JSON here on exit (merge per-role files in Perfetto)")
-		tsdbIntv = flag.Duration("tsdb-interval", 0, "embedded time-series store scrape interval (0 = 1s when -metrics-addr or -slo is set, else disabled)")
-		sloRules = flag.String("slo", "", "SLO rules to gate the run on (\"default\" or rule list); cloud role exits non-zero after Run if any rule ever fired")
+		role      = flag.String("role", "", "cloud|edge|devices")
+		task      = flag.String("task", "mnist", "task: mnist|emnist|cifar10|speech")
+		scale     = flag.String("scale", "fast", "fast|paper")
+		seed      = flag.Int64("seed", 1, "shared root seed")
+		addr      = flag.String("addr", "127.0.0.1:0", "listen address (cloud, edge)")
+		edgesN    = flag.Int("edges", 2, "edge count (cloud role)")
+		rounds    = flag.Int("rounds", 50, "rounds to coordinate (cloud role)")
+		tc        = flag.Int("tc", 10, "cloud interval T_c (cloud role)")
+		id        = flag.Int("id", 0, "edge id (edge role)")
+		cloud     = flag.String("cloud", "", "cloud address (edge role)")
+		strategy  = flag.String("strategy", "MIDDLE", "strategy (edge role)")
+		k         = flag.Int("k", 5, "devices selected per round (edge role)")
+		edgeList  = flag.String("edgeaddrs", "", "comma-separated edge addresses (devices role)")
+		from      = flag.Int("from", 0, "first device id (devices role)")
+		to        = flag.Int("to", 9, "last device id inclusive (devices role)")
+		p         = flag.Float64("p", 0.5, "device mobility probability (devices role)")
+		moveMs    = flag.Int("movems", 2000, "milliseconds between mobility steps (devices role)")
+		metrics   = flag.String("metrics-addr", "", "serve /metrics, /status, /dashboard, /api/query and /debug/pprof on this address (empty = disabled)")
+		results   = flag.String("results", "", "directory for the run summary JSON (empty = disabled)")
+		traceOut  = flag.String("trace-out", "", "write this process's Chrome trace-event JSON here on exit (merge per-role files in Perfetto)")
+		tsdbIntv  = flag.Duration("tsdb-interval", 0, "embedded time-series store scrape interval (0 = 1s when -metrics-addr or -slo is set, else disabled)")
+		sloRules  = flag.String("slo", "", "SLO rules to gate the run on (\"default\" or rule list); cloud role exits non-zero after Run if any rule ever fired")
+		flightDir = flag.String("flight-dir", "", "arm the flight recorder: postmortem bundles (profiles, tsdb dump, event ring, SLO state) land here on SLO breach, panic, SIGQUIT/SIGUSR1 or fatal exit")
+		profIntv  = flag.Duration("profile-interval", 0, "continuous-profiler CPU window length; publishes profile_cpu_seconds_total{phase} / profile_alloc_bytes_total{phase} (0 = disabled)")
 
 		// Robustness knobs (see DESIGN.md "Fault model").
 		ckptDir   = flag.String("checkpoint-dir", "", "cloud/edge roles: persist model + round state here and resume from the latest valid checkpoint")
@@ -88,14 +91,27 @@ func main() {
 	if interval <= 0 && (*metrics != "" || *sloRules != "") {
 		interval = time.Second
 	}
+	// Events go to stderr as before; with the flight recorder armed they
+	// additionally tee into its bounded ring so bundles carry the most
+	// recent events.
+	var eventRing *flight.EventRing
+	if *flightDir != "" {
+		eventRing = flight.NewEventRing(0)
+	}
+	flagExtra := map[string]any{}
+	flag.VisitAll(func(f *flag.Flag) { flagExtra[f.Name] = f.Value.String() })
 	m, err := experiments.StartMetricsConfig(experiments.MetricsConfig{
-		Addr:         *metrics,
-		TSDBInterval: interval,
-		SLORules:     *sloRules,
-		Events:       obs.NewEmitter(os.Stderr),
+		Addr:            *metrics,
+		TSDBInterval:    interval,
+		SLORules:        *sloRules,
+		Events:          obs.NewEmitter(eventRing.Tee(os.Stderr)),
+		FlightDir:       *flightDir,
+		ProfileInterval: *profIntv,
+		FlightManifest:  obs.Manifest{Name: "middled-" + *role, Command: os.Args, Extra: flagExtra},
+		FlightEvents:    eventRing,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	if m != nil {
 		if addr := m.Addr(); addr != "" {
@@ -106,6 +122,12 @@ func main() {
 		m.SetStatus("scale", *scale)
 		defer m.Close()
 	}
+	// Forensic hooks: panics under main, SIGQUIT (bundle + exit 2) and
+	// SIGUSR1 (bundle, keep running) all leave a postmortem. These defers
+	// run before m.Close, so captures see live state.
+	flightRec = m.Flight()
+	defer flightRec.CapturePanic()
+	defer flightRec.NotifySignals()()
 	// The trace backing /debug/trace doubles as the -trace-out source;
 	// with metrics disabled a standalone collector still feeds the file.
 	trace := m.Trace()
@@ -116,7 +138,7 @@ func main() {
 
 	agg, err := middle.ParseAggregator(*aggName)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	validate := middle.ValidatorConfig{}
 	if *normBound > 0 {
@@ -154,9 +176,24 @@ func main() {
 		if breached := m.FinalizeSLO(); len(breached) > 0 {
 			writeTrace(trace, *traceOut)
 			m.Close()
-			log.Fatalf("middled: SLO breach: %s", strings.Join(breached, ", "))
+			fatalf("middled: SLO breach: %s", strings.Join(breached, ", "))
 		}
 	}
+}
+
+// flightRec is the process flight recorder (nil unless -flight-dir).
+// fatal and fatalf capture a postmortem bundle before exiting, so fatal
+// paths leave forensics behind; both are nil-safe.
+var flightRec *flight.Recorder
+
+func fatal(v ...any) {
+	_, _ = flightRec.Capture("fatal " + fmt.Sprint(v...))
+	log.Fatal(v...)
+}
+
+func fatalf(format string, v ...any) {
+	_, _ = flightRec.Capture("fatal " + fmt.Sprintf(format, v...))
+	log.Fatalf(format, v...)
 }
 
 // writeTrace dumps the collected spans on clean exit (no-op when
@@ -202,11 +239,11 @@ func runCloud(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs.T
 		Logf: log.Printf, Obs: m.Registry(), Trace: trace,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	log.Printf("middled: cloud listening on %s (%d edges, %d rounds, Tc=%d, shards=%d)", c.Addr(), edges, rounds, tc, shards)
 	if err := c.Run(); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	log.Printf("middled: training complete")
 	writeSummary(m, results, "middled-cloud")
@@ -214,11 +251,11 @@ func runCloud(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs.T
 
 func runEdge(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs.Trace, id int, cloudAddr, addr, strategy string, k int, seed int64, quorum int, roundDL time.Duration, agg middle.AggregatorKind, trimFrac float64, validate middle.ValidatorConfig, selNormCap float64, ckptDir string, ckptEvery int) {
 	if cloudAddr == "" {
-		log.Fatal("middled: edge role requires -cloud")
+		fatal("middled: edge role requires -cloud")
 	}
 	strat, err := middle.StrategyByName(strategy)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	e, err := fednet.NewEdge(fednet.EdgeConfig{
 		EdgeID: id, CloudAddr: cloudAddr, Addr: addr,
@@ -230,25 +267,25 @@ func runEdge(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs.Tr
 		Obs: m.Registry(), Trace: trace,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	log.Printf("middled: edge %d serving devices on %s (strategy %s)", id, e.Addr(), strategy)
 	if err := e.Run(); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 }
 
 func runDevices(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs.Trace, edgeList string, from, to int, p float64, moveMs int, seed int64, mux int, faults *fednet.FaultInjector) {
 	addrs := strings.Split(edgeList, ",")
 	if len(addrs) == 0 || addrs[0] == "" {
-		log.Fatal("middled: devices role requires -edgeaddrs")
+		fatal("middled: devices role requires -edgeaddrs")
 	}
 	if mux < 1 {
-		log.Fatalf("middled: -mux must be ≥ 1, got %d", mux)
+		fatalf("middled: -mux must be ≥ 1, got %d", mux)
 	}
 	part := setup.Partition(seed)
 	if to >= part.NumDevices() || from < 0 || from > to {
-		log.Fatalf("middled: device range %d..%d outside partition of %d", from, to, part.NumDevices())
+		fatalf("middled: device range %d..%d outside partition of %d", from, to, part.NumDevices())
 	}
 	mode := fednet.AggModeForStrategy("MIDDLE")
 	n := to - from + 1
@@ -274,7 +311,7 @@ func runDevices(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs
 				Mode: mode, Seed: seed, Faults: faults, Obs: m.Registry(),
 			})
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			for i := start; i < end; i++ {
 				id := from + i
@@ -297,7 +334,7 @@ func runDevices(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs
 				Obs: m.Registry(), Trace: trace,
 			})
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			connect[i] = dev.Connect
 		}
@@ -306,7 +343,7 @@ func runDevices(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs
 	membership := mob.Step()
 	for i := range connect {
 		if err := connect[i](membership[i], addrs[membership[i]]); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		log.Printf("middled: device %d attached to edge %d", from+i, membership[i])
 	}

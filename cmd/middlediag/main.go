@@ -1,0 +1,443 @@
+// Command middlediag reads a postmortem bundle written by the flight
+// recorder (internal/obs/flight) and prints a root-cause report: which
+// SLO rules fired and when, where the CPU and allocations went by
+// phase, which series moved the most, the fault/retry/reject counters,
+// and a goroutine-leak heuristic over the captured stacks.
+//
+//	middlediag flight/                       # latest bundle under a flight dir
+//	middlediag flight/bundle-20260808T...    # a specific bundle
+//	middlediag -top 10 flight/
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"time"
+
+	"middle/internal/obs/flight"
+)
+
+func main() {
+	top := flag.Int("top", 5, "entries per ranked section")
+	leak := flag.Int("leak-threshold", 20, "goroutine-group size flagged as a possible leak")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: middlediag [-top N] <bundle-dir | flight-dir>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	dir, err := resolveBundle(flag.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("middlediag: %s\n", dir)
+	reportManifest(dir)
+	reportSLO(dir)
+	reportCPU(dir, *top)
+	reportProfileSeries(dir, *top)
+	reportHotSeries(dir, *top)
+	reportFaults(dir)
+	reportGoroutines(dir, *top, *leak)
+}
+
+// resolveBundle accepts either a bundle directory or a flight directory
+// containing bundle-* subdirectories (latest wins).
+func resolveBundle(path string) (string, error) {
+	if _, err := os.Stat(filepath.Join(path, "manifest.json")); err == nil {
+		return path, nil
+	}
+	bundles, err := flight.Bundles(path)
+	if err != nil {
+		return "", fmt.Errorf("reading %s: %w", path, err)
+	}
+	if len(bundles) == 0 {
+		return "", fmt.Errorf("%s holds no completed bundles", path)
+	}
+	return bundles[len(bundles)-1], nil
+}
+
+// readJSON decodes one bundle file into out; missing files are not an
+// error (bundles omit files whose source was not wired).
+func readJSON(dir, file string, out any) bool {
+	data, err := os.ReadFile(filepath.Join(dir, file))
+	if err != nil {
+		return false
+	}
+	return json.Unmarshal(data, out) == nil
+}
+
+func section(name string) { fmt.Printf("\n== %s ==\n", name) }
+
+func reportManifest(dir string) {
+	var m struct {
+		Reason     string `json:"reason"`
+		CapturedAt string `json:"captured_at"`
+		Manifest   struct {
+			Name    string   `json:"name"`
+			Command []string `json:"command"`
+			Build   struct {
+				GoVersion   string `json:"go_version"`
+				VCSRevision string `json:"vcs_revision"`
+				VCSTime     string `json:"vcs_time"`
+			} `json:"build"`
+		} `json:"manifest"`
+		Errors []string `json:"errors"`
+	}
+	if !readJSON(dir, "manifest.json", &m) {
+		fmt.Println("capture: no manifest.json (incomplete bundle?)")
+		return
+	}
+	section("capture")
+	fmt.Printf("reason:   %s\n", m.Reason)
+	fmt.Printf("captured: %s\n", m.CapturedAt)
+	if m.Manifest.Name != "" {
+		fmt.Printf("run:      %s\n", m.Manifest.Name)
+	}
+	if b := m.Manifest.Build; b.GoVersion != "" || b.VCSRevision != "" {
+		rev := b.VCSRevision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		fmt.Printf("build:    %s %s %s\n", b.GoVersion, rev, b.VCSTime)
+	}
+	for _, e := range m.Errors {
+		fmt.Printf("capture error: %s\n", e)
+	}
+}
+
+func reportSLO(dir string) {
+	var s struct {
+		Alerts []struct {
+			Name   string  `json:"name"`
+			State  string  `json:"state"`
+			Value  float64 `json:"value"`
+			Detail string  `json:"detail"`
+			Since  int64   `json:"since"`
+		} `json:"alerts"`
+		Breached []string `json:"breached"`
+	}
+	if !readJSON(dir, "slo.json", &s) {
+		return
+	}
+	section("slo")
+	if len(s.Breached) == 0 {
+		fmt.Println("no rules breached")
+	} else {
+		fmt.Printf("breached: %s\n", strings.Join(s.Breached, ", "))
+	}
+	for _, a := range s.Alerts {
+		if a.State == "ok" {
+			continue
+		}
+		line := fmt.Sprintf("%-8s %s", a.State, a.Name)
+		if a.Detail != "" {
+			line += "  (" + a.Detail + ")"
+		}
+		if ts := fmtUnixMS(a.Since); ts != "" {
+			line += "  since " + ts
+		}
+		fmt.Println(line)
+	}
+	// Breach moments from the event ring, the "when" to slo.json's "what".
+	for _, ev := range readEvents(dir) {
+		if ev["event"] == "slo_breach" {
+			fmt.Printf("breach:   rule=%v at %v\n", ev["rule"], ev["ts"])
+		}
+	}
+}
+
+// readEvents parses the bundle's JSONL event ring (nil when absent).
+func readEvents(dir string) []map[string]any {
+	f, err := os.Open(filepath.Join(dir, "events.jsonl"))
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	var out []map[string]any
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var ev map[string]any
+		if json.Unmarshal(sc.Bytes(), &ev) == nil {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+func reportCPU(dir string, top int) {
+	data, err := os.ReadFile(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return
+	}
+	prof, err := flight.ParseCPUProfile(data)
+	if err != nil {
+		section("cpu by phase")
+		fmt.Printf("cpu.pprof unparsable: %v\n", err)
+		return
+	}
+	section("cpu by phase (bundle cpu.pprof window)")
+	if prof.TotalNanos == 0 {
+		fmt.Println("profile window captured no samples (idle process)")
+		return
+	}
+	type pc struct {
+		phase string
+		nanos int64
+	}
+	var phases []pc
+	for p, ns := range prof.Phases {
+		phases = append(phases, pc{p, ns})
+	}
+	sort.Slice(phases, func(i, j int) bool { return phases[i].nanos > phases[j].nanos })
+	for i, p := range phases {
+		if i >= top {
+			break
+		}
+		fmt.Printf("%-16s %8.3fs  %5.1f%%\n", p.phase,
+			float64(p.nanos)/1e9, 100*float64(p.nanos)/float64(prof.TotalNanos))
+	}
+	fmt.Printf("%-16s %8.3fs\n", "total", float64(prof.TotalNanos)/1e9)
+}
+
+// tsdbDump mirrors the {"tsdb":1,...} dump document.
+type tsdbDump struct {
+	Series []struct {
+		Name   string       `json:"name"`
+		Points [][2]float64 `json:"points"`
+	} `json:"series"`
+}
+
+func loadDump(dir string) (tsdbDump, bool) {
+	var d tsdbDump
+	ok := readJSON(dir, "tsdb.json", &d)
+	return d, ok && len(d.Series) > 0
+}
+
+// lastValue returns a series' most recent non-NaN point.
+func lastValue(points [][2]float64) (float64, bool) {
+	for i := len(points) - 1; i >= 0; i-- {
+		if !math.IsNaN(points[i][1]) {
+			return points[i][1], true
+		}
+	}
+	return 0, false
+}
+
+// reportProfileSeries ranks the continuous profiler's cumulative
+// attribution series — the whole-run view complementing the bundle's
+// single CPU window.
+func reportProfileSeries(dir string, top int) {
+	d, ok := loadDump(dir)
+	if !ok {
+		return
+	}
+	type row struct {
+		phase string
+		v     float64
+	}
+	collect := func(family string) []row {
+		var rows []row
+		prefix := family + `{phase="`
+		for _, s := range d.Series {
+			if !strings.HasPrefix(s.Name, prefix) {
+				continue
+			}
+			phase := strings.TrimSuffix(strings.TrimPrefix(s.Name, prefix), `"}`)
+			if v, ok := lastValue(s.Points); ok && v > 0 {
+				rows = append(rows, row{phase, v})
+			}
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].v > rows[j].v })
+		if len(rows) > top {
+			rows = rows[:top]
+		}
+		return rows
+	}
+	cpu := collect("profile_cpu_seconds_total")
+	alloc := collect("profile_alloc_bytes_total")
+	if len(cpu) == 0 && len(alloc) == 0 {
+		return
+	}
+	section("profiler attribution (cumulative over run)")
+	for _, r := range cpu {
+		fmt.Printf("cpu   %-16s %10.3fs\n", r.phase, r.v)
+	}
+	for _, r := range alloc {
+		fmt.Printf("alloc %-16s %10s\n", r.phase, fmtBytes(r.v))
+	}
+}
+
+// reportHotSeries ranks series by spread (max-min over the retained
+// window) — the cheapest "what moved" signal in a dump.
+func reportHotSeries(dir string, top int) {
+	d, ok := loadDump(dir)
+	if !ok {
+		return
+	}
+	type row struct {
+		name   string
+		spread float64
+	}
+	var rows []row
+	for _, s := range d.Series {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, p := range s.Points {
+			if math.IsNaN(p[1]) {
+				continue
+			}
+			lo, hi = math.Min(lo, p[1]), math.Max(hi, p[1])
+		}
+		if hi > lo && hi-lo > 0 {
+			rows = append(rows, row{s.Name, hi - lo})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].spread > rows[j].spread })
+	if len(rows) == 0 {
+		return
+	}
+	section("hottest series by spread")
+	for i, r := range rows {
+		if i >= top {
+			break
+		}
+		fmt.Printf("%-48s %g\n", r.name, r.spread)
+	}
+}
+
+// faultPattern matches the counters that explain degraded runs:
+// retries, timeouts, drops, corrupt frames, quorum misses, straggler
+// exclusions, robust-aggregation rejections and non-finite steps.
+var faultPattern = regexp.MustCompile(`^(fednet|hfl|robust)_.*(retries|timeouts|corrupt|drops|reconnects|quorum|stragglers|rejected|trimmed|clipped|nonfinite)`)
+
+func reportFaults(dir string) {
+	d, ok := loadDump(dir)
+	if !ok {
+		return
+	}
+	type row struct {
+		name string
+		v    float64
+	}
+	var rows []row
+	for _, s := range d.Series {
+		if !faultPattern.MatchString(s.Name) {
+			continue
+		}
+		if v, ok := lastValue(s.Points); ok && v > 0 {
+			rows = append(rows, row{s.Name, v})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].v > rows[j].v })
+	section("fault / retry / reject counters")
+	if len(rows) == 0 {
+		fmt.Println("all zero — a clean run")
+		return
+	}
+	for _, r := range rows {
+		fmt.Printf("%-48s %g\n", r.name, r.v)
+	}
+}
+
+// reportGoroutines groups the captured stacks by creation site (top
+// frame when the root goroutine has none) and flags unusually large
+// groups — the standard leak signature is many goroutines parked at
+// one site.
+func reportGoroutines(dir string, top, leakThreshold int) {
+	data, err := os.ReadFile(filepath.Join(dir, "goroutines.txt"))
+	if err != nil {
+		return
+	}
+	type group struct {
+		key   string
+		count int
+	}
+	counts := map[string]int{}
+	total := 0
+	for _, block := range strings.Split(string(data), "\n\n") {
+		lines := strings.Split(strings.TrimSpace(block), "\n")
+		if len(lines) == 0 || !strings.HasPrefix(lines[0], "goroutine ") {
+			continue
+		}
+		total++
+		state := ""
+		if i := strings.Index(lines[0], "["); i >= 0 {
+			state = strings.TrimSuffix(lines[0][i+1:], "]:")
+			// Strip wait durations ("chan receive, 5 minutes").
+			if j := strings.Index(state, ","); j >= 0 {
+				state = state[:j]
+			}
+		}
+		site := ""
+		for _, l := range lines[1:] {
+			if strings.HasPrefix(l, "created by ") {
+				site = strings.TrimPrefix(l, "created by ")
+				if j := strings.Index(site, " in goroutine"); j >= 0 {
+					site = site[:j]
+				}
+				break
+			}
+		}
+		if site == "" && len(lines) > 1 {
+			site = strings.TrimSuffix(lines[1], "(...)")
+			if j := strings.Index(site, "("); j >= 0 {
+				site = site[:j]
+			}
+		}
+		counts[fmt.Sprintf("%s [%s]", site, state)]++
+	}
+	var groups []group
+	for k, c := range counts {
+		groups = append(groups, group{k, c})
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].count > groups[j].count })
+	section("goroutines")
+	fmt.Printf("total: %d\n", total)
+	for i, g := range groups {
+		if i >= top {
+			break
+		}
+		flag := ""
+		if g.count >= leakThreshold {
+			flag = "  << possible leak"
+		}
+		fmt.Printf("%4d  %s%s\n", g.count, g.key, flag)
+	}
+}
+
+func fmtUnixMS(ms int64) string {
+	if ms == 0 {
+		return ""
+	}
+	return time.UnixMilli(ms).UTC().Format(time.RFC3339)
+}
+
+func fmtBytes(v float64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", v/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", v/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.2fKiB", v/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", v)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "middlediag: "+format+"\n", args...)
+	os.Exit(1)
+}

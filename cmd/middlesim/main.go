@@ -28,6 +28,7 @@ import (
 	"middle/internal/data"
 	"middle/internal/experiments"
 	"middle/internal/obs"
+	"middle/internal/obs/flight"
 )
 
 func main() {
@@ -51,6 +52,8 @@ func main() {
 		tsdbIntv   = flag.Duration("tsdb-interval", 0, "embedded time-series store scrape interval (0 = 1s when -metrics-addr or -slo is set, else disabled)")
 		tsdbOut    = flag.String("tsdb-out", "", "write the tsdb's full history as JSON at exit (middleplot renders it)")
 		sloRules   = flag.String("slo", "", "SLO rules to gate the run on (\"default\" or \"name: reducer(series[,window]) op threshold; ...\"); any breach exits non-zero")
+		flightDir  = flag.String("flight-dir", "", "arm the flight recorder: postmortem bundles (profiles, tsdb dump, event ring, SLO state) land here on SLO breach, panic, SIGQUIT/SIGUSR1 or fatal exit")
+		profIntv   = flag.Duration("profile-interval", 0, "continuous-profiler CPU window length; publishes profile_cpu_seconds_total{phase} / profile_alloc_bytes_total{phase} (0 = disabled)")
 
 		// Simulated robustness knobs (-exp run only; defaults keep runs
 		// bit-identical to the fault-free engine).
@@ -93,15 +96,24 @@ func main() {
 	}
 
 	// The emitter is created before the metrics bundle so SLO breach
-	// events land in the same JSONL stream as rounds and evals.
+	// events land in the same JSONL stream as rounds and evals. With the
+	// flight recorder armed, the stream tees into its bounded ring so a
+	// bundle always carries the most recent events, -telemetry-out or
+	// not.
 	var telemetryFile *os.File
+	var eventRing *flight.EventRing
+	if *flightDir != "" {
+		eventRing = flight.NewEventRing(0)
+	}
 	if *telemOut != "" {
 		f, err := os.Create(*telemOut)
 		if err != nil {
 			fatalf("creating %s: %v", *telemOut, err)
 		}
 		telemetryFile = f
-		events = obs.NewEmitter(f)
+		events = obs.NewEmitter(eventRing.Tee(f))
+	} else if eventRing != nil {
+		events = obs.NewEmitter(eventRing)
 	}
 
 	// The tsdb rides along whenever any observability is on: -slo needs
@@ -111,10 +123,14 @@ func main() {
 		interval = time.Second
 	}
 	metrics, err = experiments.StartMetricsConfig(experiments.MetricsConfig{
-		Addr:         *maddr,
-		TSDBInterval: interval,
-		SLORules:     *sloRules,
-		Events:       events,
+		Addr:            *maddr,
+		TSDBInterval:    interval,
+		SLORules:        *sloRules,
+		Events:          events,
+		FlightDir:       *flightDir,
+		ProfileInterval: *profIntv,
+		FlightManifest:  obs.Manifest{Name: "middlesim-" + *exp, Command: os.Args, Extra: flagManifest()},
+		FlightEvents:    eventRing,
 	})
 	if err != nil {
 		fatalf("%v", err)
@@ -128,6 +144,12 @@ func main() {
 		metrics.SetStatus("scale", *scaleFlag)
 		defer metrics.Close()
 	}
+	// Forensic hooks: a panic anywhere under main and a SIGQUIT/SIGUSR1
+	// both produce a bundle. These defers run before metrics.Close, so
+	// captures see the live tsdb/trace/SLO state.
+	flightRec = metrics.Flight()
+	defer flightRec.CapturePanic()
+	defer flightRec.NotifySignals()()
 	// The trace backing /debug/trace doubles as the -trace-out source;
 	// with metrics disabled a standalone collector still feeds the file.
 	trace = metrics.Trace()
@@ -244,14 +266,26 @@ func main() {
 	}
 }
 
-// metrics, trace and events are the process-wide observability handles
-// (nil when their flags are unset); newSetup threads them into every
-// experiment configuration.
+// metrics, trace, events and flightRec are the process-wide
+// observability handles (nil when their flags are unset); newSetup
+// threads them into every experiment configuration, and fatalf uses the
+// recorder so even flag-validation deaths after arming leave a bundle.
 var (
-	metrics *experiments.Metrics
-	trace   *obs.Trace
-	events  *obs.Emitter
+	metrics   *experiments.Metrics
+	trace     *obs.Trace
+	events    *obs.Emitter
+	flightRec *flight.Recorder
 )
+
+// flagManifest snapshots every flag's effective value for the bundle
+// manifest, so a postmortem records exactly how the run was configured.
+func flagManifest() map[string]any {
+	m := map[string]any{}
+	flag.VisitAll(func(f *flag.Flag) {
+		m[f.Name] = f.Value.String()
+	})
+	return m
+}
 
 func newSetup(task middle.TaskName, scale middle.Scale, seed int64) *middle.TaskSetup {
 	s := middle.NewTaskSetup(task, scale, seed)
@@ -263,6 +297,7 @@ func newSetup(task middle.TaskName, scale middle.Scale, seed int64) *middle.Task
 
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "middlesim: "+format+"\n", args...)
+	_, _ = flightRec.Capture("fatal " + fmt.Sprintf(format, args...))
 	os.Exit(1)
 }
 

@@ -11,10 +11,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime/debug"
 	"time"
 
 	"middle"
+	"middle/internal/obs"
 )
 
 func main() {
@@ -86,18 +86,8 @@ func writeManifest(path, out string, seed int64, empiricalP float64) {
 		"empirical_p": empiricalP,
 		"generated":   time.Now().Format(time.RFC3339),
 	}
-	if info, ok := debug.ReadBuildInfo(); ok {
-		m["go_version"] = info.GoVersion
-		for _, s := range info.Settings {
-			switch s.Key {
-			case "vcs.revision":
-				m["vcs_revision"] = s.Value
-			case "vcs.time":
-				m["vcs_time"] = s.Value
-			case "vcs.modified":
-				m["vcs_modified"] = s.Value
-			}
-		}
+	for k, v := range obs.ReadBuild().Map() {
+		m[k] = v
 	}
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {

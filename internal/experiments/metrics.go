@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"middle/internal/obs"
+	"middle/internal/obs/flight"
 	"middle/internal/obs/slo"
 	"middle/internal/obs/tsdb"
 	"middle/internal/tensor"
@@ -19,13 +20,15 @@ import (
 // method is a no-op and Registry() returns nil, which all instruments
 // accept.
 type Metrics struct {
-	reg     *obs.Registry
-	status  *obs.Status
-	server  *obs.Server
-	trace   *obs.Trace
-	store   *tsdb.Store
-	engine  *slo.Engine
-	started time.Time
+	reg      *obs.Registry
+	status   *obs.Status
+	server   *obs.Server
+	trace    *obs.Trace
+	store    *tsdb.Store
+	engine   *slo.Engine
+	recorder *flight.Recorder
+	profiler *flight.Profiler
+	started  time.Time
 }
 
 // MetricsConfig configures the full observability bundle. The zero
@@ -48,6 +51,21 @@ type MetricsConfig struct {
 	// Events receives slo_breach/slo_resolve events alongside the
 	// run's other telemetry.
 	Events *obs.Emitter
+
+	// FlightDir, when set, arms the flight recorder: postmortem bundles
+	// are captured there on SLO breach (and by the daemons on panic,
+	// SIGQUIT/SIGUSR1 and fatal exits).
+	FlightDir string
+	// ProfileInterval, when > 0, starts the continuous profiler with
+	// this CPU-window length, publishing profile_cpu_seconds_total and
+	// profile_alloc_bytes_total per phase.
+	ProfileInterval time.Duration
+	// FlightManifest identifies the run inside captured bundles (name,
+	// argv, flags/seed in Extra).
+	FlightManifest obs.Manifest
+	// FlightEvents is the recent-event ring the bundles snapshot;
+	// usually the same ring the daemon's emitter tees into.
+	FlightEvents *flight.EventRing
 }
 
 // StartMetrics starts the introspection listener on addr. An empty
@@ -64,7 +82,8 @@ func StartMetrics(addr string) (*Metrics, error) {
 // TSDBInterval > 0 or SLORules non-empty; SLO engine when SLORules
 // non-empty. Fully disabled config returns (nil, nil).
 func StartMetricsConfig(cfg MetricsConfig) (*Metrics, error) {
-	if cfg.Addr == "" && cfg.TSDBInterval <= 0 && cfg.SLORules == "" {
+	if cfg.Addr == "" && cfg.TSDBInterval <= 0 && cfg.SLORules == "" &&
+		cfg.FlightDir == "" && cfg.ProfileInterval <= 0 {
 		return nil, nil
 	}
 	r := obs.NewRegistry()
@@ -97,11 +116,43 @@ func StartMetricsConfig(cfg MetricsConfig) (*Metrics, error) {
 			Rules:    rules,
 			Events:   cfg.Events,
 			Registry: r,
+			// Late-bound through m so the recorder (created below) is
+			// seen: every breach captures a bundle before the exit gate
+			// can tear the process down.
+			OnBreach: func(rule string) {
+				m.CaptureFlight("slo_breach " + rule)
+			},
 		})
 		if err != nil {
 			return nil, err
 		}
 		m.engine = engine
+	}
+	if cfg.FlightDir != "" {
+		rec, err := flight.NewRecorder(flight.RecorderConfig{
+			Dir:      cfg.FlightDir,
+			Manifest: cfg.FlightManifest,
+			Registry: r,
+			Store:    m.store,
+			Engine:   m.engine,
+			Trace:    m.trace,
+			Events:   cfg.FlightEvents,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m.recorder = rec
+	}
+	if cfg.ProfileInterval > 0 {
+		prof, err := flight.StartProfiler(flight.ProfilerConfig{
+			Registry: r,
+			Interval: cfg.ProfileInterval,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m.profiler = prof
+		m.recorder.SetProfiler(prof)
 	}
 
 	if cfg.Addr != "" {
@@ -199,6 +250,27 @@ func (m *Metrics) SLO() *slo.Engine {
 	return m.engine
 }
 
+// Flight returns the flight recorder (nil when disabled). The nil
+// recorder no-ops everywhere, so callers wire signal/panic hooks
+// unconditionally.
+func (m *Metrics) Flight() *flight.Recorder {
+	if m == nil {
+		return nil
+	}
+	return m.recorder
+}
+
+// CaptureFlight captures a postmortem bundle with the given reason and
+// returns its path ("" when the recorder is disabled or capture
+// failed). Nil-safe.
+func (m *Metrics) CaptureFlight(reason string) string {
+	if m == nil {
+		return ""
+	}
+	path, _ := m.recorder.Capture(reason)
+	return path
+}
+
 // FinalizeSLO stops the tsdb and SLO loops, takes one final
 // scrape-and-evaluate pass, and returns the names of every rule that
 // breached at any point in the run. Empty means the gate passes.
@@ -236,6 +308,7 @@ func (m *Metrics) Close() {
 	if m == nil {
 		return
 	}
+	m.profiler.Close()
 	m.store.Close()
 	m.engine.Close()
 	if m.server != nil {

@@ -9,6 +9,7 @@ import (
 
 	"middle/internal/checkpoint"
 	"middle/internal/obs"
+	"middle/internal/obs/flight"
 	"middle/internal/robust"
 )
 
@@ -300,6 +301,7 @@ func (c *Cloud) Run() error {
 		}
 		if sync {
 			syncStart := tr.Now()
+			fp := flight.BeginPhase("cloud_sync")
 			// Validate received edge models against the current global
 			// and combine the survivors with the configured aggregator.
 			if c.validator != nil && len(vecs) > 0 {
@@ -375,6 +377,7 @@ func (c *Cloud) Run() error {
 					}
 				}
 			}
+			fp.End()
 			if tr != nil {
 				tr.Complete("cloud_sync", "fednet", tracePidCloud, 0,
 					syncStart, tr.Now().Sub(syncStart), span+".sync", span,

@@ -10,6 +10,7 @@ import (
 	"middle/internal/data"
 	"middle/internal/nn"
 	"middle/internal/obs"
+	"middle/internal/obs/flight"
 	"middle/internal/optim"
 	"middle/internal/simil"
 	"middle/internal/tensor"
@@ -349,6 +350,8 @@ func (d *Device) train(req TrainRequest, edgeModel []float64, edgeID int) ([]flo
 func runLocalSGD(netw *nn.Network, opt optim.Optimizer, ds *data.Dataset, indices []int,
 	localSteps, batchSize int, seed int64, deviceID, round int,
 	start []float64, nonfinite *obs.Counter) ([]float64, float64) {
+	fp := flight.BeginPhase("local_train")
+	defer fp.End()
 	netw.SetParamVector(start)
 	opt.Reset()
 	rng := tensor.Split(seed, int64(round)*100_003+int64(deviceID)*13+5)

@@ -11,6 +11,7 @@ import (
 	"middle/internal/checkpoint"
 	"middle/internal/hfl"
 	"middle/internal/obs"
+	"middle/internal/obs/flight"
 	"middle/internal/robust"
 	"middle/internal/tensor"
 )
@@ -559,6 +560,8 @@ collect:
 		return st
 	}
 	if len(vecs) > 0 {
+		fp := flight.BeginPhase("edge_agg")
+		defer fp.End()
 		agg := make([]float64, len(vecs[0]))
 		aggStats := e.agg.AggregateInto(agg, vecs, ws, model)
 		if aggStats.TrimmedValues > 0 {
@@ -619,7 +622,9 @@ func (e *Edge) trainDevice(id, round int, span string, model []float64, results 
 			// connection; the demux reader matches the reply by device id.
 			rpcStart := tr.Now()
 			rpcTok := e.m.trainSpan.Begin()
+			fp := flight.BeginPhase("comm")
 			vec, reply, err := mx.roundTrip(id, req, model, e.cfg.Timeout)
+			fp.End()
 			if err == nil && (reply.Round != round || len(vec) == 0) {
 				err = fmt.Errorf("mux train reply: round %d, %d values", reply.Round, len(vec))
 			}
@@ -640,8 +645,10 @@ func (e *Edge) trainDevice(id, round int, span string, model []float64, results 
 		conn := d.conn
 		rpcStart := tr.Now()
 		rpcTok := e.m.trainSpan.Begin()
+		fp := flight.BeginPhase("comm")
 		conn.SetDeadline(time.Now().Add(e.cfg.Timeout))
 		if err := e.m.deviceLink.writeMsg(conn, MsgTrainRequest, req, model); err != nil {
+			fp.End()
 			countTimeout(e.m.timeouts, err)
 			e.dropDevice(id, conn)
 			lastErr = err
@@ -649,6 +656,7 @@ func (e *Edge) trainDevice(id, round int, span string, model []float64, results 
 		}
 		var reply TrainReply
 		t, vec, err := e.m.deviceLink.readMsg(conn, &reply)
+		fp.End()
 		if err != nil || t != MsgTrainReply || reply.Round != round {
 			countTimeout(e.m.timeouts, err)
 			e.dropDevice(id, conn)

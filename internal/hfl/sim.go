@@ -11,6 +11,7 @@ import (
 	"middle/internal/data"
 	"middle/internal/mobility"
 	"middle/internal/nn"
+	"middle/internal/obs/flight"
 	"middle/internal/optim"
 	"middle/internal/robust"
 	"middle/internal/simil"
@@ -235,6 +236,11 @@ func (s *Sim) StepOnce() int {
 	roundStart := clock
 	movesBefore, stragglersBefore := s.moves, s.stragglers
 	s.tel.beginRound()
+	// Flight-profiler attribution: each block below is bracketed by a
+	// pprof "phase" label matching its sim_phase_seconds series, so the
+	// continuous profiler can split CPU/alloc cost per phase. Free (two
+	// atomic loads, zero alloc) when no profiler is running.
+	fp := flight.BeginPhase("selection")
 
 	prev := s.membership
 	s.membership = s.mob.Step()
@@ -339,9 +345,11 @@ func (s *Sim) StepOnce() int {
 			s.jobs = append(s.jobs, trainJob{device: m, init: init, out: s.store.materialize(m)})
 		}
 	}
+	fp.End()
 	phaseStart := clock
 	clock = phase(&s.phases.Select, s.metrics.selectSpan, clock)
 	s.tracePhase("select", t, phaseStart, clock)
+	fp = flight.BeginPhase("local_train")
 
 	// Line 8: parallel local training across the worker pool.
 	jobs := s.jobs
@@ -366,9 +374,11 @@ func (s *Sim) StepOnce() int {
 			}
 		}
 	}
+	fp.End()
 	phaseStart = clock
 	clock = phase(&s.phases.Train, s.metrics.trainSpan, clock)
 	s.tracePhase("train", t, phaseStart, clock)
+	fp = flight.BeginPhase("edge_agg")
 
 	// Line 9: edge aggregation (Eq. 6), weighted by data sizes. The edge
 	// vector is overwritten in place (it never aliases a device vector).
@@ -418,6 +428,7 @@ func (s *Sim) StepOnce() int {
 		}
 		s.recordAgg(s.agg.AggregateInto(s.edges[n], vecs, weights, s.edges[n]))
 	}
+	fp.End()
 	phaseStart = clock
 	clock = phase(&s.phases.EdgeAgg, s.metrics.edgeAggSpan, clock)
 	s.tracePhase("edge_agg", t, phaseStart, clock)
@@ -426,6 +437,7 @@ func (s *Sim) StepOnce() int {
 	// the new global model down to all edges and devices (copy into the
 	// existing vectors; their backing arrays are stable for the run).
 	if t%s.cfg.CloudInterval == 0 {
+		fp = flight.BeginPhase("cloud_sync")
 		// Streaming Eq. 7 mirrors the Eq. 6 fast path: the participating
 		// edges' accumulated weights d̂_n are known before any vector is
 		// touched, so the cloud folds edge models into a running weighted
@@ -471,14 +483,17 @@ func (s *Sim) StepOnce() int {
 		}
 		s.store.cloudSynced()
 		s.metrics.cloudSyncs.Inc()
+		fp.End()
 		phaseStart = clock
 		clock = phase(&s.phases.CloudSync, s.metrics.cloudSyncSpan, clock)
 		s.tracePhase("cloud_sync", t, phaseStart, clock)
 	}
 
 	if s.cfg.EvalEvery > 0 && (t%s.cfg.EvalEvery == 0 || t == s.cfg.Steps) {
+		fp = flight.BeginPhase("eval")
 		s.recordEval(t)
 		s.metrics.evals.Inc()
+		fp.End()
 		phaseStart = clock
 		clock = phase(&s.phases.Eval, s.metrics.evalSpan, clock)
 		s.tracePhase("eval", t, phaseStart, clock)

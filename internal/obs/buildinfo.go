@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// Build identifies the binary that produced a run: the Go toolchain
+// version and the VCS stamp the toolchain embeds at build time. It is
+// the correlation key between a live /status page, a run summary and a
+// postmortem bundle on one side and a commit on the other.
+type Build struct {
+	GoVersion   string `json:"go_version,omitempty"`
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	VCSModified string `json:"vcs_modified,omitempty"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo Build
+)
+
+// ReadBuild returns the binary's build identity, cached after the first
+// call. Fields are empty when the binary was built outside a VCS
+// checkout (e.g. `go test` binaries).
+func ReadBuild() Build {
+	buildOnce.Do(func() {
+		info, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildInfo.GoVersion = info.GoVersion
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.VCSRevision = s.Value
+			case "vcs.time":
+				buildInfo.VCSTime = s.Value
+			case "vcs.modified":
+				buildInfo.VCSModified = s.Value
+			}
+		}
+	})
+	return buildInfo
+}
+
+// Map returns the build identity as a generic map for JSON manifests,
+// omitting empty fields.
+func (b Build) Map() map[string]any {
+	m := map[string]any{}
+	if b.GoVersion != "" {
+		m["go_version"] = b.GoVersion
+	}
+	if b.VCSRevision != "" {
+		m["vcs_revision"] = b.VCSRevision
+	}
+	if b.VCSTime != "" {
+		m["vcs_time"] = b.VCSTime
+	}
+	if b.VCSModified != "" {
+		m["vcs_modified"] = b.VCSModified
+	}
+	return m
+}

@@ -1,0 +1,81 @@
+// Package flight is the forensics layer of the observability kit: a
+// continuous profiler that attributes CPU and allocation cost to the
+// run's phases via pprof labels, and a flight recorder that keeps a
+// bounded ring of recent events and, on SLO breach / panic / signal /
+// fatal exit, atomically writes a postmortem bundle (profiles, tsdb
+// dump, event ring, trace spans, run manifest, SLO state) that
+// cmd/middlediag turns into a root-cause report.
+//
+// Like the rest of obs, everything here is off by default and free when
+// off: a nil *Recorder no-ops everywhere, and with no profiler running
+// BeginPhase/End cost two atomic loads and zero allocations (pinned by
+// test), so hot paths call them unconditionally.
+package flight
+
+import (
+	"context"
+	"runtime/metrics"
+	"runtime/pprof"
+	"sync/atomic"
+)
+
+// active is the process's running profiler, if any. BeginPhase consults
+// it so instrumentation points need no plumbing: starting a profiler
+// anywhere turns every phase marker in the process live.
+var active atomic.Pointer[Profiler]
+
+// PhaseToken is the in-flight state of one BeginPhase; pass it by value
+// and call End exactly once. The zero token (profiler off) is inert.
+type PhaseToken struct {
+	p          *Profiler
+	phase      string
+	allocStart uint64
+}
+
+// BeginPhase marks the calling goroutine as executing the named phase
+// until the returned token's End: it sets a pprof "phase" label (which
+// the profiler's CPU windows attribute samples to, and which is
+// inherited by goroutines spawned while set) and snapshots the
+// process's cumulative heap-allocation counter for End's delta.
+//
+// With no profiler running this is two atomic loads and returns the
+// zero token — no labels, no clock, no allocation.
+func BeginPhase(phase string) PhaseToken {
+	p := active.Load()
+	if p == nil {
+		return PhaseToken{}
+	}
+	pprof.SetGoroutineLabels(p.labelCtx(phase))
+	return PhaseToken{p: p, phase: phase, allocStart: heapAllocBytes()}
+}
+
+// End clears the phase label and adds the phase's allocation delta to
+// profile_alloc_bytes_total{phase}. Safe on the zero token.
+func End(t PhaseToken) { t.End() }
+
+// End clears the phase label and publishes the allocation delta. Safe
+// on the zero token (no-op).
+func (t PhaseToken) End() {
+	if t.p == nil {
+		return
+	}
+	pprof.SetGoroutineLabels(context.Background())
+	if d := heapAllocBytes() - t.allocStart; d > 0 {
+		t.p.allocGauge(t.phase).Add(float64(d))
+	}
+}
+
+// heapAllocBytes returns the process's cumulative heap-allocated bytes
+// (runtime/metrics /gc/heap/allocs:bytes — a cheap counter read, no
+// stop-the-world). Phase deltas of a process-global counter are an
+// approximation under concurrency: overlapping phases each see the
+// union of allocations in their window. Within one goroutine's
+// sequential phases the attribution is exact.
+func heapAllocBytes() uint64 {
+	s := [1]metrics.Sample{{Name: "/gc/heap/allocs:bytes"}}
+	metrics.Read(s[:])
+	if s[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return s[0].Value.Uint64()
+}

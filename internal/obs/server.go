@@ -196,4 +196,12 @@ func RegisterProcessMetrics(r *Registry) {
 	r.GaugeFunc("obs_series", func() float64 {
 		return float64(r.NumSeries())
 	})
+	// build_info follows the Prometheus info-metric convention: constant
+	// value 1, identity in the labels — joinable against any other series
+	// so dashboards and bundles correlate a run to a commit.
+	b := ReadBuild()
+	r.Gauge("build_info",
+		"go_version", b.GoVersion,
+		"vcs_revision", b.VCSRevision,
+		"vcs_time", b.VCSTime).Set(1)
 }

@@ -195,6 +195,13 @@ type Config struct {
 	// Registry, when set, gains slo_rules / slo_firing gauges and an
 	// slo_breaches_total counter.
 	Registry *obs.Registry
+	// OnBreach, when set, is invoked once per rule transition into
+	// firing, after the evaluation pass and outside the engine's lock —
+	// the flight recorder hooks here so a bundle is captured while the
+	// breach-time state is still live. It runs synchronously in the
+	// evaluation goroutine, so a capture completes before the daemons'
+	// exit gates can act on Breached.
+	OnBreach func(rule string)
 }
 
 // Engine evaluates rules on a cadence and remembers every breach.
@@ -294,13 +301,15 @@ func compare(v float64, op string, thr float64) bool {
 }
 
 // EvalNow evaluates every rule against the store once. Nil-safe.
+// OnBreach callbacks for rules that transitioned into firing run after
+// the pass, outside the engine's lock.
 func (e *Engine) EvalNow() {
 	if e == nil {
 		return
 	}
 	now := time.Now()
+	var newlyFiring []string
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	firing := 0
 	for _, st := range e.states {
 		v, ok := e.cfg.Store.Reduce(st.rule.Series, st.rule.Reducer, st.rule.Window)
@@ -340,6 +349,7 @@ func (e *Engine) EvalNow() {
 					"rule", st.rule.Name,
 					"value", v,
 					"detail", detail(st.rule, v))
+				newlyFiring = append(newlyFiring, st.rule.Name)
 			}
 		} else if wasFiring {
 			e.cfg.Events.Emit("slo_resolve",
@@ -348,6 +358,12 @@ func (e *Engine) EvalNow() {
 		}
 	}
 	e.firingGauge.Set(float64(firing))
+	e.mu.Unlock()
+	if e.cfg.OnBreach != nil {
+		for _, name := range newlyFiring {
+			e.cfg.OnBreach(name)
+		}
+	}
 }
 
 func detail(r Rule, v float64) string {

@@ -19,6 +19,9 @@ type Manifest struct {
 	// Started and Finished bound the run's wall-clock window.
 	Started  time.Time `json:"started"`
 	Finished time.Time `json:"finished"`
+	// Build identifies the producing binary (filled by WriteSummary when
+	// left empty), so summaries are correlatable to a commit.
+	Build Build `json:"build"`
 	// Extra carries free-form run parameters.
 	Extra map[string]any `json:"extra,omitempty"`
 }
@@ -35,6 +38,9 @@ type summary struct {
 func WriteSummary(path string, m Manifest, r *Registry) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("obs: creating summary dir: %w", err)
+	}
+	if m.Build == (Build{}) {
+		m.Build = ReadBuild()
 	}
 	data, err := json.MarshalIndent(summary{Manifest: m, Metrics: r.Snapshot()}, "", "  ")
 	if err != nil {

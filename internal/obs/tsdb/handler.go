@@ -45,6 +45,14 @@ func toJSONSeries(in []SeriesData) []jsonSeries {
 	return out
 }
 
+// JSONError writes a 4xx/5xx response as {"error": msg} with the JSON
+// content type, so API clients never have to sniff plain-text errors.
+func JSONError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
 // QueryHandler serves range queries as JSON:
 //
 //	GET /api/query?series=<pattern>[&series=...][&from=ms][&to=ms][&last=duration]
@@ -52,12 +60,13 @@ func toJSONSeries(in []SeriesData) []jsonSeries {
 // series patterns may use '*' globs; 'last' is a relative shorthand
 // ("5m") overriding 'from'. The response is
 // {"now": <ms>, "series": [{"name":..., "points": [[t,v],...]}]}.
+// Malformed parameters get a 400 with a JSON {"error": ...} body.
 func (s *Store) QueryHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		q := req.URL.Query()
 		patterns := q["series"]
 		if len(patterns) == 0 {
-			http.Error(w, "missing series parameter", http.StatusBadRequest)
+			JSONError(w, http.StatusBadRequest, "missing series parameter")
 			return
 		}
 		// Comma-splitting lets one parameter carry several patterns.
@@ -69,13 +78,32 @@ func (s *Store) QueryHandler() http.Handler {
 				}
 			}
 		}
+		if len(flat) == 0 {
+			JSONError(w, http.StatusBadRequest, "empty series parameter")
+			return
+		}
 		now := time.Now().UnixMilli()
-		from, _ := strconv.ParseInt(q.Get("from"), 10, 64)
-		to, _ := strconv.ParseInt(q.Get("to"), 10, 64)
-		if last := q.Get("last"); last != "" {
-			if d, err := time.ParseDuration(last); err == nil && d > 0 {
-				from = now - d.Milliseconds()
+		var from, to int64
+		var err error
+		if v := q.Get("from"); v != "" {
+			if from, err = strconv.ParseInt(v, 10, 64); err != nil {
+				JSONError(w, http.StatusBadRequest, "bad from parameter (want unix milliseconds): "+v)
+				return
 			}
+		}
+		if v := q.Get("to"); v != "" {
+			if to, err = strconv.ParseInt(v, 10, 64); err != nil {
+				JSONError(w, http.StatusBadRequest, "bad to parameter (want unix milliseconds): "+v)
+				return
+			}
+		}
+		if last := q.Get("last"); last != "" {
+			d, err := time.ParseDuration(last)
+			if err != nil || d <= 0 {
+				JSONError(w, http.StatusBadRequest, "bad last parameter (want positive duration): "+last)
+				return
+			}
+			from = now - d.Milliseconds()
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(map[string]any{

@@ -1,0 +1,224 @@
+package tsdb
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"middle/internal/obs"
+)
+
+// startQueryServer wires a live store behind an obs.Server the way the
+// daemons do, returning the base URL and the pieces for shutdown tests.
+func startQueryServer(t *testing.T) (*obs.Server, *Store, string) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	reg.Counter("race_ticks_total")
+	store, err := New(Config{Registry: reg, Interval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := obs.StartServer(obs.ServerConfig{
+		Addr:     "127.0.0.1:0",
+		Registry: reg,
+		Handlers: map[string]http.Handler{
+			"/api/query":  store.QueryHandler(),
+			"/api/series": store.SeriesHandler(),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, store, "http://" + srv.Addr()
+}
+
+// Graceful shutdown must not race in-flight scrapes or queries: this
+// test hammers ScrapeOnce and /api/query from several goroutines while
+// Shutdown runs, and relies on -race for the verdict.
+func TestServerShutdownRacesScrapeAndQuery(t *testing.T) {
+	srv, store, base := startQueryServer(t)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				store.ScrapeOnce()
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(base + "/api/query?series=*")
+				if err != nil {
+					return // listener closed mid-loop: expected during shutdown
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	// The store must still be scrapeable after the server is gone.
+	store.ScrapeOnce()
+}
+
+func TestQueryHandlerErrorsAreJSON(t *testing.T) {
+	srv, store, base := startQueryServer(t)
+	defer srv.Close()
+	store.ScrapeOnce()
+
+	cases := []struct {
+		name  string
+		query string
+		frag  string
+	}{
+		{"missing series", "", "missing series"},
+		{"empty series", "series=,", "empty series"},
+		{"bad from", "series=*&from=yesterday", "bad from"},
+		{"bad to", "series=*&to=1e", "bad to"},
+		{"bad last", "series=*&last=-5m", "bad last"},
+		{"unparsable last", "series=*&last=soon", "bad last"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Get(base + "/api/query?" + tc.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400", resp.StatusCode)
+			}
+			if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+				t.Fatalf("Content-Type = %q, want application/json", ct)
+			}
+			var body struct {
+				Error string `json:"error"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+				t.Fatalf("error body is not JSON: %v", err)
+			}
+			if !strings.Contains(body.Error, tc.frag) {
+				t.Fatalf("error %q misses %q", body.Error, tc.frag)
+			}
+		})
+	}
+
+	// The happy path keeps the JSON content type and a well-formed body.
+	resp, err := http.Get(base + "/api/query?series=" + url.QueryEscape("race_ticks_total"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("Content-Type = %q, want application/json", ct)
+	}
+	var body struct {
+		Now    int64 `json:"now"`
+		Series []struct {
+			Name string `json:"name"`
+		} `json:"series"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Series) != 1 || body.Series[0].Name != "race_ticks_total" {
+		t.Fatalf("series = %+v", body.Series)
+	}
+}
+
+// A query caught mid-flight by Shutdown must still complete (the whole
+// point of graceful over Close). The handler is gated so the request is
+// provably inside it before Shutdown begins.
+func TestShutdownWaitsForInflightQuery(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("race_ticks_total")
+	store, err := New(Config{Registry: reg, Interval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.ScrapeOnce()
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	inner := store.QueryHandler()
+	var once sync.Once
+	gated := http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		once.Do(func() { close(entered) })
+		<-release
+		inner.ServeHTTP(w, req)
+	})
+	srv, err := obs.StartServer(obs.ServerConfig{
+		Addr:     "127.0.0.1:0",
+		Registry: reg,
+		Handlers: map[string]http.Handler{"/api/query": gated},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + srv.Addr()
+
+	result := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(fmt.Sprintf("%s/api/query?series=*", base))
+		if err != nil {
+			result <- err
+			return
+		}
+		defer resp.Body.Close()
+		if _, err = io.Copy(io.Discard, resp.Body); err == nil && resp.StatusCode != http.StatusOK {
+			err = fmt.Errorf("status %d", resp.StatusCode)
+		}
+		result <- err
+	}()
+	<-entered // the request is inside the handler now
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+	// Give Shutdown a moment to close the listener, then let the
+	// in-flight handler finish.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-result; err != nil {
+		t.Fatalf("in-flight query failed across shutdown: %v", err)
+	}
+}

@@ -189,6 +189,55 @@ grep -q '"event":"slo_breach"' "$tmpdir/chaos.telemetry.jsonl" || {
 }
 echo ok
 
+echo "== forensics smoke test =="
+# The same seeded chaos with the flight recorder armed: the breach must
+# leave a complete postmortem bundle behind, and middlediag must turn it
+# into a report naming the firing rule and attributing CPU to phases.
+go build -o "$tmpdir/middlediag" ./cmd/middlediag
+flightdir="$tmpdir/flight"
+if "$tmpdir/middlesim" -exp run -task mnist -steps 100 \
+    -drop-rate 0.5 -quorum 3 -fault-seed 7 -tsdb-interval 50ms \
+    -flight-dir "$flightdir" -profile-interval 100ms \
+    -slo 'quorum_misses: delta(hfl_quorum_misses_total) <= 0' \
+    > "$tmpdir/forensics.log" 2>&1; then
+    echo "forensics chaos run passed the SLO gate (a breach exit was expected):"
+    cat "$tmpdir/forensics.log"
+    exit 1
+fi
+bundle=$(ls -d "$flightdir"/bundle-*slo_breach_quorum_misses* 2>/dev/null | head -n 1)
+if [ -z "$bundle" ]; then
+    echo "breach left no slo_breach bundle in $flightdir:"
+    ls -la "$flightdir" 2>/dev/null || true
+    cat "$tmpdir/forensics.log"
+    exit 1
+fi
+for f in cpu.pprof heap.pprof goroutines.txt tsdb.json events.jsonl slo.json manifest.json; do
+    if [ ! -s "$bundle/$f" ]; then
+        echo "bundle $bundle is missing $f"
+        ls -la "$bundle"
+        exit 1
+    fi
+done
+if ls -d "$flightdir"/*.partial > /dev/null 2>&1; then
+    echo "a .partial bundle was left behind (non-atomic capture)"
+    exit 1
+fi
+"$tmpdir/middlediag" "$flightdir" > "$tmpdir/diag.txt" || {
+    echo "middlediag failed on $flightdir"
+    exit 1
+}
+grep -q 'quorum_misses' "$tmpdir/diag.txt" || {
+    echo "middlediag report does not name the breached rule:"
+    cat "$tmpdir/diag.txt"
+    exit 1
+}
+grep -Eq 'local_train|edge_agg|unattributed' "$tmpdir/diag.txt" || {
+    echo "middlediag report attributes no CPU to phases:"
+    cat "$tmpdir/diag.txt"
+    exit 1
+}
+echo ok
+
 echo "== middlesim adversarial smoke test =="
 # 20% sign-flip adversaries against the robust stack: the run must
 # survive with usable accuracy, the validator must reject updates, and
