@@ -84,6 +84,9 @@ func main() {
 		// Scale-out knobs (see DESIGN.md "Scale architecture").
 		shards = flag.Int("shards", 1, "cloud role: partition edges across this many aggregator shards with streamed partial sums (mean aggregation only)")
 		mux    = flag.Int("mux", 1, "devices role: virtual devices per multiplexed client connection (1 = one dedicated client per device)")
+
+		// Live migration (see DESIGN.md "Live migration & handover").
+		liveMig = flag.Bool("live-migration", false, "edge role: accept and push stateful edge-to-edge handovers; devices role: notify the source edge before each move so it pushes the mover's state")
 	)
 	flag.Parse()
 
@@ -152,7 +155,7 @@ func main() {
 		runCloud(setup, m, trace, *results, *addr, *edgesN, *rounds, *tc, *seed, *ckptDir, *ckptEvery, *minEdges, *shards, agg, *trimFrac, validate)
 	case "edge":
 		runEdge(setup, m, trace, *id, *cloud, *addr, *strategy, *k, *seed, *quorum, *roundDL,
-			agg, *trimFrac, validate, *selNormCap, *ckptDir, *ckptEvery)
+			agg, *trimFrac, validate, *selNormCap, *ckptDir, *ckptEvery, *liveMig)
 	case "devices":
 		faults := fednet.NewFaultInjector(fednet.FaultConfig{
 			Seed: *faultSeed,
@@ -162,7 +165,7 @@ func main() {
 			},
 			Obs: m.Registry(),
 		})
-		runDevices(setup, m, trace, *edgeList, *from, *to, *p, *moveMs, *seed, *mux, faults)
+		runDevices(setup, m, trace, *edgeList, *from, *to, *p, *moveMs, *seed, *mux, faults, *liveMig)
 	default:
 		fmt.Fprintln(os.Stderr, "middled: -role must be cloud, edge or devices")
 		flag.Usage()
@@ -249,7 +252,7 @@ func runCloud(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs.T
 	writeSummary(m, results, "middled-cloud")
 }
 
-func runEdge(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs.Trace, id int, cloudAddr, addr, strategy string, k int, seed int64, quorum int, roundDL time.Duration, agg middle.AggregatorKind, trimFrac float64, validate middle.ValidatorConfig, selNormCap float64, ckptDir string, ckptEvery int) {
+func runEdge(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs.Trace, id int, cloudAddr, addr, strategy string, k int, seed int64, quorum int, roundDL time.Duration, agg middle.AggregatorKind, trimFrac float64, validate middle.ValidatorConfig, selNormCap float64, ckptDir string, ckptEvery int, liveMig bool) {
 	if cloudAddr == "" {
 		fatal("middled: edge role requires -cloud")
 	}
@@ -264,7 +267,8 @@ func runEdge(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs.Tr
 		Aggregator: agg, TrimFrac: trimFrac, Validate: validate,
 		SelectionNormCap: selNormCap,
 		CheckpointDir:    ckptDir, CheckpointEvery: ckptEvery,
-		Obs: m.Registry(), Trace: trace,
+		LiveMigration: liveMig,
+		Obs:           m.Registry(), Trace: trace,
 	})
 	if err != nil {
 		fatal(err)
@@ -275,7 +279,7 @@ func runEdge(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs.Tr
 	}
 }
 
-func runDevices(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs.Trace, edgeList string, from, to int, p float64, moveMs int, seed int64, mux int, faults *fednet.FaultInjector) {
+func runDevices(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs.Trace, edgeList string, from, to int, p float64, moveMs int, seed int64, mux int, faults *fednet.FaultInjector, liveMig bool) {
 	addrs := strings.Split(edgeList, ",")
 	if len(addrs) == 0 || addrs[0] == "" {
 		fatal("middled: devices role requires -edgeaddrs")
@@ -347,6 +351,7 @@ func runDevices(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs
 		}
 		log.Printf("middled: device %d attached to edge %d", from+i, membership[i])
 	}
+	generations := make([]int, n)
 	ticker := time.NewTicker(time.Duration(moveMs) * time.Millisecond)
 	defer ticker.Stop()
 	for range ticker.C {
@@ -354,6 +359,18 @@ func runDevices(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs
 		for i := range connect {
 			if next[i] == membership[i] {
 				continue
+			}
+			if liveMig {
+				// Ask the current edge to push this device's state to the
+				// destination before we tear the old attachment down.
+				// Best-effort: a lost notice only costs the warm handover.
+				generations[i]++
+				if err := fednet.NotifyMove(addrs[membership[i]], fednet.MoveNotice{
+					DeviceID: from + i, DestEdge: next[i], DestAddr: addrs[next[i]],
+					Generation: generations[i],
+				}, 5*time.Second); err != nil {
+					log.Printf("middled: device %d move notice to edge %d failed: %v", from+i, membership[i], err)
+				}
 			}
 			if err := connect[i](next[i], addrs[next[i]]); err != nil {
 				log.Printf("middled: device %d failed to move: %v", from+i, err)

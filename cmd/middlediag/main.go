@@ -49,6 +49,7 @@ func main() {
 	reportProfileSeries(dir, *top)
 	reportHotSeries(dir, *top)
 	reportFaults(dir)
+	reportMigrations(dir)
 	reportGoroutines(dir, *top, *leak)
 }
 
@@ -346,6 +347,45 @@ func reportFaults(dir string) {
 		fmt.Println("all zero — a clean run")
 		return
 	}
+	for _, r := range rows {
+		fmt.Printf("%-48s %g\n", r.name, r.v)
+	}
+}
+
+// migrationPattern matches the live-migration telemetry: handover
+// outcome counters (fednet and the hfl sim mirror), the stranded-device
+// gauge, the move-retry counter and the synthesized handover latency
+// quantiles.
+var migrationPattern = regexp.MustCompile(`^(fednet|hfl)_(migrations_total|stranded_devices|move_retries_total|handover_seconds)`)
+
+// reportMigrations summarizes the handover story of a run: how many
+// migrations completed vs fell back or were rejected, whether any
+// device ended up stranded, and how long transfers took. Quiet when
+// live migration never ran — the section only appears once a migration
+// series exists.
+func reportMigrations(dir string) {
+	d, ok := loadDump(dir)
+	if !ok {
+		return
+	}
+	type row struct {
+		name string
+		v    float64
+	}
+	var rows []row
+	for _, s := range d.Series {
+		if !migrationPattern.MatchString(s.Name) {
+			continue
+		}
+		if v, ok := lastValue(s.Points); ok {
+			rows = append(rows, row{s.Name, v})
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	section("live migration")
 	for _, r := range rows {
 		fmt.Printf("%-48s %g\n", r.name, r.v)
 	}

@@ -61,6 +61,12 @@ func main() {
 		dropRate  = flag.Float64("drop-rate", 0, "-exp run: probability a selected device's round-trip is lost")
 		faultSeed = flag.Int64("fault-seed", 0, "-exp run: seed for the deterministic simulated drops")
 
+		// Live migration (-exp run mirrors fednet's handover in the
+		// simulator; -exp scale with -shards/-mux enables it on the
+		// in-process deployment).
+		liveMig     = flag.Bool("live-migration", false, "stateful handover on mobility steps: -exp run mirrors it in the simulator, -exp scale enables it on the fednet deployment")
+		migFailRate = flag.Float64("migration-fail-rate", 0, "-exp run: probability a handover is lost in transit and the mover falls back to drop-and-reconnect (requires -live-migration)")
+
 		// Byzantine-robustness knobs (-exp run only; defaults keep runs
 		// bit-identical to the plain weighted-mean engine).
 		aggName    = flag.String("aggregator", "", "-exp run: Eq. 6/Eq. 7 combination rule: mean|median|trimmed-mean|norm-clip (default mean)")
@@ -195,7 +201,8 @@ func main() {
 			adv: middle.Adversary{
 				Fraction: *advFrac, Mode: mode, Scale: *advScale, Seed: *advSeed,
 			},
-			selNormCap: *selNormCap,
+			selNormCap:    *selNormCap,
+			liveMigration: *liveMig, migrationFailRate: *migFailRate,
 		}
 		forTasks(*task, func(t middle.TaskName) {
 			runSingle(t, scale, *strategy, *p, *seed, *steps, *saveModel, *csvDir, faults)
@@ -206,6 +213,7 @@ func main() {
 				devices: *devicesN, edges: *edgesN, k: *kSel, tc: *tcN,
 				residentCap: *resCap, shards: *shardsN, mux: *muxN,
 				steps: *steps, p: *p, seed: *seed, strategy: *strategy,
+				liveMigration: *liveMig, migrationFailRate: *migFailRate,
 			})
 		})
 	case "all":
@@ -519,6 +527,9 @@ type simFaults struct {
 	normBound  float64
 	adv        middle.Adversary
 	selNormCap float64
+
+	liveMigration     bool
+	migrationFailRate float64
 }
 
 func runSingle(task middle.TaskName, scale middle.Scale, strategy string, p float64, seed int64, steps int, saveModel, csvDir string, faults simFaults) {
@@ -540,6 +551,8 @@ func runSingle(task middle.TaskName, scale middle.Scale, strategy string, p floa
 	}
 	cfg.Adversary = faults.adv
 	cfg.SelectionNormCap = faults.selNormCap
+	cfg.LiveMigration = faults.liveMigration
+	cfg.MigrationFailRate = faults.migrationFailRate
 	sim := middle.NewSimulation(cfg, setup.Factory, part, setup.Test, mob, strat)
 	fmt.Printf("=== %s on %s (scale=%s, P=%.2f) ===\n", strategy, task, scale, p)
 	h := sim.Run()
@@ -552,6 +565,10 @@ func runSingle(task middle.TaskName, scale middle.Scale, strategy string, p floa
 	fmt.Printf("empirical mobility: %.3f\n\n", h.EmpiricalMobility)
 	if faults.dropRate > 0 || faults.quorum > 0 {
 		fmt.Printf("injected drops: %d, quorum misses: %d\n\n", sim.FaultDrops(), sim.QuorumMisses())
+	}
+	if faults.liveMigration {
+		ok, fb := sim.Migrations()
+		fmt.Printf("migrations: %d ok, %d fallbacks\n\n", ok, fb)
 	}
 	if faults.adv.Fraction > 0 || faults.normBound > 0 {
 		rc := sim.RejectedUpdates()

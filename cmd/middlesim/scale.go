@@ -24,6 +24,8 @@ type scaleOpts struct {
 	p                     float64
 	seed                  int64
 	strategy              string
+	liveMigration         bool
+	migrationFailRate     float64
 }
 
 // deployment reports whether the options select the in-process fednet
@@ -95,12 +97,18 @@ func runScale(task middle.TaskName, o scaleOpts) {
 	cfg := setup.Config(o.seed, o.steps)
 	cfg.LazyStore = true
 	cfg.ResidentCap = o.residentCap
+	cfg.LiveMigration = o.liveMigration
+	cfg.MigrationFailRate = o.migrationFailRate
 	part := setup.Partition(o.seed)
 	mob := setup.Mobility(o.p, o.seed+11)
 	sim := middle.NewSimulation(cfg, setup.Factory, part, setup.Test, mob, strat)
 	h := sim.Run()
 	fmt.Printf("final accuracy %.4f after %d steps (empirical mobility %.3f)\n",
 		h.FinalAcc(), o.steps, h.EmpiricalMobility)
+	if o.liveMigration {
+		ok, fb := sim.Migrations()
+		fmt.Printf("migrations: %d ok, %d fallbacks\n", ok, fb)
+	}
 	fmt.Printf("middlesim: peak_rss_mib=%d peak_resident_models=%d\n",
 		obs.PeakRSSBytes()>>20, h.PeakResidentModels)
 }
@@ -122,7 +130,8 @@ func runScaleDeployment(setup *experiments.TaskSetup, o scaleOpts) {
 		CloudInterval: o.tc, Strategy: strat, Partition: part,
 		Factory: setup.Factory, Optimizer: setup.Optimizer, Mobility: mob,
 		Seed: o.seed, Shards: o.shards, Mux: o.mux,
-		Obs: metrics.Registry(), Trace: trace,
+		LiveMigration: o.liveMigration,
+		Obs:           metrics.Registry(), Trace: trace,
 	})
 	if err != nil {
 		fatalf("%v", err)
@@ -134,7 +143,12 @@ func runScaleDeployment(setup *experiments.TaskSetup, o scaleOpts) {
 	for _, r := range c.DeviceRounds() {
 		rounds += r
 	}
-	fmt.Printf("deployment complete: %d rounds, %d device trainings, %d failed moves\n",
-		o.steps, rounds, c.MoveErrors())
+	stranded := c.Stranded()
+	fmt.Printf("deployment complete: %d rounds, %d device trainings, %d failed moves, %d stranded devices\n",
+		o.steps, rounds, c.MoveErrors(), len(stranded))
+	if o.liveMigration {
+		mok, mfb, mrej := c.Migrations()
+		fmt.Printf("migrations: %d ok, %d fallbacks, %d rejected\n", mok, mfb, mrej)
+	}
 	fmt.Printf("middlesim: peak_rss_mib=%d peak_resident_models=0\n", obs.PeakRSSBytes()>>20)
 }

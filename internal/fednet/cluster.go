@@ -3,6 +3,7 @@ package fednet
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -55,6 +56,16 @@ type ClusterConfig struct {
 	// per multiplexer, one shared model instance) instead of a dedicated
 	// client per device. ≤ 1 keeps dedicated Device clients.
 	Mux int
+	// LiveMigration enables stateful edge-to-edge handover on mobility
+	// steps: the source edge ships the moving device's cached state to
+	// the destination (MsgMigrate) before the device reconnects, so it
+	// resumes mid-round instead of cold-joining. Every handover failure
+	// degrades to the plain drop-and-reconnect move. Off by default; the
+	// disabled path is byte-for-byte today's behaviour.
+	LiveMigration bool
+	// MigrateTimeout bounds one handover transfer attempt independently
+	// of Timeout (see EdgeConfig.MigrateTimeout; default Timeout).
+	MigrateTimeout time.Duration
 	// Aggregator/TrimFrac select the robust combination rule used at
 	// both the edges (Eq. 6) and the cloud (Eq. 7); zero values mean the
 	// bit-identical weighted mean.
@@ -111,6 +122,16 @@ type Cluster struct {
 	errs      []error
 	tolerated []error
 	moveErrs  int
+	// migGen counts each device's moves (the handover generation): a
+	// destination edge rejects records whose generation it has already
+	// seen, so a delayed retry of an older move cannot overwrite a newer
+	// one. stranded tracks devices whose move exhausted its retries and
+	// who are therefore detached until their next mobility step.
+	migGen   map[int]int
+	stranded map[int]bool
+	// Handover outcome tallies mirroring fednet_migrations_total, kept
+	// on the cluster so summaries stay truthful with metrics disabled.
+	migOK, migFallback, migRejected int
 }
 
 // StartCluster builds and starts the deployment. The mobility model's
@@ -126,7 +147,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	numEdges := cfg.Mobility.NumEdges()
 	numDevices := cfg.Mobility.NumDevices()
-	c := &Cluster{}
+	c := &Cluster{migGen: map[int]int{}, stranded: map[int]bool{}}
 	if cfg.Faults != nil {
 		fc := *cfg.Faults
 		if fc.Obs == nil {
@@ -140,19 +161,61 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	cfg.Mobility.Reset()
 	membership := cfg.Mobility.Step()
 
-	// Device migration at round boundaries, driven by the cloud.
+	// Device migration at round boundaries, driven by the cloud. With
+	// LiveMigration the source edge first ships the device's cached state
+	// to the destination (every handover failure simply degrades to the
+	// plain drop-and-reconnect below); the reconnect itself is retried
+	// with the standard capped backoff, and only a device whose move
+	// exhausted every retry is counted stranded — it stays detached until
+	// its next mobility step re-attempts a connection.
+	moveErrCtr := cfg.Obs.Counter("fednet_move_errors_total")
+	moveRetryCtr := cfg.Obs.Counter("fednet_move_retries_total")
+	strandedGauge := cfg.Obs.Gauge("fednet_stranded_devices")
 	onRound := func(round int) {
 		next := cfg.Mobility.Step()
 		for m, e := range next {
 			if e == membership[m] {
 				continue
 			}
-			if err := c.devices[m].Connect(e, c.edges[e].Addr()); err != nil {
-				cfg.Logf("cluster: device %d failed to move to edge %d: %v", m, e, err)
-				cfg.Obs.Counter("fednet_move_errors_total").Inc()
+			if src := membership[m]; cfg.LiveMigration && src >= 0 && src < len(c.edges) {
 				c.mu.Lock()
-				c.moveErrs++
+				c.migGen[m]++
+				gen := c.migGen[m]
 				c.mu.Unlock()
+				out := c.edges[src].MigrateOut(m, e, c.edges[e].Addr(), gen)
+				c.mu.Lock()
+				switch out {
+				case "ok":
+					c.migOK++
+				case "fallback":
+					c.migFallback++
+				case "rejected":
+					c.migRejected++
+				}
+				c.mu.Unlock()
+			}
+			var err error
+			for attempt := 0; attempt <= defaultMaxRetries; attempt++ {
+				if attempt > 0 {
+					moveRetryCtr.Inc()
+					time.Sleep(retryBackoff(0, attempt, cfg.Seed, int64(m)*1_000_003+int64(e)*17+int64(round)))
+				}
+				if err = c.devices[m].Connect(e, c.edges[e].Addr()); err == nil {
+					break
+				}
+			}
+			c.mu.Lock()
+			if err != nil {
+				c.moveErrs++
+				c.stranded[m] = true
+			} else {
+				delete(c.stranded, m)
+			}
+			strandedGauge.Set(float64(len(c.stranded)))
+			c.mu.Unlock()
+			if err != nil {
+				cfg.Logf("cluster: device %d failed to move to edge %d (stranded until next move): %v", m, e, err)
+				moveErrCtr.Inc()
 			}
 		}
 		membership = next
@@ -188,6 +251,8 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 			Timeout: cfg.Timeout, Quorum: cfg.Quorum, RoundDeadline: cfg.RoundDeadline,
 			Aggregator: cfg.Aggregator, TrimFrac: cfg.TrimFrac, Validate: cfg.Validate,
 			SelectionNormCap: cfg.SelectionNormCap,
+			LiveMigration:    cfg.LiveMigration,
+			MigrateTimeout:   cfg.MigrateTimeout,
 			CheckpointDir:    edgeCkptDir, CheckpointEvery: cfg.CheckpointEvery,
 			Faults: c.injector, Obs: cfg.Obs, Trace: cfg.Trace,
 		})
@@ -331,4 +396,28 @@ func (c *Cluster) MoveErrors() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.moveErrs
+}
+
+// Migrations reports the live-handover outcome tallies (the counts
+// behind fednet_migrations_total): completed transfers, failures that
+// degraded to drop-and-reconnect, and destination rejections. All zero
+// when LiveMigration is off.
+func (c *Cluster) Migrations() (ok, fallback, rejected int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.migOK, c.migFallback, c.migRejected
+}
+
+// Stranded returns the devices currently detached because their last
+// move exhausted every reconnect retry (sorted ascending). They remain
+// stranded until a later mobility step re-attaches them.
+func (c *Cluster) Stranded() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int, 0, len(c.stranded))
+	for m := range c.stranded {
+		out = append(out, m)
+	}
+	sort.Ints(out)
+	return out
 }

@@ -283,8 +283,17 @@ func (d *Device) serve(conn net.Conn, edgeID int, addr string, done chan struct{
 		tr := d.cfg.Trace
 		trainStart := tr.Now()
 		trainTok := d.m.trainSpan.Begin()
-		vec, reply := d.train(req, edgeModel, edgeID)
+		vec, reply, terr := d.train(req, edgeModel, edgeID)
 		trainTok.End()
+		if terr != nil {
+			// A frame whose state is inconsistent (e.g. a moved-blend
+			// length mismatch) is as untrustworthy as a corrupt one:
+			// tear the stream down and resync via re-registration rather
+			// than train from a stale model.
+			d.m.link.corrupt.Inc()
+			d.maybeReconnect(conn, edgeID, addr, gen)
+			return
+		}
 		if tr != nil {
 			spanID := ""
 			if req.Span != "" { // untraced edges leave Span empty
@@ -304,14 +313,39 @@ func (d *Device) serve(conn net.Conn, edgeID int, addr string, done chan struct{
 }
 
 // train executes one local round: on-device initialisation per the
-// device's mode, then I SGD/Adam steps over the local shard.
-func (d *Device) train(req TrainRequest, edgeModel []float64, edgeID int) ([]float64, TrainReply) {
+// device's mode, then I SGD/Adam steps over the local shard. A non-nil
+// error rejects the request's state as corrupt — the caller must tear
+// the connection down and resync.
+func (d *Device) train(req TrainRequest, payload []float64, edgeID int) ([]float64, TrainReply, error) {
+	edgeModel := payload
+	resumed := false
+	if req.Resume {
+		// The payload carries migrated optimizer moments after the edge
+		// model; import them so local training continues the source
+		// edge's trajectory instead of restarting cold.
+		model, moments, lens, steps := splitMoments(payload, req.MomentLens, req.OptSteps)
+		if model == nil {
+			return nil, TrainReply{}, fmt.Errorf("fednet: device %d: malformed resume payload (%d values)", d.cfg.DeviceID, len(payload))
+		}
+		edgeModel = model
+		if me, ok := d.cfg.Optimizer.(optim.MomentExporter); ok {
+			resumed = me.ImportMoments(moments, lens, steps)
+		}
+	}
 	d.mu.Lock()
 	if req.ResetLocal {
 		d.local = nil
 	}
+	if req.Moved && d.local != nil && len(d.local) != len(edgeModel) {
+		// A moved device whose carried model cannot blend with the edge
+		// model is in an inconsistent state; silently training from the
+		// stale frame would feed a wrong-era model into Eq. 6.
+		d.mu.Unlock()
+		return nil, TrainReply{}, fmt.Errorf("fednet: device %d: moved-blend length mismatch (local %d, edge %d)",
+			d.cfg.DeviceID, len(d.local), len(edgeModel))
+	}
 	start := append([]float64(nil), edgeModel...)
-	if req.Moved && d.local != nil && len(d.local) == len(edgeModel) {
+	if req.Moved && d.local != nil {
 		switch d.cfg.Mode {
 		case AggEq9:
 			start, _ = simil.OnDeviceAggregate(edgeModel, d.local)
@@ -323,9 +357,9 @@ func (d *Device) train(req TrainRequest, edgeModel []float64, edgeID int) ([]flo
 	}
 	d.mu.Unlock()
 
-	vec, util := runLocalSGD(d.net, d.cfg.Optimizer, d.cfg.Dataset, d.cfg.Indices,
+	vec, util := runLocalSGDResume(d.net, d.cfg.Optimizer, d.cfg.Dataset, d.cfg.Indices,
 		d.cfg.LocalSteps, d.cfg.BatchSize, d.cfg.Seed, d.cfg.DeviceID, req.Round,
-		start, d.m.nonfinite)
+		start, d.m.nonfinite, resumed)
 
 	d.mu.Lock()
 	d.local = append([]float64(nil), vec...)
@@ -333,12 +367,23 @@ func (d *Device) train(req TrainRequest, edgeModel []float64, edgeID int) ([]flo
 	d.rounds++
 	d.mu.Unlock()
 
-	return vec, TrainReply{
+	reply := TrainReply{
 		DeviceID: d.cfg.DeviceID,
 		Round:    req.Round,
 		DataSize: len(d.cfg.Indices),
 		Utility:  util,
 	}
+	if req.WantMoments {
+		if me, ok := d.cfg.Optimizer.(optim.MomentExporter); ok {
+			flat, lens, steps := me.ExportMoments()
+			if len(flat) > 0 {
+				vec = append(append(make([]float64, 0, len(vec)+len(flat)), vec...), flat...)
+				reply.MomentLens = lens
+				reply.OptSteps = steps
+			}
+		}
+	}
+	return vec, reply, nil
 }
 
 // runLocalSGD executes I local SGD steps from start over the given
@@ -350,10 +395,23 @@ func (d *Device) train(req TrainRequest, edgeModel []float64, edgeID int) ([]flo
 func runLocalSGD(netw *nn.Network, opt optim.Optimizer, ds *data.Dataset, indices []int,
 	localSteps, batchSize int, seed int64, deviceID, round int,
 	start []float64, nonfinite *obs.Counter) ([]float64, float64) {
+	return runLocalSGDResume(netw, opt, ds, indices, localSteps, batchSize,
+		seed, deviceID, round, start, nonfinite, false)
+}
+
+// runLocalSGDResume is runLocalSGD with an explicit resume flag: when a
+// live migration just imported the optimizer's moment state, the usual
+// per-round Reset is skipped so the imported moments (and step counter)
+// keep steering the update — the "resumes mid-round" half of handover.
+func runLocalSGDResume(netw *nn.Network, opt optim.Optimizer, ds *data.Dataset, indices []int,
+	localSteps, batchSize int, seed int64, deviceID, round int,
+	start []float64, nonfinite *obs.Counter, resume bool) ([]float64, float64) {
 	fp := flight.BeginPhase("local_train")
 	defer fp.End()
 	netw.SetParamVector(start)
-	opt.Reset()
+	if !resume {
+		opt.Reset()
+	}
 	rng := tensor.Split(seed, int64(round)*100_003+int64(deviceID)*13+5)
 	batch := batchSize
 	if batch > len(indices) {

@@ -63,9 +63,24 @@ type EdgeConfig struct {
 	// SelectionNormCap, when > 0, caps the Eq. 12 selection score of
 	// devices whose cached update norm exceeds it (see hfl.NormCapView).
 	SelectionNormCap float64
+	// LiveMigration enables stateful edge-to-edge handover: on a
+	// mobility step the cluster asks the source edge to ship the moving
+	// device's state (model, optimizer moments, step counter, timeline)
+	// to the destination via MsgMigrate, so the device resumes mid-round
+	// instead of cold-joining. Every failure degrades to the plain
+	// drop-and-reconnect move. Off by default.
+	LiveMigration bool
+	// MigrateTimeout bounds one handover transfer attempt (dial, send,
+	// ack). It is separate from Timeout because a faulted handover
+	// blocks the mobility step, not a training round: keeping it tight
+	// makes the fallback fast without starving slow train RPCs
+	// (default Timeout).
+	MigrateTimeout time.Duration
 	// CheckpointDir, when set, makes the edge persist its state (edge
 	// model + round + Eq. 6 weight accumulator) after rounds, and
 	// NewEdge resume from the latest valid checkpoint found there.
+	// With LiveMigration it also journals in-flight handover records
+	// (".hov" files) so a source-edge crash cannot strand a device.
 	CheckpointDir string
 	// CheckpointEvery persists every Nth round (default 1).
 	CheckpointEvery int
@@ -96,6 +111,19 @@ type deviceState struct {
 	lastModel   []float64
 	statUtil    float64
 	lastTrained int
+	// Live-migration state. moments/momentLens/optSteps cache the
+	// device's last uploaded optimizer state (WantMoments replies) so a
+	// later handover can ship it. resume* hold state received from an
+	// accepted migrate-in, consumed one-shot by the device's first train
+	// request here (Resume=true → the device imports the moments instead
+	// of resetting its optimizer).
+	moments       []float64
+	momentLens    []int
+	optSteps      int
+	resume        bool
+	resumeMoments []float64
+	resumeLens    []int
+	resumeSteps   int
 }
 
 // Edge runs the in-edge half of Algorithm 1 as a server: it accepts
@@ -112,6 +140,19 @@ type Edge struct {
 	mu      sync.Mutex
 	devices map[int]*deviceState
 
+	// pendingHandover holds accepted migrate-in records awaiting the
+	// device's registration; handoverGen remembers the highest accepted
+	// generation per device so a late retry of an older move is rejected
+	// as stale. Both guarded by mu.
+	pendingHandover map[int]*checkpoint.Handover
+	handoverGen     map[int]int
+
+	// pendingTrace queues migration trace spans until the edge's next
+	// round starts: handovers run between rounds, and emitting them
+	// immediately would escape the parent edge_round interval. Guarded
+	// by mu.
+	pendingTrace []pendingTraceEvent
+
 	// The fields below are guarded by mu: the Run loop writes them while
 	// acceptLoop goroutines read them to build registration acks.
 	edgeModel []float64
@@ -121,6 +162,17 @@ type Edge struct {
 	curRound  int       // round currently (or last) executed
 }
 
+// pendingTraceEvent is a migration span waiting to be emitted as an
+// instant at the start of the edge's next round. The handover's wall
+// time is carried in args (and in fednet_handover_seconds); the span
+// itself is zero-duration so it always nests inside its edge_round.
+type pendingTraceEvent struct {
+	name   string
+	device int
+	span   string
+	args   map[string]any
+}
+
 // NewEdge builds an edge server and starts its device listener.
 func NewEdge(cfg EdgeConfig) (*Edge, error) {
 	if cfg.K < 1 || cfg.Strategy == nil {
@@ -128,6 +180,9 @@ func NewEdge(cfg EdgeConfig) (*Edge, error) {
 	}
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.MigrateTimeout <= 0 {
+		cfg.MigrateTimeout = cfg.Timeout
 	}
 	if cfg.Quorum < 1 {
 		cfg.Quorum = 1
@@ -158,12 +213,30 @@ func NewEdge(cfg EdgeConfig) (*Edge, error) {
 	}
 	cfg.Trace.SetProcessName(tracePidEdgeBase+cfg.EdgeID, fmt.Sprintf("edge%d", cfg.EdgeID))
 	e := &Edge{
-		cfg:       cfg,
-		ln:        ln,
-		m:         newEdgeMetrics(cfg.Obs),
-		validator: robust.NewValidator(cfg.Validate),
-		agg:       robust.Aggregator{Kind: cfg.Aggregator, TrimFrac: cfg.TrimFrac},
-		devices:   map[int]*deviceState{},
+		cfg:             cfg,
+		ln:              ln,
+		m:               newEdgeMetrics(cfg.Obs),
+		validator:       robust.NewValidator(cfg.Validate),
+		agg:             robust.Aggregator{Kind: cfg.Aggregator, TrimFrac: cfg.TrimFrac},
+		devices:         map[int]*deviceState{},
+		pendingHandover: map[int]*checkpoint.Handover{},
+		handoverGen:     map[int]int{},
+	}
+	if cfg.CheckpointDir != "" && cfg.LiveMigration {
+		// Leftover handover journals mean this edge crashed mid-migration;
+		// the moved devices fell back to drop-and-reconnect (the cluster
+		// re-attaches them regardless), so account the fallbacks and clear
+		// the journals rather than strand anything.
+		if hs, err := checkpoint.LoadHandovers(cfg.CheckpointDir); err == nil {
+			for _, h := range hs {
+				if h.SrcEdge != cfg.EdgeID {
+					continue
+				}
+				e.m.migrateFallback.Inc()
+				_ = checkpoint.RemoveHandoverFile(cfg.CheckpointDir, h.Device, h.Generation)
+				cfg.Logf("edge %d: unresolved handover journal for device %d (gen %d): counted as fallback", cfg.EdgeID, h.Device, h.Generation)
+			}
+		}
 	}
 	if cfg.CheckpointDir != "" {
 		st, ok, err := checkpoint.LoadLatestNamed(cfg.CheckpointDir, edgeCheckpointName(cfg.EdgeID))
@@ -225,10 +298,34 @@ func (e *Edge) acceptLoop() {
 			var reg struct {
 				RegisterDevice
 				Devices []RegisterDevice `json:"devices"`
+				// Migrate / MoveNotice header fields (both share the
+				// listener; device_id overlaps RegisterDevice's field).
+				SrcEdge     int    `json:"src_edge"`
+				Generation  int    `json:"generation"`
+				RecordBytes int    `json:"record_bytes"`
+				Span        string `json:"span,omitempty"`
+				DestEdge    int    `json:"dest_edge"`
+				DestAddr    string `json:"dest_addr"`
 			}
-			t, _, err := e.m.deviceLink.readMsg(conn, &reg)
-			if err != nil || (t != MsgRegisterDevice && t != MsgRegisterMux) {
+			t, vec, err := e.m.deviceLink.readMsg(conn, &reg)
+			if err != nil || (t != MsgRegisterDevice && t != MsgRegisterMux && t != MsgMigrate && t != MsgMoveNotice) {
 				conn.Close()
+				return
+			}
+			if t == MsgMigrate {
+				e.acceptMigrate(conn, Migrate{
+					SrcEdge: reg.SrcEdge, DestEdge: e.cfg.EdgeID, DeviceID: reg.DeviceID,
+					Generation: reg.Generation, RecordBytes: reg.RecordBytes, Span: reg.Span,
+				}, vec)
+				return
+			}
+			if t == MsgMoveNotice {
+				// Distributed-deployment migration trigger: push the mover's
+				// state before the device tears its connection down. The
+				// snapshot in MigrateOut races the teardown benignly — losing
+				// it yields the ordinary cold join.
+				conn.Close()
+				e.MigrateOut(reg.DeviceID, reg.DestEdge, reg.DestAddr, reg.Generation)
 				return
 			}
 			if t == MsgRegisterMux {
@@ -240,7 +337,7 @@ func (e *Edge) acceptLoop() {
 				old.conn.Close()
 				e.m.reconnects.Inc()
 			}
-			e.devices[reg.DeviceID] = &deviceState{
+			d := &deviceState{
 				conn:        conn,
 				id:          reg.DeviceID,
 				dataSize:    reg.DataSize,
@@ -248,6 +345,8 @@ func (e *Edge) acceptLoop() {
 				statUtil:    math.NaN(),
 				lastTrained: -1,
 			}
+			e.devices[reg.DeviceID] = d
+			e.consumeHandoverLocked(d)
 			ack := RegisterAck{EdgeID: e.cfg.EdgeID, Round: e.curRound, LastSync: e.lastSync}
 			model := e.edgeModel
 			e.mu.Unlock()
@@ -275,6 +374,214 @@ func (e *Edge) dropDevice(id int, conn net.Conn) {
 		delete(e.devices, id)
 	}
 	e.mu.Unlock()
+}
+
+// consumeHandoverLocked applies a pending migrate-in record to a freshly
+// registered device state (the warm merge): the destination adopts the
+// source's cached model, utility and — when both edges sit in the same
+// cloud-sync era — the source's training timeline, so the device's first
+// train request here skips ResetLocal and the Eq. 9 blend fires
+// mid-round instead of cold-joining. e.mu must be held.
+func (e *Edge) consumeHandoverLocked(d *deviceState) {
+	h := e.pendingHandover[d.id]
+	if h == nil || !e.cfg.LiveMigration {
+		return
+	}
+	delete(e.pendingHandover, d.id)
+	if len(h.Model) == 0 || (len(e.edgeModel) > 0 && len(h.Model) != len(e.edgeModel)) {
+		return // incompatible record: keep the cold-join state
+	}
+	d.lastModel = h.Model
+	d.statUtil = h.StatUtil
+	if h.LastSync == e.lastSync {
+		// Same sync era: the source timeline stays valid, so the first
+		// train request here will not reset the carried local model.
+		d.lastTrained = h.LastTrained
+	}
+	if d.mux == nil && len(h.Moments) > 0 {
+		d.resume = true
+		d.resumeMoments = h.Moments
+		d.resumeLens = h.MomentLens
+		d.resumeSteps = h.Steps
+	}
+	e.cfg.Logf("edge %d: device %d resumes via handover from edge %d (gen %d, steps %d)",
+		e.cfg.EdgeID, d.id, h.SrcEdge, h.Generation, h.Steps)
+}
+
+// acceptMigrate handles one MsgMigrate frame on a short-lived
+// edge-to-edge connection: unpack and decode the handover record (its
+// inner CRC catches Byzantine rewrites that the frame CRC cannot),
+// check generation freshness, stash the record for the device's
+// registration and ack either way.
+func (e *Edge) acceptMigrate(conn net.Conn, mig Migrate, vec []float64) {
+	defer conn.Close()
+	ack := MigrateAck{DeviceID: mig.DeviceID}
+	var rec checkpoint.Handover
+	if !e.cfg.LiveMigration {
+		ack.Reason = "disabled"
+	} else if raw, ok := unpackBytes(vec, mig.RecordBytes); !ok {
+		ack.Reason = "corrupt_record"
+	} else if h, err := checkpoint.DecodeHandoverBytes(raw); err != nil {
+		ack.Reason = "corrupt_record"
+	} else if h.Device != mig.DeviceID || h.DestEdge != e.cfg.EdgeID || h.Generation != mig.Generation {
+		ack.Reason = "misrouted"
+	} else {
+		rec = h
+		ack.Accepted = true
+	}
+	if ack.Accepted {
+		e.mu.Lock()
+		if last, seen := e.handoverGen[mig.DeviceID]; seen && mig.Generation <= last {
+			ack.Accepted = false
+			ack.Reason = "stale_generation"
+		} else {
+			e.handoverGen[mig.DeviceID] = mig.Generation
+			e.pendingHandover[mig.DeviceID] = &rec
+			// The device may already have re-registered here before the
+			// record arrived (the cluster reconnects concurrently with the
+			// transfer retry loop): merge into the live state immediately.
+			if d, ok := e.devices[mig.DeviceID]; ok && !d.trainedHere {
+				e.consumeHandoverLocked(d)
+			}
+			if e.cfg.Trace != nil {
+				e.pendingTrace = append(e.pendingTrace, pendingTraceEvent{
+					name: "migrate_in", device: mig.DeviceID,
+					span: migrateInSpan(e.cfg.EdgeID, mig.DeviceID, mig.Generation),
+					args: map[string]any{"device": mig.DeviceID, "src_edge": mig.SrcEdge,
+						"generation": mig.Generation, "src_span": mig.Span},
+				})
+			}
+		}
+		e.mu.Unlock()
+	}
+	if !ack.Accepted {
+		e.cfg.Logf("edge %d: rejected migration of device %d from edge %d: %s",
+			e.cfg.EdgeID, mig.DeviceID, mig.SrcEdge, ack.Reason)
+	}
+	_ = e.m.deviceLink.writeMsg(conn, MsgMigrateAck, ack, nil)
+}
+
+// MigrateOut ships the cached state of a moving device to the
+// destination edge (live handover). Returns the outcome recorded in
+// fednet_migrations_total: "ok" (destination accepted), "fallback"
+// (transfer failed after retries — the device simply drop-and-reconnects
+// as before), "rejected" (destination refused, e.g. stale generation) or
+// "" when there was nothing to hand over (the device never trained here,
+// so a cold join loses nothing). The record is journaled under
+// CheckpointDir for crash forensics and removed once resolved.
+func (e *Edge) MigrateOut(deviceID, destEdge int, destAddr string, generation int) string {
+	if !e.cfg.LiveMigration || destEdge == e.cfg.EdgeID {
+		return ""
+	}
+	e.mu.Lock()
+	d, ok := e.devices[deviceID]
+	var rec checkpoint.Handover
+	if ok && len(d.lastModel) > 0 {
+		rec = checkpoint.Handover{
+			Device:      deviceID,
+			SrcEdge:     e.cfg.EdgeID,
+			DestEdge:    destEdge,
+			Generation:  generation,
+			Round:       e.curRound,
+			LastSync:    e.lastSync,
+			LastTrained: d.lastTrained,
+			Steps:       d.optSteps,
+			DataSize:    d.dataSize,
+			StatUtil:    d.statUtil,
+			Model:       append([]float64(nil), d.lastModel...),
+			MomentLens:  append([]int(nil), d.momentLens...),
+			Moments:     append([]float64(nil), d.moments...),
+		}
+	}
+	e.mu.Unlock()
+	if !ok || len(rec.Model) == 0 {
+		return ""
+	}
+	if e.cfg.CheckpointDir != "" {
+		if _, err := checkpoint.SaveHandoverFile(e.cfg.CheckpointDir, rec); err != nil {
+			e.cfg.Logf("edge %d: journaling handover for device %d failed: %v", e.cfg.EdgeID, deviceID, err)
+		} else {
+			defer checkpoint.RemoveHandoverFile(e.cfg.CheckpointDir, deviceID, generation)
+		}
+	}
+	raw, err := checkpoint.EncodeHandoverBytes(rec)
+	if err != nil {
+		e.cfg.Logf("edge %d: encoding handover for device %d failed: %v", e.cfg.EdgeID, deviceID, err)
+		e.m.migrateFallback.Inc()
+		return "fallback"
+	}
+	tr := e.cfg.Trace
+	srcSpan := ""
+	if tr != nil {
+		srcSpan = migrateSpan(e.cfg.EdgeID, deviceID, generation)
+	}
+	mig := Migrate{
+		SrcEdge: e.cfg.EdgeID, DestEdge: destEdge, DeviceID: deviceID,
+		Generation: generation, RecordBytes: len(raw), Span: srcSpan,
+	}
+	payload := packBytes(raw)
+	outcome := "fallback"
+	traceStart := tr.Now()
+	hoTok := e.m.handoverSpan.Begin()
+transfer:
+	for attempt := 0; attempt <= e.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			e.m.retries.Inc()
+			time.Sleep(retryBackoff(e.cfg.RetryBase, attempt, e.cfg.Seed,
+				int64(e.cfg.EdgeID)*1_000_003+int64(deviceID)*61+int64(generation)))
+		}
+		conn, derr := net.Dial("tcp", destAddr)
+		if derr != nil {
+			continue
+		}
+		conn = e.cfg.Faults.WrapMigrateLink(conn, deviceID)
+		conn.SetDeadline(time.Now().Add(e.cfg.MigrateTimeout))
+		if werr := e.m.migrateLink.writeMsg(conn, MsgMigrate, mig, payload); werr != nil {
+			countTimeout(e.m.timeouts, werr)
+			conn.Close()
+			continue
+		}
+		var ack MigrateAck
+		t, _, rerr := e.m.migrateLink.readMsg(conn, &ack)
+		conn.Close()
+		if rerr != nil || t != MsgMigrateAck || ack.DeviceID != deviceID {
+			countTimeout(e.m.timeouts, rerr)
+			continue
+		}
+		if !ack.Accepted {
+			// The destination made a decision; retrying cannot change it.
+			outcome = "rejected"
+			e.cfg.Logf("edge %d: migration of device %d to edge %d rejected: %s",
+				e.cfg.EdgeID, deviceID, destEdge, ack.Reason)
+			break transfer
+		}
+		outcome = "ok"
+		hoTok.End() // handover latency observed only for completed transfers
+		break transfer
+	}
+	switch outcome {
+	case "ok":
+		e.m.migrateOK.Inc()
+		e.cfg.Logf("edge %d: migrated device %d to edge %d (gen %d)", e.cfg.EdgeID, deviceID, destEdge, generation)
+	case "rejected":
+		e.m.migrateRejected.Inc()
+	default:
+		e.m.migrateFallback.Inc()
+		e.cfg.Logf("edge %d: migration of device %d to edge %d fell back to drop-and-reconnect",
+			e.cfg.EdgeID, deviceID, destEdge)
+	}
+	if tr != nil {
+		elapsed := tr.Now().Sub(traceStart)
+		e.mu.Lock()
+		e.pendingTrace = append(e.pendingTrace, pendingTraceEvent{
+			name: "migrate", device: deviceID, span: srcSpan,
+			args: map[string]any{"device": deviceID, "dest_edge": destEdge,
+				"generation": generation, "outcome": outcome,
+				"elapsed_us": elapsed.Microseconds()},
+		})
+		e.mu.Unlock()
+	}
+	return outcome
 }
 
 // Run connects to the cloud and participates until shutdown.
@@ -339,6 +646,17 @@ func (e *Edge) Run() error {
 		eSpan := ""
 		if tr != nil {
 			eSpan = edgeRoundSpan(e.cfg.EdgeID, rs.Round)
+			// Flush migration spans queued since the last round: emitted
+			// as instants at round start so they nest under this round.
+			e.mu.Lock()
+			pend := e.pendingTrace
+			e.pendingTrace = nil
+			e.mu.Unlock()
+			for _, p := range pend {
+				p.args["round"] = rs.Round
+				tr.Complete(p.name, "fednet", tracePidEdgeBase+e.cfg.EdgeID, p.device,
+					traceStart, 0, p.span, eSpan, p.args)
+			}
 		}
 		roundTok := e.m.roundSpan.Begin()
 		st := e.runRound(rs.Round, eSpan)
@@ -397,12 +715,17 @@ type roundStats struct {
 	quorumMiss bool
 }
 
-// trainResult is one device's contribution to a round.
+// trainResult is one device's contribution to a round. moments (split
+// off the reply payload when the request asked for them) are cached for
+// a later handover, never aggregated.
 type trainResult struct {
-	id    int
-	vec   []float64
-	reply TrainReply
-	err   error
+	id         int
+	vec        []float64
+	reply      TrainReply
+	moments    []float64
+	momentLens []int
+	optSteps   int
+	err        error
 }
 
 // runRound executes one Algorithm 1 time step: selection, parallel
@@ -479,6 +802,11 @@ collect:
 				d.statUtil = res.reply.Utility
 				d.lastTrained = round
 				d.trainedHere = true
+				if res.momentLens != nil {
+					d.moments = res.moments
+					d.momentLens = res.momentLens
+					d.optSteps = res.optSteps
+				}
 			}
 			e.mu.Unlock()
 			vecs = append(vecs, res.vec)
@@ -600,6 +928,7 @@ func (e *Edge) trainDevice(id, round int, span string, model []float64, results 
 		d, ok := e.devices[id]
 		var req TrainRequest
 		var mx *edgeMux
+		payload := model
 		if ok {
 			req = TrainRequest{
 				Round:      round,
@@ -611,6 +940,19 @@ func (e *Edge) trainDevice(id, round int, span string, model []float64, results 
 				req.Span = trainRPCSpan(span, id)
 			}
 			mx = d.mux
+			if mx == nil && e.cfg.LiveMigration {
+				// Ask for the optimizer moments so a later handover can
+				// ship them; a migrated device additionally gets its moved
+				// state back (Resume), appended after the edge model.
+				req.WantMoments = true
+				if d.resume && !req.ResetLocal {
+					req.Resume = true
+					req.MomentLens = d.resumeLens
+					req.OptSteps = d.resumeSteps
+					payload = make([]float64, 0, len(model)+len(d.resumeMoments))
+					payload = append(append(payload, model...), d.resumeMoments...)
+				}
+			}
 		}
 		e.mu.Unlock()
 		if !ok {
@@ -647,7 +989,7 @@ func (e *Edge) trainDevice(id, round int, span string, model []float64, results 
 		rpcTok := e.m.trainSpan.Begin()
 		fp := flight.BeginPhase("comm")
 		conn.SetDeadline(time.Now().Add(e.cfg.Timeout))
-		if err := e.m.deviceLink.writeMsg(conn, MsgTrainRequest, req, model); err != nil {
+		if err := e.m.deviceLink.writeMsg(conn, MsgTrainRequest, req, payload); err != nil {
 			fp.End()
 			countTimeout(e.m.timeouts, err)
 			e.dropDevice(id, conn)
@@ -663,17 +1005,54 @@ func (e *Edge) trainDevice(id, round int, span string, model []float64, results 
 			lastErr = fmt.Errorf("train reply: type %d, round %d, %v", t, reply.Round, err)
 			continue
 		}
+		res := trainResult{id: id, reply: reply}
+		res.vec, res.moments, res.momentLens, res.optSteps = splitMoments(vec, reply.MomentLens, reply.OptSteps)
+		if res.vec == nil {
+			e.dropDevice(id, conn)
+			lastErr = fmt.Errorf("train reply: malformed moment split (%d values)", len(vec))
+			continue
+		}
 		conn.SetDeadline(time.Time{})
 		rpcTok.End()
+		if req.Resume {
+			// The moved state reached the device: the one-shot resume is
+			// spent regardless of what later rounds do.
+			e.mu.Lock()
+			if d2, ok2 := e.devices[id]; ok2 {
+				d2.resume, d2.resumeMoments, d2.resumeLens, d2.resumeSteps = false, nil, nil, 0
+			}
+			e.mu.Unlock()
+		}
 		if tr != nil {
 			tr.Complete("train_rpc", "fednet", tracePidEdgeBase+e.cfg.EdgeID, id,
 				rpcStart, tr.Now().Sub(rpcStart), req.Span, span,
 				map[string]any{"round": round, "device": id, "attempt": attempt})
 		}
-		results <- trainResult{id: id, vec: vec, reply: reply}
+		results <- res
 		return
 	}
 	results <- trainResult{id: id, err: lastErr}
+}
+
+// splitMoments separates a train-reply payload into the model part and
+// the appended optimizer moments described by lens. A nil model return
+// marks a malformed split (the claimed moments don't fit, or nothing
+// would remain of the model).
+func splitMoments(vec []float64, lens []int, steps int) (model, moments []float64, outLens []int, outSteps int) {
+	if len(lens) == 0 {
+		return vec, nil, nil, 0
+	}
+	n := 0
+	for _, l := range lens {
+		if l < 0 {
+			return nil, nil, nil, 0
+		}
+		n += l
+	}
+	if n <= 0 || n >= len(vec) {
+		return nil, nil, nil, 0
+	}
+	return vec[:len(vec)-n], vec[len(vec)-n:], lens, steps
 }
 
 func (e *Edge) shutdownDevices() {

@@ -32,7 +32,7 @@ func TestProtocolRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if typ != MsgTrainRequest || out != in {
+	if typ != MsgTrainRequest || out.Round != in.Round || out.Moved != in.Moved || out.ResetLocal != in.ResetLocal {
 		t.Fatalf("got type %d header %+v", typ, out)
 	}
 	for i := range vec {

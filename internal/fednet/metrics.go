@@ -13,6 +13,7 @@ import (
 const (
 	linkDeviceEdge = "device_edge"
 	linkEdgeCloud  = "edge_cloud"
+	linkEdgeEdge   = "edge_edge"
 )
 
 // linkMetrics counts the protocol traffic of one link class. Instruments
@@ -115,6 +116,14 @@ type edgeMetrics struct {
 	virtualDevices *obs.Gauge
 	roundSpan      *obs.Span
 	trainSpan      *obs.Span
+	// Live-migration accounting: edge-to-edge transfer traffic, handover
+	// outcomes (ok / fallback / rejected) and end-to-end handover
+	// latency from journal write to accepted ack.
+	migrateLink     linkMetrics
+	migrateOK       *obs.Counter
+	migrateFallback *obs.Counter
+	migrateRejected *obs.Counter
+	handoverSpan    *obs.Span
 }
 
 func newEdgeMetrics(r *obs.Registry) edgeMetrics {
@@ -135,6 +144,12 @@ func newEdgeMetrics(r *obs.Registry) edgeMetrics {
 		virtualDevices: r.Gauge("fednet_virtual_devices"),
 		roundSpan:      r.Span("fednet_rpc_seconds", "op", "edge_round"),
 		trainSpan:      r.Span("fednet_rpc_seconds", "op", "train_rpc"),
+
+		migrateLink:     newLinkMetrics(r, linkEdgeEdge),
+		migrateOK:       r.Counter("fednet_migrations_total", "outcome", "ok"),
+		migrateFallback: r.Counter("fednet_migrations_total", "outcome", "fallback"),
+		migrateRejected: r.Counter("fednet_migrations_total", "outcome", "rejected"),
+		handoverSpan:    r.Span("fednet_handover_seconds"),
 	}
 }
 

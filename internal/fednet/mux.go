@@ -196,7 +196,7 @@ func (e *Edge) registerMuxDevices(mx *edgeMux, devices []RegisterDevice) {
 				delete(old.mux.ids, rd.DeviceID)
 			}
 		}
-		e.devices[rd.DeviceID] = &deviceState{
+		d := &deviceState{
 			conn:        mx.conn,
 			mux:         mx,
 			id:          rd.DeviceID,
@@ -205,6 +205,12 @@ func (e *Edge) registerMuxDevices(mx *edgeMux, devices []RegisterDevice) {
 			statUtil:    math.NaN(),
 			lastTrained: -1,
 		}
+		e.devices[rd.DeviceID] = d
+		// Warm-merge a pending handover: model and timeline only — mux
+		// clients share one optimizer across virtual devices, so moment
+		// resume is meaningless on this path (consumeHandoverLocked skips
+		// it for mux-attached states).
+		e.consumeHandoverLocked(d)
 		mx.ids[rd.DeviceID] = true
 		e.cfg.Logf("edge %d: virtual device %d joined (from edge %d)", e.cfg.EdgeID, rd.DeviceID, rd.PrevEdge)
 	}
@@ -503,8 +509,17 @@ func (mx *DeviceMux) serveConn(cc *muxClientConn) {
 			return
 		}
 		trainTok := mx.m.trainSpan.Begin()
-		vec, reply := mx.train(h.TrainRequest, edgeModel, cc.edgeID)
+		vec, reply, terr := mx.train(h.TrainRequest, edgeModel, cc.edgeID)
 		trainTok.End()
+		if terr != nil {
+			// Inconsistent frame state (moved-blend length mismatch):
+			// treat like a corrupt stream — drop the connection so every
+			// rider resyncs through re-registration instead of training
+			// from a stale model.
+			mx.m.link.corrupt.Inc()
+			mx.dropConn(cc)
+			return
+		}
 		cc.wmu.Lock()
 		cc.conn.SetWriteDeadline(time.Now().Add(mx.cfg.Timeout))
 		werr := mx.m.link.writeMsg(cc.conn, MsgTrainReply, reply, vec)
@@ -518,21 +533,27 @@ func (mx *DeviceMux) serveConn(cc *muxClientConn) {
 }
 
 // train executes one virtual device's local round, mirroring
-// Device.train but against shared compute state.
-func (mx *DeviceMux) train(req TrainRequest, edgeModel []float64, edgeID int) ([]float64, TrainReply) {
+// Device.train but against shared compute state. A non-nil error
+// rejects the request's state as corrupt (teardown + resync).
+func (mx *DeviceMux) train(req TrainRequest, edgeModel []float64, edgeID int) ([]float64, TrainReply, error) {
 	mx.mu.Lock()
 	v := mx.virts[req.DeviceID]
 	if v == nil {
 		mx.mu.Unlock()
 		// Unknown virtual device (a move raced the request): an empty
 		// reply lets the edge's retry loop resolve it without stalling.
-		return nil, TrainReply{DeviceID: req.DeviceID, Round: req.Round}
+		return nil, TrainReply{DeviceID: req.DeviceID, Round: req.Round}, nil
 	}
 	if req.ResetLocal {
 		v.local = nil
 	}
+	if req.Moved && v.local != nil && len(v.local) != len(edgeModel) {
+		mx.mu.Unlock()
+		return nil, TrainReply{}, fmt.Errorf("fednet: virtual device %d: moved-blend length mismatch (local %d, edge %d)",
+			req.DeviceID, len(v.local), len(edgeModel))
+	}
 	start := append([]float64(nil), edgeModel...)
-	if req.Moved && v.local != nil && len(v.local) == len(edgeModel) {
+	if req.Moved && v.local != nil {
 		switch mx.cfg.Mode {
 		case AggEq9:
 			start, _ = simil.OnDeviceAggregate(edgeModel, v.local)
@@ -561,7 +582,7 @@ func (mx *DeviceMux) train(req TrainRequest, edgeModel []float64, edgeID int) ([
 		Round:    req.Round,
 		DataSize: len(indices),
 		Utility:  util,
-	}
+	}, nil
 }
 
 // dropConn detaches every virtual device riding cc and forgets the

@@ -30,6 +30,8 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"net"
+	"time"
 )
 
 // ErrCorruptFrame marks a frame whose CRC trailer did not match its
@@ -76,6 +78,20 @@ const (
 	// Withdraws one virtual device from a multiplexed connection (it
 	// moved to another edge) without tearing the connection down.
 	MsgDeviceLeave
+	// MsgMigrate: source edge → destination edge. Header: Migrate. The
+	// vector payload packs a CRC-framed checkpoint.Handover record (see
+	// packBytes); the destination answers with MsgMigrateAck on the same
+	// short-lived connection.
+	MsgMigrate
+	// MsgMigrateAck: destination edge → source edge, accepting or
+	// rejecting a migration. Header: MigrateAck.
+	MsgMigrateAck
+	// MsgMoveNotice: device host → source edge. Header: MoveNotice. A
+	// fire-and-forget hint that a device is about to move, so a
+	// *distributed* deployment (where no central cluster can call
+	// Edge.MigrateOut) still triggers the handover push. Loss of the
+	// notice simply means a cold join — the standard fallback.
+	MsgMoveNotice
 )
 
 // maxFrame bounds a frame's payload sizes against corrupt peers.
@@ -121,6 +137,57 @@ type RegisterAck struct {
 	LastSync int `json:"last_sync"`
 }
 
+// Migrate announces a live handover of one moving device from SrcEdge
+// to DestEdge. The frame's vector payload carries the encoded
+// checkpoint.Handover record packed into float64s; RecordBytes is the
+// true byte length (the packing pads to a multiple of 8). The record
+// has its own inner CRC on top of the frame CRC: Byzantine rewrites
+// recompute the outer checksum, so only the inner one catches them.
+type Migrate struct {
+	SrcEdge     int `json:"src_edge"`
+	DestEdge    int `json:"dest_edge"`
+	DeviceID    int `json:"device_id"`
+	Generation  int `json:"generation"`
+	RecordBytes int `json:"record_bytes"`
+	// Span is the source edge's migrate span id ("" when tracing is
+	// off); the destination parents its migrate_in span on it.
+	Span string `json:"span,omitempty"`
+}
+
+// MoveNotice tells a device's current edge that the device is moving to
+// DestEdge at DestAddr, carrying the mover's handover generation. The
+// edge responds by pushing a MsgMigrate to the destination; the notice
+// itself is unacknowledged (the sender closes the connection after the
+// write) because every loss mode already degrades to drop-and-reconnect.
+type MoveNotice struct {
+	DeviceID   int    `json:"device_id"`
+	DestEdge   int    `json:"dest_edge"`
+	DestAddr   string `json:"dest_addr"`
+	Generation int    `json:"generation"`
+}
+
+// NotifyMove dials the device's current edge and sends a MoveNotice,
+// best-effort: any error is returned for logging but requires no
+// handling — a lost notice only costs the warm handover, not progress.
+func NotifyMove(edgeAddr string, n MoveNotice, timeout time.Duration) error {
+	conn, err := net.DialTimeout("tcp", edgeAddr, timeout)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	return WriteMsg(conn, MsgMoveNotice, n, nil)
+}
+
+// MigrateAck accepts or rejects a migration.
+type MigrateAck struct {
+	DeviceID int  `json:"device_id"`
+	Accepted bool `json:"accepted"`
+	// Reason explains a rejection ("stale_generation", "corrupt_record",
+	// "disabled", ...); empty on acceptance.
+	Reason string `json:"reason,omitempty"`
+}
+
 // RoundStart instructs an edge to run one Algorithm 1 time step.
 type RoundStart struct {
 	Round int `json:"round"`
@@ -161,6 +228,20 @@ type TrainRequest struct {
 	// Span is the edge's trace span id for this train RPC ("" when
 	// tracing is off); the device parents its training span on it.
 	Span string `json:"span,omitempty"`
+	// WantMoments asks the device to append its optimizer moment state
+	// to the reply payload (set when the edge runs with live migration,
+	// so a later handover can ship the moments along).
+	WantMoments bool `json:"want_moments,omitempty"`
+	// Resume marks the one-shot request that follows an accepted
+	// migration: the payload is edge model ++ migrated moments (split by
+	// MomentLens) and the device imports the moments instead of
+	// resetting its optimizer, continuing from OptSteps.
+	Resume bool `json:"resume,omitempty"`
+	// MomentLens splits the appended moment state into optimizer groups
+	// (see optim.MomentExporter); nil when no moments travel.
+	MomentLens []int `json:"moment_lens,omitempty"`
+	// OptSteps is the optimizer step counter accompanying Resume.
+	OptSteps int `json:"opt_steps,omitempty"`
 }
 
 // TrainReply returns the device's updated model and bookkeeping.
@@ -169,6 +250,38 @@ type TrainReply struct {
 	Round    int     `json:"round"`
 	DataSize int     `json:"data_size"`
 	Utility  float64 `json:"utility"` // Oort statistical utility
+	// MomentLens/OptSteps describe the optimizer moment state appended
+	// to the payload after the model when the request set WantMoments.
+	MomentLens []int `json:"moment_lens,omitempty"`
+	OptSteps   int   `json:"opt_steps,omitempty"`
+}
+
+// packBytes packs an opaque byte record into the frame's float64 vector
+// payload (8 bytes per element, zero-padded); the header must carry the
+// true byte length so unpackBytes can trim the padding. Reusing the
+// vector slot keeps MsgMigrate inside the one-frame-per-Write property
+// the fault injector depends on.
+func packBytes(p []byte) []float64 {
+	vec := make([]float64, (len(p)+7)/8)
+	for i := range vec {
+		var chunk [8]byte
+		copy(chunk[:], p[8*i:])
+		vec[i] = math.Float64frombits(binary.LittleEndian.Uint64(chunk[:]))
+	}
+	return vec
+}
+
+// unpackBytes recovers the byte record packed by packBytes; ok is false
+// when the claimed length does not fit the vector.
+func unpackBytes(vec []float64, n int) (p []byte, ok bool) {
+	if n < 0 || n > 8*len(vec) || n < 8*len(vec)-7 {
+		return nil, false
+	}
+	p = make([]byte, 8*len(vec))
+	for i, v := range vec {
+		binary.LittleEndian.PutUint64(p[8*i:], math.Float64bits(v))
+	}
+	return p[:n], true
 }
 
 // WriteMsg frames and writes one message.

@@ -111,6 +111,19 @@ type Config struct {
 	DropRate  float64
 	FaultSeed int64
 
+	// LiveMigration mirrors fednet's stateful edge-to-edge handover: a
+	// moving device's carried model travels with it (which is what the
+	// engine has always simulated), and MigrationFailRate is the
+	// probability a given handover is lost in transit (decided
+	// deterministically from FaultSeed, the step and the device id, on a
+	// stream independent of DropRate's). A failed handover degrades to
+	// drop-and-reconnect: the device's carried model is reset to the
+	// global model and the Eq. 9 blend is suppressed for that move. Both
+	// default to off; LiveMigration with a zero fail rate only adds
+	// hfl_migrations_total accounting, leaving results bit-identical.
+	LiveMigration     bool
+	MigrationFailRate float64
+
 	// Aggregator selects the Eq. 6/Eq. 7 combiner: "" or "mean" (the
 	// paper's weighted mean, bit-identical to previous releases),
 	// "median", "trimmed-mean" or "norm-clip" (see internal/robust for

@@ -52,6 +52,11 @@ type simMetrics struct {
 	advCorruptions *obs.Counter
 	nonfiniteSteps *obs.Counter
 
+	// Live-migration mirror: handover outcomes per mobility event
+	// (hfl_migrations_total{outcome=ok|fallback}).
+	migOK       *obs.Counter
+	migFallback *obs.Counter
+
 	selectSpan    *obs.Span
 	trainSpan     *obs.Span
 	edgeAggSpan   *obs.Span
@@ -87,6 +92,9 @@ func newSimMetrics(r *obs.Registry) simMetrics {
 		clippedUpdates: r.Counter("robust_clipped_updates_total"),
 		advCorruptions: r.Counter("hfl_adversary_corruptions_total"),
 		nonfiniteSteps: r.Counter("hfl_nonfinite_steps_total"),
+
+		migOK:       r.Counter("hfl_migrations_total", "outcome", "ok"),
+		migFallback: r.Counter("hfl_migrations_total", "outcome", "fallback"),
 
 		selectSpan:    r.Span("sim_phase_seconds", "phase", "selection"),
 		trainSpan:     r.Span("sim_phase_seconds", "phase", "local_train"),

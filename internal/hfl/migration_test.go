@@ -1,0 +1,139 @@
+package hfl
+
+// Simulator mirror of fednet's live migration: Config.LiveMigration adds
+// handover accounting (and, with MigrationFailRate, seeded failures that
+// degrade to drop-and-reconnect), while keeping the disabled and
+// zero-fail paths bit-identical to the baseline.
+
+import "testing"
+
+func migrationConfig(fail float64) Config {
+	cfg := smallConfig()
+	cfg.LiveMigration = true
+	cfg.MigrationFailRate = fail
+	return cfg
+}
+
+// TestLiveMigrationZeroFailBitIdentical is the acceptance pin: enabling
+// LiveMigration with no failures only adds accounting — the cloud model
+// and every recorded accuracy stay bit-for-bit those of a disabled run.
+func TestLiveMigrationZeroFailBitIdentical(t *testing.T) {
+	fBase := newFixture(t, 0.6)
+	base := New(smallConfig(), fBase.factory(), fBase.part, fBase.test, fBase.mob, &spyStrategy{})
+	hBase := base.Run()
+
+	fMig := newFixture(t, 0.6)
+	mig := New(migrationConfig(0), fMig.factory(), fMig.part, fMig.test, fMig.mob, &spyStrategy{})
+	hMig := mig.Run()
+
+	for i := range base.cloud {
+		if base.cloud[i] != mig.cloud[i] {
+			t.Fatalf("cloud model differs at %d with zero-fail migration: %v vs %v",
+				i, base.cloud[i], mig.cloud[i])
+		}
+	}
+	if len(hBase.GlobalAcc) != len(hMig.GlobalAcc) {
+		t.Fatalf("eval counts differ: %d vs %d", len(hBase.GlobalAcc), len(hMig.GlobalAcc))
+	}
+	for i := range hBase.GlobalAcc {
+		if hBase.GlobalAcc[i] != hMig.GlobalAcc[i] {
+			t.Fatalf("accuracy differs at eval %d", i)
+		}
+	}
+	ok, fb := mig.Migrations()
+	if ok == 0 {
+		t.Fatal("no migrations counted despite p=0.6 mobility")
+	}
+	if fb != 0 {
+		t.Fatalf("%d fallbacks with MigrationFailRate=0", fb)
+	}
+	if bOK, bFB := base.Migrations(); bOK != 0 || bFB != 0 {
+		t.Fatalf("disabled run counted migrations: %d ok, %d fallbacks", bOK, bFB)
+	}
+}
+
+// TestMigrationFailureSuppressesBlend pins the fallback semantics: a
+// failed handover resets the carried model (drop-and-reconnect), so the
+// strategy must never see moved=true and the Eq. 9 blend never fires.
+func TestMigrationFailureSuppressesBlend(t *testing.T) {
+	fBase := newFixture(t, 0.6)
+	spyBase := &spyStrategy{}
+	New(smallConfig(), fBase.factory(), fBase.part, fBase.test, fBase.mob, spyBase).Run()
+	baseMoved := 0
+	for _, m := range spyBase.movedSeen {
+		if m {
+			baseMoved++
+		}
+	}
+	if baseMoved == 0 {
+		t.Fatal("baseline never selected a moved device — the suppression check below is vacuous")
+	}
+
+	fFail := newFixture(t, 0.6)
+	spyFail := &spyStrategy{}
+	failing := New(migrationConfig(1.0), fFail.factory(), fFail.part, fFail.test, fFail.mob, spyFail)
+	failing.Run()
+	for i, m := range spyFail.movedSeen {
+		if m {
+			t.Fatalf("InitLocal call %d saw moved=true despite every handover failing", i)
+		}
+	}
+	ok, fb := failing.Migrations()
+	if ok != 0 || fb == 0 {
+		t.Fatalf("MigrationFailRate=1 counted %d ok, %d fallbacks", ok, fb)
+	}
+}
+
+// TestMigrationFailureDeterministic: the failure decision is a pure
+// function of (FaultSeed, step, device), so two runs with the same seed
+// are bit-identical, including which handovers failed.
+func TestMigrationFailureDeterministic(t *testing.T) {
+	run := func() (*Sim, int, int) {
+		f := newFixture(t, 0.6)
+		cfg := migrationConfig(0.5)
+		cfg.FaultSeed = 99
+		s := New(cfg, f.factory(), f.part, f.test, f.mob, &spyStrategy{})
+		s.Run()
+		ok, fb := s.Migrations()
+		return s, ok, fb
+	}
+	s1, ok1, fb1 := run()
+	s2, ok2, fb2 := run()
+	if ok1 != ok2 || fb1 != fb2 {
+		t.Fatalf("migration outcomes differ across identical runs: %d/%d vs %d/%d", ok1, fb1, ok2, fb2)
+	}
+	if ok1 == 0 || fb1 == 0 {
+		t.Fatalf("want a mix of outcomes at rate 0.5, got %d ok / %d fallbacks", ok1, fb1)
+	}
+	for i := range s1.cloud {
+		if s1.cloud[i] != s2.cloud[i] {
+			t.Fatalf("cloud models differ at %d between identical seeded runs", i)
+		}
+	}
+}
+
+// TestMigrationDenseLazyIdentical: the lazy device store's reset (which
+// re-aliases the cloud vector) must produce exactly the dense store's
+// bits under migration failures, or population-scale runs would diverge
+// from small ones.
+func TestMigrationDenseLazyIdentical(t *testing.T) {
+	run := func(lazy bool) *Sim {
+		f := newFixture(t, 0.6)
+		cfg := migrationConfig(0.5)
+		cfg.FaultSeed = 7
+		cfg.LazyStore = lazy
+		s := New(cfg, f.factory(), f.part, f.test, f.mob, &spyStrategy{})
+		s.Run()
+		return s
+	}
+	dense := run(false)
+	lazyS := run(true)
+	if _, fb := dense.Migrations(); fb == 0 {
+		t.Fatal("no fallbacks at rate 0.5 — reset path not exercised")
+	}
+	for i := range dense.cloud {
+		if dense.cloud[i] != lazyS.cloud[i] {
+			t.Fatalf("dense and lazy stores diverge at %d under migration failures", i)
+		}
+	}
+}

@@ -46,6 +46,8 @@ type Sim struct {
 	stragglers   int // selected devices that missed the deadline
 	faultDrops   int // selected device-rounds lost to injected drops
 	quorumMisses int // edge-steps that fell below quorum and carried the model
+	migOKs       int // handovers that completed (LiveMigration on)
+	migFallbacks int // handovers lost in transit → drop-and-reconnect
 
 	// Robustness layer (PR 5). validator is nil when Config.Validate is
 	// off; agg is the pluggable Eq. 6/Eq. 7 combiner (zero value: the
@@ -81,6 +83,7 @@ type Sim struct {
 	// vectors in cloud/edges/locals keep their backing arrays for the
 	// lifetime of the Sim; aggregation writes into them in place.
 	moved      []bool
+	migFailed  []bool // this step's lost handovers (LiveMigration only)
 	candidates [][]int
 	selected   [][]int
 	jobs       []trainJob
@@ -248,11 +251,33 @@ func (s *Sim) StepOnce() int {
 		s.moved = make([]bool, s.numDevices)
 	}
 	moved := s.moved
+	if s.cfg.LiveMigration && s.migFailed == nil {
+		s.migFailed = make([]bool, s.numDevices)
+	}
 	for m := range moved {
 		moved[m] = s.membership[m] != prev[m]
 		if moved[m] {
 			s.moves++
 			s.tel.recordMove(prev[m], s.membership[m])
+			// Live-migration mirror: each move is a handover. Lost ones
+			// (decided on a FaultSeed stream independent of DropRate's)
+			// degrade to drop-and-reconnect — the carried model resets to
+			// the global model and Eq. 9 is suppressed for this move. The
+			// moved flag itself stays true: the mobility telemetry counts
+			// the move either way.
+			if s.cfg.LiveMigration {
+				s.migFailed[m] = false
+				if s.cfg.MigrationFailRate > 0 &&
+					tensor.Split(s.cfg.FaultSeed, int64(t)*1_000_003+int64(m)*29+11).Float64() < s.cfg.MigrationFailRate {
+					s.migFailed[m] = true
+					s.store.reset(m)
+					s.migFallbacks++
+					s.metrics.migFallback.Inc()
+				} else {
+					s.migOKs++
+					s.metrics.migOK.Inc()
+				}
+			}
 		}
 		s.moveTotal++
 	}
@@ -333,7 +358,11 @@ func (s *Sim) StepOnce() int {
 				u, dn = simil.SelectionUtilityNorm(s.cloud, s.store.model(m))
 			}
 			s.tel.recordSelection(m, u, dn)
-			if moved[m] {
+			// A move whose handover was lost joins cold: no Eq. 9 blend,
+			// no blend telemetry (the carried model was already reset to
+			// the cloud vector above).
+			mv := moved[m] && (s.migFailed == nil || !s.migFailed[m])
+			if mv {
 				s.tel.recordBlend(simil.Utility(s.store.model(m), s.edges[n]))
 			}
 			// Lines 4–7: on-device model initialisation. The job writes
@@ -341,7 +370,7 @@ func (s *Sim) StepOnce() int {
 			// materialized here for lazily-stored devices (each device
 			// appears in at most one job per step, and SetParamVector
 			// copies init before the overwrite).
-			init := s.strat.InitLocal(s, m, n, moved[m])
+			init := s.strat.InitLocal(s, m, n, mv)
 			s.jobs = append(s.jobs, trainJob{device: m, init: init, out: s.store.materialize(m)})
 		}
 	}
@@ -692,6 +721,12 @@ func (s *Sim) FaultDrops() int { return s.faultDrops }
 // QuorumMisses returns how many edge-steps fell below Config.Quorum and
 // carried their previous model forward instead of aggregating.
 func (s *Sim) QuorumMisses() int { return s.quorumMisses }
+
+// Migrations returns the cumulative handover outcomes of the
+// live-migration mirror: ok handovers carried the device's model to its
+// new edge, fallbacks were lost in transit and degraded to
+// drop-and-reconnect. Both are zero with Config.LiveMigration off.
+func (s *Sim) Migrations() (ok, fallbacks int) { return s.migOKs, s.migFallbacks }
 
 // RejectedUpdates returns the cumulative validation rejections by
 // reason (zero with Config.Validate off).

@@ -85,7 +85,8 @@ var PANELS = [
   { title: "Global model", unit: "", series: ["hfl_global_accuracy", "hfl_global_loss"] },
   { title: "Round duration p99 (s)", unit: "s", series: ["sim_round_seconds_p99", "fednet_rpc_seconds_p99{op=\"cloud_round\"}"] },
   { title: "Per-edge divergence", unit: "", series: ["hfl_edge_divergence{*"] },
-  { title: "Mobility flow (moves, handoffs)", unit: "", series: ["hfl_moves_total", "hfl_handoff*_total", "fednet_migrations_total"] },
+  { title: "Mobility flow (moves, handoffs)", unit: "", series: ["hfl_moves_total", "hfl_handoff*_total", "fednet_migrations_total{*", "hfl_migrations_total{*"] },
+  { title: "Handover latency (s)", unit: "s", series: ["fednet_handover_seconds_p99", "fednet_handover_seconds_p50", "fednet_handover_seconds_count"] },
   { title: "Faults, retries, rejects", unit: "", series: ["*retries_total", "*faults_injected_total", "robust_rejected_updates_total*", "*quorum_misses_total"] },
   { title: "Memory (bytes)", unit: "B", series: ["process_peak_rss_bytes", "process_heap_inuse_bytes"] },
   { title: "Series governance", unit: "", series: ["obs_series", "tsdb_series", "obs_dropped_series_total{*", "tsdb_dropped_series_total"] },

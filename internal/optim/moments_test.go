@@ -1,0 +1,137 @@
+package optim
+
+import (
+	"math"
+	"testing"
+
+	"middle/internal/nn"
+)
+
+// stepTwice advances two identical quad params with two optimizers and
+// reports whether they stay bit-identical.
+func trajectoriesMatch(t *testing.T, a, b Optimizer, qa, qb *quadParam, steps int) {
+	t.Helper()
+	for i := 0; i < steps; i++ {
+		qa.grad(0)
+		qb.grad(0)
+		a.Step([]*nn.Param{qa.p})
+		b.Step([]*nn.Param{qb.p})
+		if math.Float64bits(qa.w()) != math.Float64bits(qb.w()) {
+			t.Fatalf("trajectories diverged at step %d: %v vs %v", i, qa.w(), qb.w())
+		}
+	}
+}
+
+// TestSGDMomentumTransfer proves a momentum handover is lossless: an
+// optimizer warmed up on one host and transplanted via
+// Export/ImportMoments continues bit-identically to one that never
+// moved.
+func TestSGDMomentumTransfer(t *testing.T) {
+	stay := NewSGDMomentum(0.1, 0.9)
+	qStay := newQuad(1.0)
+	for i := 0; i < 5; i++ {
+		qStay.grad(0)
+		stay.Step([]*nn.Param{qStay.p})
+	}
+
+	moved := NewSGDMomentum(0.1, 0.9)
+	qMoved := newQuad(qStay.w())
+	flat, lens, steps := stay.ExportMoments()
+	if steps != 5 {
+		t.Fatalf("exported step counter %d, want 5", steps)
+	}
+	if !moved.ImportMoments(flat, lens, steps) {
+		t.Fatal("import rejected a matching export")
+	}
+	trajectoriesMatch(t, stay, moved, qStay, qMoved, 10)
+}
+
+// TestAdamTransfer does the same for Adam, where the step counter feeds
+// bias correction and a lost counter would visibly change step sizes.
+func TestAdamTransfer(t *testing.T) {
+	stay := NewAdam(0.01)
+	qStay := newQuad(1.0)
+	for i := 0; i < 7; i++ {
+		qStay.grad(0)
+		stay.Step([]*nn.Param{qStay.p})
+	}
+
+	moved := NewAdam(0.01)
+	qMoved := newQuad(qStay.w())
+	flat, lens, steps := stay.ExportMoments()
+	if steps != 7 {
+		t.Fatalf("exported step counter %d, want 7", steps)
+	}
+	if !moved.ImportMoments(flat, lens, steps) {
+		t.Fatal("import rejected a matching export")
+	}
+	trajectoriesMatch(t, stay, moved, qStay, qMoved, 10)
+}
+
+// TestImportMismatchResets verifies the corrupt-handover path: a shape
+// mismatch must refuse the import and leave the optimizer cold (as if
+// freshly Reset), never adopt partial state.
+func TestImportMismatchResets(t *testing.T) {
+	s := NewSGDMomentum(0.1, 0.9)
+	q := newQuad(1.0)
+	q.p.Grad.Data[0] = 1
+	s.Step([]*nn.Param{q.p})
+
+	if s.ImportMoments([]float64{1, 2, 3}, []int{2}, 9) {
+		t.Fatal("import accepted mismatched lens")
+	}
+	// After the rejected import the optimizer must behave cold: the
+	// first step with a fresh velocity moves exactly lr·g.
+	before := q.w()
+	q.p.Grad.Data[0] = 1
+	s.Step([]*nn.Param{q.p})
+	if math.Abs((before-q.w())-0.1) > 1e-12 {
+		t.Fatalf("post-reject step moved %v, want fresh 0.1", before-q.w())
+	}
+
+	a := NewAdam(0.01)
+	qa := newQuad(1.0)
+	qa.p.Grad.Data[0] = 1
+	a.Step([]*nn.Param{qa.p})
+	if a.ImportMoments([]float64{1}, []int{1}, 3) {
+		t.Fatal("Adam import accepted half its moment groups")
+	}
+}
+
+// TestImportedStateRejectedOnParamMismatch: moments imported for one
+// network shape must be discarded (not crash) if the optimizer is then
+// stepped against differently shaped params — the mux/resize guard.
+func TestImportedStateRejectedOnParamMismatch(t *testing.T) {
+	src := NewSGDMomentum(0.1, 0.9)
+	q := newQuad(1.0)
+	q.p.Grad.Data[0] = 1
+	src.Step([]*nn.Param{q.p})
+	flat, lens, steps := src.ExportMoments()
+
+	dst := NewSGDMomentum(0.1, 0.9)
+	if !dst.ImportMoments(flat, lens, steps) {
+		t.Fatal("import rejected a matching export")
+	}
+	q2 := newQuad(1.0)
+	q3 := newQuad(2.0)
+	q2.p.Grad.Data[0] = 1
+	q3.p.Grad.Data[0] = 1
+	dst.Step([]*nn.Param{q2.p, q3.p}) // must not panic; state reallocates
+}
+
+// TestExportEmptyOptimizer: a never-stepped optimizer exports empty
+// state that round-trips to another cold optimizer.
+func TestExportEmptyOptimizer(t *testing.T) {
+	flat, lens, steps := NewSGDMomentum(0.1, 0.9).ExportMoments()
+	if len(flat) != 0 || len(lens) != 0 || steps != 0 {
+		t.Fatalf("cold export not empty: %v %v %d", flat, lens, steps)
+	}
+	dst := NewSGDMomentum(0.1, 0.9)
+	if !dst.ImportMoments(flat, lens, steps) {
+		t.Fatal("cold import rejected")
+	}
+	flat, lens, steps = NewAdam(0.01).ExportMoments()
+	if len(flat) != 0 || len(lens) != 0 || steps != 0 {
+		t.Fatalf("cold Adam export not empty: %v %v %d", flat, lens, steps)
+	}
+}

@@ -25,6 +25,17 @@ type Optimizer interface {
 	SetLR(lr float64)
 }
 
+// MomentExporter is implemented by optimizers whose internal state —
+// moment buffers plus the step counter — can be serialised for live
+// migration and restored on another host. ExportMoments flattens the
+// state into one slice with per-group lengths; ImportMoments is its
+// inverse and reports false (leaving the optimizer untouched beyond a
+// Reset) when the shapes are inconsistent.
+type MomentExporter interface {
+	ExportMoments() (flat []float64, lens []int, steps int)
+	ImportMoments(flat []float64, lens []int, steps int) bool
+}
+
 // SGD is stochastic gradient descent with optional momentum and weight
 // decay: v ← µv + g + λw; w ← w − η·v.
 type SGD struct {
@@ -32,6 +43,7 @@ type SGD struct {
 	Momentum    float64
 	WeightDecay float64
 
+	t        int
 	velocity [][]float64
 }
 
@@ -46,6 +58,7 @@ func NewSGDMomentum(lr, momentum float64) *SGD {
 
 // Step applies one SGD update.
 func (s *SGD) Step(params []*nn.Param) {
+	s.t++
 	if s.Momentum == 0 {
 		for _, p := range params {
 			g := p.Grad.Data
@@ -77,7 +90,7 @@ func (s *SGD) Step(params []*nn.Param) {
 }
 
 func (s *SGD) ensureState(params []*nn.Param) {
-	if len(s.velocity) == len(params) {
+	if groupsMatch(s.velocity, params) {
 		return
 	}
 	s.velocity = make([][]float64, len(params))
@@ -86,8 +99,25 @@ func (s *SGD) ensureState(params []*nn.Param) {
 	}
 }
 
-// Reset clears momentum buffers.
-func (s *SGD) Reset() { s.velocity = nil }
+// Reset clears momentum buffers and the step counter.
+func (s *SGD) Reset() { s.velocity, s.t = nil, 0 }
+
+// ExportMoments flattens the velocity buffers for live migration.
+func (s *SGD) ExportMoments() (flat []float64, lens []int, steps int) {
+	return flattenGroups(s.velocity), groupLens(s.velocity), s.t
+}
+
+// ImportMoments restores velocity buffers exported by ExportMoments.
+// It reports false on inconsistent shapes, leaving the optimizer reset.
+func (s *SGD) ImportMoments(flat []float64, lens []int, steps int) bool {
+	groups, ok := unflattenGroups(flat, lens)
+	if !ok {
+		s.Reset()
+		return false
+	}
+	s.velocity, s.t = groups, steps
+	return true
+}
 
 // LR returns the current learning rate.
 func (s *SGD) LR() float64 { return s.lr }
@@ -136,7 +166,7 @@ func (a *Adam) Step(params []*nn.Param) {
 }
 
 func (a *Adam) ensureState(params []*nn.Param) {
-	if len(a.m) == len(params) {
+	if groupsMatch(a.m, params) && groupsMatch(a.v, params) {
 		return
 	}
 	a.m = make([][]float64, len(params))
@@ -150,11 +180,114 @@ func (a *Adam) ensureState(params []*nn.Param) {
 // Reset clears moment estimates and the step counter.
 func (a *Adam) Reset() { a.m, a.v, a.t = nil, nil, 0 }
 
+// ExportMoments flattens the first- and second-moment buffers for live
+// migration: the m groups followed by the v groups.
+func (a *Adam) ExportMoments() (flat []float64, lens []int, steps int) {
+	flat = append(flattenGroups(a.m), flattenGroups(a.v)...)
+	lens = append(groupLens(a.m), groupLens(a.v)...)
+	return flat, lens, a.t
+}
+
+// ImportMoments restores state exported by ExportMoments. The group
+// count must be even (m groups then v groups) and each half must
+// describe the same shapes; it reports false otherwise, leaving the
+// optimizer reset.
+func (a *Adam) ImportMoments(flat []float64, lens []int, steps int) bool {
+	groups, ok := unflattenGroups(flat, lens)
+	if !ok || len(groups)%2 != 0 {
+		a.Reset()
+		return false
+	}
+	half := len(groups) / 2
+	for j := 0; j < half; j++ {
+		if len(groups[j]) != len(groups[half+j]) {
+			a.Reset()
+			return false
+		}
+	}
+	if half == 0 {
+		a.m, a.v = nil, nil
+	} else {
+		a.m, a.v = groups[:half], groups[half:]
+	}
+	a.t = steps
+	return true
+}
+
 // LR returns the current learning rate.
 func (a *Adam) LR() float64 { return a.lr }
 
 // SetLR overrides the learning rate.
 func (a *Adam) SetLR(lr float64) { a.lr = lr }
+
+// flattenGroups concatenates groups into one slice (nil for no state).
+func flattenGroups(groups [][]float64) []float64 {
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+	}
+	if total == 0 {
+		return nil
+	}
+	flat := make([]float64, 0, total)
+	for _, g := range groups {
+		flat = append(flat, g...)
+	}
+	return flat
+}
+
+// groupLens records each group's length (nil for no state).
+func groupLens(groups [][]float64) []int {
+	if len(groups) == 0 {
+		return nil
+	}
+	lens := make([]int, len(groups))
+	for j, g := range groups {
+		lens[j] = len(g)
+	}
+	return lens
+}
+
+// unflattenGroups is the inverse of flattenGroups+groupLens, copying
+// flat so the caller's buffer is not aliased. ok is false when the
+// lengths do not add up.
+func unflattenGroups(flat []float64, lens []int) (groups [][]float64, ok bool) {
+	total := 0
+	for _, n := range lens {
+		if n < 0 {
+			return nil, false
+		}
+		total += n
+	}
+	if total != len(flat) {
+		return nil, false
+	}
+	if len(lens) == 0 {
+		return nil, true
+	}
+	groups = make([][]float64, len(lens))
+	off := 0
+	for j, n := range lens {
+		groups[j] = make([]float64, n)
+		copy(groups[j], flat[off:off+n])
+		off += n
+	}
+	return groups, true
+}
+
+// groupsMatch reports whether state groups already mirror the params'
+// shapes exactly (count and per-group size).
+func groupsMatch(groups [][]float64, params []*nn.Param) bool {
+	if len(groups) != len(params) {
+		return false
+	}
+	for j, p := range params {
+		if len(groups[j]) != p.Value.Size() {
+			return false
+		}
+	}
+	return true
+}
 
 // Schedule maps a global time step to a learning rate.
 type Schedule interface {

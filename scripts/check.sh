@@ -477,4 +477,61 @@ grep -q "cohort" "$tmpdir/scale_bad.log" || {
 }
 echo ok
 
+echo "== live-migration smoke =="
+# Deployment handover: a high-mobility in-process fednet deployment with
+# -live-migration must complete at least one successful handover — the
+# summary's ok count is fednet_migrations_total{outcome="ok"}.
+"$tmpdir/middlesim" -exp scale -devices 24 -edges 3 -k 2 -tc 2 -steps 8 \
+    -mux 2 -p 0.6 -seed 3 -live-migration > "$tmpdir/mig_deploy.log" 2>&1 || {
+    echo "live-migration deployment run failed:"
+    cat "$tmpdir/mig_deploy.log"
+    exit 1
+}
+grep -Eq 'migrations: [1-9][0-9]* ok' "$tmpdir/mig_deploy.log" || {
+    echo "deployment reported no successful migrations:"
+    cat "$tmpdir/mig_deploy.log"
+    exit 1
+}
+# Seeded handover chaos in the simulator mirror: with half the handovers
+# lost in transit, every failure must degrade to drop-and-reconnect and
+# the run still exits 0 with both outcomes accounted.
+"$tmpdir/middlesim" -exp scale -devices 60 -edges 3 -k 2 -tc 2 -steps 20 \
+    -p 0.6 -seed 3 -live-migration -migration-fail-rate 0.5 \
+    > "$tmpdir/mig_chaos.log" 2>&1 || {
+    echo "seeded handover-chaos run failed (fallback must keep it alive):"
+    cat "$tmpdir/mig_chaos.log"
+    exit 1
+}
+grep -Eq 'migrations: [0-9]+ ok, [1-9][0-9]* fallbacks' "$tmpdir/mig_chaos.log" || {
+    echo "handover chaos produced no fallback outcomes:"
+    cat "$tmpdir/mig_chaos.log"
+    exit 1
+}
+# Migrate-vs-drop comparison: the same seeded run with every handover
+# succeeding vs every handover dropped (= today's cold rejoin); record
+# both accuracies so regressions in the Eq. 9 resume path are visible.
+"$tmpdir/middlesim" -exp scale -devices 60 -edges 3 -k 2 -tc 2 -steps 20 \
+    -p 0.6 -seed 3 -live-migration > "$tmpdir/mig_ok.log" 2>&1 || {
+    echo "migrate-path comparison run failed:"
+    cat "$tmpdir/mig_ok.log"
+    exit 1
+}
+"$tmpdir/middlesim" -exp scale -devices 60 -edges 3 -k 2 -tc 2 -steps 20 \
+    -p 0.6 -seed 3 -live-migration -migration-fail-rate 1 \
+    > "$tmpdir/mig_drop.log" 2>&1 || {
+    echo "drop-path comparison run failed:"
+    cat "$tmpdir/mig_drop.log"
+    exit 1
+}
+macc=$(sed -n 's/.*final accuracy \([0-9.]*\).*/\1/p' "$tmpdir/mig_ok.log")
+dacc=$(sed -n 's/.*final accuracy \([0-9.]*\).*/\1/p' "$tmpdir/mig_drop.log")
+if [ -z "$macc" ] || [ -z "$dacc" ]; then
+    echo "comparison runs reported no final accuracy (migrate='$macc' drop='$dacc')"
+    exit 1
+fi
+mkdir -p results
+printf 'migrate_vs_drop: migrate_acc=%s drop_acc=%s (mnist, 60 devices / 3 edges, p=0.6, seed 3)\n' \
+    "$macc" "$dacc" | tee results/migration_compare.txt
+echo ok
+
 echo "All checks passed."
