@@ -21,7 +21,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"middle"
@@ -29,6 +31,7 @@ import (
 	"middle/internal/experiments"
 	"middle/internal/fednet"
 	"middle/internal/mobility"
+	"middle/internal/nn"
 	"middle/internal/obs"
 	"middle/internal/obs/flight"
 	"middle/internal/tensor"
@@ -87,6 +90,13 @@ func main() {
 
 		// Live migration (see DESIGN.md "Live migration & handover").
 		liveMig = flag.Bool("live-migration", false, "edge role: accept and push stateful edge-to-edge handovers; devices role: notify the source edge before each move so it pushes the mover's state")
+
+		// Self-healing membership (see DESIGN.md "Fault model").
+		membership = flag.Bool("membership", false, "cloud role: self-healing membership mode — edges hold leases, missed leases trigger failover, restarted edges rejoin under a bumped epoch")
+		leaseIntv  = flag.Duration("lease-interval", 0, "cloud role: membership lease interval (0 = 500ms)")
+		roundIntv  = flag.Duration("round-interval", 0, "cloud role: minimum wall-clock duration per round, pacing the schedule against device mobility and attachment (0 = free-running)")
+		devLease   = flag.Int("device-lease-rounds", 0, "edge role: evict dedicated devices not seen for this many rounds (0 = off)")
+		failover   = flag.Bool("failover", false, "devices role: when an edge dies, re-home its devices to the surviving -edgeaddrs entries carrying their local state")
 	)
 	flag.Parse()
 
@@ -152,10 +162,10 @@ func main() {
 	setup.Obs = m.Registry()
 	switch *role {
 	case "cloud":
-		runCloud(setup, m, trace, *results, *addr, *edgesN, *rounds, *tc, *seed, *ckptDir, *ckptEvery, *minEdges, *shards, agg, *trimFrac, validate)
+		runCloud(setup, m, trace, *results, *addr, *edgesN, *rounds, *tc, *seed, *ckptDir, *ckptEvery, *minEdges, *shards, agg, *trimFrac, validate, *membership, *leaseIntv, *roundIntv)
 	case "edge":
 		runEdge(setup, m, trace, *id, *cloud, *addr, *strategy, *k, *seed, *quorum, *roundDL,
-			agg, *trimFrac, validate, *selNormCap, *ckptDir, *ckptEvery, *liveMig)
+			agg, *trimFrac, validate, *selNormCap, *ckptDir, *ckptEvery, *liveMig, *devLease)
 	case "devices":
 		faults := fednet.NewFaultInjector(fednet.FaultConfig{
 			Seed: *faultSeed,
@@ -165,7 +175,7 @@ func main() {
 			},
 			Obs: m.Registry(),
 		})
-		runDevices(setup, m, trace, *edgeList, *from, *to, *p, *moveMs, *seed, *mux, faults, *liveMig)
+		runDevices(setup, m, trace, *edgeList, *from, *to, *p, *moveMs, *seed, *mux, faults, *liveMig, *failover)
 	default:
 		fmt.Fprintln(os.Stderr, "middled: -role must be cloud, edge or devices")
 		flag.Usage()
@@ -221,8 +231,8 @@ func writeTrace(trace *obs.Trace, path string) {
 
 // writeSummary records the run manifest + metrics snapshot (no-op when
 // metrics or -results are disabled).
-func writeSummary(m *experiments.Metrics, dir, name string) {
-	path, err := m.WriteSummary(dir, name, os.Args, nil)
+func writeSummary(m *experiments.Metrics, dir, name string, extra map[string]any) {
+	path, err := m.WriteSummary(dir, name, os.Args, extra)
 	if err != nil {
 		log.Printf("middled: writing summary: %v", err)
 		return
@@ -232,27 +242,75 @@ func writeSummary(m *experiments.Metrics, dir, name string) {
 	}
 }
 
-func runCloud(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs.Trace, results, addr string, edges, rounds, tc int, seed int64, ckptDir string, ckptEvery, minEdges, shards int, agg middle.AggregatorKind, trimFrac float64, validate middle.ValidatorConfig) {
+// onSignal runs fn once when the process receives SIGTERM or SIGINT —
+// the graceful-shutdown hook each role wires to its drain path.
+func onSignal(fn func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		s := <-ch
+		log.Printf("middled: received %v — shutting down gracefully", s)
+		fn()
+	}()
+}
+
+// evalAccuracy measures a model vector's accuracy over the task's whole
+// test set (the cloud role's end-of-run quality line).
+func evalAccuracy(setup *experiments.TaskSetup, seed int64, vec []float64) float64 {
+	net := setup.Factory(tensor.Split(seed, 77))
+	net.SetParamVector(vec)
+	test := setup.Test
+	if test == nil || test.Len() == 0 {
+		return 0
+	}
+	correct := 0.0
+	for lo := 0; lo < test.Len(); lo += 256 {
+		hi := lo + 256
+		if hi > test.Len() {
+			hi = test.Len()
+		}
+		idx := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			idx = append(idx, i)
+		}
+		x, y := test.Batch(idx)
+		correct += nn.Accuracy(net.Forward(x, false), y) * float64(len(y))
+	}
+	return correct / float64(test.Len())
+}
+
+func runCloud(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs.Trace, results, addr string, edges, rounds, tc int, seed int64, ckptDir string, ckptEvery, minEdges, shards int, agg middle.AggregatorKind, trimFrac float64, validate middle.ValidatorConfig, membership bool, leaseIntv, roundIntv time.Duration) {
 	init := setup.Factory(tensor.Split(seed, 0)).ParamVector()
 	c, err := fednet.NewCloud(fednet.CloudConfig{
 		Addr: addr, Edges: edges, Rounds: rounds, CloudInterval: tc,
 		InitModel: init, MinEdges: minEdges, Shards: shards,
 		CheckpointDir: ckptDir, CheckpointEvery: ckptEvery,
 		Aggregator: agg, TrimFrac: trimFrac, Validate: validate,
-		Logf: log.Printf, Obs: m.Registry(), Trace: trace,
+		Membership:    fednet.MembershipConfig{Enabled: membership, LeaseInterval: leaseIntv},
+		RoundInterval: roundIntv,
+		Logf:          log.Printf, Obs: m.Registry(), Trace: trace,
 	})
 	if err != nil {
 		fatal(err)
 	}
-	log.Printf("middled: cloud listening on %s (%d edges, %d rounds, Tc=%d, shards=%d)", c.Addr(), edges, rounds, tc, shards)
+	// Graceful shutdown: finish the in-flight round, write a final
+	// checkpoint, then let the deferred trace/tsdb flushes run.
+	onSignal(c.Stop)
+	log.Printf("middled: cloud listening on %s (%d edges, %d rounds, Tc=%d, shards=%d, membership=%v)", c.Addr(), edges, rounds, tc, shards, membership)
 	if err := c.Run(); err != nil {
 		fatal(err)
 	}
-	log.Printf("middled: training complete")
-	writeSummary(m, results, "middled-cloud")
+	acc := evalAccuracy(setup, seed, c.GlobalModel())
+	log.Printf("middled: training complete (final accuracy %.4f)", acc)
+	extra := map[string]any{"final_accuracy": acc}
+	if membership {
+		extra["membership_epoch"] = c.Epoch()
+		log.Printf("middled: membership epoch at exit: %d", c.Epoch())
+	}
+	writeSummary(m, results, "middled-cloud", extra)
 }
 
-func runEdge(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs.Trace, id int, cloudAddr, addr, strategy string, k int, seed int64, quorum int, roundDL time.Duration, agg middle.AggregatorKind, trimFrac float64, validate middle.ValidatorConfig, selNormCap float64, ckptDir string, ckptEvery int, liveMig bool) {
+func runEdge(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs.Trace, id int, cloudAddr, addr, strategy string, k int, seed int64, quorum int, roundDL time.Duration, agg middle.AggregatorKind, trimFrac float64, validate middle.ValidatorConfig, selNormCap float64, ckptDir string, ckptEvery int, liveMig bool, devLease int) {
 	if cloudAddr == "" {
 		fatal("middled: edge role requires -cloud")
 	}
@@ -267,25 +325,42 @@ func runEdge(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs.Tr
 		Aggregator: agg, TrimFrac: trimFrac, Validate: validate,
 		SelectionNormCap: selNormCap,
 		CheckpointDir:    ckptDir, CheckpointEvery: ckptEvery,
-		LiveMigration: liveMig,
-		Obs:           m.Registry(), Trace: trace,
+		LiveMigration:     liveMig,
+		DeviceLeaseRounds: devLease,
+		Obs:               m.Registry(), Trace: trace,
 	})
 	if err != nil {
 		fatal(err)
 	}
+	// Graceful shutdown: drop the cloud link so Run drains, checkpoints
+	// and shuts its devices down before returning nil.
+	onSignal(e.Stop)
 	log.Printf("middled: edge %d serving devices on %s (strategy %s)", id, e.Addr(), strategy)
 	if err := e.Run(); err != nil {
 		fatal(err)
 	}
+	log.Printf("middled: edge %d done", id)
 }
 
-func runDevices(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs.Trace, edgeList string, from, to int, p float64, moveMs int, seed int64, mux int, faults *fednet.FaultInjector, liveMig bool) {
+func runDevices(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs.Trace, edgeList string, from, to int, p float64, moveMs int, seed int64, mux int, faults *fednet.FaultInjector, liveMig, failover bool) {
 	addrs := strings.Split(edgeList, ",")
 	if len(addrs) == 0 || addrs[0] == "" {
 		fatal("middled: devices role requires -edgeaddrs")
 	}
 	if mux < 1 {
 		fatalf("middled: -mux must be ≥ 1, got %d", mux)
+	}
+	if failover && mux > 1 {
+		fatal("middled: -failover requires dedicated device clients (-mux 1)")
+	}
+	// With -failover every listed edge is a re-home candidate: a device
+	// whose edge stops answering re-registers at a survivor on its own,
+	// carrying its local model and round bookkeeping.
+	var candidates []fednet.EdgeAddr
+	if failover {
+		for e, a := range addrs {
+			candidates = append(candidates, fednet.EdgeAddr{ID: e, Addr: a})
+		}
 	}
 	part := setup.Partition(seed)
 	if to >= part.NumDevices() || from < 0 || from > to {
@@ -297,6 +372,7 @@ func runDevices(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs
 	// Device client's Connect, or the virtual-device move of the
 	// multiplexer hosting it (one socket per edge per -mux group).
 	connect := make([]func(edgeID int, addr string) error, n)
+	var devs []*fednet.Device // dedicated clients, for stranded accounting
 	if mux > 1 {
 		for start := 0; start < n; start += mux {
 			end := start + mux
@@ -335,12 +411,14 @@ func runDevices(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs
 				Optimizer:  setup.Optimizer.New(),
 				LocalSteps: setup.I, BatchSize: setup.BatchSize,
 				Mode: mode, Seed: seed, Faults: faults,
+				Failover: candidates, Logf: log.Printf,
 				Obs: m.Registry(), Trace: trace,
 			})
 			if err != nil {
 				fatal(err)
 			}
 			connect[i] = dev.Connect
+			devs = append(devs, dev)
 		}
 	}
 	mob := mobility.NewMarkovRing(len(addrs), n, p, seed+int64(from))
@@ -352,9 +430,24 @@ func runDevices(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs
 		log.Printf("middled: device %d attached to edge %d", from+i, membership[i])
 	}
 	generations := make([]int, n)
+	strandedGauge := m.Registry().Gauge("fednet_stranded_devices")
+	stop := make(chan struct{})
+	onSignal(func() { close(stop) })
 	ticker := time.NewTicker(time.Duration(moveMs) * time.Millisecond)
 	defer ticker.Stop()
-	for range ticker.C {
+	for {
+		select {
+		case <-stop:
+			// Graceful shutdown: detach every device cleanly so the edges
+			// see deliberate disconnects, then let the deferred trace and
+			// metrics flushes run.
+			for _, dev := range devs {
+				dev.Disconnect()
+			}
+			log.Printf("middled: devices %d..%d detached", from, to)
+			return
+		case <-ticker.C:
+		}
 		next := mob.Step()
 		for i := range connect {
 			if next[i] == membership[i] {
@@ -372,12 +465,33 @@ func runDevices(setup *experiments.TaskSetup, m *experiments.Metrics, trace *obs
 					log.Printf("middled: device %d move notice to edge %d failed: %v", from+i, membership[i], err)
 				}
 			}
-			if err := connect[i](next[i], addrs[next[i]]); err != nil {
+			err := connect[i](next[i], addrs[next[i]])
+			if err != nil && failover {
+				// The intended edge may be dead; try the other candidates
+				// in order so the device keeps training somewhere.
+				for off := 1; off < len(addrs) && err != nil; off++ {
+					alt := (next[i] + off) % len(addrs)
+					if err = connect[i](alt, addrs[alt]); err == nil {
+						next[i] = alt
+					}
+				}
+			}
+			if err != nil {
 				log.Printf("middled: device %d failed to move: %v", from+i, err)
 				continue
 			}
 			log.Printf("middled: device %d moved to edge %d", from+i, next[i])
 		}
 		membership = next
+		stranded := 0
+		for _, dev := range devs {
+			if !dev.Connected() {
+				stranded++
+			}
+		}
+		strandedGauge.Set(float64(stranded))
+		if stranded > 0 {
+			log.Printf("middled: %d devices currently stranded", stranded)
+		}
 	}
 }

@@ -50,6 +50,7 @@ func main() {
 	reportHotSeries(dir, *top)
 	reportFaults(dir)
 	reportMigrations(dir)
+	reportMembership(dir)
 	reportGoroutines(dir, *top, *leak)
 }
 
@@ -388,6 +389,53 @@ func reportMigrations(dir string) {
 	section("live migration")
 	for _, r := range rows {
 		fmt.Printf("%-48s %g\n", r.name, r.v)
+	}
+}
+
+// membershipPattern matches the self-healing telemetry: the membership
+// epoch gauge, failover/re-home counters (fednet and the hfl sim
+// mirror), lease-miss and stale-frame fencing counters, the
+// stranded-device gauge and the synthesized failover latency quantiles.
+var membershipPattern = regexp.MustCompile(`^(fednet|hfl)_(membership_epoch|edge_failovers_total|rehomed_devices_total|lease_misses_total|stale_frames_total|stranded_devices|failover_seconds)`)
+
+// reportMembership summarizes the self-healing story of a run: how many
+// edges died and were failed over, how many devices were re-homed vs
+// left stranded, where the membership epoch ended up, and how much
+// stale traffic the epoch fence rejected. Quiet when the failure
+// detector never ran — the section only appears once a membership
+// series exists.
+func reportMembership(dir string) {
+	d, ok := loadDump(dir)
+	if !ok {
+		return
+	}
+	type row struct {
+		name string
+		v    float64
+	}
+	var rows []row
+	for _, s := range d.Series {
+		if !membershipPattern.MatchString(s.Name) {
+			continue
+		}
+		if v, ok := lastValue(s.Points); ok {
+			rows = append(rows, row{s.Name, v})
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	section("membership / self-healing")
+	stranded := 0.0
+	for _, r := range rows {
+		fmt.Printf("%-48s %g\n", r.name, r.v)
+		if r.name == "fednet_stranded_devices" || r.name == "hfl_stranded_devices" {
+			stranded = r.v
+		}
+	}
+	if stranded > 0 {
+		fmt.Printf("WARNING: %g devices ended the run stranded (no reachable edge)\n", stranded)
 	}
 }
 

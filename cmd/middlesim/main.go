@@ -67,6 +67,15 @@ func main() {
 		liveMig     = flag.Bool("live-migration", false, "stateful handover on mobility steps: -exp run mirrors it in the simulator, -exp scale enables it on the fednet deployment")
 		migFailRate = flag.Float64("migration-fail-rate", 0, "-exp run: probability a handover is lost in transit and the mover falls back to drop-and-reconnect (requires -live-migration)")
 
+		// Self-healing membership (-exp run/scale mirror fednet's failure
+		// detector + failover in the simulator; -exp scale with
+		// -shards/-mux enables the real lease-based detector on the
+		// in-process deployment).
+		selfHeal       = flag.Bool("self-healing", false, "simulate edge crashes with automatic device re-homing: -exp run and the -exp scale simulator path mirror fednet's failover in the simulator")
+		edgeFailRate   = flag.Float64("edge-fail-rate", 0, "per-edge per-step crash probability for -self-healing (0 = no crashes)")
+		edgeRecoverFor = flag.Int("edge-recover-steps", 0, "steps a crashed edge stays down before rejoining (0 = T_c)")
+		membershipOn   = flag.Bool("membership", false, "-exp scale deployment (-shards/-mux): enable the lease-based failure detector and membership epochs on the in-process fednet cluster")
+
 		// Byzantine-robustness knobs (-exp run only; defaults keep runs
 		// bit-identical to the plain weighted-mean engine).
 		aggName    = flag.String("aggregator", "", "-exp run: Eq. 6/Eq. 7 combination rule: mean|median|trimmed-mean|norm-clip (default mean)")
@@ -203,6 +212,7 @@ func main() {
 			},
 			selNormCap:    *selNormCap,
 			liveMigration: *liveMig, migrationFailRate: *migFailRate,
+			selfHealing: *selfHeal, edgeFailRate: *edgeFailRate, edgeRecoverSteps: *edgeRecoverFor,
 		}
 		forTasks(*task, func(t middle.TaskName) {
 			runSingle(t, scale, *strategy, *p, *seed, *steps, *saveModel, *csvDir, faults)
@@ -214,6 +224,8 @@ func main() {
 				residentCap: *resCap, shards: *shardsN, mux: *muxN,
 				steps: *steps, p: *p, seed: *seed, strategy: *strategy,
 				liveMigration: *liveMig, migrationFailRate: *migFailRate,
+				selfHealing: *selfHeal, edgeFailRate: *edgeFailRate,
+				edgeRecoverSteps: *edgeRecoverFor, membership: *membershipOn,
 			})
 		})
 	case "all":
@@ -530,6 +542,10 @@ type simFaults struct {
 
 	liveMigration     bool
 	migrationFailRate float64
+
+	selfHealing      bool
+	edgeFailRate     float64
+	edgeRecoverSteps int
 }
 
 func runSingle(task middle.TaskName, scale middle.Scale, strategy string, p float64, seed int64, steps int, saveModel, csvDir string, faults simFaults) {
@@ -553,6 +569,9 @@ func runSingle(task middle.TaskName, scale middle.Scale, strategy string, p floa
 	cfg.SelectionNormCap = faults.selNormCap
 	cfg.LiveMigration = faults.liveMigration
 	cfg.MigrationFailRate = faults.migrationFailRate
+	cfg.SelfHealing = faults.selfHealing
+	cfg.EdgeFailRate = faults.edgeFailRate
+	cfg.EdgeRecoverSteps = faults.edgeRecoverSteps
 	sim := middle.NewSimulation(cfg, setup.Factory, part, setup.Test, mob, strat)
 	fmt.Printf("=== %s on %s (scale=%s, P=%.2f) ===\n", strategy, task, scale, p)
 	h := sim.Run()
@@ -569,6 +588,10 @@ func runSingle(task middle.TaskName, scale middle.Scale, strategy string, p floa
 	if faults.liveMigration {
 		ok, fb := sim.Migrations()
 		fmt.Printf("migrations: %d ok, %d fallbacks\n\n", ok, fb)
+	}
+	if faults.selfHealing {
+		fmt.Printf("self-healing: %d edge failovers, %d devices re-homed, membership epoch %d\n\n",
+			sim.Failovers(), sim.RehomedDevices(), sim.MembershipEpoch())
 	}
 	if faults.adv.Fraction > 0 || faults.normBound > 0 {
 		rc := sim.RejectedUpdates()

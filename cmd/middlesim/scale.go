@@ -26,6 +26,10 @@ type scaleOpts struct {
 	strategy              string
 	liveMigration         bool
 	migrationFailRate     float64
+	selfHealing           bool
+	edgeFailRate          float64
+	edgeRecoverSteps      int
+	membership            bool
 }
 
 // deployment reports whether the options select the in-process fednet
@@ -61,6 +65,11 @@ func validateScale(o scaleOpts) error {
 		if o.residentCap > 0 {
 			return fmt.Errorf("-resident-cap applies to the simulator path and cannot combine with -shards/-mux")
 		}
+		if o.selfHealing {
+			return fmt.Errorf("-self-healing is the simulator mirror; on the -shards/-mux deployment use -membership (the lease-based detector) instead")
+		}
+	} else if o.membership {
+		return fmt.Errorf("-membership enables the fednet lease detector and requires the deployment path (-shards/-mux); use -self-healing for the simulator")
 	}
 	return nil
 }
@@ -99,6 +108,9 @@ func runScale(task middle.TaskName, o scaleOpts) {
 	cfg.ResidentCap = o.residentCap
 	cfg.LiveMigration = o.liveMigration
 	cfg.MigrationFailRate = o.migrationFailRate
+	cfg.SelfHealing = o.selfHealing
+	cfg.EdgeFailRate = o.edgeFailRate
+	cfg.EdgeRecoverSteps = o.edgeRecoverSteps
 	part := setup.Partition(o.seed)
 	mob := setup.Mobility(o.p, o.seed+11)
 	sim := middle.NewSimulation(cfg, setup.Factory, part, setup.Test, mob, strat)
@@ -108,6 +120,10 @@ func runScale(task middle.TaskName, o scaleOpts) {
 	if o.liveMigration {
 		ok, fb := sim.Migrations()
 		fmt.Printf("migrations: %d ok, %d fallbacks\n", ok, fb)
+	}
+	if o.selfHealing {
+		fmt.Printf("self-healing: %d edge failovers, %d devices re-homed, membership epoch %d\n",
+			sim.Failovers(), sim.RehomedDevices(), sim.MembershipEpoch())
 	}
 	fmt.Printf("middlesim: peak_rss_mib=%d peak_resident_models=%d\n",
 		obs.PeakRSSBytes()>>20, h.PeakResidentModels)
@@ -131,6 +147,7 @@ func runScaleDeployment(setup *experiments.TaskSetup, o scaleOpts) {
 		Factory: setup.Factory, Optimizer: setup.Optimizer, Mobility: mob,
 		Seed: o.seed, Shards: o.shards, Mux: o.mux,
 		LiveMigration: o.liveMigration,
+		Membership:    fednet.MembershipConfig{Enabled: o.membership},
 		Obs:           metrics.Registry(), Trace: trace,
 	})
 	if err != nil {
@@ -149,6 +166,10 @@ func runScaleDeployment(setup *experiments.TaskSetup, o scaleOpts) {
 	if o.liveMigration {
 		mok, mfb, mrej := c.Migrations()
 		fmt.Printf("migrations: %d ok, %d fallbacks, %d rejected\n", mok, mfb, mrej)
+	}
+	if o.membership {
+		fmt.Printf("membership: %d edge failovers, %d devices re-homed, epoch %d\n",
+			c.Failovers(), c.Rehomed(), c.MembershipEpoch())
 	}
 	fmt.Printf("middlesim: peak_rss_mib=%d peak_resident_models=0\n", obs.PeakRSSBytes()>>20)
 }

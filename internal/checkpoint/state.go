@@ -30,6 +30,11 @@ import (
 
 var magicV2 = [5]byte{'M', 'I', 'D', 'L', 2}
 
+// magicV4 marks a membership-bearing state record: the v2 layout plus a
+// trailing membership section (epoch + device→edge assignment) before
+// the CRC. Version byte 3 belongs to handover records (handover.go).
+var magicV4 = [5]byte{'M', 'I', 'D', 'L', 4}
+
 // State is a cloud coordinator snapshot.
 type State struct {
 	Name  string
@@ -38,16 +43,32 @@ type State struct {
 	// EdgeWeights holds the d̂_n accumulators reported by each edge at
 	// the sync round this state was taken (diagnostics on resume).
 	EdgeWeights map[int]float64
+	// Epoch is the membership epoch at checkpoint time; zero when the
+	// self-healing membership layer is disabled.
+	Epoch int
+	// Assignment maps device id → edge id as last reported on a sync
+	// round (membership mode only; nil otherwise).
+	Assignment map[int]int
 }
 
-// SaveState writes a v2 coordinator snapshot to w.
+// membership reports whether the state carries the v4 membership
+// section. Zero-valued membership fields keep the v2 format so
+// pre-membership runs produce byte-identical checkpoint files.
+func (st State) membership() bool { return st.Epoch != 0 || len(st.Assignment) > 0 }
+
+// SaveState writes a coordinator snapshot to w: the v2 record, or the
+// v4 extension when membership state is present.
 func SaveState(w io.Writer, st State) error {
 	if len(st.Name) > maxName {
 		return fmt.Errorf("checkpoint: name too long (%d bytes)", len(st.Name))
 	}
+	wireMagic := magicV2
+	if st.membership() {
+		wireMagic = magicV4
+	}
 	crc := crc32.NewIEEE()
 	bw := bufio.NewWriter(io.MultiWriter(w, crc))
-	if _, err := bw.Write(magicV2[:]); err != nil {
+	if _, err := bw.Write(wireMagic[:]); err != nil {
 		return err
 	}
 	if err := binary.Write(bw, binary.LittleEndian, uint16(len(st.Name))); err != nil {
@@ -87,6 +108,27 @@ func SaveState(w io.Writer, st State) error {
 			return err
 		}
 	}
+	if st.membership() {
+		if err := binary.Write(bw, binary.LittleEndian, uint64(st.Epoch)); err != nil {
+			return err
+		}
+		devs := make([]int, 0, len(st.Assignment))
+		for d := range st.Assignment {
+			devs = append(devs, d)
+		}
+		sort.Ints(devs)
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(devs))); err != nil {
+			return err
+		}
+		for _, d := range devs {
+			if err := binary.Write(bw, binary.LittleEndian, uint32(d)); err != nil {
+				return err
+			}
+			if err := binary.Write(bw, binary.LittleEndian, uint32(st.Assignment[d])); err != nil {
+				return err
+			}
+		}
+	}
 	if err := bw.Flush(); err != nil {
 		return err
 	}
@@ -112,7 +154,7 @@ func LoadState(r io.Reader) (State, error) {
 		}
 		return State{Name: name, Model: vec}, nil
 	}
-	if gotMagic != magicV2 {
+	if gotMagic != magicV2 && gotMagic != magicV4 {
 		return State{}, fmt.Errorf("checkpoint: bad magic %q", gotMagic[:])
 	}
 	var nameLen uint16
@@ -169,6 +211,34 @@ func LoadState(r io.Reader) (State, error) {
 		}
 		weights[int(id)] = math.Float64frombits(bits)
 	}
+	var epoch uint64
+	var assignment map[int]int
+	if gotMagic == magicV4 {
+		if err := binary.Read(tr, binary.LittleEndian, &epoch); err != nil {
+			return State{}, fmt.Errorf("checkpoint: reading epoch: %w", err)
+		}
+		var devs uint32
+		if err := binary.Read(tr, binary.LittleEndian, &devs); err != nil {
+			return State{}, fmt.Errorf("checkpoint: reading assignment count: %w", err)
+		}
+		const maxDevices = 1 << 24
+		if devs > maxDevices {
+			return State{}, fmt.Errorf("checkpoint: implausible assignment count %d", devs)
+		}
+		if devs > 0 {
+			assignment = make(map[int]int, devs)
+		}
+		for i := uint32(0); i < devs; i++ {
+			var dev, edge uint32
+			if err := binary.Read(tr, binary.LittleEndian, &dev); err != nil {
+				return State{}, fmt.Errorf("checkpoint: reading assignment device: %w", err)
+			}
+			if err := binary.Read(tr, binary.LittleEndian, &edge); err != nil {
+				return State{}, fmt.Errorf("checkpoint: reading assignment edge: %w", err)
+			}
+			assignment[int(dev)] = int(edge)
+		}
+	}
 	want := crc.Sum32()
 	var got uint32
 	if err := binary.Read(r, binary.LittleEndian, &got); err != nil {
@@ -177,7 +247,10 @@ func LoadState(r io.Reader) (State, error) {
 	if got != want {
 		return State{}, fmt.Errorf("checkpoint: checksum mismatch: file %08x, computed %08x", got, want)
 	}
-	return State{Name: string(nameBytes), Round: int(round), Model: vec, EdgeWeights: weights}, nil
+	return State{
+		Name: string(nameBytes), Round: int(round), Model: vec, EdgeWeights: weights,
+		Epoch: int(epoch), Assignment: assignment,
+	}, nil
 }
 
 // loadModelBody reads the remainder of a v1 record whose magic was

@@ -29,6 +29,13 @@ type CloudConfig struct {
 	InitModel []float64
 	// Timeout bounds every network read/write (default 30 s).
 	Timeout time.Duration
+	// RoundInterval, when > 0, is a floor on the duration of each round:
+	// the cloud delays the next RoundStart until this much time has
+	// passed since the previous one. Deployments use it to pace rounds
+	// against real-time processes (device mobility, devices still
+	// attaching) instead of letting empty early rounds burn through the
+	// schedule in microseconds. 0 (default) keeps free-running rounds.
+	RoundInterval time.Duration
 	// MinEdges, when > 0, enables graceful degradation: an edge whose
 	// connection fails is dropped and the run continues as long as at
 	// least MinEdges remain. At 0 (default) any edge failure aborts the
@@ -59,6 +66,20 @@ type CloudConfig struct {
 	// Validate screens received edge models before Eq. 7, mirroring the
 	// edge-side update validation.
 	Validate robust.ValidatorConfig
+	// Membership enables the self-healing membership layer: a persistent
+	// accept loop, per-edge heartbeat leases driving a miss-count failure
+	// detector, mid-run edge rejoin at a bumped epoch, and epoch fencing
+	// of frames from stale incarnations. Disabled (the zero value) the
+	// cloud behaves exactly as before: a fixed edge set whose failures
+	// surface only when an RPC happens to fail.
+	Membership MembershipConfig
+	// OnEdgeDown, when set, is invoked on its own goroutine after the
+	// membership layer declares an edge dead. The in-process cluster uses
+	// it to re-home the dead edge's devices onto survivors.
+	OnEdgeDown func(edge int)
+	// OnEdgeUp, when set, is invoked on its own goroutine after a mid-run
+	// edge (re)join is admitted into the membership.
+	OnEdgeUp func(edge int)
 	// Logf, when set, receives progress lines (default: discarded).
 	Logf func(format string, args ...any)
 	// OnRound, when set, is invoked after each round fully completes
@@ -89,6 +110,48 @@ type Cloud struct {
 
 	startRound  int             // rounds ≤ startRound were already completed (resume)
 	edgeWeights map[int]float64 // last sync's per-edge weights (checkpointed)
+
+	// Self-healing membership state (nil / unused when disabled).
+	ms         *membership
+	startEpoch int         // epoch restored from the checkpoint
+	assignment map[int]int // device → edge, reported on sync rounds
+	lastSync   int         // round of the most recent cloud sync
+
+	// stop requests a graceful drain: the round loop finishes the round
+	// in flight, persists a final checkpoint and returns nil.
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// Stop requests a graceful shutdown: the cloud completes the round in
+// flight, writes a final checkpoint (when checkpointing is configured),
+// broadcasts MsgShutdown and makes Run return nil. Safe to call from
+// any goroutine, more than once, and before Run.
+func (c *Cloud) Stop() { c.stopOnce.Do(func() { close(c.stop) }) }
+
+// paceRound enforces the RoundInterval floor: it sleeps out whatever
+// remains of the interval since the previous round start (recorded in
+// *prev), returning early if a graceful stop arrives mid-sleep.
+func (c *Cloud) paceRound(prev *time.Time) {
+	if c.cfg.RoundInterval > 0 && !prev.IsZero() {
+		if d := c.cfg.RoundInterval - time.Since(*prev); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-c.stop:
+			}
+		}
+	}
+	*prev = time.Now()
+}
+
+// stopping reports whether Stop has been called.
+func (c *Cloud) stopping() bool {
+	select {
+	case <-c.stop:
+		return true
+	default:
+		return false
+	}
 }
 
 // NewCloud builds a cloud server and starts listening (so the address is
@@ -122,6 +185,7 @@ func NewCloud(cfg CloudConfig) (*Cloud, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fednet: cloud listen: %w", err)
 	}
+	cfg.Membership = cfg.Membership.withDefaults()
 	cfg.Trace.SetProcessName(tracePidCloud, "cloud")
 	c := &Cloud{
 		cfg:         cfg,
@@ -131,6 +195,8 @@ func NewCloud(cfg CloudConfig) (*Cloud, error) {
 		agg:         robust.Aggregator{Kind: cfg.Aggregator, TrimFrac: cfg.TrimFrac},
 		global:      append([]float64(nil), cfg.InitModel...),
 		edgeWeights: map[int]float64{},
+		assignment:  map[int]int{},
+		stop:        make(chan struct{}),
 	}
 	if cfg.CheckpointDir != "" {
 		// Named load: edges may checkpoint into the same directory.
@@ -142,6 +208,10 @@ func NewCloud(cfg CloudConfig) (*Cloud, error) {
 		if ok {
 			c.global = st.Model
 			c.startRound = st.Round
+			c.startEpoch = st.Epoch
+			for id, e := range st.Assignment {
+				c.assignment[id] = e
+			}
 			for id, w := range st.EdgeWeights {
 				c.edgeWeights[id] = w
 			}
@@ -186,11 +256,30 @@ type edgeConn struct {
 // shuts the cluster down. It returns once training completes or a
 // protocol error occurs.
 func (c *Cloud) Run() error {
+	if c.cfg.Membership.Enabled {
+		return c.runMembership()
+	}
 	defer c.ln.Close()
+	// A Stop during the registration wait closes the listener so Accept
+	// unblocks and the run exits cleanly instead of hanging on a quorum
+	// that will never arrive.
+	regDone := make(chan struct{})
+	defer close(regDone)
+	go func() {
+		select {
+		case <-c.stop:
+			c.ln.Close()
+		case <-regDone:
+		}
+	}()
 	edges := make([]*edgeConn, 0, c.cfg.Edges)
 	for len(edges) < c.cfg.Edges {
 		conn, err := c.ln.Accept()
 		if err != nil {
+			if c.stopping() {
+				c.cfg.Logf("cloud: graceful stop while waiting for edges (%d/%d registered)", len(edges), c.cfg.Edges)
+				return nil
+			}
 			return fmt.Errorf("fednet: cloud accept: %w", err)
 		}
 		conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
@@ -221,7 +310,14 @@ func (c *Cloud) Run() error {
 	}
 
 	syncCount := 0
+	var prevRound time.Time
 	for r := c.startRound + 1; r <= c.cfg.Rounds; r++ {
+		c.paceRound(&prevRound)
+		if c.stopping() {
+			c.cfg.Logf("cloud: graceful stop after round %d", r-1)
+			c.checkpointFinal(r - 1)
+			return nil
+		}
 		roundTok := c.m.roundSpan.Begin()
 		tr := c.cfg.Trace
 		traceStart := tr.Now()
@@ -302,41 +398,7 @@ func (c *Cloud) Run() error {
 		if sync {
 			syncStart := tr.Now()
 			fp := flight.BeginPhase("cloud_sync")
-			// Validate received edge models against the current global
-			// and combine the survivors with the configured aggregator.
-			if c.validator != nil && len(vecs) > 0 {
-				kept, keptW, rc := c.validator.Filter(c.GlobalModel(), vecs, weights)
-				if rc.Total() > 0 {
-					c.m.rejNonFinite.Add(int64(rc.NonFinite))
-					c.m.rejNorm.Add(int64(rc.Norm))
-					c.cfg.Logf("cloud: round %d rejected %d edge models (%d nonfinite, %d norm)",
-						r, rc.Total(), rc.NonFinite, rc.Norm)
-				}
-				vecs, weights = kept, keptW
-			}
-			synced := len(vecs)
-			if sagg != nil {
-				synced = sagg.edges
-				next := make([]float64, len(c.global))
-				if sagg.mergeInto(next) {
-					c.mu.Lock()
-					c.global = next
-					c.mu.Unlock()
-					c.m.shardMerges.Inc()
-				}
-			} else if len(vecs) > 0 {
-				next := make([]float64, len(vecs[0]))
-				c.mu.Lock()
-				aggStats := c.agg.AggregateInto(next, vecs, weights, c.global)
-				c.global = next
-				c.mu.Unlock()
-				if aggStats.TrimmedValues > 0 {
-					c.m.trimmedCoords.Add(int64(aggStats.TrimmedValues))
-				}
-				if aggStats.ClippedUpdates > 0 {
-					c.m.clippedUpdates.Add(int64(aggStats.ClippedUpdates))
-				}
-			}
+			synced := c.applySync(r, vecs, weights, sagg)
 			for _, e := range edges {
 				e.conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
 				if err := c.m.link.writeMsg(e.conn, MsgGlobalModel, struct{}{}, c.GlobalModel()); err != nil {
@@ -347,35 +409,7 @@ func (c *Cloud) Run() error {
 			c.m.syncs.Inc()
 			syncCount++
 			if c.cfg.CheckpointDir != "" && syncCount%c.cfg.CheckpointEvery == 0 {
-				c.mu.Lock()
-				st := checkpoint.State{
-					Name:        "global",
-					Round:       r,
-					Model:       append([]float64(nil), c.global...),
-					EdgeWeights: c.edgeWeights,
-				}
-				c.mu.Unlock()
-				if _, err := checkpoint.SaveStateFile(c.cfg.CheckpointDir, st); err != nil {
-					c.cfg.Logf("cloud: checkpoint at round %d failed: %v", r, err)
-				} else {
-					c.m.checkpoints.Inc()
-					c.cfg.Logf("cloud: checkpointed round %d", r)
-				}
-				if sagg != nil {
-					// Per-shard records (weight book only, no model) compose
-					// with the "global" record in the shared directory, so a
-					// future per-shard aggregator process can recover its
-					// own edges' weights without parsing the global state.
-					for sh, w := range sagg.shardWeights(st.EdgeWeights) {
-						if w == nil {
-							continue
-						}
-						shSt := checkpoint.State{Name: shardCheckpointName(sh), Round: r, EdgeWeights: w}
-						if _, err := checkpoint.SaveStateFile(c.cfg.CheckpointDir, shSt); err != nil {
-							c.cfg.Logf("cloud: shard %d checkpoint at round %d failed: %v", sh, r, err)
-						}
-					}
-				}
+				c.checkpointSync(r, sagg)
 			}
 			fp.End()
 			if tr != nil {
@@ -397,6 +431,102 @@ func (c *Cloud) Run() error {
 		}
 	}
 	return nil
+}
+
+// applySync validates the gathered edge models against the current
+// global, combines the survivors with the configured aggregator (or
+// merges the streamed shard partials) and installs the new global
+// model. It returns the number of edge models that entered Eq. 7.
+func (c *Cloud) applySync(r int, vecs [][]float64, weights []float64, sagg *shardAgg) int {
+	if c.validator != nil && len(vecs) > 0 {
+		kept, keptW, rc := c.validator.Filter(c.GlobalModel(), vecs, weights)
+		if rc.Total() > 0 {
+			c.m.rejNonFinite.Add(int64(rc.NonFinite))
+			c.m.rejNorm.Add(int64(rc.Norm))
+			c.cfg.Logf("cloud: round %d rejected %d edge models (%d nonfinite, %d norm)",
+				r, rc.Total(), rc.NonFinite, rc.Norm)
+		}
+		vecs, weights = kept, keptW
+	}
+	synced := len(vecs)
+	if sagg != nil {
+		synced = sagg.edges
+		next := make([]float64, len(c.global))
+		if sagg.mergeInto(next) {
+			c.mu.Lock()
+			c.global = next
+			c.mu.Unlock()
+			c.m.shardMerges.Inc()
+		}
+	} else if len(vecs) > 0 {
+		next := make([]float64, len(vecs[0]))
+		c.mu.Lock()
+		aggStats := c.agg.AggregateInto(next, vecs, weights, c.global)
+		c.global = next
+		c.mu.Unlock()
+		if aggStats.TrimmedValues > 0 {
+			c.m.trimmedCoords.Add(int64(aggStats.TrimmedValues))
+		}
+		if aggStats.ClippedUpdates > 0 {
+			c.m.clippedUpdates.Add(int64(aggStats.ClippedUpdates))
+		}
+	}
+	c.lastSync = r
+	return synced
+}
+
+// checkpointSync persists the cloud state after round r. Membership
+// state (epoch + device→edge assignment) rides in the record when the
+// membership layer is active; otherwise the record is the plain v2
+// state, byte-identical to pre-membership checkpoints.
+func (c *Cloud) checkpointSync(r int, sagg *shardAgg) {
+	c.mu.Lock()
+	st := checkpoint.State{
+		Name:        "global",
+		Round:       r,
+		Model:       append([]float64(nil), c.global...),
+		EdgeWeights: c.edgeWeights,
+	}
+	c.mu.Unlock()
+	if c.ms != nil {
+		st.Epoch = c.ms.currentEpoch()
+		st.Assignment = make(map[int]int, len(c.assignment))
+		for d, e := range c.assignment {
+			st.Assignment[d] = e
+		}
+	}
+	if _, err := checkpoint.SaveStateFile(c.cfg.CheckpointDir, st); err != nil {
+		c.cfg.Logf("cloud: checkpoint at round %d failed: %v", r, err)
+	} else {
+		c.m.checkpoints.Inc()
+		c.cfg.Logf("cloud: checkpointed round %d", r)
+	}
+	if sagg != nil {
+		// Per-shard records (weight book only, no model) compose
+		// with the "global" record in the shared directory, so a
+		// future per-shard aggregator process can recover its
+		// own edges' weights without parsing the global state.
+		for sh, w := range sagg.shardWeights(st.EdgeWeights) {
+			if w == nil {
+				continue
+			}
+			shSt := checkpoint.State{Name: shardCheckpointName(sh), Round: r, EdgeWeights: w}
+			if _, err := checkpoint.SaveStateFile(c.cfg.CheckpointDir, shSt); err != nil {
+				c.cfg.Logf("cloud: shard %d checkpoint at round %d failed: %v", sh, r, err)
+			}
+		}
+	}
+}
+
+// checkpointFinal persists the state reached after `round` completed,
+// used by the graceful Stop drain so a kill-and-resume restart does not
+// redo work since the last periodic checkpoint.
+func (c *Cloud) checkpointFinal(round int) {
+	if c.cfg.CheckpointDir == "" || round <= 0 {
+		return
+	}
+	c.checkpointSync(round, nil)
+	c.cfg.Logf("cloud: final checkpoint at round %d", round)
 }
 
 // dropEdge handles a failed edge connection. In strict mode (MinEdges

@@ -81,6 +81,17 @@ type ClusterConfig struct {
 	// whole deployment; its errors are tolerated by Wait. Enabling
 	// faults also switches the cloud to degraded mode (MinEdges 1).
 	Faults *FaultConfig
+	// Membership, when Enabled, runs the cloud in self-healing membership
+	// mode: edges hold leases, a missed-lease detector declares dead
+	// edges, and the cluster re-homes a dead edge's devices to the
+	// surviving edges (warm, carrying their local state) instead of
+	// leaving them stranded. Killed edges may later RestartEdge and
+	// rejoin under a bumped membership epoch. Disabled (the default)
+	// keeps the fixed-membership behaviour bit-identical.
+	Membership MembershipConfig
+	// DeviceLeaseRounds forwards to EdgeConfig.DeviceLeaseRounds (device
+	// tier of the failure detector); 0 disables eviction.
+	DeviceLeaseRounds int
 	// Obs, when set, is threaded into every component so one registry
 	// reports the whole deployment's fednet_* series.
 	Obs *obs.Registry
@@ -98,6 +109,13 @@ type deviceHandle interface {
 	Rounds() int
 }
 
+// rehomer is the optional warm re-home capability of a device handle.
+// Dedicated Device clients implement it; virtual mux devices fall back
+// to a plain (cold) Connect when their edge dies.
+type rehomer interface {
+	ConnectRehome(edgeID int, addr string) error
+}
+
 // muxHandle adapts one virtual device of a DeviceMux to deviceHandle.
 type muxHandle struct {
 	mx *DeviceMux
@@ -112,16 +130,31 @@ func (h muxHandle) Rounds() int                           { return h.mx.DeviceRo
 type Cluster struct {
 	cloud    *Cloud
 	edges    []*Edge
+	edgeCfgs []EdgeConfig // templates for RestartEdge
 	devices  []deviceHandle
 	muxes    []*DeviceMux
 	injector *FaultInjector
 	faulty   bool // fault injection enabled: edge failures are expected
+	logf     func(format string, args ...any)
+	seed     int64
 
 	wg        sync.WaitGroup
 	mu        sync.Mutex
 	errs      []error
 	tolerated []error
 	moveErrs  int
+	// assign is the current device→edge attachment (mobility plus any
+	// failover re-homing); downEdges marks edges declared dead by the
+	// cloud's failure detector. failovers/rehomed tally edge failovers
+	// and warm device re-homes for run summaries.
+	assign    []int
+	downEdges map[int]bool
+	failovers int
+	rehomed   int
+	// failoverSpan observes fednet_failover_seconds: edge declared dead →
+	// all its devices re-homed.
+	failoverSpan *obs.Span
+	strandedG    *obs.Gauge
 	// migGen counts each device's moves (the handover generation): a
 	// destination edge rejects records whose generation it has already
 	// seen, so a delayed retry of an older move cannot overwrite a newer
@@ -147,7 +180,13 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	numEdges := cfg.Mobility.NumEdges()
 	numDevices := cfg.Mobility.NumDevices()
-	c := &Cluster{migGen: map[int]int{}, stranded: map[int]bool{}}
+	c := &Cluster{
+		migGen: map[int]int{}, stranded: map[int]bool{},
+		downEdges: map[int]bool{},
+		logf:      cfg.Logf, seed: cfg.Seed,
+		failoverSpan: cfg.Obs.Span("fednet_failover_seconds"),
+		strandedG:    cfg.Obs.Gauge("fednet_stranded_devices"),
+	}
 	if cfg.Faults != nil {
 		fc := *cfg.Faults
 		if fc.Obs == nil {
@@ -160,6 +199,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	init := cfg.Factory(tensor.Split(cfg.Seed, 0)).ParamVector()
 	cfg.Mobility.Reset()
 	membership := cfg.Mobility.Step()
+	c.assign = append([]int(nil), membership...)
 
 	// Device migration at round boundaries, driven by the cloud. With
 	// LiveMigration the source edge first ships the device's cached state
@@ -170,19 +210,25 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	// its next mobility step re-attempts a connection.
 	moveErrCtr := cfg.Obs.Counter("fednet_move_errors_total")
 	moveRetryCtr := cfg.Obs.Counter("fednet_move_retries_total")
-	strandedGauge := cfg.Obs.Gauge("fednet_stranded_devices")
 	onRound := func(round int) {
-		next := cfg.Mobility.Step()
+		next := append([]int(nil), cfg.Mobility.Step()...)
 		for m, e := range next {
+			// A mobility step may target an edge the failure detector has
+			// declared dead; redirect the move deterministically to a
+			// survivor instead of dialing a corpse.
+			e = c.liveTarget(m, e)
+			next[m] = e
 			if e == membership[m] {
 				continue
 			}
-			if src := membership[m]; cfg.LiveMigration && src >= 0 && src < len(c.edges) {
+			src := membership[m]
+			if cfg.LiveMigration && src >= 0 && src < len(c.edges) && !c.edgeDown(src) {
 				c.mu.Lock()
 				c.migGen[m]++
 				gen := c.migGen[m]
+				srcEdge, dstAddr := c.edges[src], c.edges[e].Addr()
 				c.mu.Unlock()
-				out := c.edges[src].MigrateOut(m, e, c.edges[e].Addr(), gen)
+				out := srcEdge.MigrateOut(m, e, dstAddr, gen)
 				c.mu.Lock()
 				switch out {
 				case "ok":
@@ -200,7 +246,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 					moveRetryCtr.Inc()
 					time.Sleep(retryBackoff(0, attempt, cfg.Seed, int64(m)*1_000_003+int64(e)*17+int64(round)))
 				}
-				if err = c.devices[m].Connect(e, c.edges[e].Addr()); err == nil {
+				if err = c.devices[m].Connect(e, c.edgeAt(e).Addr()); err == nil {
 					break
 				}
 			}
@@ -209,9 +255,10 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 				c.moveErrs++
 				c.stranded[m] = true
 			} else {
+				c.assign[m] = e
 				delete(c.stranded, m)
 			}
-			strandedGauge.Set(float64(len(c.stranded)))
+			c.strandedG.Set(float64(len(c.stranded)))
 			c.mu.Unlock()
 			if err != nil {
 				cfg.Logf("cluster: device %d failed to move to edge %d (stranded until next move): %v", m, e, err)
@@ -227,14 +274,20 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		// degrade gracefully as long as one edge survives.
 		minEdges = 1
 	}
-	cloud, err := NewCloud(CloudConfig{
+	ccfg := CloudConfig{
 		Addr: "127.0.0.1:0", Edges: numEdges, Rounds: cfg.Rounds,
 		CloudInterval: cfg.CloudInterval, InitModel: init,
 		Timeout: cfg.Timeout, MinEdges: minEdges, Shards: cfg.Shards,
 		CheckpointDir: cfg.CheckpointDir, CheckpointEvery: cfg.CheckpointEvery,
 		Aggregator: cfg.Aggregator, TrimFrac: cfg.TrimFrac, Validate: cfg.Validate,
 		Logf: cfg.Logf, OnRound: onRound, Obs: cfg.Obs, Trace: cfg.Trace,
-	})
+	}
+	if cfg.Membership.Enabled {
+		ccfg.Membership = cfg.Membership
+		ccfg.OnEdgeDown = c.onEdgeDown
+		ccfg.OnEdgeUp = c.onEdgeUp
+	}
+	cloud, err := NewCloud(ccfg)
 	if err != nil {
 		return nil, err
 	}
@@ -245,21 +298,24 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		if cfg.EdgeCheckpoints {
 			edgeCkptDir = cfg.CheckpointDir
 		}
-		edge, err := NewEdge(EdgeConfig{
+		ecfg := EdgeConfig{
 			EdgeID: e, CloudAddr: cloud.Addr(), Addr: "127.0.0.1:0",
 			K: cfg.K, Strategy: cfg.Strategy, Seed: cfg.Seed, Logf: cfg.Logf,
 			Timeout: cfg.Timeout, Quorum: cfg.Quorum, RoundDeadline: cfg.RoundDeadline,
 			Aggregator: cfg.Aggregator, TrimFrac: cfg.TrimFrac, Validate: cfg.Validate,
-			SelectionNormCap: cfg.SelectionNormCap,
-			LiveMigration:    cfg.LiveMigration,
-			MigrateTimeout:   cfg.MigrateTimeout,
-			CheckpointDir:    edgeCkptDir, CheckpointEvery: cfg.CheckpointEvery,
+			SelectionNormCap:  cfg.SelectionNormCap,
+			LiveMigration:     cfg.LiveMigration,
+			MigrateTimeout:    cfg.MigrateTimeout,
+			DeviceLeaseRounds: cfg.DeviceLeaseRounds,
+			CheckpointDir:     edgeCkptDir, CheckpointEvery: cfg.CheckpointEvery,
 			Faults: c.injector, Obs: cfg.Obs, Trace: cfg.Trace,
-		})
+		}
+		edge, err := NewEdge(ecfg)
 		if err != nil {
 			return nil, err
 		}
 		c.edges = append(c.edges, edge)
+		c.edgeCfgs = append(c.edgeCfgs, ecfg)
 	}
 	mode := AggModeForStrategy(cfg.Strategy.Name())
 	if cfg.Mux > 1 {
@@ -299,6 +355,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 				Optimizer:  cfg.Optimizer.New(),
 				LocalSteps: cfg.LocalSteps, BatchSize: cfg.BatchSize,
 				Mode: mode, Seed: cfg.Seed, Timeout: cfg.Timeout,
+				Logf:   cfg.Logf,
 				Faults: c.injector, Obs: cfg.Obs, Trace: cfg.Trace,
 			})
 			if err != nil {
@@ -324,9 +381,10 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 			defer c.wg.Done()
 			if err := e.Run(); err != nil {
 				// Edge failures are expected casualties when faults are
-				// being injected (the cloud degrades around them);
-				// explicitly injected errors are tolerated regardless.
-				tolerated := c.faulty || errors.Is(err, ErrInjected)
+				// being injected (the cloud degrades around them) or when
+				// this incarnation was deliberately killed for a chaos
+				// scenario; injected errors are tolerated regardless.
+				tolerated := c.faulty || errors.Is(err, ErrInjected) || e.Killed()
 				c.recordErr(fmt.Errorf("edge %d: %w", e.cfg.EdgeID, err), tolerated)
 			}
 		}(e)
@@ -340,6 +398,159 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	return c, nil
 }
+
+// edgeAt returns the current *Edge for slot i (RestartEdge replaces
+// slice elements, so unguarded indexing would race).
+func (c *Cluster) edgeAt(i int) *Edge {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.edges[i]
+}
+
+// edgeDown reports whether the failure detector currently considers
+// edge e dead.
+func (c *Cluster) edgeDown(e int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.downEdges[e]
+}
+
+// liveTarget redirects an intended attachment target away from edges
+// currently declared dead, picking a survivor deterministically by
+// device id. With no dead edges (the default) it is the identity.
+func (c *Cluster) liveTarget(m, e int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.downEdges[e] {
+		return e
+	}
+	var survivors []int
+	for i := range c.edges {
+		if !c.downEdges[i] {
+			survivors = append(survivors, i)
+		}
+	}
+	if len(survivors) == 0 {
+		return e
+	}
+	return survivors[m%len(survivors)]
+}
+
+// onEdgeDown is the cloud failure detector's callback (membership mode):
+// re-home every device attached to the dead edge onto the survivors —
+// warm where the handle supports it, carrying the device's own local
+// model and bookkeeping — so no device stays stranded past the failover.
+// Runs in its own goroutine, spawned by the cloud.
+func (c *Cluster) onEdgeDown(dead int) {
+	start := time.Now()
+	c.mu.Lock()
+	c.downEdges[dead] = true
+	c.failovers++
+	var victims []int
+	for m, e := range c.assign {
+		if e == dead {
+			victims = append(victims, m)
+		}
+	}
+	c.mu.Unlock()
+	c.logf("cluster: edge %d declared dead — re-homing %d devices", dead, len(victims))
+	for _, m := range victims {
+		target := c.liveTarget(m, dead)
+		if target == dead {
+			// No survivors at all; the devices stay stranded until an
+			// edge rejoins and mobility re-attaches them.
+			c.mu.Lock()
+			c.stranded[m] = true
+			c.strandedG.Set(float64(len(c.stranded)))
+			c.mu.Unlock()
+			continue
+		}
+		var err error
+		for attempt := 0; attempt <= defaultMaxRetries; attempt++ {
+			if attempt > 0 {
+				time.Sleep(retryBackoff(0, attempt, c.seed, int64(m)*1_000_003+int64(target)*17+911))
+			}
+			addr := c.edgeAt(target).Addr()
+			if rh, ok := c.devices[m].(rehomer); ok {
+				err = rh.ConnectRehome(target, addr)
+			} else {
+				err = c.devices[m].Connect(target, addr)
+			}
+			if err == nil {
+				break
+			}
+		}
+		c.mu.Lock()
+		if err != nil {
+			c.stranded[m] = true
+		} else {
+			c.assign[m] = target
+			c.rehomed++
+			delete(c.stranded, m)
+		}
+		c.strandedG.Set(float64(len(c.stranded)))
+		c.mu.Unlock()
+		if err != nil {
+			c.logf("cluster: device %d failed to re-home off dead edge %d: %v", m, dead, err)
+		} else {
+			c.logf("cluster: device %d re-homed to edge %d after edge %d died", m, target, dead)
+		}
+	}
+	c.failoverSpan.Observe(time.Since(start))
+}
+
+// onEdgeUp is the cloud's rejoin callback: the edge is back in the
+// membership (bumped epoch) and eligible as a move target again.
+func (c *Cluster) onEdgeUp(e int) {
+	c.mu.Lock()
+	delete(c.downEdges, e)
+	c.mu.Unlock()
+	c.logf("cluster: edge %d back in membership", e)
+}
+
+// KillEdge abruptly tears edge e down — listener, cloud link, and device
+// connections all close with no drain or checkpoint, the in-process
+// equivalent of SIGKILL. In membership mode the cloud's failure detector
+// notices the missed leases, declares the edge dead, and the cluster
+// re-homes its devices; the edge's Run error is recorded as a tolerated
+// casualty, not a run failure.
+func (c *Cluster) KillEdge(e int) {
+	c.edgeAt(e).Kill()
+}
+
+// RestartEdge brings a previously killed edge back (membership mode): a
+// fresh Edge on a new listener address re-registers with the cloud,
+// which readmits it under a bumped membership epoch and serves it the
+// current global model for catch-up; with EdgeCheckpoints enabled the
+// new process also restores its round state from its named checkpoint
+// first. The restarted edge becomes a mobility target again once the
+// cloud's rejoin callback fires.
+func (c *Cluster) RestartEdge(e int) error {
+	c.mu.Lock()
+	ecfg := c.edgeCfgs[e]
+	c.mu.Unlock()
+	ecfg.Addr = "127.0.0.1:0"
+	edge, err := NewEdge(ecfg)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.edges[e] = edge
+	c.mu.Unlock()
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		if err := edge.Run(); err != nil {
+			tolerated := c.faulty || errors.Is(err, ErrInjected) || edge.Killed()
+			c.recordErr(fmt.Errorf("edge %d: %w", e, err), tolerated)
+		}
+	}()
+	return nil
+}
+
+// Stop asks the cloud for a graceful stop at the next round boundary
+// (final checkpoint included). Use Wait to collect the shutdown.
+func (c *Cluster) Stop() { c.cloud.Stop() }
 
 func (c *Cluster) recordErr(err error, tolerated bool) {
 	c.mu.Lock()
@@ -406,6 +617,39 @@ func (c *Cluster) Migrations() (ok, fallback, rejected int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.migOK, c.migFallback, c.migRejected
+}
+
+// Failovers reports how many edge-death failovers the cluster handled
+// (the count behind fednet_edge_failovers_total).
+func (c *Cluster) Failovers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failovers
+}
+
+// Rehomed reports how many devices were successfully re-homed off dead
+// edges (the cluster-side view of fednet_rehomed_devices_total).
+func (c *Cluster) Rehomed() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rehomed
+}
+
+// MembershipEpoch returns the cloud's current membership epoch (0 when
+// membership mode is off).
+func (c *Cluster) MembershipEpoch() int { return c.cloud.Epoch() }
+
+// DownEdges lists edges currently declared dead by the failure detector
+// (sorted ascending; empty outside membership mode).
+func (c *Cluster) DownEdges() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int, 0, len(c.downEdges))
+	for e := range c.downEdges {
+		out = append(out, e)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // Stranded returns the devices currently detached because their last

@@ -74,12 +74,28 @@ type DeviceConfig struct {
 	RetryBase time.Duration
 	// Faults, when set, injects faults on the device→edge link.
 	Faults *FaultInjector
+	// Failover lists alternate edges the device may re-home to on its
+	// own when its current edge becomes unreachable (the automatic
+	// reconnect exhausts its retries). Candidates are tried in order,
+	// skipping the failed edge; the re-home registration carries the
+	// device's own warm state (Rehome). Nil (the default) keeps the old
+	// behaviour: a device whose edge died stays down until the next
+	// Connect call.
+	Failover []EdgeAddr
+	// Logf, when set, receives progress lines (default: discarded).
+	Logf func(format string, args ...any)
 	// Obs, when set, receives per-message byte/latency metrics
 	// (fednet_* series). Nil disables metrics at near-zero cost.
 	Obs *obs.Registry
 	// Trace, when set, records a span per local-training round parented
 	// on the edge's RPC span (TrainRequest.Span). Nil disables tracing.
 	Trace *obs.Trace
+}
+
+// EdgeAddr names one failover candidate.
+type EdgeAddr struct {
+	ID   int
+	Addr string
 }
 
 // Device is a mobile client. Connect attaches it to an edge (closing any
@@ -105,6 +121,14 @@ type Device struct {
 	// edgeSync is the edge round counter from the last registration ack
 	// (resync diagnostics).
 	edgeSync int
+	// lastUtil / lastTrained / lastSync snapshot what a warm re-home
+	// registration carries: the device's most recent Oort utility, the
+	// round it last trained in, and the cloud-sync round it last observed
+	// (from the registration ack). A new edge honours lastTrained only
+	// when lastSync matches its own — same era rule as handover.
+	lastUtil    float64
+	lastTrained int
+	lastSync    int
 }
 
 // NewDevice builds a device client.
@@ -132,12 +156,16 @@ func NewDevice(cfg DeviceConfig) (*Device, error) {
 	if cfg.Mode == "" {
 		cfg.Mode = AggEdge
 	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
 	cfg.Trace.SetProcessName(tracePidDeviceBase+cfg.DeviceID, fmt.Sprintf("device%d", cfg.DeviceID))
 	return &Device{
-		cfg:      cfg,
-		net:      cfg.Factory(tensor.Split(cfg.Seed, int64(1000+cfg.DeviceID))),
-		m:        newDeviceMetrics(cfg.Obs),
-		prevEdge: -1,
+		cfg:         cfg,
+		net:         cfg.Factory(tensor.Split(cfg.Seed, int64(1000+cfg.DeviceID))),
+		m:           newDeviceMetrics(cfg.Obs),
+		prevEdge:    -1,
+		lastTrained: -1,
 	}, nil
 }
 
@@ -154,13 +182,28 @@ func (d *Device) Connect(edgeID int, addr string) error {
 	d.gen++
 	gen := d.gen
 	d.mu.Unlock()
-	return d.dialAndServe(edgeID, addr, gen)
+	return d.dialAndServe(edgeID, addr, gen, false)
+}
+
+// ConnectRehome is Connect with a warm re-home registration: the device
+// announces that its previous edge is gone and carries its own local
+// model, utility, and round bookkeeping so the new edge resumes it warm.
+// It is the failover counterpart of a live MsgMigrate handover, which a
+// dead source edge can no longer push.
+func (d *Device) ConnectRehome(edgeID int, addr string) error {
+	d.Disconnect()
+	d.mu.Lock()
+	d.gen++
+	gen := d.gen
+	d.mu.Unlock()
+	return d.dialAndServe(edgeID, addr, gen, true)
 }
 
 // dialAndServe performs the dial+register+ack handshake with retries
 // and, on success, installs the connection (unless gen went stale — a
 // Connect/Disconnect superseded this attempt) and starts the serve loop.
-func (d *Device) dialAndServe(edgeID int, addr string, gen int) error {
+// With rehome set the registration carries the device's warm state.
+func (d *Device) dialAndServe(edgeID int, addr string, gen int, rehome bool) error {
 	var lastErr error
 	for attempt := 0; attempt <= d.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
@@ -177,8 +220,20 @@ func (d *Device) dialAndServe(edgeID int, addr string, gen int) error {
 		conn.SetDeadline(time.Now().Add(d.cfg.Timeout))
 		d.mu.Lock()
 		reg := RegisterDevice{DeviceID: d.cfg.DeviceID, DataSize: len(d.cfg.Indices), PrevEdge: d.prevEdge}
+		var payload []float64
+		if rehome {
+			reg.Rehome = true
+			if !math.IsNaN(d.lastUtil) && !math.IsInf(d.lastUtil, 0) {
+				reg.Utility = d.lastUtil
+			}
+			reg.LastTrained = d.lastTrained
+			reg.LastSync = d.lastSync
+			if d.local != nil {
+				payload = append([]float64(nil), d.local...)
+			}
+		}
 		d.mu.Unlock()
-		if err := d.m.link.writeMsg(conn, MsgRegisterDevice, reg, nil); err != nil {
+		if err := d.m.link.writeMsg(conn, MsgRegisterDevice, reg, payload); err != nil {
 			conn.Close()
 			lastErr = fmt.Errorf("fednet: device %d registering at edge %d: %w", d.cfg.DeviceID, edgeID, err)
 			continue
@@ -200,6 +255,7 @@ func (d *Device) dialAndServe(edgeID int, addr string, gen int) error {
 		d.conn = conn
 		d.done = make(chan struct{})
 		d.edgeSync = ack.Round
+		d.lastSync = ack.LastSync
 		done := d.done
 		d.mu.Unlock()
 		go d.serve(conn, edgeID, addr, done, gen)
@@ -236,7 +292,48 @@ func (d *Device) maybeReconnect(conn net.Conn, edgeID int, addr string, gen int)
 	d.gen++
 	newGen := d.gen
 	d.mu.Unlock()
-	go func() { _ = d.dialAndServe(edgeID, addr, newGen) }()
+	go func() {
+		if err := d.dialAndServe(edgeID, addr, newGen, false); err != nil {
+			// The edge is unreachable even after retries — presume it dead
+			// and self-heal by re-homing to a failover candidate.
+			d.failover(edgeID, newGen)
+		}
+	}()
+}
+
+// failover re-homes the device to the first reachable alternate edge
+// after the automatic reconnect to its current edge gave up. Candidates
+// are tried in configured order, skipping the dead edge; each attempt
+// re-checks the generation so a deliberate Connect/Disconnect always
+// wins over self-healing. With no reachable candidate (or an empty
+// Failover list) the device stays stranded until the next Connect.
+func (d *Device) failover(deadEdge, gen int) {
+	for _, alt := range d.cfg.Failover {
+		if alt.ID == deadEdge {
+			continue
+		}
+		d.mu.Lock()
+		stale := d.gen != gen
+		d.mu.Unlock()
+		if stale {
+			return
+		}
+		if err := d.dialAndServe(alt.ID, alt.Addr, gen, true); err == nil {
+			d.cfg.Logf("device %d: failed over from edge %d to edge %d", d.cfg.DeviceID, deadEdge, alt.ID)
+			return
+		}
+	}
+	if len(d.cfg.Failover) > 0 {
+		d.cfg.Logf("device %d: stranded — edge %d down and no failover candidate reachable", d.cfg.DeviceID, deadEdge)
+	}
+}
+
+// Connected reports whether the device currently has a live edge
+// attachment (stranded-device accounting for daemons and tests).
+func (d *Device) Connected() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.conn != nil
 }
 
 // Rounds returns how many training rounds the device has served.
@@ -365,6 +462,8 @@ func (d *Device) train(req TrainRequest, payload []float64, edgeID int) ([]float
 	d.local = append([]float64(nil), vec...)
 	d.prevEdge = edgeID
 	d.rounds++
+	d.lastUtil = util
+	d.lastTrained = req.Round
 	d.mu.Unlock()
 
 	reply := TrainReply{

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 	"net"
+	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"middle/internal/checkpoint"
@@ -84,6 +86,15 @@ type EdgeConfig struct {
 	CheckpointDir string
 	// CheckpointEvery persists every Nth round (default 1).
 	CheckpointEvery int
+	// DeviceLeaseRounds, when > 0, is the device-tier lease: a dedicated
+	// device that has neither registered nor trained for this many rounds
+	// is evicted at the next round start (its connection closed, counted
+	// in fednet_lease_expirations_total). A live device simply
+	// re-registers through its reconnect path; a dead one stops occupying
+	// a selection slot. 0 (default) disables eviction — the pre-lease
+	// behaviour. Multiplexed devices are exempt (their shared connection
+	// is the liveness signal).
+	DeviceLeaseRounds int
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...any)
 	// Obs, when set, receives per-message byte/latency metrics
@@ -111,6 +122,10 @@ type deviceState struct {
 	lastModel   []float64
 	statUtil    float64
 	lastTrained int
+	// lastSeen is the edge round of the device's last sign of life
+	// (registration or a train reply); the DeviceLeaseRounds eviction
+	// ages on it.
+	lastSeen int
 	// Live-migration state. moments/momentLens/optSteps cache the
 	// device's last uploaded optimizer state (WantMoments replies) so a
 	// later handover can ship it. resume* hold state received from an
@@ -160,6 +175,61 @@ type Edge struct {
 	weight    float64   // d̂ accumulator since last sync
 	lastSync  int       // round of the last cloud sync
 	curRound  int       // round currently (or last) executed
+
+	// Membership state: the incarnation epoch assigned by the cloud's
+	// welcome (0 when the membership layer is disabled), the cloud
+	// connection (so Stop/Kill can interrupt a blocked read) and the
+	// graceful-stop flag. epoch and cloudConn are guarded by mu.
+	epoch     int
+	cloudConn net.Conn
+	stopFlag  atomic.Bool
+	killFlag  atomic.Bool
+}
+
+// Killed reports whether Kill tore this edge incarnation down; its Run
+// error is then an expected casualty, not a run failure.
+func (e *Edge) Killed() bool { return e.killFlag.Load() }
+
+// Stop requests a graceful edge shutdown: the cloud connection is
+// closed, making Run unblock, shut its devices down, write a final
+// checkpoint and return nil instead of an error.
+func (e *Edge) Stop() {
+	e.stopFlag.Store(true)
+	e.mu.Lock()
+	conn := e.cloudConn
+	e.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+// Kill tears the edge down abruptly — listener, cloud connection and
+// every device connection — simulating a crashed edge process. Run
+// returns an error; chaos tests use it to exercise failover.
+func (e *Edge) Kill() {
+	e.killFlag.Store(true)
+	e.ln.Close()
+	e.mu.Lock()
+	conn := e.cloudConn
+	conns := make([]net.Conn, 0, len(e.devices))
+	for _, d := range e.devices {
+		conns = append(conns, d.conn)
+	}
+	e.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Epoch reports the membership epoch this edge incarnation was welcomed
+// under (0 when the membership layer is disabled).
+func (e *Edge) Epoch() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.epoch
 }
 
 // pendingTraceEvent is a migration span waiting to be emitted as an
@@ -344,6 +414,23 @@ func (e *Edge) acceptLoop() {
 				arrivedFrom: reg.PrevEdge,
 				statUtil:    math.NaN(),
 				lastTrained: -1,
+				lastSeen:    e.curRound,
+			}
+			if reg.Rehome {
+				// Warm re-home: the previous edge died, so the device carries
+				// its own state instead of waiting for a handover push. Same
+				// merge rule as consumeHandoverLocked — the training timeline
+				// survives only within the same cloud-sync era.
+				if len(vec) > 0 && (len(e.edgeModel) == 0 || len(vec) == len(e.edgeModel)) {
+					d.lastModel = vec
+				}
+				if reg.Utility != 0 {
+					d.statUtil = reg.Utility
+				}
+				if reg.LastSync == e.lastSync {
+					d.lastTrained = reg.LastTrained
+				}
+				e.m.rehomed.Inc()
 			}
 			e.devices[reg.DeviceID] = d
 			e.consumeHandoverLocked(d)
@@ -359,7 +446,11 @@ func (e *Edge) acceptLoop() {
 				return
 			}
 			conn.SetDeadline(time.Time{})
-			e.cfg.Logf("edge %d: device %d joined (from edge %d)", e.cfg.EdgeID, reg.DeviceID, reg.PrevEdge)
+			if reg.Rehome {
+				e.cfg.Logf("edge %d: device %d re-homed here (previous edge %d down)", e.cfg.EdgeID, reg.DeviceID, reg.PrevEdge)
+			} else {
+				e.cfg.Logf("edge %d: device %d joined (from edge %d)", e.cfg.EdgeID, reg.DeviceID, reg.PrevEdge)
+			}
 		}(conn)
 	}
 }
@@ -602,26 +693,56 @@ func (e *Edge) Run() error {
 	}
 	cloud = e.cfg.Faults.WrapEdgeLink(cloud, e.cfg.EdgeID)
 	defer cloud.Close()
+	e.mu.Lock()
+	e.cloudConn = cloud
+	e.mu.Unlock()
 	cloud.SetDeadline(time.Now().Add(e.cfg.Timeout))
 	if err := e.m.cloudLink.writeMsg(cloud, MsgRegisterEdge, RegisterEdge{EdgeID: e.cfg.EdgeID}, nil); err != nil {
 		return fmt.Errorf("fednet: edge %d registering: %w", e.cfg.EdgeID, err)
 	}
-	t, vec, err := e.m.cloudLink.readMsg(cloud, nil)
-	if err != nil || t != MsgGlobalModel {
+	var welcome EdgeWelcome
+	t, vec, err := e.m.cloudLink.readMsg(cloud, &welcome)
+	if err != nil || (t != MsgGlobalModel && t != MsgEdgeWelcome) {
 		return fmt.Errorf("fednet: edge %d waiting for init model: type %d, %v", e.cfg.EdgeID, t, err)
 	}
 	e.mu.Lock()
-	if e.resumed && len(e.edgeModel) == len(vec) {
+	if t == MsgEdgeWelcome {
+		e.epoch = welcome.Epoch
+	}
+	switch {
+	case t == MsgEdgeWelcome && welcome.Rejoin:
+		// Catch-up sync: this incarnation joins mid-run, so any
+		// checkpointed Eq. 6 progress belongs to a sync era the cloud has
+		// moved past. Adopt the current global model with zero weight and
+		// align the round/sync counters with the cloud's.
+		e.edgeModel = vec
+		e.cloudSeen = append([]float64(nil), vec...)
+		e.weight = 0
+		e.curRound = welcome.Round
+		e.lastSync = welcome.LastSync
+	case e.resumed && len(e.edgeModel) == len(vec):
 		// Crash recovery: keep the checkpointed edge model — it carries
 		// Eq. 6 progress accumulated since the last cloud sync that the
 		// broadcast global model does not — and only adopt the received
 		// model as the cloud reference for Eq. 12.
 		e.cloudSeen = append([]float64(nil), vec...)
-	} else {
+	default:
 		e.edgeModel = vec
 		e.cloudSeen = append([]float64(nil), vec...)
 	}
 	e.mu.Unlock()
+	if t == MsgEdgeWelcome {
+		if welcome.Rejoin {
+			e.cfg.Logf("edge %d: rejoined at epoch %d (catch-up sync at round %d)", e.cfg.EdgeID, welcome.Epoch, welcome.Round)
+		} else {
+			e.cfg.Logf("edge %d: joined membership at epoch %d", e.cfg.EdgeID, welcome.Epoch)
+		}
+		if welcome.LeaseMillis > 0 {
+			hbStop := make(chan struct{})
+			defer close(hbStop)
+			go e.heartbeat(time.Duration(welcome.LeaseMillis)*time.Millisecond, welcome.Epoch, hbStop)
+		}
+	}
 
 	go e.acceptLoop()
 
@@ -630,6 +751,19 @@ func (e *Edge) Run() error {
 		var rs RoundStart
 		t, _, err := e.m.cloudLink.readMsg(cloud, &rs)
 		if err != nil {
+			if e.stopFlag.Load() {
+				// Graceful stop: Stop closed the cloud connection to unblock
+				// this read. Flush state and exit cleanly.
+				e.mu.Lock()
+				round := e.curRound
+				e.mu.Unlock()
+				if e.cfg.CheckpointDir != "" && round > 0 {
+					e.saveCheckpoint(round)
+				}
+				e.shutdownDevices()
+				e.cfg.Logf("edge %d: graceful stop after round %d", e.cfg.EdgeID, round)
+				return nil
+			}
 			return fmt.Errorf("fednet: edge %d reading round start: %w", e.cfg.EdgeID, err)
 		}
 		switch t {
@@ -672,10 +806,21 @@ func (e *Edge) Run() error {
 		e.weight += st.weight
 		curWeight := e.weight
 		model := e.edgeModel
+		epoch := e.epoch
+		var deviceIDs []int
+		if epoch > 0 && rs.Sync {
+			// Membership mode: report the registered device set on sync
+			// rounds so the cloud can checkpoint the device→edge assignment.
+			deviceIDs = make([]int, 0, len(e.devices))
+			for id := range e.devices {
+				deviceIDs = append(deviceIDs, id)
+			}
+			sort.Ints(deviceIDs)
+		}
 		e.mu.Unlock()
 
 		cloud.SetDeadline(time.Now().Add(e.cfg.Timeout))
-		done := RoundDone{EdgeID: e.cfg.EdgeID, Round: rs.Round, Trained: st.trained}
+		done := RoundDone{EdgeID: e.cfg.EdgeID, Round: rs.Round, Trained: st.trained, Epoch: epoch, Devices: deviceIDs}
 		var payload []float64
 		if rs.Sync {
 			done.Weight = curWeight
@@ -701,6 +846,43 @@ func (e *Edge) Run() error {
 		}
 		if e.cfg.CheckpointDir != "" && rs.Round%e.cfg.CheckpointEvery == 0 {
 			e.saveCheckpoint(rs.Round)
+		}
+	}
+}
+
+// heartbeat sends MsgLease frames to the cloud every interval on a
+// dedicated connection until stop closes. A broken connection is
+// redialled on the next beat; persistent failure simply lets the
+// cloud's detector age this edge out, which is the correct outcome.
+func (e *Edge) heartbeat(interval time.Duration, epoch int, stop <-chan struct{}) {
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	seq := 0
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		if conn == nil {
+			c, err := net.DialTimeout("tcp", e.cfg.CloudAddr, interval)
+			if err != nil {
+				continue
+			}
+			conn = c
+		}
+		seq++
+		conn.SetWriteDeadline(time.Now().Add(e.cfg.Timeout))
+		l := Lease{EdgeID: e.cfg.EdgeID, Epoch: epoch, Seq: seq}
+		if err := e.m.cloudLink.writeMsg(conn, MsgLease, l, nil); err != nil {
+			conn.Close()
+			conn = nil
 		}
 	}
 }
@@ -736,6 +918,17 @@ type trainResult struct {
 func (e *Edge) runRound(round int, span string) roundStats {
 	e.mu.Lock()
 	e.curRound = round
+	if e.cfg.DeviceLeaseRounds > 0 {
+		for id, d := range e.devices {
+			if d.mux == nil && round-d.lastSeen > e.cfg.DeviceLeaseRounds {
+				d.conn.Close()
+				delete(e.devices, id)
+				e.m.leaseExpirations.Inc()
+				e.cfg.Logf("edge %d: device %d lease expired in round %d (last seen round %d)",
+					e.cfg.EdgeID, id, round, d.lastSeen)
+			}
+		}
+	}
 	candidates := make([]int, 0, len(e.devices))
 	for id := range e.devices {
 		candidates = append(candidates, id)
@@ -801,6 +994,7 @@ collect:
 				d.lastModel = res.vec
 				d.statUtil = res.reply.Utility
 				d.lastTrained = round
+				d.lastSeen = round
 				d.trainedHere = true
 				if res.momentLens != nil {
 					d.moments = res.moments

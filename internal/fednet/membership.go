@@ -1,0 +1,566 @@
+package fednet
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"middle/internal/obs/flight"
+)
+
+// MembershipConfig tunes the cloud's self-healing membership layer.
+// With Enabled false (the default) none of it exists and the cloud's
+// behaviour — and every frame it sends — is identical to the
+// pre-membership protocol.
+type MembershipConfig struct {
+	// Enabled turns the layer on: the cloud keeps accepting edges for
+	// the whole run, welcomes each with MsgEdgeWelcome (epoch + lease
+	// interval + current global model), runs a heartbeat failure
+	// detector and fences frames from stale incarnations.
+	Enabled bool
+	// LeaseInterval is the heartbeat period the cloud asks edges for and
+	// the failure detector's tick (default 500 ms).
+	LeaseInterval time.Duration
+	// SuspectMisses is the number of consecutive lease intervals without
+	// a heartbeat after which an edge is suspected (logged and counted,
+	// default 2).
+	SuspectMisses int
+	// DeadMisses is the number of consecutive missed intervals after
+	// which a suspected edge is declared dead: its connections close,
+	// the membership epoch bumps and OnEdgeDown fires (default 4).
+	DeadMisses int
+	// DetectorTick, when set, replaces the wall-clock detector ticker —
+	// tests drive the detector by hand so suspicion and death are a
+	// deterministic function of delivered leases and ticks, independent
+	// of scheduling.
+	DetectorTick <-chan time.Time
+}
+
+// withDefaults fills the zero values. Enabled is left alone.
+func (mc MembershipConfig) withDefaults() MembershipConfig {
+	if mc.LeaseInterval <= 0 {
+		mc.LeaseInterval = 500 * time.Millisecond
+	}
+	if mc.SuspectMisses < 1 {
+		mc.SuspectMisses = 2
+	}
+	if mc.DeadMisses < 1 {
+		mc.DeadMisses = 4
+	}
+	if mc.DeadMisses < mc.SuspectMisses {
+		mc.DeadMisses = mc.SuspectMisses
+	}
+	return mc
+}
+
+// member is one admitted edge incarnation. A restarted edge gets a new
+// member (and a new epoch); the old one stays dead forever, so every
+// frame carrying its epoch is recognisably stale.
+type member struct {
+	id    int
+	epoch int // incarnation epoch assigned at welcome
+	conn  net.Conn
+
+	// Detector state, guarded by membership.mu.
+	beats     int  // leases received since the last detector tick
+	misses    int  // consecutive tick intervals without a lease
+	suspected bool // logged once per suspicion episode
+	dead      bool
+}
+
+// membership is the cloud's dynamic edge-set bookkeeping: the epoch
+// counter, live member table and the queue of edges waiting to be
+// admitted at the next round boundary.
+type membership struct {
+	mu      sync.Mutex
+	epoch   int
+	members map[int]*member
+	joinCh  chan *edgeConn // registrations from the accept loop
+	conns   []net.Conn     // every accepted conn, closed at shutdown
+}
+
+func newMembership(startEpoch int) *membership {
+	return &membership{
+		epoch:   startEpoch,
+		members: map[int]*member{},
+		joinCh:  make(chan *edgeConn, 64),
+	}
+}
+
+func (ms *membership) currentEpoch() int {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return ms.epoch
+}
+
+// alive returns the live members sorted by edge id, so the round loop
+// iterates deterministically.
+func (ms *membership) alive() []*member {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	out := make([]*member, 0, len(ms.members))
+	for _, m := range ms.members {
+		if !m.dead {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// track remembers a connection for shutdown cleanup.
+func (ms *membership) track(conn net.Conn) {
+	ms.mu.Lock()
+	ms.conns = append(ms.conns, conn)
+	ms.mu.Unlock()
+}
+
+// closeAll tears down every tracked connection (shutdown).
+func (ms *membership) closeAll() {
+	ms.mu.Lock()
+	conns := ms.conns
+	ms.conns = nil
+	ms.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// recordLease credits a heartbeat to the (id, epoch) incarnation. It
+// returns false when the lease is stale: no such member, a dead member,
+// or an epoch that does not match the live incarnation — the caller
+// must fence the sender.
+func (ms *membership) recordLease(id, epoch int) bool {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	m := ms.members[id]
+	if m == nil || m.dead || m.epoch != epoch {
+		return false
+	}
+	m.beats++
+	m.misses = 0
+	m.suspected = false
+	return true
+}
+
+// Epoch reports the current membership epoch (0 when the membership
+// layer is disabled or the run has not started).
+func (c *Cloud) Epoch() int {
+	if c.ms == nil {
+		return c.startEpoch
+	}
+	return c.ms.currentEpoch()
+}
+
+// Assignment returns a copy of the device→edge assignment the cloud
+// has learned from sync-round reports (membership mode only; empty
+// otherwise). Meaningful once Run has finished or between rounds.
+func (c *Cloud) Assignment() map[int]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[int]int, len(c.assignment))
+	for d, e := range c.assignment {
+		out[d] = e
+	}
+	return out
+}
+
+// runMembership is Run with the self-healing membership layer: a
+// persistent accept loop admits edges for the whole run, heartbeat
+// leases feed a miss-count failure detector, dead edges are excised at
+// a bumped epoch (their devices re-homed by OnEdgeDown) and restarted
+// edges rejoin at the next round boundary with a catch-up sync.
+func (c *Cloud) runMembership() error {
+	defer c.ln.Close()
+	ms := newMembership(c.startEpoch)
+	c.ms = ms
+	defer ms.closeAll()
+	go c.acceptMembership(ms)
+
+	// Admit the configured initial quorum before training starts,
+	// mirroring the legacy fixed-set handshake.
+	pending := make([]*edgeConn, 0, c.cfg.Edges)
+	for len(pending) < c.cfg.Edges {
+		select {
+		case e := <-ms.joinCh:
+			pending = append(pending, e)
+		case <-c.stop:
+			return nil
+		}
+	}
+	for _, e := range pending {
+		if err := c.welcome(ms, e, c.startRound, false); err != nil {
+			return fmt.Errorf("fednet: cloud welcoming edge %d: %w", e.id, err)
+		}
+	}
+
+	detStop := make(chan struct{})
+	defer close(detStop)
+	go c.runDetector(ms, detStop)
+
+	defer func() {
+		for _, m := range ms.alive() {
+			m.conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
+			_ = c.m.link.writeMsg(m.conn, MsgShutdown, struct{}{}, nil)
+			m.conn.Close()
+		}
+	}()
+
+	minEdges := c.cfg.MinEdges
+	if minEdges < 1 {
+		// Membership exists to survive edge loss; a lone survivor keeps
+		// the run alive unless the caller asked for a larger quorum.
+		minEdges = 1
+	}
+
+	syncCount := 0
+	var prevRound time.Time
+	for r := c.startRound + 1; r <= c.cfg.Rounds; r++ {
+		c.paceRound(&prevRound)
+		if c.stopping() {
+			c.cfg.Logf("cloud: graceful stop after round %d", r-1)
+			c.checkpointFinal(r - 1)
+			return nil
+		}
+		// Admit any edges that (re)joined since the last boundary.
+		for admitted := false; !admitted; {
+			select {
+			case e := <-ms.joinCh:
+				if err := c.welcome(ms, e, r-1, true); err != nil {
+					c.cfg.Logf("cloud: failed to welcome rejoining edge %d: %v", e.id, err)
+				}
+			default:
+				admitted = true
+			}
+		}
+		members := ms.alive()
+		if len(members) < minEdges {
+			return fmt.Errorf("fednet: only %d edges remain in round %d (min %d)", len(members), r, minEdges)
+		}
+
+		roundTok := c.m.roundSpan.Begin()
+		tr := c.cfg.Trace
+		traceStart := tr.Now()
+		span := ""
+		if tr != nil {
+			span = cloudRoundSpan(r)
+		}
+		sync := r%c.cfg.CloudInterval == 0
+		alive := members[:0]
+		for _, m := range members {
+			m.conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
+			rs := RoundStart{Round: r, Sync: sync, Span: span, Epoch: m.epoch}
+			if err := c.m.link.writeMsg(m.conn, MsgRoundStart, rs, nil); err != nil {
+				countTimeout(c.m.timeouts, err)
+				c.memberDead(ms, m, r, err)
+				continue
+			}
+			alive = append(alive, m)
+		}
+		members = alive
+		var vecs [][]float64
+		var weights []float64
+		var sagg *shardAgg
+		if sync {
+			c.mu.Lock()
+			c.edgeWeights = map[int]float64{}
+			c.mu.Unlock()
+			if c.cfg.Shards > 1 {
+				sagg = newShardAgg(c.cfg.Shards, len(c.global))
+			}
+		}
+		alive = members[:0]
+		for _, m := range members {
+			m.conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
+			var done RoundDone
+			t, vec, err := c.m.link.readMsg(m.conn, &done)
+			if err != nil || t != MsgRoundDone {
+				countTimeout(c.m.timeouts, err)
+				if err == nil {
+					err = fmt.Errorf("unexpected message type %d", t)
+				}
+				c.memberDead(ms, m, r, err)
+				continue
+			}
+			if done.Epoch != m.epoch {
+				// A zombie frame from a fenced incarnation (or an edge that
+				// skipped its welcome): reject it and excise the sender.
+				c.m.staleFrames.Inc()
+				c.memberDead(ms, m, r, fmt.Errorf("stale frame epoch %d (incarnation %d)", done.Epoch, m.epoch))
+				continue
+			}
+			if done.Round != r {
+				return fmt.Errorf("fednet: edge %d acked round %d during round %d", m.id, done.Round, r)
+			}
+			alive = append(alive, m)
+			if sync {
+				c.mu.Lock()
+				c.edgeWeights[m.id] = done.Weight
+				for _, d := range done.Devices {
+					c.assignment[d] = m.id
+				}
+				c.mu.Unlock()
+			}
+			if sync && done.Weight > 0 && len(vec) > 0 {
+				if sagg != nil {
+					if err := sagg.add(m.id, vec, done.Weight); err != nil {
+						return err
+					}
+				} else {
+					vecs = append(vecs, vec)
+					weights = append(weights, done.Weight)
+				}
+			}
+		}
+		members = alive
+		if len(members) < minEdges {
+			return fmt.Errorf("fednet: only %d edges remain in round %d (min %d)", len(members), r, minEdges)
+		}
+		if sync {
+			syncStart := tr.Now()
+			fp := flight.BeginPhase("cloud_sync")
+			synced := c.applySync(r, vecs, weights, sagg)
+			for _, m := range members {
+				m.conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
+				if err := c.m.link.writeMsg(m.conn, MsgGlobalModel, struct{}{}, c.GlobalModel()); err != nil {
+					countTimeout(c.m.timeouts, err)
+					c.memberDead(ms, m, r, err)
+				}
+			}
+			c.m.syncs.Inc()
+			syncCount++
+			if c.cfg.CheckpointDir != "" && syncCount%c.cfg.CheckpointEvery == 0 {
+				c.checkpointSync(r, sagg)
+			}
+			fp.End()
+			if tr != nil {
+				tr.Complete("cloud_sync", "fednet", tracePidCloud, 0,
+					syncStart, tr.Now().Sub(syncStart), span+".sync", span,
+					map[string]any{"round": r, "edges": synced})
+			}
+			c.cfg.Logf("cloud: round %d synced %d edge models", r, synced)
+		}
+		c.m.rounds.Inc()
+		roundTok.End()
+		if tr != nil {
+			tr.Complete("cloud_round", "fednet", tracePidCloud, 0,
+				traceStart, tr.Now().Sub(traceStart), span, "",
+				map[string]any{"round": r, "sync": sync, "edges": len(members)})
+		}
+		if c.cfg.OnRound != nil {
+			c.cfg.OnRound(r)
+		}
+	}
+	return nil
+}
+
+// acceptMembership accepts connections for the whole run, dispatching
+// each on its first frame: MsgRegisterEdge queues a join for the next
+// round boundary, MsgLease turns the connection into a heartbeat
+// stream. It exits when the listener closes.
+func (c *Cloud) acceptMembership(ms *membership) {
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		ms.track(conn)
+		go func(conn net.Conn) {
+			conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
+			var first struct {
+				EdgeID int `json:"edge_id"`
+				Epoch  int `json:"epoch"`
+				Seq    int `json:"seq"`
+			}
+			t, _, err := c.m.link.readMsg(conn, &first)
+			switch {
+			case err != nil:
+				conn.Close()
+			case t == MsgRegisterEdge:
+				select {
+				case ms.joinCh <- &edgeConn{id: first.EdgeID, conn: conn}:
+				case <-c.stop:
+					conn.Close()
+				}
+			case t == MsgLease:
+				c.leaseStream(ms, conn, first.EdgeID, first.Epoch)
+			default:
+				c.cfg.Logf("cloud: rejected connection opening with message type %d", t)
+				conn.Close()
+			}
+		}(conn)
+	}
+}
+
+// leaseStream consumes heartbeats from one edge incarnation. A lease
+// whose epoch does not match the live incarnation is a stale frame from
+// a fenced (dead or superseded) edge: it is counted, the connection is
+// closed and the zombie learns it is no longer a member.
+func (c *Cloud) leaseStream(ms *membership, conn net.Conn, id, epoch int) {
+	for {
+		if !ms.recordLease(id, epoch) {
+			c.m.staleFrames.Inc()
+			c.cfg.Logf("cloud: rejected stale lease from edge %d (epoch %d)", id, epoch)
+			conn.Close()
+			return
+		}
+		// Block until the next beat; the detector tracks freshness, the
+		// stream only delivers. A broken conn simply ends the stream —
+		// missed beats then age the member out.
+		conn.SetDeadline(time.Time{})
+		var l Lease
+		t, _, err := c.m.link.readMsg(conn, &l)
+		if err != nil || t != MsgLease {
+			conn.Close()
+			return
+		}
+		id, epoch = l.EdgeID, l.Epoch
+	}
+}
+
+// welcome admits one edge incarnation: bumps the epoch, installs the
+// member and sends MsgEdgeWelcome carrying the current global model (a
+// rejoining edge adopts it as its catch-up sync).
+func (c *Cloud) welcome(ms *membership, e *edgeConn, lastRound int, rejoin bool) error {
+	ms.mu.Lock()
+	if old := ms.members[e.id]; old != nil && !old.dead {
+		// A new incarnation supersedes a live member (restart beat the
+		// detector): fence the old one so its frames are rejected.
+		old.dead = true
+		old.conn.Close()
+		ms.epoch++
+		c.cfg.Logf("cloud: edge %d superseded by new incarnation; fencing epoch %d", e.id, old.epoch)
+	}
+	ms.epoch++
+	m := &member{id: e.id, epoch: ms.epoch, conn: e.conn}
+	ms.members[e.id] = m
+	epoch := ms.epoch
+	ms.mu.Unlock()
+	c.m.epochGauge.Set(float64(epoch))
+
+	w := EdgeWelcome{
+		Epoch:       epoch,
+		Round:       lastRound,
+		LastSync:    c.lastSync,
+		LeaseMillis: int(c.cfg.Membership.LeaseInterval / time.Millisecond),
+		Rejoin:      rejoin,
+	}
+	e.conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
+	if err := c.m.link.writeMsg(e.conn, MsgEdgeWelcome, w, c.GlobalModel()); err != nil {
+		ms.mu.Lock()
+		m.dead = true
+		ms.mu.Unlock()
+		e.conn.Close()
+		return err
+	}
+	if rejoin {
+		c.m.rejoins.Inc()
+		c.cfg.Logf("cloud: edge %d rejoined at epoch %d (catch-up at round %d)", e.id, epoch, lastRound)
+		if tr := c.cfg.Trace; tr != nil {
+			now := tr.Now()
+			tr.Complete("edge_rejoin", "fednet", tracePidCloud, e.id,
+				now, 0, fmt.Sprintf("c.rejoin.e%d.ep%d", e.id, epoch), "",
+				map[string]any{"edge": e.id, "epoch": epoch})
+		}
+		if c.cfg.OnEdgeUp != nil {
+			go c.cfg.OnEdgeUp(e.id)
+		}
+	} else {
+		c.cfg.Logf("cloud: edge %d joined at epoch %d", e.id, epoch)
+	}
+	return nil
+}
+
+// memberDead excises one member: exactly once per incarnation it closes
+// the round connection, bumps the epoch, records the failover and fires
+// OnEdgeDown so the deployment re-homes the dead edge's devices.
+func (c *Cloud) memberDead(ms *membership, m *member, round int, cause error) {
+	ms.mu.Lock()
+	if m.dead {
+		ms.mu.Unlock()
+		return
+	}
+	m.dead = true
+	ms.epoch++
+	epoch := ms.epoch
+	ms.mu.Unlock()
+	m.conn.Close()
+	c.m.edgeDrops.Inc()
+	c.m.failovers.Inc()
+	c.m.epochGauge.Set(float64(epoch))
+	c.cfg.Logf("cloud: edge %d declared dead in round %d (%v); epoch now %d", m.id, round, cause, epoch)
+	if tr := c.cfg.Trace; tr != nil {
+		now := tr.Now()
+		tr.Complete("edge_failover", "fednet", tracePidCloud, m.id,
+			now, 0, fmt.Sprintf("c.failover.e%d.ep%d", m.id, m.epoch), "",
+			map[string]any{"edge": m.id, "incarnation": m.epoch, "epoch": epoch, "round": round})
+	}
+	if c.cfg.OnEdgeDown != nil {
+		go c.cfg.OnEdgeDown(m.id)
+	}
+}
+
+// runDetector ages members out on missed leases: every tick without a
+// heartbeat increments a member's miss count; SuspectMisses marks it
+// suspected, DeadMisses declares it dead. Timing is wall-clock by
+// default and fully caller-driven through MembershipConfig.DetectorTick
+// in tests.
+func (c *Cloud) runDetector(ms *membership, stop <-chan struct{}) {
+	tick := c.cfg.Membership.DetectorTick
+	if tick == nil {
+		t := time.NewTicker(c.cfg.Membership.LeaseInterval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick:
+			c.detectOnce(ms)
+		}
+	}
+}
+
+// detectOnce runs one detector sweep. Split out for tests.
+func (c *Cloud) detectOnce(ms *membership) {
+	type verdict struct {
+		m       *member
+		misses  int
+		suspect bool
+		dead    bool
+	}
+	var verdicts []verdict
+	ms.mu.Lock()
+	for _, m := range ms.members {
+		if m.dead {
+			continue
+		}
+		if m.beats > 0 {
+			m.beats = 0
+			continue
+		}
+		m.misses++
+		c.m.leaseMisses.Inc()
+		v := verdict{m: m, misses: m.misses}
+		if m.misses >= c.cfg.Membership.DeadMisses {
+			v.dead = true
+		} else if m.misses >= c.cfg.Membership.SuspectMisses && !m.suspected {
+			m.suspected = true
+			v.suspect = true
+		}
+		if v.dead || v.suspect {
+			verdicts = append(verdicts, v)
+		}
+	}
+	ms.mu.Unlock()
+	for _, v := range verdicts {
+		if v.dead {
+			c.memberDead(ms, v.m, 0, fmt.Errorf("missed %d lease intervals", v.misses))
+		} else if v.suspect {
+			c.cfg.Logf("cloud: edge %d suspected (%d missed lease intervals)", v.m.id, v.misses)
+		}
+	}
+}

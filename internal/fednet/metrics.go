@@ -75,6 +75,15 @@ type cloudMetrics struct {
 	trimmedCoords  *obs.Counter
 	clippedUpdates *obs.Counter
 	roundSpan      *obs.Span
+	// Membership / failure-detector accounting: edges declared dead by
+	// the lease detector (or an RPC failure), rejoins admitted at a
+	// bumped epoch, the current membership epoch, missed lease intervals
+	// and frames fenced off for carrying a stale incarnation epoch.
+	failovers   *obs.Counter
+	rejoins     *obs.Counter
+	epochGauge  *obs.Gauge
+	leaseMisses *obs.Counter
+	staleFrames *obs.Counter
 }
 
 func newCloudMetrics(r *obs.Registry) cloudMetrics {
@@ -91,6 +100,11 @@ func newCloudMetrics(r *obs.Registry) cloudMetrics {
 		trimmedCoords:  r.Counter("robust_trimmed_coords_total"),
 		clippedUpdates: r.Counter("robust_clipped_updates_total"),
 		roundSpan:      r.Span("fednet_rpc_seconds", "op", "cloud_round"),
+		failovers:      r.Counter("fednet_edge_failovers_total"),
+		rejoins:        r.Counter("fednet_edge_rejoins_total"),
+		epochGauge:     r.Gauge("fednet_membership_epoch"),
+		leaseMisses:    r.Counter("fednet_lease_misses_total"),
+		staleFrames:    r.Counter("fednet_stale_frames_total"),
 	}
 }
 
@@ -124,6 +138,11 @@ type edgeMetrics struct {
 	migrateFallback *obs.Counter
 	migrateRejected *obs.Counter
 	handoverSpan    *obs.Span
+	// Self-healing accounting: devices that arrived carrying their own
+	// warm state because their previous edge died, and devices evicted
+	// for exceeding the edge-side lease (DeviceLeaseRounds).
+	rehomed          *obs.Counter
+	leaseExpirations *obs.Counter
 }
 
 func newEdgeMetrics(r *obs.Registry) edgeMetrics {
@@ -145,11 +164,13 @@ func newEdgeMetrics(r *obs.Registry) edgeMetrics {
 		roundSpan:      r.Span("fednet_rpc_seconds", "op", "edge_round"),
 		trainSpan:      r.Span("fednet_rpc_seconds", "op", "train_rpc"),
 
-		migrateLink:     newLinkMetrics(r, linkEdgeEdge),
-		migrateOK:       r.Counter("fednet_migrations_total", "outcome", "ok"),
-		migrateFallback: r.Counter("fednet_migrations_total", "outcome", "fallback"),
-		migrateRejected: r.Counter("fednet_migrations_total", "outcome", "rejected"),
-		handoverSpan:    r.Span("fednet_handover_seconds"),
+		migrateLink:      newLinkMetrics(r, linkEdgeEdge),
+		migrateOK:        r.Counter("fednet_migrations_total", "outcome", "ok"),
+		migrateFallback:  r.Counter("fednet_migrations_total", "outcome", "fallback"),
+		migrateRejected:  r.Counter("fednet_migrations_total", "outcome", "rejected"),
+		handoverSpan:     r.Span("fednet_handover_seconds"),
+		rehomed:          r.Counter("fednet_rehomed_devices_total"),
+		leaseExpirations: r.Counter("fednet_lease_expirations_total"),
 	}
 }
 

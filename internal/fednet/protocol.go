@@ -92,6 +92,17 @@ const (
 	// Edge.MigrateOut) still triggers the handover push. Loss of the
 	// notice simply means a cold join — the standard fallback.
 	MsgMoveNotice
+	// MsgLease: edge → cloud, on a dedicated heartbeat connection.
+	// Header: Lease. Sent every lease interval while the edge considers
+	// itself a member; a lease carrying a stale epoch identifies a fenced
+	// incarnation and is rejected.
+	MsgLease
+	// MsgEdgeWelcome: cloud → edge after MsgRegisterEdge when the
+	// membership layer is enabled. Header: EdgeWelcome. Carries the
+	// current global model vector; replaces the bare MsgGlobalModel the
+	// legacy (membership-disabled) cloud sends, so an edge can tell which
+	// regime it joined from the first frame it receives.
+	MsgEdgeWelcome
 )
 
 // maxFrame bounds a frame's payload sizes against corrupt peers.
@@ -109,6 +120,18 @@ type RegisterDevice struct {
 	// PrevEdge is the edge the device last trained under (−1 if none);
 	// the edge uses it to derive the paper's "moved" predicate.
 	PrevEdge int `json:"prev_edge"`
+	// Rehome marks a registration that carries device-side warm state
+	// because the previous edge died and cannot push a handover record:
+	// the frame's vector payload is the device's last local model, and
+	// Utility / LastTrained / LastSync restore the edge's cached device
+	// statistics (LastTrained is honoured only when LastSync matches the
+	// receiving edge's own sync era, mirroring the handover merge rule).
+	// All four fields are omitted when the membership layer is disabled,
+	// keeping default registrations byte-identical.
+	Rehome      bool    `json:"rehome,omitempty"`
+	Utility     float64 `json:"utility,omitempty"`
+	LastTrained int     `json:"last_trained,omitempty"`
+	LastSync    int     `json:"last_sync,omitempty"`
 }
 
 // RegisterMux announces a batch of virtual devices sharing one
@@ -198,6 +221,10 @@ type RoundStart struct {
 	// is off); the edge parents its own round span on it so the
 	// device→edge→cloud spans of one round form a single trace tree.
 	Span string `json:"span,omitempty"`
+	// Epoch is the membership epoch the receiving incarnation was
+	// welcomed under (0 when the membership layer is disabled, which
+	// keeps legacy frames byte-identical).
+	Epoch int `json:"epoch,omitempty"`
 }
 
 // RoundDone acknowledges a completed round to the cloud.
@@ -209,6 +236,44 @@ type RoundDone struct {
 	Weight float64 `json:"weight"`
 	// Trained reports how many devices trained this round (diagnostics).
 	Trained int `json:"trained"`
+	// Epoch echoes the incarnation epoch from the edge's welcome; the
+	// cloud fences frames whose epoch does not match the registered
+	// incarnation (a zombie edge that was already declared dead). Zero
+	// when the membership layer is disabled.
+	Epoch int `json:"epoch,omitempty"`
+	// Devices lists the device ids currently registered at the edge,
+	// reported on sync rounds when the membership layer is enabled so
+	// the cloud can checkpoint the device→edge assignment. Nil otherwise.
+	Devices []int `json:"devices,omitempty"`
+}
+
+// Lease is one edge heartbeat. Seq increments per beat so a detector
+// can distinguish a fresh lease from a retransmission.
+type Lease struct {
+	EdgeID int `json:"edge_id"`
+	Epoch  int `json:"epoch"`
+	Seq    int `json:"seq"`
+}
+
+// EdgeWelcome admits an edge incarnation into the membership, assigning
+// it the epoch all its subsequent frames must carry. The frame's vector
+// payload is the current global model: a rejoining edge adopts it as a
+// catch-up sync (its checkpointed local progress predates the current
+// sync era and would otherwise re-enter aggregation stale).
+type EdgeWelcome struct {
+	// Epoch is the incarnation epoch assigned to this edge.
+	Epoch int `json:"epoch"`
+	// Round is the last completed cloud round; the edge resumes at
+	// Round+1.
+	Round int `json:"round"`
+	// LastSync is the round of the most recent cloud synchronisation.
+	LastSync int `json:"last_sync"`
+	// LeaseMillis is the heartbeat interval the cloud's failure detector
+	// expects; the edge must send a MsgLease at least this often.
+	LeaseMillis int `json:"lease_millis"`
+	// Rejoin marks a mid-run welcome (the run was already past its first
+	// round when this edge registered); purely diagnostic.
+	Rejoin bool `json:"rejoin,omitempty"`
 }
 
 // TrainRequest asks a device to run I local steps from the given start

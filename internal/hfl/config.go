@@ -124,6 +124,26 @@ type Config struct {
 	LiveMigration     bool
 	MigrationFailRate float64
 
+	// SelfHealing mirrors the fednet membership layer inside the
+	// simulation: a seeded schedule crashes edges and recovers them later,
+	// and the engine re-homes a dead edge's devices to the survivors
+	// instead of losing them. Each step, every up edge crashes with
+	// probability EdgeFailRate (decided deterministically from FaultSeed,
+	// the step and the edge id, on a stream independent of the drop and
+	// migration streams; the last surviving edge never crashes) and stays
+	// down for EdgeRecoverSteps steps (default CloudInterval). While an
+	// edge is down its devices train at a surviving edge chosen
+	// deterministically by device id — the re-home counts as a mobility
+	// move, so the strategy's Eq. 9 blend applies — and the dead edge's
+	// accumulated weight is excluded from Eq. 7. A recovering edge rejoins
+	// by adopting the current global model. The membership epoch is bumped
+	// on every crash and recovery. All default to off; SelfHealing with a
+	// zero fail rate only adds epoch accounting, leaving results
+	// bit-identical.
+	SelfHealing      bool
+	EdgeFailRate     float64
+	EdgeRecoverSteps int
+
 	// Aggregator selects the Eq. 6/Eq. 7 combiner: "" or "mean" (the
 	// paper's weighted mean, bit-identical to previous releases),
 	// "median", "trimmed-mean" or "norm-clip" (see internal/robust for

@@ -57,6 +57,13 @@ type simMetrics struct {
 	migOK       *obs.Counter
 	migFallback *obs.Counter
 
+	// Self-healing mirror: edge crash/recovery schedule outcomes — edges
+	// declared dead, devices re-homed off them, and the membership epoch
+	// (bumped on every crash and recovery).
+	failovers  *obs.Counter
+	rehomed    *obs.Counter
+	epochGauge *obs.Gauge
+
 	selectSpan    *obs.Span
 	trainSpan     *obs.Span
 	edgeAggSpan   *obs.Span
@@ -95,6 +102,10 @@ func newSimMetrics(r *obs.Registry) simMetrics {
 
 		migOK:       r.Counter("hfl_migrations_total", "outcome", "ok"),
 		migFallback: r.Counter("hfl_migrations_total", "outcome", "fallback"),
+
+		failovers:  r.Counter("hfl_edge_failovers_total"),
+		rehomed:    r.Counter("hfl_rehomed_devices_total"),
+		epochGauge: r.Gauge("hfl_membership_epoch"),
 
 		selectSpan:    r.Span("sim_phase_seconds", "phase", "selection"),
 		trainSpan:     r.Span("sim_phase_seconds", "phase", "local_train"),

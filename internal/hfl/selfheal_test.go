@@ -1,0 +1,131 @@
+package hfl
+
+// Simulator mirror of fednet's self-healing membership: Config.SelfHealing
+// adds a seeded edge crash/recovery schedule with automatic device
+// re-homing (an Eq. 9 mobility move onto a survivor), while keeping the
+// zero-rate path bit-identical to the baseline.
+
+import (
+	"math"
+	"testing"
+)
+
+func selfHealConfig(rate float64, recover int) Config {
+	cfg := smallConfig()
+	cfg.SelfHealing = true
+	cfg.EdgeFailRate = rate
+	cfg.EdgeRecoverSteps = recover
+	return cfg
+}
+
+// TestSelfHealingZeroRateBitIdentical is the acceptance pin: enabling
+// SelfHealing with a zero crash rate only adds accounting — the cloud
+// model and every recorded accuracy stay bit-for-bit those of a
+// disabled run, and no failover is ever counted.
+func TestSelfHealingZeroRateBitIdentical(t *testing.T) {
+	fBase := newFixture(t, 0.6)
+	base := New(smallConfig(), fBase.factory(), fBase.part, fBase.test, fBase.mob, &spyStrategy{})
+	hBase := base.Run()
+
+	fSH := newFixture(t, 0.6)
+	sh := New(selfHealConfig(0, 0), fSH.factory(), fSH.part, fSH.test, fSH.mob, &spyStrategy{})
+	hSH := sh.Run()
+
+	for i := range base.cloud {
+		if base.cloud[i] != sh.cloud[i] {
+			t.Fatalf("cloud model differs at %d with zero-rate self-healing: %v vs %v",
+				i, base.cloud[i], sh.cloud[i])
+		}
+	}
+	if len(hBase.GlobalAcc) != len(hSH.GlobalAcc) {
+		t.Fatalf("eval counts differ: %d vs %d", len(hBase.GlobalAcc), len(hSH.GlobalAcc))
+	}
+	for i := range hBase.GlobalAcc {
+		if hBase.GlobalAcc[i] != hSH.GlobalAcc[i] {
+			t.Fatalf("accuracy differs at eval %d", i)
+		}
+	}
+	if sh.Failovers() != 0 || sh.RehomedDevices() != 0 || sh.MembershipEpoch() != 0 {
+		t.Fatalf("zero-rate self-healing moved counters: failovers=%d rehomed=%d epoch=%d",
+			sh.Failovers(), sh.RehomedDevices(), sh.MembershipEpoch())
+	}
+}
+
+// TestSelfHealingCrashRecovery drives a crashy run end to end: edges
+// crash on the seeded schedule, their devices re-home to survivors, the
+// crashed edges rejoin after the outage window, and the epoch counts
+// both transitions. The model must stay finite throughout.
+func TestSelfHealingCrashRecovery(t *testing.T) {
+	f := newFixture(t, 0.4)
+	cfg := selfHealConfig(0.25, 3)
+	cfg.Steps = 12
+	sim := New(cfg, f.factory(), f.part, f.test, f.mob, &spyStrategy{})
+	sim.Run()
+	if sim.Failovers() == 0 {
+		t.Fatal("no edge crash at rate 0.25 over 12 steps — schedule broken")
+	}
+	if sim.RehomedDevices() == 0 {
+		t.Fatal("edges crashed but no device was re-homed")
+	}
+	// Every crash and every recovery bumps the epoch, so it must be at
+	// least failovers+1 once any crashed edge has had time to rejoin.
+	if sim.MembershipEpoch() < sim.Failovers() {
+		t.Fatalf("epoch %d below failover count %d", sim.MembershipEpoch(), sim.Failovers())
+	}
+	for i, v := range sim.cloud {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("cloud[%d] = %v after crashy run", i, v)
+		}
+	}
+}
+
+// TestSelfHealingDeterministic pins the seeded crash schedule: two runs
+// with the same config produce identical failover counts, epochs and
+// cloud models.
+func TestSelfHealingDeterministic(t *testing.T) {
+	run := func() (*Sim, int, int, int) {
+		f := newFixture(t, 0.4)
+		cfg := selfHealConfig(0.25, 2)
+		cfg.Steps = 12
+		s := New(cfg, f.factory(), f.part, f.test, f.mob, &spyStrategy{})
+		s.Run()
+		return s, s.Failovers(), s.RehomedDevices(), s.MembershipEpoch()
+	}
+	a, aF, aR, aE := run()
+	b, bF, bR, bE := run()
+	if aF != bF || aR != bR || aE != bE {
+		t.Fatalf("self-healing accounting not deterministic: (%d,%d,%d) vs (%d,%d,%d)",
+			aF, aR, aE, bF, bR, bE)
+	}
+	if aF == 0 {
+		t.Fatal("schedule produced no crashes — determinism check is vacuous")
+	}
+	for i := range a.cloud {
+		if a.cloud[i] != b.cloud[i] {
+			t.Fatalf("cloud model differs at %d across identical crashy runs", i)
+		}
+	}
+}
+
+// TestSelfHealingLastSurvivorImmortal pins the liveness guarantee: even
+// at crash rate 1.0 the schedule never takes the last surviving edge
+// down, so training always has a home for every device and the run
+// completes with a finite model.
+func TestSelfHealingLastSurvivorImmortal(t *testing.T) {
+	f := newFixture(t, 0.4)
+	cfg := selfHealConfig(1.0, 4)
+	cfg.Steps = 15
+	sim := New(cfg, f.factory(), f.part, f.test, f.mob, &spyStrategy{})
+	sim.Run()
+	if sim.Failovers() == 0 {
+		t.Fatal("rate-1.0 schedule never crashed an edge")
+	}
+	if down := sim.DownEdges(); down >= sim.numEdges {
+		t.Fatalf("%d of %d edges down — the last survivor crashed", down, sim.numEdges)
+	}
+	for i, v := range sim.cloud {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("cloud[%d] = %v after rate-1.0 run", i, v)
+		}
+	}
+}

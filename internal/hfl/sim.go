@@ -49,6 +49,15 @@ type Sim struct {
 	migOKs       int // handovers that completed (LiveMigration on)
 	migFallbacks int // handovers lost in transit → drop-and-reconnect
 
+	// Self-healing mirror (SelfHealing on). downUntil[n] is the step edge
+	// n recovers at (0 = up); epoch is the membership epoch, bumped on
+	// every crash and recovery; failovers/rehomedDevs tally crashes and
+	// the devices re-homed off crashing edges.
+	downUntil   []int
+	epoch       int
+	failovers   int
+	rehomedDevs int
+
 	// Robustness layer (PR 5). validator is nil when Config.Validate is
 	// off; agg is the pluggable Eq. 6/Eq. 7 combiner (zero value: the
 	// bit-identical weighted mean).
@@ -147,6 +156,7 @@ func New(cfg Config, factory ModelFactory, part *data.Partition, test *data.Data
 	}
 	s.dataSizes = part.Sizes()
 	s.edgeWeight = make([]float64, s.numEdges)
+	s.downUntil = make([]int, s.numEdges)
 	mob.Reset()
 	s.membership = mob.Step() // M^0: membership before the first round
 	s.workers = make([]*trainWorker, cfg.Parallelism)
@@ -246,7 +256,11 @@ func (s *Sim) StepOnce() int {
 	fp := flight.BeginPhase("selection")
 
 	prev := s.membership
-	s.membership = s.mob.Step()
+	next := s.mob.Step()
+	if s.cfg.SelfHealing {
+		next = s.selfHeal(t, next)
+	}
+	s.membership = next
 	if s.moved == nil {
 		s.moved = make([]bool, s.numDevices)
 	}
@@ -559,6 +573,92 @@ func (s *Sim) StepOnce() int {
 	return t
 }
 
+// selfHeal is the simulation mirror of fednet's membership layer,
+// applied between the mobility step and the membership bookkeeping.
+// Recoveries land first (the edge rejoins on the current global model,
+// epoch bumped), then the seeded crash schedule fires (never taking the
+// last surviving edge down), and finally devices whose intended edge is
+// down are re-homed to survivors deterministically by device id. The
+// returned slice is the intended membership itself when no edge is down
+// — the zero-crash path allocates nothing and changes nothing.
+func (s *Sim) selfHeal(t int, next []int) []int {
+	// Recoveries: the edge rejoins by adopting the current global model
+	// (the cloud's catch-up sync) with its Eq. 7 weight reset.
+	for n := 0; n < s.numEdges; n++ {
+		if s.downUntil[n] != 0 && t >= s.downUntil[n] {
+			s.downUntil[n] = 0
+			copy(s.edges[n], s.cloud)
+			s.edgeWeight[n] = 0
+			s.epoch++
+			s.metrics.epochGauge.Set(float64(s.epoch))
+		}
+	}
+	// Crash schedule: an independent FaultSeed stream per (step, edge).
+	if s.cfg.EdgeFailRate > 0 {
+		outage := s.cfg.EdgeRecoverSteps
+		if outage <= 0 {
+			outage = s.cfg.CloudInterval
+		}
+		for n := 0; n < s.numEdges; n++ {
+			if s.downUntil[n] != 0 || s.upEdges() <= 1 {
+				continue
+			}
+			if tensor.Split(s.cfg.FaultSeed, int64(t)*1_000_003+int64(n)*41+13).Float64() < s.cfg.EdgeFailRate {
+				s.downUntil[n] = t + outage
+				// The dead edge's un-synced contribution dies with it.
+				s.edgeWeight[n] = 0
+				s.failovers++
+				s.epoch++
+				s.metrics.failovers.Inc()
+				s.metrics.epochGauge.Set(float64(s.epoch))
+				for _, e := range next {
+					if e == n {
+						s.rehomedDevs++
+						s.metrics.rehomed.Inc()
+					}
+				}
+			}
+		}
+	}
+	down := false
+	for n := range s.downUntil {
+		if s.downUntil[n] != 0 {
+			down = true
+			break
+		}
+	}
+	if !down {
+		return next
+	}
+	// Effective membership: re-home devices off dead edges. The re-home
+	// registers as a mobility move, so the strategy's on-device blend
+	// (Eq. 9) applies exactly as for an organic move.
+	var survivors []int
+	for n := 0; n < s.numEdges; n++ {
+		if s.downUntil[n] == 0 {
+			survivors = append(survivors, n)
+		}
+	}
+	eff := append([]int(nil), next...)
+	for m, e := range eff {
+		if s.downUntil[e] != 0 {
+			eff[m] = survivors[m%len(survivors)]
+		}
+	}
+	return eff
+}
+
+// upEdges counts edges currently in the membership.
+func (s *Sim) upEdges() int {
+	up := 0
+	for n := range s.downUntil {
+		if s.downUntil[n] == 0 {
+			up++
+		}
+	}
+	return up
+}
+
 // tracePhase records one StepOnce phase as a child span of the round's
 // trace span. No-op (and allocation-free) when tracing is disabled.
 func (s *Sim) tracePhase(name string, t int, start, end time.Time) {
@@ -727,6 +827,21 @@ func (s *Sim) QuorumMisses() int { return s.quorumMisses }
 // new edge, fallbacks were lost in transit and degraded to
 // drop-and-reconnect. Both are zero with Config.LiveMigration off.
 func (s *Sim) Migrations() (ok, fallbacks int) { return s.migOKs, s.migFallbacks }
+
+// Failovers returns how many edge crashes the self-healing schedule has
+// fired so far (zero with Config.SelfHealing off).
+func (s *Sim) Failovers() int { return s.failovers }
+
+// RehomedDevices returns how many devices were re-homed off crashing
+// edges so far.
+func (s *Sim) RehomedDevices() int { return s.rehomedDevs }
+
+// MembershipEpoch returns the current membership epoch: bumped once per
+// edge crash and once per recovery (zero with Config.SelfHealing off).
+func (s *Sim) MembershipEpoch() int { return s.epoch }
+
+// DownEdges returns how many edges are currently crashed.
+func (s *Sim) DownEdges() int { return s.numEdges - s.upEdges() }
 
 // RejectedUpdates returns the cumulative validation rejections by
 // reason (zero with Config.Validate off).

@@ -152,6 +152,11 @@ func DefaultRules() []Rule {
 		`robust_rejects: delta(robust_rejected_updates_total*,60s) <= 100`,
 		// Memory: the scale-out ceiling from ROADMAP.
 		`rss_ceiling: last(process_peak_rss_bytes) < 2GiB`,
+		// Self-healing: every device re-homes within the lease deadline
+		// (no device stays stranded 5s past a failover), and failovers
+		// themselves resolve quickly.
+		`stranded_devices: last(fednet_stranded_devices) <= 0 for 5s`,
+		`failover_latency: p99(fednet_failover_seconds,60s) < 5`,
 		// Progress: global accuracy still moving over a 10-minute window.
 		`accuracy_stall: spread(hfl_global_accuracy,600s) > 0.0005`,
 	}, "; "))

@@ -88,6 +88,7 @@ var PANELS = [
   { title: "Mobility flow (moves, handoffs)", unit: "", series: ["hfl_moves_total", "hfl_handoff*_total", "fednet_migrations_total{*", "hfl_migrations_total{*"] },
   { title: "Handover latency (s)", unit: "s", series: ["fednet_handover_seconds_p99", "fednet_handover_seconds_p50", "fednet_handover_seconds_count"] },
   { title: "Faults, retries, rejects", unit: "", series: ["*retries_total", "*faults_injected_total", "robust_rejected_updates_total*", "*quorum_misses_total"] },
+  { title: "Membership (epoch, failovers, re-homes)", unit: "", series: ["fednet_membership_epoch", "hfl_membership_epoch", "*edge_failovers_total", "*rehomed_devices_total", "fednet_stranded_devices", "fednet_lease_misses_total", "fednet_stale_frames_total"] },
   { title: "Memory (bytes)", unit: "B", series: ["process_peak_rss_bytes", "process_heap_inuse_bytes"] },
   { title: "Series governance", unit: "", series: ["obs_series", "tsdb_series", "obs_dropped_series_total{*", "tsdb_dropped_series_total"] },
   { title: "Participation", unit: "", series: ["hfl_participants", "hfl_round", "sim_round_seconds_count"] }

@@ -16,6 +16,32 @@ echo ok
 echo "== go vet =="
 go vet ./...
 
+# Deeper static analysis, availability-gated: the checks run whenever the
+# tools exist on PATH (this container has no network to install them).
+# staticcheck is pinned so results are reproducible across machines;
+# govulncheck is advisory only — a vulnerable-dependency report must not
+# block an offline build.
+STATICCHECK_PIN="2025.1"
+echo "== staticcheck (pinned $STATICCHECK_PIN) =="
+if command -v staticcheck > /dev/null 2>&1; then
+    scver=$(staticcheck -version 2>/dev/null || true)
+    case "$scver" in
+    *"$STATICCHECK_PIN"*) ;;
+    *) echo "note: staticcheck is '$scver', pin is $STATICCHECK_PIN — running anyway" ;;
+    esac
+    staticcheck ./...
+    echo ok
+else
+    echo "skipped: staticcheck not on PATH (install pin: go install honnef.co/go/tools/cmd/staticcheck@$STATICCHECK_PIN)"
+fi
+
+echo "== govulncheck (non-fatal) =="
+if command -v govulncheck > /dev/null 2>&1; then
+    govulncheck ./... || echo "warning: govulncheck reported findings (advisory, not gating)"
+else
+    echo "skipped: govulncheck not on PATH (install: go install golang.org/x/vuln/cmd/govulncheck@latest)"
+fi
+
 echo "== go build =="
 go build ./...
 
@@ -492,6 +518,13 @@ grep -Eq 'migrations: [1-9][0-9]* ok' "$tmpdir/mig_deploy.log" || {
     cat "$tmpdir/mig_deploy.log"
     exit 1
 }
+# Cluster.Stranded() rides in the deployment summary; a fault-free run
+# must end with every device attached somewhere.
+grep -q ' 0 stranded devices' "$tmpdir/mig_deploy.log" || {
+    echo "fault-free deployment ended with stranded devices:"
+    cat "$tmpdir/mig_deploy.log"
+    exit 1
+}
 # Seeded handover chaos in the simulator mirror: with half the handovers
 # lost in transit, every failure must degrade to drop-and-reconnect and
 # the run still exits 0 with both outcomes accounted.
@@ -532,6 +565,277 @@ fi
 mkdir -p results
 printf 'migrate_vs_drop: migrate_acc=%s drop_acc=%s (mnist, 60 devices / 3 edges, p=0.6, seed 3)\n' \
     "$macc" "$dacc" | tee results/migration_compare.txt
+echo ok
+
+echo "== self-healing simulator smoke =="
+# Seeded edge-crash chaos in the simulator: crashes must trigger
+# failovers and device re-homing, bump the membership epoch, and still
+# let the run finish with nobody permanently stranded (the simulator
+# mirror re-homes synchronously, so any strand would be a bug).
+"$tmpdir/middlesim" -exp scale -devices 60 -edges 3 -k 2 -tc 2 -steps 20 \
+    -p 0.6 -seed 3 -self-healing -edge-fail-rate 0.25 -edge-recover-steps 3 \
+    > "$tmpdir/selfheal.log" 2>&1 || {
+    echo "self-healing simulator run failed:"
+    cat "$tmpdir/selfheal.log"
+    exit 1
+}
+grep -Eq 'self-healing: [1-9][0-9]* edge failovers, [1-9][0-9]* devices re-homed, membership epoch [1-9]' \
+    "$tmpdir/selfheal.log" || {
+    echo "seeded crashes produced no failover/re-home accounting:"
+    cat "$tmpdir/selfheal.log"
+    exit 1
+}
+# Deployment counterpart: -membership arms the lease detector on the
+# in-process fednet cluster; a fault-free run keeps failovers at 0 and
+# reports the epoch reached by the initial joins.
+"$tmpdir/middlesim" -exp scale -devices 24 -edges 3 -k 2 -tc 2 -steps 6 \
+    -mux 2 -p 0.6 -seed 3 -membership > "$tmpdir/memb_deploy.log" 2>&1 || {
+    echo "membership deployment run failed:"
+    cat "$tmpdir/memb_deploy.log"
+    exit 1
+}
+grep -Eq 'membership: 0 edge failovers, 0 devices re-homed, epoch [1-9]' \
+    "$tmpdir/memb_deploy.log" || {
+    echo "fault-free membership deployment mis-reported:"
+    cat "$tmpdir/memb_deploy.log"
+    exit 1
+}
+grep -q ' 0 stranded devices' "$tmpdir/memb_deploy.log" || {
+    echo "membership deployment ended with stranded devices:"
+    cat "$tmpdir/memb_deploy.log"
+    exit 1
+}
+echo ok
+
+echo "== middled graceful-shutdown (SIGTERM) smoke =="
+# SIGTERM mid-run must drain the in-flight round, write a final
+# checkpoint, flush telemetry and exit 0 — not die mid-write.
+gsdir="$tmpdir/gsckpt"
+mkdir -p "$gsdir"
+# -round-interval paces the schedule so the run is still mid-flight
+# when the signal lands (device-less rounds otherwise finish in
+# microseconds while the devices process is still loading its data).
+"$tmpdir/middled" -role cloud -addr 127.0.0.1:0 -edges 1 -rounds 2000 -tc 2 \
+    -round-interval 100ms -checkpoint-dir "$gsdir" > "$tmpdir/gs_cloud.log" 2>&1 &
+gcpid=$!
+pids="$pids $gcpid"
+gcaddr=$(scrape_addr "$tmpdir/gs_cloud.log" "cloud listening on")
+"$tmpdir/middled" -role edge -id 0 -cloud "$gcaddr" -addr 127.0.0.1:0 \
+    -strategy MIDDLE -k 2 > "$tmpdir/gs_edge.log" 2>&1 &
+gepid=$!
+pids="$pids $gepid"
+geaddr=$(scrape_addr "$tmpdir/gs_edge.log" "serving devices on")
+"$tmpdir/middled" -role devices -edgeaddrs "$geaddr" -from 0 -to 3 \
+    > "$tmpdir/gs_devices.log" 2>&1 &
+gdpid=$!
+pids="$pids $gdpid"
+i=0
+while [ $i -lt 300 ]; do
+    if grep -q "attached to edge" "$tmpdir/gs_devices.log" &&
+        ls "$gsdir"/*.ckpt > /dev/null 2>&1; then
+        break
+    fi
+    if ! kill -0 "$gcpid" 2>/dev/null; then
+        break
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+kill -TERM "$gcpid" 2>/dev/null || true
+gsrc=0
+wait "$gcpid" || gsrc=$?
+if [ "$gsrc" -ne 0 ]; then
+    echo "SIGTERM'd cloud exited $gsrc, want 0:"
+    cat "$tmpdir/gs_cloud.log"
+    exit 1
+fi
+grep -q "shutting down gracefully" "$tmpdir/gs_cloud.log" || {
+    echo "cloud never acknowledged the signal:"
+    cat "$tmpdir/gs_cloud.log"
+    exit 1
+}
+grep -q "graceful stop after round" "$tmpdir/gs_cloud.log" || {
+    echo "cloud did not drain the in-flight round before exiting:"
+    cat "$tmpdir/gs_cloud.log"
+    exit 1
+}
+ls "$gsdir"/*.ckpt > /dev/null 2>&1 || {
+    echo "no checkpoint survived the graceful shutdown in $gsdir"
+    exit 1
+}
+# The final checkpoint must be loadable: a resumed cloud over the same
+# directory has to come up cleanly from it.
+"$tmpdir/middled" -role cloud -addr 127.0.0.1:0 -edges 1 -rounds 2000 -tc 2 \
+    -checkpoint-dir "$gsdir" > "$tmpdir/gs_cloud2.log" 2>&1 &
+gc2pid=$!
+pids="$pids $gc2pid"
+i=0
+while [ $i -lt 100 ]; do
+    if grep -q "resuming from checkpoint" "$tmpdir/gs_cloud2.log"; then
+        break
+    fi
+    if ! kill -0 "$gc2pid" 2>/dev/null; then
+        break
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+grep -q "resuming from checkpoint" "$tmpdir/gs_cloud2.log" || {
+    echo "graceful-shutdown checkpoint did not load on restart:"
+    cat "$tmpdir/gs_cloud2.log"
+    exit 1
+}
+kill -TERM "$gdpid" 2>/dev/null || true
+wait "$gdpid" 2>/dev/null || true
+grep -q "detached" "$tmpdir/gs_devices.log" || {
+    echo "devices did not detach cleanly on SIGTERM:"
+    cat "$tmpdir/gs_devices.log"
+    exit 1
+}
+kill "$gepid" "$gc2pid" 2>/dev/null || true
+wait "$gepid" "$gc2pid" 2>/dev/null || true
+echo ok
+
+echo "== self-healing failover chaos smoke =="
+# The membership acceptance gate, on real processes: SIGKILL one of
+# three edges mid-run. The lease detector must declare it dead, every
+# orphaned device must fail over to a survivor (stranded gauge back to
+# 0), restarting the edge must rejoin it under a bumped epoch, and the
+# run must finish within 0.05 accuracy of a fault-free baseline.
+start_memb_fleet() {
+    # $1: log prefix. Sets mcpid/mcaddr, medge0..2 pids, mea0..2 addrs,
+    # mdpid. Devices run dedicated clients with -failover so they can
+    # re-home on their own.
+    # -round-interval keeps the schedule on wall-clock pace so devices
+    # attach within the first rounds and the kill lands mid-run.
+    "$tmpdir/middled" -role cloud -addr 127.0.0.1:0 -edges 3 -rounds 30 \
+        -tc 2 -round-interval 400ms -membership -lease-interval 200ms \
+        > "$1_cloud.log" 2>&1 &
+    mcpid=$!
+    pids="$pids $mcpid"
+    mcaddr=$(scrape_addr "$1_cloud.log" "cloud listening on")
+    for eid in 0 1 2; do
+        "$tmpdir/middled" -role edge -id "$eid" -cloud "$mcaddr" \
+            -addr 127.0.0.1:0 -strategy MIDDLE -k 2 > "$1_edge$eid.log" 2>&1 &
+        eval "medge$eid=$!"
+        pids="$pids $!"
+        eval "mea$eid=\$(scrape_addr \"$1_edge$eid.log\" 'serving devices on')"
+    done
+    "$tmpdir/middled" -role devices -edgeaddrs "$mea0,$mea1,$mea2" \
+        -from 0 -to 8 -failover -p 0.4 -movems 300 \
+        -metrics-addr 127.0.0.1:0 > "$1_devices.log" 2>&1 &
+    mdpid=$!
+    pids="$pids $mdpid"
+}
+
+wait_cloud_log() {
+    # $1: cloud log, $2: pattern, $3: ticks of 0.1s, $4: description
+    i=0
+    while [ $i -lt "$3" ]; do
+        if grep -q "$2" "$1"; then
+            return 0
+        fi
+        if ! kill -0 "$mcpid" 2>/dev/null; then
+            break
+        fi
+        sleep 0.1
+        i=$((i + 1))
+    done
+    if ! grep -q "$2" "$1"; then
+        echo "$4 (\"$2\" never appeared in $1):"
+        tail -n 30 "$1"
+        exit 1
+    fi
+}
+
+# Fault-free baseline.
+start_memb_fleet "$tmpdir/base"
+wait_cloud_log "$tmpdir/base_cloud.log" "training complete" 1200 "baseline run stalled"
+baseacc=$(sed -n 's/.*final accuracy \([0-9.]*\).*/\1/p' "$tmpdir/base_cloud.log")
+kill -TERM "$mdpid" 2>/dev/null || true
+kill "$medge0" "$medge1" "$medge2" 2>/dev/null || true
+wait "$mcpid" "$mdpid" "$medge0" "$medge1" "$medge2" 2>/dev/null || true
+
+# Chaos run: SIGKILL edge 1 once devices are attached and training is
+# under way.
+start_memb_fleet "$tmpdir/chaos"
+i=0
+while [ $i -lt 300 ]; do
+    if grep -q "attached to edge" "$tmpdir/chaos_devices.log"; then
+        break
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+wait_cloud_log "$tmpdir/chaos_cloud.log" "round 4 synced" 1200 "chaos run never reached round 4"
+kill -9 "$medge1" 2>/dev/null || true
+wait_cloud_log "$tmpdir/chaos_cloud.log" "edge 1 declared dead" 300 "lease detector never declared the killed edge dead"
+# Devices orphaned by the kill must re-home to a survivor on their own.
+i=0
+while [ $i -lt 300 ]; do
+    if grep -q "failed over from edge 1" "$tmpdir/chaos_devices.log"; then
+        break
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+grep -q "failed over from edge 1" "$tmpdir/chaos_devices.log" || {
+    echo "no device failed over off the killed edge:"
+    tail -n 30 "$tmpdir/chaos_devices.log"
+    exit 1
+}
+# Restart the edge on its old address with the same id: the cloud must
+# readmit it as a rejoin under a bumped membership epoch.
+"$tmpdir/middled" -role edge -id 1 -cloud "$mcaddr" -addr "$mea1" \
+    -strategy MIDDLE -k 2 > "$tmpdir/chaos_edge1b.log" 2>&1 &
+medge1b=$!
+pids="$pids $medge1b"
+wait_cloud_log "$tmpdir/chaos_cloud.log" "edge 1 rejoined at epoch" 600 "restarted edge never rejoined"
+# With the full fleet healthy again, the device-side stranded gauge
+# must read 0 — nobody is permanently stranded by the outage.
+mdaddr=$(scrape_addr "$tmpdir/chaos_devices.log" "metrics listening on")
+strandok=""
+i=0
+while [ $i -lt 300 ]; do
+    sval=$(curl -fsS "http://$mdaddr/metrics" 2>/dev/null |
+        sed -n 's/^fednet_stranded_devices \([0-9.]*\)$/\1/p')
+    if [ "$sval" = "0" ]; then
+        strandok=yes
+        break
+    fi
+    if ! kill -0 "$mcpid" 2>/dev/null; then
+        break
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$strandok" ]; then
+    echo "stranded-device gauge never returned to 0 after the rejoin (last: '$sval')"
+    tail -n 30 "$tmpdir/chaos_devices.log"
+    exit 1
+fi
+wait_cloud_log "$tmpdir/chaos_cloud.log" "training complete" 1800 "chaos run stalled"
+chaosacc=$(sed -n 's/.*final accuracy \([0-9.]*\).*/\1/p' "$tmpdir/chaos_cloud.log")
+kill -TERM "$mdpid" 2>/dev/null || true
+kill "$medge0" "$medge1b" "$medge2" 2>/dev/null || true
+wait "$mcpid" "$mdpid" "$medge0" "$medge1b" "$medge2" 2>/dev/null || true
+# A device that exhausts every candidate logs a hard strand; the chaos
+# window leaves two live survivors, so that must never happen.
+if grep -q "no failover candidate reachable" "$tmpdir/chaos_devices.log"; then
+    echo "a device exhausted all failover candidates during the outage:"
+    grep "no failover candidate reachable" "$tmpdir/chaos_devices.log"
+    exit 1
+fi
+if [ -z "$baseacc" ] || [ -z "$chaosacc" ]; then
+    echo "runs reported no final accuracy (base='$baseacc' chaos='$chaosacc')"
+    exit 1
+fi
+accok=$(awk -v b="$baseacc" -v c="$chaosacc" 'BEGIN { print (c >= b - 0.05) ? "yes" : "" }')
+if [ -z "$accok" ]; then
+    echo "chaos accuracy $chaosacc fell more than 0.05 below baseline $baseacc"
+    exit 1
+fi
+echo "failover chaos: baseline acc $baseacc, chaos acc $chaosacc"
 echo ok
 
 echo "All checks passed."
